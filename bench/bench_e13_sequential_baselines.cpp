@@ -1,0 +1,68 @@
+// E13 — sequential baselines in context: alpha-beta vs SCOUT [7] vs SSS*
+// (the comparison target of reference [11], Vornberger's "Parallel
+// alpha-beta versus parallel SSS*"). Leaf counts across move-ordering
+// quality show why the paper parallelizes alpha-beta: it is optimal on
+// well-ordered trees and SSS*'s best-first advantage shrinks as ordering
+// improves, while SSS* pays list-maintenance overhead (gamma steps, peak
+// OPEN size).
+#include "bench/bench_util.hpp"
+
+#include "gtpar/ab/alphabeta.hpp"
+#include "gtpar/ab/sss.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/proof_tree.hpp"
+
+int main() {
+  using namespace gtpar;
+  bench::banner("E13", "Sequential baselines: alpha-beta vs SCOUT vs SSS*",
+                "distinct leaves evaluated on M(2,12); mean over 10 seeds per "
+                "ordering quality");
+
+  const unsigned d = 2, n = 12;
+  std::printf("-- i.i.d. M(%u,%u) with varying move-ordering quality\n", d, n);
+  bench::Table table({"ordering q", "minimax", "alpha-beta", "SCOUT", "SSS*",
+                      "Fact2 LB", "SSS* gamma", "SSS* peak open"});
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    std::uint64_t ab = 0, sc = 0, ss = 0, gamma = 0;
+    std::size_t peak = 0;
+    const unsigned kSeeds = 10;
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+      const Tree t = make_ordered_iid_minimax(d, n, 0, 1 << 20, seed * 7 + 1, q);
+      ab += alphabeta(t).distinct_leaves;
+      sc += scout(t).distinct_leaves;
+      const auto s = sss_star(t);
+      ss += s.distinct_leaves;
+      gamma += s.gamma_steps;
+      peak = std::max(peak, s.peak_open);
+    }
+    table.row({bench::fmt(q), bench::fmt(uniform_leaf_count(d, n)),
+               bench::fmt(ab / kSeeds), bench::fmt(sc / kSeeds),
+               bench::fmt(ss / kSeeds), bench::fmt(fact2_lower_bound(d, n)),
+               bench::fmt(gamma / kSeeds), bench::fmt(std::uint64_t(peak))});
+  }
+  table.print();
+
+  std::printf("-- ordering extremes\n");
+  bench::Table ext({"instance", "alpha-beta", "SCOUT", "SSS*", "Fact2 LB"});
+  {
+    const Tree worst = make_worst_case_minimax(d, n);
+    ext.row({"worst ordering", bench::fmt(alphabeta(worst).distinct_leaves),
+             bench::fmt(scout(worst).distinct_leaves),
+             bench::fmt(sss_star(worst).distinct_leaves),
+             bench::fmt(fact2_lower_bound(d, n))});
+    const Tree best = make_best_case_minimax(d, n);
+    ext.row({"best ordering", bench::fmt(alphabeta(best).distinct_leaves),
+             bench::fmt(scout(best).distinct_leaves),
+             bench::fmt(sss_star(best).distinct_leaves),
+             bench::fmt(fact2_lower_bound(d, n))});
+  }
+  ext.print();
+
+  std::printf(
+      "Reading: SSS* dominates alpha-beta everywhere (never more leaves) but\n"
+      "its advantage collapses to zero on well-ordered trees, while its OPEN\n"
+      "list costs real memory and bookkeeping -- the classic argument for\n"
+      "parallelizing alpha-beta rather than SSS*, which is the road the\n"
+      "paper takes.\n\n");
+  return 0;
+}

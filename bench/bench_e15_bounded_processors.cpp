@@ -1,0 +1,64 @@
+// E15 — fixed processor budgets in the leaf-evaluation model: width-w
+// Parallel SOLVE/alpha-beta with only p processors (leftmost-priority
+// scheduling of the eligible set). Complements E9's zone multiplexing:
+// Brent's principle predicts steps ~ P_w(T) + W_w(T)/p, so speed-up scales
+// linearly in p until it saturates at the width-w parallelism.
+#include "bench/bench_util.hpp"
+
+#include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/tree/generators.hpp"
+
+int main() {
+  using namespace gtpar;
+  bench::banner("E15", "Fixed processor budgets: Brent-style scaling at width w",
+                "steps of width-w runs truncated to the leftmost p eligible leaves");
+
+  {
+    const unsigned n = 14;
+    const Tree t = make_worst_case_nor(2, n, false);
+    const std::uint64_t s = sequential_solve_work(t);
+    std::printf("-- B(2,%u) worst case, S(T) = %llu\n", n,
+                static_cast<unsigned long long>(s));
+    bench::Table table({"width", "p", "steps", "speed-up", "Brent prediction"});
+    for (unsigned w : {1u, 2u, 3u}) {
+      const auto full = run_parallel_solve(t, w);
+      for (std::size_t p : {1u, 2u, 4u, 8u, 16u, 64u, 1024u}) {
+        const auto run = run_parallel_solve_bounded(t, w, p);
+        const double brent =
+            double(full.stats.steps) + double(full.stats.work) / double(p);
+        table.row({bench::fmt(w), bench::fmt(std::uint64_t(p)),
+                   bench::fmt(run.stats.steps),
+                   bench::fmt(double(s) / double(run.stats.steps)),
+                   bench::fmt(brent, 0)});
+      }
+    }
+    table.print();
+  }
+
+  {
+    const unsigned n = 12;
+    const Tree t = make_worst_case_minimax(2, n);
+    const auto seq = run_sequential_ab(t);
+    std::printf("-- M(2,%u) worst-case ordering, S~(T) = %llu\n", n,
+                static_cast<unsigned long long>(seq.stats.work));
+    bench::Table table({"width", "p", "steps", "speed-up"});
+    for (unsigned w : {1u, 2u}) {
+      for (std::size_t p : {1u, 2u, 4u, 8u, 16u, 64u}) {
+        const auto run = run_parallel_ab_bounded(t, w, p);
+        table.row({bench::fmt(w), bench::fmt(std::uint64_t(p)),
+                   bench::fmt(run.stats.steps),
+                   bench::fmt(double(seq.stats.steps) / double(run.stats.steps))});
+      }
+    }
+    table.print();
+  }
+
+  std::printf(
+      "Reading: for p below the width-w parallelism the speed-up tracks p\n"
+      "(the work term dominates, as Brent predicts); past it, the curve\n"
+      "flattens at the width-w speed-up of E2/E8. Small budgets lose nothing:\n"
+      "scheduling the leftmost p eligible leaves is work-efficient.\n\n");
+  return 0;
+}

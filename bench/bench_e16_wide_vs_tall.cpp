@@ -1,0 +1,55 @@
+// E16 — the Section 8 caveat, quantified: "Our results are asymptotic in
+// the height of the input tree... This should be contrasted with the
+// 'wide-and-shallow' game trees encountered in chess programs." This
+// experiment holds the leaf count roughly fixed and trades height against
+// branching factor, on both i.i.d. and *correlated* leaf values (edge-sum
+// evaluations, the realistic chess-like structure), and reports how the
+// width-1 speed-up degrades as trees get wider and shallower.
+#include "bench/bench_util.hpp"
+
+#include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/tree/generators.hpp"
+
+int main() {
+  using namespace gtpar;
+  bench::banner("E16", "Wide-and-shallow vs tall-and-thin at ~fixed leaf count",
+                "width-1 Parallel alpha-beta; ~4k leaves per row; 6 seeds");
+
+  struct Shape {
+    unsigned d, n;
+  };
+  // d^n ~ 4096 in every row.
+  const Shape shapes[] = {{2, 12}, {4, 6}, {8, 4}, {16, 3}, {64, 2}};
+
+  for (const bool correlated : {false, true}) {
+    std::printf("-- %s leaf values\n",
+                correlated ? "correlated (edge-sum, chess-like)" : "i.i.d. uniform");
+    bench::Table table({"d", "n", "leaves", "mean S~", "mean P~ w=1", "speed-up",
+                        "n+1"});
+    for (const Shape s : shapes) {
+      std::uint64_t total_s = 0, total_p = 0;
+      const unsigned kSeeds = 6;
+      for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+        const Tree t = correlated
+                           ? make_correlated_minimax(s.d, s.n, 100, seed * 3 + 1)
+                           : make_uniform_iid_minimax(s.d, s.n, 0, 1 << 20, seed * 3 + 1);
+        total_s += run_sequential_ab(t).stats.steps;
+        total_p += run_parallel_ab(t, 1).stats.steps;
+      }
+      table.row({bench::fmt(s.d), bench::fmt(s.n),
+                 bench::fmt(uniform_leaf_count(s.d, s.n)),
+                 bench::fmt(total_s / kSeeds), bench::fmt(total_p / kSeeds),
+                 bench::fmt(double(total_s) / double(total_p)), bench::fmt(s.n + 1)});
+    }
+    table.print();
+  }
+
+  std::printf(
+      "Reading: at fixed leaf count the width-1 speed-up shrinks with the\n"
+      "height (the parallelism budget is ~n+1), exactly the weakness the\n"
+      "paper's conclusion concedes for chess-like shapes; raising the width\n"
+      "parameter (E8) is the paper's prescribed remedy. Correlated values\n"
+      "cut S~ sharply (natural move ordering) without changing the shape of\n"
+      "the height dependence.\n\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E18 — "Parallel alpha-beta versus parallel SSS*": the head-to-head of
+// reference [11] (Vornberger, IFIP 1987), reconstructed inside our cost
+// model. Parallel SSS* applies p Gamma operators per basic step (the p
+// processors each grab one of the p best OPEN states); width-w Parallel
+// alpha-beta evaluates its eligible leaf set per step. We compare the
+// speed-up each method extracts as its parallelism grows, on well- and
+// badly-ordered trees.
+#include "bench/bench_util.hpp"
+
+#include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/ab/sss.hpp"
+#include "gtpar/tree/generators.hpp"
+
+namespace gtpar {
+namespace {
+
+void compare(const char* label, const Tree& t) {
+  const auto seq_ab = run_sequential_ab(t);
+  const auto seq_ss = sss_star(t);
+  std::printf("-- %s: sequential alpha-beta %llu leaves, sequential SSS* %llu "
+              "leaves (%llu gamma ops)\n",
+              label, static_cast<unsigned long long>(seq_ab.stats.work),
+              static_cast<unsigned long long>(seq_ss.distinct_leaves),
+              static_cast<unsigned long long>(seq_ss.gamma_steps));
+
+  bench::Table table({"method", "parallelism", "steps", "speed-up vs own seq",
+                      "leaves/work"});
+  for (unsigned w : {1u, 2u, 3u}) {
+    const auto run = run_parallel_ab(t, w);
+    table.row({"parallel alpha-beta", "width " + std::to_string(w),
+               bench::fmt(run.stats.steps),
+               bench::fmt(double(seq_ab.stats.steps) / double(run.stats.steps)),
+               bench::fmt(run.stats.work)});
+  }
+  for (std::size_t p : {4u, 16u, 64u}) {
+    const auto run = parallel_sss(t, p);
+    table.row({"parallel SSS*", "p = " + std::to_string(p), bench::fmt(run.steps),
+               bench::fmt(double(seq_ss.gamma_steps) / double(run.steps)),
+               bench::fmt(run.distinct_leaves)});
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace gtpar
+
+int main() {
+  using namespace gtpar;
+  bench::banner("E18", "Parallel alpha-beta vs parallel SSS* (reference [11])",
+                "SSS* steps apply p Gamma ops each; alpha-beta steps evaluate the "
+                "width-w eligible leaves");
+
+  compare("M(2,12), worst-case ordering", make_worst_case_minimax(2, 12));
+  compare("M(2,12), i.i.d. leaves", make_uniform_iid_minimax(2, 12, 0, 1 << 20, 5));
+  compare("M(2,12), ordering quality 0.75",
+          make_ordered_iid_minimax(2, 12, 0, 1 << 20, 7, 0.75));
+  compare("M(4,6), i.i.d. leaves", make_uniform_iid_minimax(4, 6, 0, 1 << 20, 9));
+
+  std::printf(
+      "Reading: parallel SSS* parallelises its own bookkeeping almost\n"
+      "perfectly (Gamma ops per step ~ p) and needs fewer leaves on badly\n"
+      "ordered trees, but its sequential baseline already carries a large\n"
+      "Gamma/list overhead; parallel alpha-beta reaches comparable or better\n"
+      "step counts with a handful of eligible leaves per step and no global\n"
+      "priority structure -- Vornberger's conclusion, and the reason the\n"
+      "paper bets on alpha-beta.\n\n");
+  return 0;
+}

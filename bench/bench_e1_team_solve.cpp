@@ -1,0 +1,57 @@
+// E1 — Proposition 1: Team SOLVE with p processors achieves Omega(sqrt(p))
+// speed-up over Sequential SOLVE, and that order is tight: there are
+// instances where the speed-up is O(sqrt(p)). The table sweeps p in powers
+// of the branching factor and reports the measured speed-up next to
+// sqrt(p), on both adversarial (all-leaves) and i.i.d. instances.
+#include "bench/bench_util.hpp"
+
+#include <cmath>
+
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/tree/generators.hpp"
+
+namespace gtpar {
+namespace {
+
+void run_family(const char* label, const Tree& t) {
+  const std::uint64_t s = sequential_solve_work(t);
+  std::printf("-- %s: S(T) = %llu leaves evaluated by Sequential SOLVE\n", label,
+              static_cast<unsigned long long>(s));
+  bench::Table table({"p", "Team steps", "speed-up", "sqrt(p)", "speed-up/sqrt(p)"});
+  for (std::size_t p = 1; p <= 1024; p *= 4) {
+    const auto run = run_team_solve(t, p);
+    const double speedup = double(s) / double(run.stats.steps);
+    table.row({bench::fmt(std::uint64_t(p)), bench::fmt(run.stats.steps),
+               bench::fmt(speedup), bench::fmt(std::sqrt(double(p))),
+               bench::fmt(speedup / std::sqrt(double(p)))});
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace gtpar
+
+int main() {
+  using namespace gtpar;
+  bench::banner("E1", "Proposition 1: Team SOLVE speed-up is Theta(sqrt(p))",
+                "uniform NOR-trees; speed-up = S(T) / steps(Team SOLVE with p)");
+
+  run_family("B(2,14), worst case (all leaves evaluated)",
+             make_worst_case_nor(2, 14, false));
+  run_family("B(2,14), i.i.d. leaves at the golden bias",
+             make_uniform_iid_nor(2, 14, golden_bias(), 1));
+  run_family("B(2,14), tight instance (minimal proof tree + dead filler)",
+             make_best_case_nor(2, 14, false, golden_bias(), 7));
+  run_family("B(3,9), worst case", make_worst_case_nor(3, 9, false));
+  run_family("B(3,9), i.i.d. p=0.5", make_uniform_iid_nor(3, 9, 0.5, 2));
+
+  std::printf(
+      "Reading: on the no-pruning worst case every evaluation is useful and\n"
+      "Team SOLVE trivially gets speed-up p (upper row block). Once pruning\n"
+      "matters -- i.i.d. instances and the designed tight instance, where\n"
+      "most of the leftmost p live leaves die before Sequential SOLVE would\n"
+      "ever touch them -- the speed-up/sqrt(p) column settles into a small\n"
+      "constant band: Team SOLVE is Theta(sqrt p), as Proposition 1 states.\n\n");
+  return 0;
+}

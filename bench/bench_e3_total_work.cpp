@@ -1,0 +1,44 @@
+// E3 — Corollary 1: the *total work* of width-1 Parallel SOLVE is at most
+// c' * S(T): parallelism costs only a constant-factor work overhead over
+// the optimal sequential algorithm.
+#include "bench/bench_util.hpp"
+
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/tree/generators.hpp"
+
+int main() {
+  using namespace gtpar;
+  bench::banner("E3", "Corollary 1: W(T) <= c' S(T) (work overhead of width 1)",
+                "W(T) = leaves evaluated by width-1 Parallel SOLVE");
+
+  for (unsigned d : {2u, 3u}) {
+    const unsigned n_max = d == 2 ? 16 : 10;
+    std::printf("-- B(%u,n), i.i.d. golden bias and adversarial instances\n", d);
+    bench::Table table({"n", "instance", "S(T)", "W(T)", "c' = W/S"});
+    for (unsigned n = 6; n <= n_max; n += 2) {
+      struct Case {
+        const char* name;
+        Tree tree;
+      };
+      const Case cases[] = {
+          {"iid golden", make_uniform_iid_nor(d, n, golden_bias(), n)},
+          {"iid 0.3", make_uniform_iid_nor(d, n, 0.3, n + 7)},
+          {"worst", make_worst_case_nor(d, n, false)},
+          {"best(filled)", make_best_case_nor(d, n, false, golden_bias(), n)},
+      };
+      for (const auto& c : cases) {
+        const std::uint64_t s = sequential_solve_work(c.tree);
+        const auto run = run_parallel_solve(c.tree, 1);
+        table.row({bench::fmt(n), c.name, bench::fmt(s), bench::fmt(run.stats.work),
+                   bench::fmt(double(run.stats.work) / double(s))});
+      }
+    }
+    table.print();
+  }
+
+  std::printf(
+      "Reading: the c' column stays bounded by a small constant (around 1-2),\n"
+      "independent of n: width-1 parallelism wastes almost no work.\n\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// E5 — Theorem 3 and Fact 2: Parallel alpha-beta of width 1 achieves
+// S~(T)/P~(T) >= c(n+1) on uniform MIN/MAX trees, whose total work is
+// lower-bounded by d^floor(n/2) + d^ceil(n/2) - 1.
+#include "bench/bench_util.hpp"
+
+#include <functional>
+
+#include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/proof_tree.hpp"
+
+namespace gtpar {
+namespace {
+
+void sweep(const char* label, unsigned d, unsigned n_max,
+           const std::function<Tree(unsigned)>& make) {
+  std::printf("-- %s\n", label);
+  bench::Table table({"n", "Fact2 LB", "S~(T)", "P~(T) w=1", "speed-up", "n+1",
+                      "c = SU/(n+1)"});
+  for (unsigned n = 4; n <= n_max; n += 2) {
+    const Tree t = make(n);
+    const auto seq = run_sequential_ab(t);
+    const auto par = run_parallel_ab(t, 1);
+    const double speedup = double(seq.stats.steps) / double(par.stats.steps);
+    table.row({bench::fmt(n), bench::fmt(fact2_lower_bound(d, n)),
+               bench::fmt(seq.stats.work), bench::fmt(par.stats.steps),
+               bench::fmt(speedup), bench::fmt(n + 1),
+               bench::fmt(speedup / double(n + 1))});
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace gtpar
+
+int main() {
+  using namespace gtpar;
+  bench::banner("E5", "Theorem 3: width-1 Parallel alpha-beta has linear speed-up",
+                "S~(T) = Sequential alpha-beta leaves; P~(T) = width-1 steps of the "
+                "Section 4 pruning process");
+
+  sweep("M(2,n), worst-case move ordering (no pruning possible)", 2, 14,
+        [](unsigned n) { return make_worst_case_minimax(2, n); });
+  sweep("M(2,n), i.i.d. uniform leaves", 2, 14,
+        [](unsigned n) { return make_uniform_iid_minimax(2, n, 0, 1 << 20, n); });
+  sweep("M(2,n), realistic ordering quality 0.75", 2, 14, [](unsigned n) {
+    return make_ordered_iid_minimax(2, n, 0, 1 << 20, n + 9, 0.75);
+  });
+  sweep("M(3,n), i.i.d. uniform leaves", 3, 8,
+        [](unsigned n) { return make_uniform_iid_minimax(3, n, 0, 1 << 20, n + 3); });
+  sweep("M(2,n), best-case ordering (S~ = Fact2 bound exactly)", 2, 14,
+        [](unsigned n) { return make_best_case_minimax(2, n); });
+
+  std::printf(
+      "Reading: on instances with substantial sequential work the width-1\n"
+      "speed-up grows linearly in n+1, mirroring Theorem 1 for MIN/MAX trees.\n"
+      "On best-ordered trees S~ equals the Fact 2 bound, so there is little\n"
+      "parallelism to extract (the skeleton is a double critical path) and\n"
+      "the speed-up saturates near 2 -- also visible in the table.\n\n");
+  return 0;
+}

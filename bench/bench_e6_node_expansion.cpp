@@ -1,0 +1,71 @@
+// E6 — Theorem 4 and Proposition 6: in the node-expansion model,
+// N-Parallel SOLVE of width 1 achieves S*(T)/P*(T) >= c(n+1), with the
+// relaxed per-degree step caps (n-k) C(n,k) (d-1)^k. The MIN/MAX expansion
+// variants (Section 5's closing remark) are reported as well.
+#include "bench/bench_util.hpp"
+
+#include "gtpar/analysis/bounds.hpp"
+#include "gtpar/expand/minimax_expansion.hpp"
+#include "gtpar/expand/nor_expansion.hpp"
+#include "gtpar/expand/tree_source.hpp"
+#include "gtpar/tree/generators.hpp"
+
+int main() {
+  using namespace gtpar;
+  bench::banner("E6", "Theorem 4: node-expansion N-Parallel SOLVE linear speed-up",
+                "work = node expansions; S* = N-Sequential, P* = width-1 steps");
+
+  std::printf("-- implicit B(2,n), worst case and i.i.d. golden bias\n");
+  bench::Table table({"n", "instance", "S*(T)", "P*(T)", "speed-up", "n+1",
+                      "c = SU/(n+1)"});
+  for (unsigned n = 6; n <= 16; n += 2) {
+    struct Case {
+      const char* name;
+      const TreeSource& src;
+    };
+    const WorstCaseNorSource worst(2, n, false);
+    const auto iid = make_iid_nor_source(2, n, golden_bias(), n);
+    const Case cases[] = {{"worst", worst}, {"iid golden", iid}};
+    for (const auto& c : cases) {
+      const auto seq = run_n_sequential_solve(c.src);
+      const auto par = run_n_parallel_solve(c.src, 1);
+      const double speedup = double(seq.stats.steps) / double(par.stats.steps);
+      table.row({bench::fmt(n), c.name, bench::fmt(seq.stats.work),
+                 bench::fmt(par.stats.steps), bench::fmt(speedup), bench::fmt(n + 1),
+                 bench::fmt(speedup / double(n + 1))});
+    }
+  }
+  table.print();
+
+  std::printf("-- Proposition 6 caps on the skeleton of B(2,12), iid golden\n");
+  {
+    const unsigned n = 12;
+    const auto src = make_iid_nor_source(2, n, golden_bias(), 3);
+    // The skeleton of an implicit tree is what N-Sequential SOLVE expands;
+    // materialize, take the skeleton via the leaf-evaluation run, re-wrap.
+    const Tree t = materialize(src);
+    const ExplicitTreeSource tsrc(t);
+    const auto par = run_n_parallel_solve(tsrc, 1);
+    bench::Table caps({"degree k+1", "t*_{k+1}(T) measured", "cap (n-k)C(n,k)(d-1)^k"});
+    for (unsigned k = 0; k < 8; ++k)
+      caps.row({bench::fmt(k + 1u), bench::fmt(par.stats.t(k + 1)),
+                bench::fmt(prop6_bound(n, 2, k))});
+    caps.print();
+  }
+
+  std::printf("-- MIN/MAX node-expansion variants, M(2,n) i.i.d. leaves\n");
+  bench::Table mm({"n", "S*~(T)", "P*~(T) w=1", "speed-up"});
+  for (unsigned n = 6; n <= 14; n += 2) {
+    const auto src = make_iid_minimax_source(2, n, 0, 1 << 20, n);
+    const auto seq = run_n_sequential_ab(src);
+    const auto par = run_n_parallel_ab(src, 1);
+    mm.row({bench::fmt(n), bench::fmt(seq.stats.work), bench::fmt(par.stats.steps),
+            bench::fmt(double(seq.stats.steps) / double(par.stats.steps))});
+  }
+  mm.print();
+
+  std::printf(
+      "Reading: the node-expansion model reproduces the leaf-model speed-ups\n"
+      "(Theorem 4), paying only the O(n) relaxation of the step caps.\n\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E8 — Section 8 (conclusion): widths 2 and 3 use O(n^2) and O(n^3)
+// processors; the paper *conjectures* (cannot prove) that the speed-up
+// stays linear in the number of processors for any fixed width. This
+// experiment probes the conjecture empirically: for each width we report
+// the processor bound, the measured max degree, the speed-up, and the
+// speed-up per processor actually used.
+#include "bench/bench_util.hpp"
+
+#include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/analysis/bounds.hpp"
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/tree/generators.hpp"
+
+int main() {
+  using namespace gtpar;
+  bench::banner("E8", "Section 8 conjecture: higher widths keep speed-up linear in "
+                      "processors",
+                "width w eligible-leaf bound = sum_{k<=w} C(n,k)(d-1)^k");
+
+  {
+    const unsigned n = 14, d = 2;
+    const Tree t = make_worst_case_nor(d, n, false);
+    const std::uint64_t s = sequential_solve_work(t);
+    std::printf("-- B(2,14) worst case, S(T) = %llu\n",
+                static_cast<unsigned long long>(s));
+    bench::Table table({"width", "proc bound", "max degree", "avg degree", "steps",
+                        "speed-up", "SU / max degree"});
+    for (unsigned w = 0; w <= 4; ++w) {
+      const auto run = run_parallel_solve(t, w);
+      const double speedup = double(s) / double(run.stats.steps);
+      table.row({bench::fmt(w), bench::fmt(width_processor_bound(n, d, w)),
+                 bench::fmt(std::uint64_t(run.stats.max_degree)),
+                 bench::fmt(run.stats.average_degree()),
+                 bench::fmt(run.stats.steps), bench::fmt(speedup),
+                 bench::fmt(speedup / double(run.stats.max_degree))});
+    }
+    table.print();
+  }
+
+  {
+    const unsigned n = 14, d = 2;
+    const Tree t = make_uniform_iid_nor(d, n, golden_bias(), 9);
+    const std::uint64_t s = sequential_solve_work(t);
+    std::printf("-- B(2,14) iid golden, S(T) = %llu\n",
+                static_cast<unsigned long long>(s));
+    bench::Table table({"width", "proc bound", "max degree", "steps", "speed-up",
+                        "SU / max degree"});
+    for (unsigned w = 0; w <= 4; ++w) {
+      const auto run = run_parallel_solve(t, w);
+      const double speedup = double(s) / double(run.stats.steps);
+      table.row({bench::fmt(w), bench::fmt(width_processor_bound(n, d, w)),
+                 bench::fmt(std::uint64_t(run.stats.max_degree)),
+                 bench::fmt(run.stats.steps), bench::fmt(speedup),
+                 bench::fmt(speedup / double(run.stats.max_degree))});
+    }
+    table.print();
+  }
+
+  {
+    const unsigned n = 12, d = 2;
+    const Tree t = make_worst_case_minimax(d, n);
+    const auto seq = run_sequential_ab(t);
+    std::printf("-- M(2,12) worst-case ordering (alpha-beta), S~(T) = %llu\n",
+                static_cast<unsigned long long>(seq.stats.work));
+    bench::Table table({"width", "max degree", "steps", "speed-up",
+                        "SU / max degree"});
+    for (unsigned w = 0; w <= 4; ++w) {
+      const auto run = run_parallel_ab(t, w);
+      const double speedup = double(seq.stats.steps) / double(run.stats.steps);
+      table.row({bench::fmt(w), bench::fmt(std::uint64_t(run.stats.max_degree)),
+                 bench::fmt(run.stats.steps), bench::fmt(speedup),
+                 bench::fmt(speedup / double(run.stats.max_degree))});
+    }
+    table.print();
+  }
+
+  std::printf(
+      "Reading: speed-up keeps growing with width while 'SU / max degree'\n"
+      "decays only gently -- consistent with (though of course not proving)\n"
+      "the paper's conjecture that fixed widths give speed-up linear in the\n"
+      "processors used. The counting argument of width 1 indeed does not\n"
+      "extend: max degree grows much faster than the average degree.\n\n");
+  return 0;
+}

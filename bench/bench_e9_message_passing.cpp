@@ -1,0 +1,65 @@
+// E9 — Section 7: the message-passing implementation (level-per-processor,
+// six message types, pre-emption rule) preserves the linear speed-up of
+// N-Parallel SOLVE: rounds stay within a constant factor of the idealized
+// lock-step steps. The zone-multiplexed variant with p processors pays the
+// expected ~(n+1)/p slowdown.
+#include "bench/bench_util.hpp"
+
+#include "gtpar/expand/nor_expansion.hpp"
+#include "gtpar/expand/tree_source.hpp"
+#include "gtpar/mp/message_passing.hpp"
+#include "gtpar/tree/generators.hpp"
+
+int main() {
+  using namespace gtpar;
+  bench::banner("E9", "Section 7: message-passing implementation keeps linear "
+                      "speed-up",
+                "rounds vs idealized width-1 steps; unit-time messages; binary trees");
+
+  std::printf("-- implicit B(2,n): rounds vs ideal steps\n");
+  bench::Table table({"n", "instance", "ideal P*(T)", "MP rounds", "rounds/steps",
+                      "MP expansions", "ideal work", "MP msgs"});
+  for (unsigned n = 8; n <= 14; n += 2) {
+    struct Case {
+      const char* name;
+      const TreeSource& src;
+    };
+    const WorstCaseNorSource worst(2, n, false);
+    const auto iid = make_iid_nor_source(2, n, golden_bias(), n);
+    const Case cases[] = {{"worst", worst}, {"iid golden", iid}};
+    for (const auto& c : cases) {
+      const auto ideal = run_n_parallel_solve(c.src, 1);
+      const auto mp = run_message_passing_solve(c.src);
+      table.row({bench::fmt(n), c.name, bench::fmt(ideal.stats.steps),
+                 bench::fmt(mp.rounds),
+                 bench::fmt(double(mp.rounds) / double(ideal.stats.steps)),
+                 bench::fmt(mp.expansions), bench::fmt(ideal.stats.work),
+                 bench::fmt(mp.messages)});
+    }
+  }
+  table.print();
+
+  std::printf("-- zone multiplexing: fixed p processors on B(2,12) worst case\n");
+  {
+    const unsigned n = 12;
+    const WorstCaseNorSource src(2, n, false);
+    const auto seq = run_n_sequential_solve(src);
+    bench::Table zones({"p", "MP rounds", "speed-up vs S*", "peak busy"});
+    for (unsigned p : {1u, 2u, 4u, 7u, 13u}) {
+      MpOptions opt;
+      opt.num_processors = p;
+      const auto mp = run_message_passing_solve(src, opt);
+      zones.row({bench::fmt(p), bench::fmt(mp.rounds),
+                 bench::fmt(double(seq.stats.steps) / double(mp.rounds)),
+                 bench::fmt(unsigned(mp.peak_busy))});
+    }
+    zones.print();
+  }
+
+  std::printf(
+      "Reading: rounds/steps sits at a small constant (message latency and\n"
+      "conversion walks), so the implementation preserves the Theorem 4\n"
+      "speed-up; with p-processor zones the speed-up scales with p until it\n"
+      "saturates at the width-1 parallelism limit of ~n+1.\n\n");
+  return 0;
+}

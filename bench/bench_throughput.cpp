@@ -1,0 +1,64 @@
+// bench_throughput — internal performance of the simulators themselves
+// (google-benchmark): how many basic steps and node expansions per second
+// the lock-step engines sustain. Not an experiment; a regression guard
+// for the implementation.
+#include <benchmark/benchmark.h>
+
+#include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/expand/nor_expansion.hpp"
+#include "gtpar/expand/tree_source.hpp"
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/tree/generators.hpp"
+
+namespace gtpar {
+namespace {
+
+void BM_SequentialSolveRecursive(benchmark::State& state) {
+  const Tree t = make_worst_case_nor(2, unsigned(state.range(0)), false);
+  for (auto _ : state) benchmark::DoNotOptimize(sequential_solve_work(t));
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(t.num_leaves()));
+}
+BENCHMARK(BM_SequentialSolveRecursive)->Arg(12)->Arg(16);
+
+void BM_ParallelSolveLockStep(benchmark::State& state) {
+  const Tree t = make_worst_case_nor(2, unsigned(state.range(0)), false);
+  std::uint64_t work = 0;
+  for (auto _ : state) {
+    const auto run = run_parallel_solve(t, 1);
+    benchmark::DoNotOptimize(run.value);
+    work = run.stats.work;
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * std::int64_t(work));
+}
+BENCHMARK(BM_ParallelSolveLockStep)->Arg(12)->Arg(16);
+
+void BM_ParallelAbLockStep(benchmark::State& state) {
+  const Tree t = make_worst_case_minimax(2, unsigned(state.range(0)));
+  std::uint64_t work = 0;
+  for (auto _ : state) {
+    const auto run = run_parallel_ab(t, 1);
+    benchmark::DoNotOptimize(run.value);
+    work = run.stats.work;
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * std::int64_t(work));
+}
+BENCHMARK(BM_ParallelAbLockStep)->Arg(10)->Arg(12);
+
+void BM_NodeExpansion(benchmark::State& state) {
+  const WorstCaseNorSource src(2, unsigned(state.range(0)), false);
+  std::uint64_t work = 0;
+  for (auto _ : state) {
+    const auto run = run_n_parallel_solve(src, 1);
+    benchmark::DoNotOptimize(run.value);
+    work = run.stats.work;
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * std::int64_t(work));
+}
+BENCHMARK(BM_NodeExpansion)->Arg(12)->Arg(14);
+
+}  // namespace
+}  // namespace gtpar
+
+BENCHMARK_MAIN();

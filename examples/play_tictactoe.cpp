@@ -1,0 +1,131 @@
+// play_tictactoe — a tiny playable engine built on the library's search
+// stack (transposition-table alpha-beta for the exact reply).
+//
+// Usage:
+//   play_tictactoe            engine vs engine, printing every position
+//   play_tictactoe 4 0 8      you are X: your moves are squares (0-8) in
+//                             order; the engine answers each with O's best
+//                             reply; remaining X moves after your list are
+//                             chosen by the engine.
+//
+// Squares:  0 1 2
+//           3 4 5
+//           6 7 8
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "gtpar/ab/tt_search.hpp"
+#include "gtpar/games/games.hpp"
+
+namespace {
+
+using gtpar::TicTacToeSource;
+using gtpar::TreeSource;
+using gtpar::Value;
+
+/// Adapter searching the subtree at `root`, negating values when O is to
+/// move so that the simulator's root-is-MAX convention lines up.
+class ShiftedSource final : public TreeSource {
+ public:
+  ShiftedSource(const TreeSource& inner, Node root, bool negate)
+      : inner_(&inner), root_(root), negate_(negate) {}
+  Node root() const override { return root_; }
+  unsigned num_children(const Node& v) const override { return inner_->num_children(v); }
+  Node child(const Node& v, unsigned i) const override { return inner_->child(v, i); }
+  Value leaf_value(const Node& v) const override {
+    return negate_ ? -inner_->leaf_value(v) : inner_->leaf_value(v);
+  }
+  std::uint64_t state_key(const Node& v) const override {
+    return inner_->state_key(v) ^ (negate_ ? 0x5555 : 0);
+  }
+
+ private:
+  const TreeSource* inner_;
+  Node root_;
+  bool negate_;
+};
+
+void print_board(const std::string& b) {
+  for (int r = 0; r < 3; ++r)
+    std::printf("   %c %c %c\n", b[std::size_t(3 * r)], b[std::size_t(3 * r + 1)],
+                b[std::size_t(3 * r + 2)]);
+  std::printf("\n");
+}
+
+/// Exact value of a position from X's perspective, whatever the side to
+/// move: the searcher treats its root as MAX, so when O is to move we
+/// search the negated game (negamax) and negate back.
+Value x_perspective_value(const TicTacToeSource& game, TreeSource::Node pos) {
+  const bool x_to_move = pos.depth % 2 == 0;
+  if (x_to_move) {
+    const ShiftedSource sub(game, pos, /*negate=*/false);
+    return gtpar::tt_alphabeta(sub).value;
+  }
+  const ShiftedSource sub(game, pos, /*negate=*/true);
+  return -gtpar::tt_alphabeta(sub).value;
+}
+
+/// Best move (child index) at `pos` for the side to move (X iff depth even).
+unsigned best_move(const TicTacToeSource& game, TreeSource::Node pos) {
+  const bool x_to_move = pos.depth % 2 == 0;
+  unsigned best_idx = 0;
+  Value best_val = 0;
+  for (unsigned i = 0; i < game.num_children(pos); ++i) {
+    const Value v = x_perspective_value(game, game.child(pos, i));
+    const bool better = x_to_move ? v > best_val : v < best_val;
+    if (i == 0 || better) {
+      best_val = v;
+      best_idx = i;
+    }
+  }
+  return best_idx;
+}
+
+/// Map a requested square to the child index at `pos` (or -1 if taken).
+int square_to_child(TreeSource::Node pos, int square) {
+  const std::string b = TicTacToeSource::board_string(pos);
+  if (square < 0 || square > 8 || b[std::size_t(square)] != '.') return -1;
+  int idx = 0;
+  for (int sq = 0; sq < square; ++sq)
+    if (b[std::size_t(sq)] == '.') ++idx;
+  return idx;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const TicTacToeSource game;
+  std::vector<int> scripted;
+  for (int i = 1; i < argc; ++i) scripted.push_back(std::atoi(argv[i]));
+
+  auto pos = game.root();
+  std::size_t next_scripted = 0;
+  std::printf("tic-tac-toe: X = %s, O = engine\n\n",
+              scripted.empty() ? "engine" : "your script");
+  print_board(TicTacToeSource::board_string(pos));
+
+  while (game.num_children(pos) != 0) {
+    const bool x_to_move = pos.depth % 2 == 0;
+    unsigned move;
+    if (x_to_move && next_scripted < scripted.size()) {
+      const int idx = square_to_child(pos, scripted[next_scripted]);
+      if (idx < 0) {
+        std::fprintf(stderr, "illegal square %d\n", scripted[next_scripted]);
+        return 1;
+      }
+      ++next_scripted;
+      move = unsigned(idx);
+      std::printf("X plays square %d (scripted)\n", scripted[next_scripted - 1]);
+    } else {
+      move = best_move(game, pos);
+      std::printf("%c plays (engine)\n", x_to_move ? 'X' : 'O');
+    }
+    pos = game.child(pos, move);
+    print_board(TicTacToeSource::board_string(pos));
+  }
+
+  const Value v = game.leaf_value(pos);
+  std::printf("result: %s\n", v > 0 ? "X wins" : v < 0 ? "O wins" : "draw");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// speedup_explorer — a small CLI for exploring the paper's speed-up
+// landscape interactively:
+//
+//   speedup_explorer [d] [n] [dist] [widths...]
+//
+//   d       branching factor (default 2)
+//   n       height (default 12)
+//   dist    leaf distribution: golden | p<float> | worst | best | minimax
+//           (default golden)
+//   widths  list of widths to run (default 0 1 2 3)
+//
+// Examples:
+//   speedup_explorer 2 14 worst 0 1 2 3 4
+//   speedup_explorer 3 8 p0.4 1
+//   speedup_explorer 2 12 minimax 0 1 2
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/tree/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gtpar;
+  const unsigned d = argc > 1 ? unsigned(std::atoi(argv[1])) : 2;
+  const unsigned n = argc > 2 ? unsigned(std::atoi(argv[2])) : 12;
+  const std::string dist = argc > 3 ? argv[3] : "golden";
+  std::vector<unsigned> widths;
+  for (int i = 4; i < argc; ++i) widths.push_back(unsigned(std::atoi(argv[i])));
+  if (widths.empty()) widths = {0, 1, 2, 3};
+
+  if (d < 2 || n == 0 || n > 20) {
+    std::fprintf(stderr, "usage: %s [d>=2] [1<=n<=20] [dist] [widths...]\n", argv[0]);
+    return 1;
+  }
+
+  const bool is_minimax = dist == "minimax";
+  Tree t;
+  if (dist == "golden") {
+    t = make_uniform_iid_nor(d, n, golden_bias(), 1);
+  } else if (dist == "worst") {
+    t = make_worst_case_nor(d, n, false);
+  } else if (dist == "best") {
+    t = make_best_case_nor(d, n, false, golden_bias(), 1);
+  } else if (dist == "minimax") {
+    t = make_uniform_iid_minimax(d, n, 0, 1 << 20, 1);
+  } else if (dist.size() > 1 && dist[0] == 'p') {
+    t = make_uniform_iid_nor(d, n, std::atof(dist.c_str() + 1), 1);
+  } else {
+    std::fprintf(stderr, "unknown distribution '%s'\n", dist.c_str());
+    return 1;
+  }
+
+  std::printf("%s tree: d=%u n=%u dist=%s (%zu nodes, %zu leaves)\n",
+              is_minimax ? "MIN/MAX" : "NOR", d, n, dist.c_str(), t.size(),
+              t.num_leaves());
+
+  const std::uint64_t s = is_minimax ? run_sequential_ab(t).stats.steps
+                                     : sequential_solve_work(t);
+  std::printf("sequential work: %llu\n\n", static_cast<unsigned long long>(s));
+  std::printf("| width | steps | work | speed-up | max degree | avg degree |\n");
+  std::printf("|-------|-------|------|----------|------------|------------|\n");
+  for (const unsigned w : widths) {
+    const StepStats stats = is_minimax ? run_parallel_ab(t, w).stats
+                                       : run_parallel_solve(t, w).stats;
+    std::printf("| %-5u | %-5llu | %-4llu | %-8.2f | %-10zu | %-10.2f |\n", w,
+                static_cast<unsigned long long>(stats.steps),
+                static_cast<unsigned long long>(stats.work),
+                double(s) / double(stats.steps), stats.max_degree,
+                stats.average_degree());
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// theorem_prover — evaluating AND/OR goal trees in parallel.
+//
+// The paper's introduction: "The evaluation problem for AND/OR trees is
+// closely related to the problem of efficiently executing theorem-proving
+// algorithms for the propositional calculus based on backward-chaining
+// deduction."
+//
+// This example builds a synthetic backward-chaining proof search: a goal
+// is provable if SOME rule derives it (OR node), and a rule applies if ALL
+// its premises are provable (AND node); axioms are leaves that hold with a
+// given probability. The AND/OR tree is converted to the paper's NOR
+// representation and evaluated with Sequential SOLVE and Parallel SOLVE,
+// showing how the width-1 cascade accelerates proof search.
+#include <cstdio>
+
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/tree/andor.hpp"
+#include "gtpar/tree/generators.hpp"
+
+namespace {
+
+// A goal (OR level) has `rules` alternative derivations; a rule (AND
+// level) has `premises` subgoals; the derivation bottoms out at `depth`
+// with axioms that hold with probability p_axiom.
+gtpar::Tree make_goal_tree(unsigned rules, unsigned premises, unsigned depth,
+                           double p_axiom, std::uint64_t seed) {
+  using namespace gtpar;
+  TreeBuilder b;
+  struct Item {
+    NodeId node;
+    unsigned level;
+  };
+  std::vector<Item> stack{{b.add_root(), 0}};
+  std::uint64_t axiom = 0;
+  while (!stack.empty()) {
+    const auto [v, level] = stack.back();
+    stack.pop_back();
+    if (level == depth) {
+      const bool holds = to_unit_double(mix64(hash_combine(seed, ++axiom))) < p_axiom;
+      b.set_leaf_value(v, holds ? 1 : 0);
+      continue;
+    }
+    const unsigned fanout = level % 2 == 0 ? rules : premises;
+    for (unsigned i = 0; i < fanout; ++i) stack.push_back({b.add_child(v), level + 1});
+  }
+  return b.build();
+}
+
+}  // namespace
+
+int main() {
+  using namespace gtpar;
+  std::printf("Backward-chaining proof search as AND/OR tree evaluation\n");
+  std::printf("goal = OR of 2 rules; rule = AND of 3 premises; depth 10\n\n");
+
+  std::printf("| p(axiom) | provable | S(T) leaves | P(T) w=1 | speed-up | procs |\n");
+  std::printf("|----------|----------|-------------|----------|----------|-------|\n");
+  for (const double p : {0.55, 0.7, 0.85, 0.95}) {
+    const Tree goal = make_goal_tree(2, 3, 10, p, 2024);
+    // Root is a goal: an OR node. Convert to the NOR representation.
+    const NorConversion conv = to_nor(goal, AndOrKind::Or);
+
+    const auto seq = sequential_solve(conv.nor_tree);
+    const auto par = run_parallel_solve(conv.nor_tree, 1);
+    const bool provable = conv.root_complemented ? !seq.value : seq.value;
+    std::printf("| %.2f     | %-8s | %-11zu | %-8llu | %-8.2f | %-5zu |\n", p,
+                provable ? "yes" : "no", seq.evaluated.size(),
+                static_cast<unsigned long long>(par.stats.steps),
+                double(seq.evaluated.size()) / double(par.stats.steps),
+                par.stats.max_degree);
+  }
+
+  std::printf(
+      "\nThe width-1 parallel prover explores alternative derivations of the\n"
+      "open subgoals while the main search works on the leftmost one --\n"
+      "a provably work-efficient form of OR-parallelism (Theorem 1).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// visualize — render the step-by-step evolution of a width-1 Parallel
+// alpha-beta run as Graphviz frames.
+//
+// Writes visualize_out/step_NN.dot; render with
+//   for f in visualize_out/*.dot; do dot -Tpng "$f" -o "${f%.dot}.png"; done
+//
+// Colouring: yellow = leaves evaluated at this step; green = finished
+// nodes (value known in the pruned tree); red = nodes deleted by the
+// pruning rule; white = untouched.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/tree/dot_export.hpp"
+#include "gtpar/tree/generators.hpp"
+
+int main() {
+  using namespace gtpar;
+  const Tree t = make_uniform_iid_minimax(2, 4, 0, 9, 11);
+
+  const std::filesystem::path dir = "visualize_out";
+  std::filesystem::create_directories(dir);
+
+  unsigned frame = 0;
+  auto dump = [&](const MinimaxSimulator& sim, std::span<const NodeId> batch) {
+    const std::set<NodeId> hot(batch.begin(), batch.end());
+    DotStyle style;
+    style.label = [&](NodeId v) {
+      if (t.is_leaf(v)) return std::to_string(t.leaf_value(v));
+      std::string s = node_kind(t, v) == NodeKind::Max ? "MAX" : "MIN";
+      if (sim.finished(v)) {
+        s += '=';
+        s += std::to_string(sim.value(v));
+      }
+      return s;
+    };
+    style.fill = [&](NodeId v) -> std::string {
+      if (hot.count(v)) return "gold";
+      if (!sim.in_pruned_tree(v)) return "indianred1";
+      if (sim.finished(v)) return "palegreen";
+      return "";
+    };
+    char name[64];
+    std::snprintf(name, sizeof(name), "step_%02u.dot", frame++);
+    std::ofstream out(dir / name);
+    out << to_dot(t, style);
+  };
+
+  const auto run = run_parallel_ab(t, 1, dump);
+  // One final frame with the finished state.
+  {
+    MinimaxSimulator sim(t);
+    // Re-run to completion for the final snapshot.
+    std::vector<NodeId> batch;
+    while (!sim.done()) {
+      sim.collect_width_leaves(1, batch);
+      sim.evaluate_leaves(batch);
+    }
+    dump(sim, {});
+  }
+
+  std::printf("value %d computed in %llu steps; wrote %u DOT frames to %s/\n",
+              run.value, static_cast<unsigned long long>(run.stats.steps), frame,
+              dir.string().c_str());
+  std::printf("render: for f in %s/*.dot; do dot -Tpng \"$f\" -o \"${f%%.dot}.png\"; done\n",
+              dir.string().c_str());
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "gtpar/ab/alphabeta.hpp"
+
+#include <algorithm>
+
+namespace gtpar {
+namespace {
+
+struct LeafCounter {
+  std::uint64_t evals = 0;
+  std::vector<char> seen;
+  std::uint64_t distinct = 0;
+  std::vector<NodeId>* record = nullptr;
+
+  explicit LeafCounter(std::size_t n) : seen(n, 0) {}
+
+  Value eval(const Tree& t, NodeId leaf) {
+    ++evals;
+    if (!seen[leaf]) {
+      seen[leaf] = 1;
+      ++distinct;
+      if (record) record->push_back(leaf);
+    }
+    return t.leaf_value(leaf);
+  }
+};
+
+Value ab_rec(const Tree& t, NodeId v, Value alpha, Value beta, LeafCounter& lc) {
+  if (t.is_leaf(v)) return lc.eval(t, v);
+  const bool maxing = node_kind(t, v) == NodeKind::Max;
+  Value best = maxing ? kMinusInf : kPlusInf;
+  for (NodeId c : t.children(v)) {
+    const Value x = ab_rec(t, c, alpha, beta, lc);
+    if (maxing) {
+      best = std::max(best, x);
+      alpha = std::max(alpha, best);
+    } else {
+      best = std::min(best, x);
+      beta = std::min(beta, best);
+    }
+    if (alpha >= beta) break;  // the paper's pruning rule: alpha-bound meets beta-bound
+  }
+  return best;
+}
+
+Value minimax_rec(const Tree& t, NodeId v, LeafCounter& lc) {
+  if (t.is_leaf(v)) return lc.eval(t, v);
+  const bool maxing = node_kind(t, v) == NodeKind::Max;
+  Value best = maxing ? kMinusInf : kPlusInf;
+  for (NodeId c : t.children(v)) {
+    const Value x = minimax_rec(t, c, lc);
+    best = maxing ? std::max(best, x) : std::min(best, x);
+  }
+  return best;
+}
+
+/// TEST(v, theta): is val(v) > theta (strict)?
+bool test_gt(const Tree& t, NodeId v, Value theta, LeafCounter& lc) {
+  if (t.is_leaf(v)) return lc.eval(t, v) > theta;
+  const bool maxing = node_kind(t, v) == NodeKind::Max;
+  if (maxing) {
+    for (NodeId c : t.children(v)) {
+      if (test_gt(t, c, theta, lc)) return true;
+    }
+    return false;
+  }
+  for (NodeId c : t.children(v)) {
+    if (!test_gt(t, c, theta, lc)) return false;
+  }
+  return true;
+}
+
+/// TEST(v, theta): is val(v) < theta (strict)?
+bool test_lt(const Tree& t, NodeId v, Value theta, LeafCounter& lc) {
+  if (t.is_leaf(v)) return lc.eval(t, v) < theta;
+  const bool maxing = node_kind(t, v) == NodeKind::Max;
+  if (maxing) {
+    for (NodeId c : t.children(v)) {
+      if (!test_lt(t, c, theta, lc)) return false;
+    }
+    return true;
+  }
+  // MIN: val(v) < theta iff some child is < theta.
+  for (NodeId c : t.children(v)) {
+    if (test_lt(t, c, theta, lc)) return true;
+  }
+  return false;
+}
+
+Value scout_rec(const Tree& t, NodeId v, LeafCounter& lc) {
+  if (t.is_leaf(v)) return lc.eval(t, v);
+  const bool maxing = node_kind(t, v) == NodeKind::Max;
+  auto cs = t.children(v);
+  Value best = scout_rec(t, cs[0], lc);
+  for (std::size_t i = 1; i < cs.size(); ++i) {
+    if (maxing) {
+      if (test_gt(t, cs[i], best, lc)) best = scout_rec(t, cs[i], lc);
+    } else {
+      if (test_lt(t, cs[i], best, lc)) best = scout_rec(t, cs[i], lc);
+    }
+  }
+  return best;
+}
+
+AbResult finish(Value value, const LeafCounter& lc) {
+  AbResult r;
+  r.value = value;
+  r.leaf_evaluations = lc.evals;
+  r.distinct_leaves = lc.distinct;
+  return r;
+}
+
+}  // namespace
+
+AbResult alphabeta(const Tree& t, std::vector<NodeId>* evaluated_out) {
+  LeafCounter lc(t.size());
+  lc.record = evaluated_out;
+  const Value v = ab_rec(t, t.root(), kMinusInf, kPlusInf, lc);
+  return finish(v, lc);
+}
+
+AbResult full_minimax(const Tree& t) {
+  LeafCounter lc(t.size());
+  const Value v = minimax_rec(t, t.root(), lc);
+  return finish(v, lc);
+}
+
+AbResult scout(const Tree& t) {
+  LeafCounter lc(t.size());
+  const Value v = scout_rec(t, t.root(), lc);
+  return finish(v, lc);
+}
+
+}  // namespace gtpar

@@ -1,0 +1,45 @@
+// gtpar/ab/alphabeta.hpp
+//
+// Classic recursive alpha-beta pruning [Knuth & Moore 1975] and the SCOUT
+// algorithm [Pearl 1984], both in the leaf-evaluation cost model (work =
+// leaves evaluated). These are the reference sequential MIN/MAX searchers;
+// the lock-step pruning process of Section 4 (minimax_simulator.hpp) at
+// width 0 is tested to evaluate exactly the same leaf sequence as
+// `alphabeta` below.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gtpar/common.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+/// Result of a sequential MIN/MAX search.
+struct AbResult {
+  Value value = 0;
+  /// Number of leaf evaluations performed (with multiplicity, for
+  /// algorithms like SCOUT that may revisit a leaf).
+  std::uint64_t leaf_evaluations = 0;
+  /// Number of distinct leaves evaluated.
+  std::uint64_t distinct_leaves = 0;
+};
+
+/// Alpha-beta with hard alpha/beta cutoffs (cut when the running value
+/// meets the opponent bound). Returns the exact root value. If
+/// `evaluated_out` is non-null, the evaluated leaves are appended in
+/// evaluation order.
+AbResult alphabeta(const Tree& t, std::vector<NodeId>* evaluated_out = nullptr);
+
+/// Plain minimax without pruning (evaluates every leaf); baseline for
+/// pruning-effectiveness tables.
+AbResult full_minimax(const Tree& t);
+
+/// SCOUT (Pearl): evaluates the first child exactly and uses Boolean TEST
+/// calls to decide whether any later sibling can improve on it, re-searching
+/// only when the test succeeds. Counts repeated leaf visits in
+/// leaf_evaluations and unique ones in distinct_leaves.
+AbResult scout(const Tree& t);
+
+}  // namespace gtpar

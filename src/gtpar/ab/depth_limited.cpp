@@ -1,0 +1,73 @@
+#include "gtpar/ab/depth_limited.hpp"
+
+#include <algorithm>
+
+namespace gtpar {
+namespace {
+
+struct Searcher {
+  const TreeSource& src;
+  const HeuristicFn& heuristic;
+  DepthLimitedResult res;
+
+  /// Returns the value; fills `pv_out` with the principal variation of
+  /// this subtree (child indices), valid when the value is exact within
+  /// the window.
+  Value search(const TreeSource::Node& v, unsigned depth, Value alpha, Value beta,
+               bool maxing, std::vector<unsigned>& pv_out) {
+    ++res.nodes;
+    pv_out.clear();
+    const unsigned d = src.num_children(v);
+    if (d == 0) {
+      ++res.leaf_evaluations;
+      return src.leaf_value(v);
+    }
+    if (depth == 0) {
+      ++res.heuristic_evaluations;
+      return heuristic(v);
+    }
+    Value best = maxing ? kMinusInf : kPlusInf;
+    std::vector<unsigned> child_pv;
+    for (unsigned i = 0; i < d; ++i) {
+      const Value x =
+          search(src.child(v, i), depth - 1, alpha, beta, !maxing, child_pv);
+      const bool improves = maxing ? x > best : x < best;
+      if (improves || i == 0) {
+        best = x;
+        pv_out.clear();
+        pv_out.push_back(i);
+        pv_out.insert(pv_out.end(), child_pv.begin(), child_pv.end());
+      }
+      if (maxing)
+        alpha = std::max(alpha, best);
+      else
+        beta = std::min(beta, best);
+      if (alpha >= beta) break;
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+DepthLimitedResult depth_limited_ab(const TreeSource& src, unsigned depth,
+                                    const HeuristicFn& heuristic) {
+  Searcher s{src, heuristic, {}};
+  std::vector<unsigned> pv;
+  s.res.value = s.search(src.root(), depth, kMinusInf, kPlusInf, /*maxing=*/true, pv);
+  s.res.pv = std::move(pv);
+  return s.res;
+}
+
+DepthLimitedResult iterative_deepening(const TreeSource& src, unsigned max_depth,
+                                       const HeuristicFn& heuristic,
+                                       std::vector<DepthLimitedResult>* history) {
+  DepthLimitedResult last;
+  for (unsigned depth = 1; depth <= max_depth; ++depth) {
+    last = depth_limited_ab(src, depth, heuristic);
+    if (history) history->push_back(last);
+  }
+  return last;
+}
+
+}  // namespace gtpar

@@ -1,0 +1,48 @@
+// gtpar/ab/depth_limited.hpp
+//
+// Depth-limited alpha-beta with a static evaluation heuristic, plus an
+// iterative-deepening driver with principal-variation extraction — the
+// machinery a practical game player wraps around the exact searchers of
+// this library (the paper's Section 8 points at the "wide-and-shallow
+// game trees encountered in chess programs" as the practical setting).
+//
+// The searcher works over implicit TreeSource trees; positions at the
+// depth horizon are scored by a user heuristic instead of being expanded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gtpar/common.hpp"
+#include "gtpar/expand/tree_source.hpp"
+
+namespace gtpar {
+
+/// Static evaluation of a non-terminal position, from the MAX player's
+/// point of view.
+using HeuristicFn = std::function<Value(const TreeSource::Node&)>;
+
+struct DepthLimitedResult {
+  Value value = 0;
+  /// Move indices (child indices from the root) of the principal
+  /// variation, up to the search horizon.
+  std::vector<unsigned> pv;
+  std::uint64_t nodes = 0;
+  std::uint64_t leaf_evaluations = 0;  // true terminals reached
+  std::uint64_t heuristic_evaluations = 0;
+};
+
+/// Alpha-beta to depth `depth`; nodes at the horizon are scored by
+/// `heuristic` (terminals reached earlier use their true leaf value).
+DepthLimitedResult depth_limited_ab(const TreeSource& src, unsigned depth,
+                                    const HeuristicFn& heuristic);
+
+/// Iterative deepening: run depth_limited_ab for depths 1..max_depth and
+/// return the deepest result (the per-depth results are exposed for
+/// inspection through `history` if non-null).
+DepthLimitedResult iterative_deepening(const TreeSource& src, unsigned max_depth,
+                                       const HeuristicFn& heuristic,
+                                       std::vector<DepthLimitedResult>* history = nullptr);
+
+}  // namespace gtpar

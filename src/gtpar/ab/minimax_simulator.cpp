@@ -1,0 +1,242 @@
+#include "gtpar/ab/minimax_simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gtpar {
+
+MinimaxSimulator::MinimaxSimulator(const Tree& t)
+    : tree_(&t),
+      finished_(t.size(), 0),
+      pruned_(t.size(), 0),
+      touched_(t.size(), 0),
+      value_(t.size(), 0),
+      agg_(t.size(), 0),
+      unfinished_children_(t.size(), 0) {
+  for (NodeId v = 0; v < t.size(); ++v) {
+    unfinished_children_[v] = static_cast<std::uint32_t>(t.num_children(v));
+    if (!t.is_leaf(v))
+      agg_[v] = node_kind(t, v) == NodeKind::Max ? kMinusInf : kPlusInf;
+  }
+}
+
+bool MinimaxSimulator::in_pruned_tree(NodeId v) const noexcept {
+  for (NodeId a = v; a != kNoNode; a = tree_->parent(a)) {
+    if (pruned_[a]) return false;
+  }
+  return true;
+}
+
+Value MinimaxSimulator::alpha_bound(NodeId v) const {
+  // Max value over finished siblings of MIN-ancestors of v, i.e. finished
+  // children of MAX proper ancestors that are not on the path to v.
+  Value a = kMinusInf;
+  NodeId on_path = v;
+  for (NodeId x = tree_->parent(v); x != kNoNode; on_path = x, x = tree_->parent(x)) {
+    if (node_kind(*tree_, x) != NodeKind::Max) continue;
+    for (NodeId c : tree_->children(x)) {
+      if (c == on_path || pruned_[c] || !finished_[c]) continue;
+      a = std::max(a, value_[c]);
+    }
+  }
+  return a;
+}
+
+Value MinimaxSimulator::beta_bound(NodeId v) const {
+  Value b = kPlusInf;
+  NodeId on_path = v;
+  for (NodeId x = tree_->parent(v); x != kNoNode; on_path = x, x = tree_->parent(x)) {
+    if (node_kind(*tree_, x) != NodeKind::Min) continue;
+    for (NodeId c : tree_->children(x)) {
+      if (c == on_path || pruned_[c] || !finished_[c]) continue;
+      b = std::min(b, value_[c]);
+    }
+  }
+  return b;
+}
+
+void MinimaxSimulator::on_child_finished(NodeId parent, Value child_value) {
+  assert(!finished_[parent] && !pruned_[parent]);
+  if (node_kind(*tree_, parent) == NodeKind::Max)
+    agg_[parent] = std::max(agg_[parent], child_value);
+  else
+    agg_[parent] = std::min(agg_[parent], child_value);
+  assert(unfinished_children_[parent] > 0);
+  if (--unfinished_children_[parent] == 0) finish_node(parent, agg_[parent]);
+}
+
+void MinimaxSimulator::finish_node(NodeId v, Value val) {
+  assert(!finished_[v] && !pruned_[v]);
+  finished_[v] = 1;
+  value_[v] = val;
+  const NodeId p = tree_->parent(v);
+  if (p != kNoNode) on_child_finished(p, val);
+}
+
+void MinimaxSimulator::prune_node(NodeId v) {
+  assert(!finished_[v] && !pruned_[v]);
+  pruned_[v] = 1;
+  const NodeId p = tree_->parent(v);
+  if (p == kNoNode) return;
+  // A deleted child simply vanishes from T~: it contributes no value, but
+  // its parent may thereby become finished.
+  assert(unfinished_children_[p] > 0);
+  if (--unfinished_children_[p] == 0) {
+    // The parent must still have at least one finished child, otherwise the
+    // parent itself would have satisfied the pruning rule first.
+    assert(agg_[p] != (node_kind(*tree_, p) == NodeKind::Max ? kMinusInf : kPlusInf));
+    finish_node(p, agg_[p]);
+  }
+}
+
+bool MinimaxSimulator::prune_sweep(NodeId v, Value alpha, Value beta) {
+  // Precondition: v is in T~, unfinished. Checks the pruning rule on all
+  // unfinished children of v, descending only into touched subtrees: an
+  // untouched subtree contains no finished node, so inside it the bounds
+  // equal those at its root and the rule cannot fire strictly inside.
+  bool changed = false;
+  const bool maxing = node_kind(*tree_, v) == NodeKind::Max;
+  for (NodeId c : tree_->children(v)) {
+    if (finished_[v]) break;  // v finished through a cascade below
+    if (pruned_[c] || finished_[c]) continue;
+    Value ca = alpha, cb = beta;
+    if (maxing) {
+      if (agg_[v] != kMinusInf) ca = std::max(ca, agg_[v]);
+    } else {
+      if (agg_[v] != kPlusInf) cb = std::min(cb, agg_[v]);
+    }
+    if (ca >= cb) {
+      prune_node(c);
+      changed = true;
+    } else if (touched_[c] && !tree_->is_leaf(c)) {
+      changed = prune_sweep(c, ca, cb) || changed;
+    }
+  }
+  return changed;
+}
+
+void MinimaxSimulator::evaluate_leaves(std::span<const NodeId> batch) {
+  for (NodeId leaf : batch) {
+    if (leaf >= tree_->size() || !tree_->is_leaf(leaf))
+      throw std::invalid_argument("evaluate_leaves: not a leaf");
+    if (finished_[leaf]) throw std::invalid_argument("evaluate_leaves: leaf re-evaluated");
+    if (!in_pruned_tree(leaf))
+      throw std::invalid_argument("evaluate_leaves: leaf was pruned away");
+  }
+  for (NodeId leaf : batch) {
+    ++leaves_evaluated_;
+    for (NodeId a = leaf; a != kNoNode && !touched_[a]; a = tree_->parent(a))
+      touched_[a] = 1;
+    finish_node(leaf, tree_->leaf_value(leaf));
+  }
+  // Apply the pruning rule to fixpoint: each sweep prunes every node whose
+  // current bounds cross; pruning may finish ancestors, which sharpens
+  // bounds elsewhere, so iterate until stable.
+  while (!done() && prune_sweep(tree_->root(), kMinusInf, kPlusInf)) {
+  }
+}
+
+void MinimaxSimulator::collect_rec(NodeId v, long budget, std::vector<NodeId>& out) const {
+  if (tree_->is_leaf(v)) {
+    out.push_back(v);
+    return;
+  }
+  long unfinished_index = 0;
+  for (NodeId c : tree_->children(v)) {
+    if (pruned_[c] || finished_[c]) continue;
+    if (unfinished_index > budget) break;
+    collect_rec(c, budget - unfinished_index, out);
+    ++unfinished_index;
+  }
+}
+
+void MinimaxSimulator::collect_width_leaves(unsigned width, std::vector<NodeId>& out) const {
+  out.clear();
+  if (done()) return;
+  collect_rec(tree_->root(), static_cast<long>(width), out);
+}
+
+unsigned MinimaxSimulator::pruning_number(NodeId leaf) const {
+  if (finished_[leaf] || !in_pruned_tree(leaf))
+    throw std::logic_error("pruning_number: leaf not unfinished in T~");
+  unsigned pn = 0;
+  for (NodeId v = leaf; tree_->parent(v) != kNoNode; v = tree_->parent(v)) {
+    const NodeId p = tree_->parent(v);
+    for (NodeId c : tree_->children(p)) {
+      if (c == v) break;
+      if (!pruned_[c] && !finished_[c]) ++pn;
+    }
+  }
+  return pn;
+}
+
+Value MinimaxSimulator::pruned_tree_value() const {
+  std::vector<Value> val(tree_->size(), 0);
+  for (NodeId v = static_cast<NodeId>(tree_->size()); v-- > 0;) {
+    if (pruned_[v]) continue;
+    if (tree_->is_leaf(v)) {
+      val[v] = tree_->leaf_value(v);
+      continue;
+    }
+    const bool maxing = node_kind(*tree_, v) == NodeKind::Max;
+    Value r = maxing ? kMinusInf : kPlusInf;
+    bool any = false;
+    for (NodeId c : tree_->children(v)) {
+      if (pruned_[c]) continue;
+      any = true;
+      r = maxing ? std::max(r, val[c]) : std::min(r, val[c]);
+    }
+    if (!any) throw std::logic_error("pruned_tree_value: node lost all children");
+    val[v] = r;
+  }
+  return val[tree_->root()];
+}
+
+ValueRun run_parallel_ab(const Tree& t, unsigned width, const MinimaxStepObserver& observer) {
+  MinimaxSimulator sim(t);
+  ValueRun run;
+  std::vector<NodeId> batch;
+  while (!sim.done()) {
+    sim.collect_width_leaves(width, batch);
+    assert(!batch.empty() && "an unfinished pruned tree has a leaf of pruning number 0");
+    if (observer) observer(sim, batch);
+    sim.evaluate_leaves(batch);
+    run.stats.record_step(batch.size());
+  }
+  run.value = sim.root_value();
+  return run;
+}
+
+ValueRun run_sequential_ab(const Tree& t, const MinimaxStepObserver& observer) {
+  return run_parallel_ab(t, 0, observer);
+}
+
+ValueRun run_parallel_ab_bounded(const Tree& t, unsigned width, std::size_t processors,
+                                 const MinimaxStepObserver& observer) {
+  if (processors == 0)
+    throw std::invalid_argument("run_parallel_ab_bounded: processors must be >= 1");
+  MinimaxSimulator sim(t);
+  ValueRun run;
+  std::vector<NodeId> batch;
+  while (!sim.done()) {
+    sim.collect_width_leaves(width, batch);
+    assert(!batch.empty());
+    if (batch.size() > processors) batch.resize(processors);  // leftmost priority
+    if (observer) observer(sim, batch);
+    sim.evaluate_leaves(batch);
+    run.stats.record_step(batch.size());
+  }
+  run.value = sim.root_value();
+  return run;
+}
+
+std::vector<NodeId> sequential_ab_leaves(const Tree& t) {
+  std::vector<NodeId> leaves;
+  run_parallel_ab(t, 0, [&](const MinimaxSimulator&, std::span<const NodeId> batch) {
+    leaves.insert(leaves.end(), batch.begin(), batch.end());
+  });
+  return leaves;
+}
+
+}  // namespace gtpar

@@ -1,0 +1,114 @@
+// gtpar/ab/minimax_simulator.hpp
+//
+// The general pruning process of Section 4, as a lock-step simulator.
+//
+// State: a pruned tree T~ (obtained from T by deleting subtrees) in which
+// some leaves have been evaluated. A node is *finished* when every leaf of
+// its subtree in T~ has been evaluated; finished nodes have a value
+// val_T~(v). The alpha-bound of v is the max value over finished siblings
+// of MIN-ancestors of v; the beta-bound the min over finished siblings of
+// MAX-ancestors. The *pruning rule* deletes an unfinished node v whenever
+// alpha(v) >= beta(v); Theorem 2 guarantees val_T~(root) = val_T(root)
+// throughout.
+//
+// A basic step: evaluate a set of unfinished leaves simultaneously, then
+// propagate newly finished values and apply the pruning rule to fixpoint.
+// Sequential alpha-beta evaluates the leftmost unfinished leaf each step
+// (width 0); Parallel alpha-beta of width w evaluates all unfinished leaves
+// of pruning number <= w, where the pruning number of an unfinished leaf is
+// the number of unfinished left-siblings of its ancestors.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gtpar/common.hpp"
+#include "gtpar/sim/stats.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+class MinimaxSimulator {
+ public:
+  explicit MinimaxSimulator(const Tree& t);
+
+  const Tree& tree() const noexcept { return *tree_; }
+
+  /// True when the root is finished; its value is then exact (Theorem 2).
+  bool done() const noexcept { return finished_[0]; }
+  Value root_value() const noexcept { return value_[0]; }
+
+  bool finished(NodeId v) const noexcept { return finished_[v]; }
+  /// True iff v itself was deleted by the pruning rule. Nodes inside a
+  /// deleted subtree may keep pruned(v) == false; use in_pruned_tree.
+  bool pruned(NodeId v) const noexcept { return pruned_[v]; }
+  /// True iff v is still a node of T~ (no ancestor was deleted).
+  bool in_pruned_tree(NodeId v) const noexcept;
+  /// val_T~(v); requires finished(v).
+  Value value(NodeId v) const noexcept { return value_[v]; }
+
+  /// Alpha/beta bounds of v in T~ (recomputed from ancestors; O(depth)).
+  Value alpha_bound(NodeId v) const;
+  Value beta_bound(NodeId v) const;
+
+  std::uint64_t leaves_evaluated() const noexcept { return leaves_evaluated_; }
+
+  /// Evaluate unfinished leaves of T~ simultaneously (one basic step), then
+  /// propagate finishes and apply the pruning rule until stable.
+  void evaluate_leaves(std::span<const NodeId> batch);
+
+  /// All unfinished leaves of T~ with pruning number <= width, leftmost
+  /// first. Non-empty whenever !done().
+  void collect_width_leaves(unsigned width, std::vector<NodeId>& out) const;
+
+  /// Pruning number of an unfinished leaf of T~ (O(depth * d); for tests).
+  unsigned pruning_number(NodeId leaf) const;
+
+  /// Mathematical value of the current pruned tree at its root, computed
+  /// from true leaf values by full postorder over unpruned nodes. Used by
+  /// tests to check the Theorem 2 invariant val_T~(r) == val_T(r); O(tree).
+  Value pruned_tree_value() const;
+
+ private:
+  void on_child_finished(NodeId parent, Value child_value);
+  void finish_node(NodeId v, Value val);
+  void prune_node(NodeId v);
+  bool prune_sweep(NodeId v, Value alpha, Value beta);
+  void collect_rec(NodeId v, long budget, std::vector<NodeId>& out) const;
+
+  const Tree* tree_;
+  std::vector<char> finished_;
+  std::vector<char> pruned_;
+  std::vector<char> touched_;  // subtree contains an evaluated leaf
+  std::vector<Value> value_;   // valid when finished
+  std::vector<Value> agg_;     // MAX: max finished-child value; MIN: min
+  std::vector<std::uint32_t> unfinished_children_;  // unpruned & unfinished
+  std::uint64_t leaves_evaluated_ = 0;
+};
+
+/// Observer called before each basic step with the chosen batch.
+using MinimaxStepObserver =
+    std::function<void(const MinimaxSimulator&, std::span<const NodeId>)>;
+
+/// Parallel alpha-beta of width w (Section 4). Width 0 is Sequential
+/// alpha-beta. Returns the exact root value and the step statistics.
+ValueRun run_parallel_ab(const Tree& t, unsigned width,
+                         const MinimaxStepObserver& observer = {});
+
+/// Sequential alpha-beta in the leaf-evaluation model: width 0. S~(T) of
+/// Theorem 3 is the returned stats.work.
+ValueRun run_sequential_ab(const Tree& t,
+                           const MinimaxStepObserver& observer = {});
+
+/// Parallel alpha-beta of width w restricted to p physical processors: at
+/// each step, evaluate the leftmost p of the width-w-eligible unfinished
+/// leaves (Brent-style scheduling; cf. run_parallel_solve_bounded).
+ValueRun run_parallel_ab_bounded(const Tree& t, unsigned width, std::size_t processors,
+                                 const MinimaxStepObserver& observer = {});
+
+/// Leaves evaluated by Sequential alpha-beta, in evaluation order (the set
+/// L~(T) whose ancestors form the skeleton H~_T of Proposition 5).
+std::vector<NodeId> sequential_ab_leaves(const Tree& t);
+
+}  // namespace gtpar

@@ -1,0 +1,133 @@
+#include "gtpar/ab/sss.hpp"
+
+#include <algorithm>
+#include <list>
+#include <stdexcept>
+#include <vector>
+
+namespace gtpar {
+namespace {
+
+struct State {
+  NodeId node;
+  bool solved;  // false = LIVE
+  Value merit;
+};
+
+/// Preorder entry/exit times so that "is descendant of" is an interval
+/// check (needed for the purge step of the Gamma operator).
+struct EulerTour {
+  std::vector<std::uint32_t> tin, tout;
+
+  explicit EulerTour(const Tree& t) : tin(t.size()), tout(t.size()) {
+    std::uint32_t clock = 0;
+    std::vector<std::pair<NodeId, bool>> stack{{t.root(), false}};
+    while (!stack.empty()) {
+      auto [v, post] = stack.back();
+      stack.pop_back();
+      if (post) {
+        tout[v] = clock;
+        continue;
+      }
+      tin[v] = clock++;
+      stack.push_back({v, true});
+      const auto cs = t.children(v);
+      for (std::size_t i = cs.size(); i-- > 0;) stack.push_back({cs[i], false});
+    }
+  }
+
+  bool is_strict_descendant(NodeId anc, NodeId v) const {
+    return tin[v] > tin[anc] && tin[v] < tout[anc];
+  }
+};
+
+/// One SSS* run applying up to `ops_per_step` Gamma operators per basic
+/// step. The Gamma operator follows Stockman's specification exactly; see
+/// the case comments.
+SssResult run_sss(const Tree& t, std::size_t ops_per_step) {
+  if (ops_per_step == 0) throw std::invalid_argument("parallel_sss: p must be >= 1");
+  SssResult res;
+  const EulerTour tour(t);
+  std::vector<char> leaf_seen(t.size(), 0);
+
+  // OPEN kept as a plain list; each Gamma step scans for the max-merit
+  // state (leftmost on ties, per the classic specification). OPEN stays
+  // small relative to the tree (bounded by the widest solution-tree cut).
+  std::list<State> open;
+  open.push_back({t.root(), false, kPlusInf});
+  res.peak_open = 1;
+
+  while (true) {
+    ++res.steps;
+    for (std::size_t op = 0; op < ops_per_step; ++op) {
+      if (open.empty()) throw std::logic_error("sss: OPEN exhausted");
+      ++res.gamma_steps;
+      // Select max merit, leftmost first.
+      auto best = open.begin();
+      for (auto it = std::next(open.begin()); it != open.end(); ++it) {
+        if (it->merit > best->merit ||
+            (it->merit == best->merit && tour.tin[it->node] < tour.tin[best->node])) {
+          best = it;
+        }
+      }
+      const State s = *best;
+      open.erase(best);
+
+      if (s.solved && s.node == t.root()) {
+        res.value = s.merit;
+        return res;
+      }
+
+      if (!s.solved) {
+        // LIVE cases of the Gamma operator.
+        if (t.is_leaf(s.node)) {
+          // Case 1: evaluate the leaf; its merit caps at the leaf value.
+          if (!leaf_seen[s.node]) {
+            leaf_seen[s.node] = 1;
+            ++res.distinct_leaves;
+          }
+          open.push_back({s.node, true, std::min(s.merit, t.leaf_value(s.node))});
+        } else if (node_kind(t, s.node) == NodeKind::Max) {
+          // Case 2: a LIVE MAX node fans out all children as competing
+          // alternatives with the same merit.
+          for (NodeId c : t.children(s.node)) open.push_back({c, false, s.merit});
+        } else {
+          // Case 3: a LIVE MIN node starts scanning its children
+          // left-to-right.
+          open.push_back({t.child(s.node, 0), false, s.merit});
+        }
+      } else {
+        // SOLVED cases.
+        const NodeId p = t.parent(s.node);
+        if (p == kNoNode) throw std::logic_error("sss: solved root unhandled");
+        if (node_kind(t, p) == NodeKind::Max) {
+          // Case 5: a solved child of a MAX node solves the MAX node at
+          // merit h — h is the largest merit in OPEN, so no sibling
+          // alternative can beat it; purge everything below the MAX node.
+          open.remove_if(
+              [&](const State& o) { return tour.is_strict_descendant(p, o.node); });
+          open.push_back({p, true, s.merit});
+        } else {
+          // Case 4: a solved child of a MIN node: the MIN's value may
+          // still drop, so scan the next sibling under the sharpened
+          // bound, or solve the parent after the last child.
+          const std::size_t idx = t.child_index(s.node);
+          if (idx + 1 < t.num_children(p)) {
+            open.push_back({t.child(p, idx + 1), false, s.merit});
+          } else {
+            open.push_back({p, true, s.merit});
+          }
+        }
+      }
+      res.peak_open = std::max(res.peak_open, open.size());
+    }
+  }
+}
+
+}  // namespace
+
+SssResult sss_star(const Tree& t) { return run_sss(t, 1); }
+
+SssResult parallel_sss(const Tree& t, std::size_t p) { return run_sss(t, p); }
+
+}  // namespace gtpar

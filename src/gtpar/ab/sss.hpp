@@ -1,0 +1,50 @@
+// gtpar/ab/sss.hpp
+//
+// SSS* [Stockman 1979] — the best-first MIN/MAX searcher that the parallel
+// alpha-beta literature of the paper's era used as the main comparison
+// point (reference [11]: Vornberger, "Parallel alpha-beta versus parallel
+// SSS*"). Provided as a sequential baseline for the E13 experiment.
+//
+// SSS* maintains an OPEN list of states (node, status, merit) with status
+// LIVE or SOLVED and merit h (an upper bound on the value obtainable
+// through that node). It repeatedly applies the Gamma operator to the
+// state of maximal merit (ties broken leftmost-first). SSS* dominates
+// alpha-beta: it never evaluates a leaf alpha-beta skips, at the price of
+// maintaining the OPEN list.
+#pragma once
+
+#include <cstdint>
+
+#include "gtpar/ab/alphabeta.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+/// Statistics of an SSS* run.
+struct SssResult {
+  Value value = 0;
+  /// Distinct leaves evaluated.
+  std::uint64_t distinct_leaves = 0;
+  /// Gamma-operator applications (list operations; the classic measure of
+  /// SSS*'s bookkeeping overhead).
+  std::uint64_t gamma_steps = 0;
+  /// Lock-step time: number of basic steps, each applying up to p Gamma
+  /// operators (equals gamma_steps for the sequential p = 1).
+  std::uint64_t steps = 0;
+  /// Peak size of the OPEN list.
+  std::size_t peak_open = 0;
+};
+
+/// Run SSS* on the MIN/MAX tree `t`. Returns the exact root value.
+SssResult sss_star(const Tree& t);
+
+/// Parallel SSS* with p processors, in the spirit of the systems that
+/// reference [11] (Vornberger) compares against parallel alpha-beta: at
+/// each basic step, the p processors apply the Gamma operator to the p
+/// best OPEN states (processed in merit order; a state consumed or purged
+/// by an earlier operator of the same step is skipped). p = 1 is exactly
+/// sss_star. Experiment E18 puts this head-to-head with width-w Parallel
+/// alpha-beta.
+SssResult parallel_sss(const Tree& t, std::size_t p);
+
+}  // namespace gtpar

@@ -1,0 +1,102 @@
+#include "gtpar/ab/tt_search.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace gtpar {
+namespace {
+
+enum class BoundKind : std::uint8_t { kExact, kLower, kUpper };
+
+struct Entry {
+  Value value;
+  BoundKind kind;
+};
+
+struct Searcher {
+  const TreeSource& src;
+  std::unordered_map<std::uint64_t, Entry> table;
+  TtStats stats;
+
+  explicit Searcher(const TreeSource& s) : src(s) {}
+
+  Value search(const TreeSource::Node& v, Value alpha, Value beta, bool maxing) {
+    const std::uint64_t key = src.state_key(v);
+    const Value alpha0 = alpha, beta0 = beta;
+    if (const auto it = table.find(key); it != table.end()) {
+      const Entry& e = it->second;
+      if (e.kind == BoundKind::kExact) {
+        ++stats.tt_cutoffs;
+        return e.value;
+      }
+      if (e.kind == BoundKind::kLower) {
+        if (e.value >= beta) {
+          ++stats.tt_cutoffs;
+          return e.value;
+        }
+        alpha = std::max(alpha, e.value);
+      } else {
+        if (e.value <= alpha) {
+          ++stats.tt_cutoffs;
+          return e.value;
+        }
+        beta = std::min(beta, e.value);
+      }
+    }
+
+    ++stats.nodes;
+    const unsigned d = src.num_children(v);
+    Value best;
+    if (d == 0) {
+      ++stats.leaf_evaluations;
+      best = src.leaf_value(v);
+    } else {
+      best = maxing ? kMinusInf : kPlusInf;
+      Value a = alpha, b = beta;
+      for (unsigned i = 0; i < d; ++i) {
+        const Value x = search(src.child(v, i), a, b, !maxing);
+        if (maxing) {
+          best = std::max(best, x);
+          a = std::max(a, best);
+        } else {
+          best = std::min(best, x);
+          b = std::min(b, best);
+        }
+        if (a >= b) break;
+      }
+    }
+
+    // Classify against the window the caller gave us (fail-soft).
+    Entry e;
+    e.value = best;
+    if (best <= alpha0) e.kind = BoundKind::kUpper;
+    else if (best >= beta0) e.kind = BoundKind::kLower;
+    else e.kind = BoundKind::kExact;
+    // Keep the most informative entry: exact beats bounds; a tighter bound
+    // beats a looser one of the same kind.
+    auto [it, inserted] = table.try_emplace(key, e);
+    if (!inserted) {
+      Entry& old = it->second;
+      const bool replace =
+          e.kind == BoundKind::kExact ||
+          (old.kind != BoundKind::kExact &&
+           ((e.kind == BoundKind::kLower && old.kind == BoundKind::kLower &&
+             e.value > old.value) ||
+            (e.kind == BoundKind::kUpper && old.kind == BoundKind::kUpper &&
+             e.value < old.value)));
+      if (replace) old = e;
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+TtStats tt_alphabeta(const TreeSource& src) {
+  Searcher s(src);
+  s.stats.value = s.search(src.root(), kMinusInf, kPlusInf, /*maxing=*/true);
+  s.stats.table_size = s.table.size();
+  return s.stats;
+}
+
+}  // namespace gtpar

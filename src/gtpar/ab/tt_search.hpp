@@ -1,0 +1,40 @@
+// gtpar/ab/tt_search.hpp
+//
+// Transposition-table alpha-beta over implicit trees — the standard
+// engineering companion to game-tree search when the "tree" is really a
+// DAG of positions reached by different move orders. Keys come from
+// TreeSource::state_key; two nodes with equal keys must have equal
+// subgame values.
+//
+// The table stores, per state, either the exact value or a lower/upper
+// bound (the classic Knuth-Moore classification of a window search's
+// outcome), and the search narrows or skips accordingly. On games like
+// Nim this collapses an exponential move-sequence tree to a linear number
+// of states; on tic-tac-toe it merges the ~9! permuted paths into the
+// ~5,478 reachable positions.
+#pragma once
+
+#include <cstdint>
+
+#include "gtpar/common.hpp"
+#include "gtpar/expand/tree_source.hpp"
+
+namespace gtpar {
+
+struct TtStats {
+  Value value = 0;
+  /// Nodes visited by the search (expansions actually performed).
+  std::uint64_t nodes = 0;
+  /// Leaf evaluations performed.
+  std::uint64_t leaf_evaluations = 0;
+  /// Lookups answered from the table without any search.
+  std::uint64_t tt_cutoffs = 0;
+  /// Distinct states stored.
+  std::size_t table_size = 0;
+};
+
+/// Exact alpha-beta search of `src` with a transposition table. Returns
+/// the exact root value (MAX to move at the root).
+TtStats tt_alphabeta(const TreeSource& src);
+
+}  // namespace gtpar

@@ -1,0 +1,103 @@
+#include "gtpar/analysis/bounds.hpp"
+
+#include <algorithm>
+
+namespace gtpar {
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == kSaturated || b == kSaturated) return kSaturated;
+  if (a > kSaturated / b) return kSaturated;
+  return a * b;
+}
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  if (a == kSaturated || b == kSaturated) return kSaturated;
+  const std::uint64_t s = a + b;
+  return s < a ? kSaturated : s;
+}
+
+std::uint64_t sat_pow(std::uint64_t d, unsigned e) {
+  std::uint64_t r = 1;
+  for (unsigned i = 0; i < e; ++i) r = sat_mul(r, d);
+  return r;
+}
+
+std::uint64_t binomial(unsigned n, unsigned k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  // Multiplicative formula with 128-bit intermediates (a GCC/Clang
+  // extension; __extension__ keeps -Wpedantic quiet): exact while the
+  // result fits in 64 bits, saturated otherwise.
+  __extension__ using u128 = unsigned __int128;
+  u128 r = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    r = r * (n - k + i) / i;  // always divisible: C(n-k+i, i) is integral
+    if (r > static_cast<u128>(kSaturated)) return kSaturated;
+  }
+  return static_cast<std::uint64_t>(r);
+}
+
+std::uint64_t prop3_bound(unsigned n, unsigned d, unsigned k) {
+  if (k > n) return 0;
+  return sat_mul(binomial(n, k), sat_pow(d - 1, k));
+}
+
+std::uint64_t prop6_bound(unsigned n, unsigned d, unsigned k) {
+  if (k > n) return 0;
+  return sat_mul(n - k, prop3_bound(n, d, k));
+}
+
+std::uint64_t width_processor_bound(unsigned n, unsigned d, unsigned w) {
+  std::uint64_t total = 0;
+  for (unsigned k = 0; k <= std::min(w, n); ++k)
+    total = sat_add(total, prop3_bound(n, d, k));
+  return total;
+}
+
+unsigned lemma1_k1(unsigned n, unsigned d) {
+  const std::uint64_t budget = sat_pow(d, n / 2);
+  unsigned best = 0;
+  for (unsigned k = 0; k <= n; ++k) {
+    const std::uint64_t lhs = sat_mul(binomial(n, k), sat_pow(d, k));
+    if (lhs != kSaturated && lhs <= budget) best = k;
+  }
+  return best;
+}
+
+unsigned lemma2_k2(unsigned n, unsigned d) {
+  const std::uint64_t budget = sat_pow(d, n / 2);
+  std::uint64_t sum = 0;
+  unsigned best = 0;
+  for (unsigned k = 0; k <= n; ++k) {
+    sum = sat_add(sum, sat_mul(k + 1, prop3_bound(n, d, k)));
+    if (sum != kSaturated && sum <= budget) best = k;
+  }
+  return best;
+}
+
+std::uint64_t prop4_max_steps(unsigned n, unsigned d, std::uint64_t total_work) {
+  // Greedy adversary: take as many degree-(k+1) steps as Proposition 3
+  // allows, starting from the cheapest (k = 0), until the work budget is
+  // exhausted; spend any remainder on one more partial batch of the next
+  // degree.
+  std::uint64_t steps = 0;
+  std::uint64_t work_left = total_work;
+  for (unsigned k = 0; k <= n; ++k) {
+    const std::uint64_t cap = prop3_bound(n, d, k);
+    const std::uint64_t degree = k + 1;
+    const std::uint64_t affordable = work_left / degree;
+    const std::uint64_t take = std::min(cap, affordable);
+    steps = sat_add(steps, take);
+    work_left -= sat_mul(take, degree);
+    if (take < cap) {
+      // Budget ran out inside this degree class: one final cheaper step may
+      // still fit (partial batches do not exist, so round down).
+      if (work_left >= degree) steps = sat_add(steps, work_left / degree);
+      return steps;
+    }
+  }
+  return steps;
+}
+
+}  // namespace gtpar

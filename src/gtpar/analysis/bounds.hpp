@@ -1,0 +1,59 @@
+// gtpar/analysis/bounds.hpp
+//
+// The combinatorial quantities of Section 3: binomial coefficients, the
+// step-count bounds sigma_k = C(n,k)(d-1)^k of Proposition 3 (and the
+// (n-k)*C(n,k)(d-1)^k variant of Proposition 6), and the thresholds k1, k2
+// of Lemmas 1 and 2. Exact 128-bit integer arithmetic with saturation: the
+// bounds are compared against measured step histograms, so silent overflow
+// would invalidate experiments.
+#pragma once
+
+#include <cstdint>
+
+namespace gtpar {
+
+/// Saturating unsigned arithmetic value used by the bound computations.
+/// kSaturated means "at least 2^64 - 1"; comparisons treat it as infinity.
+inline constexpr std::uint64_t kSaturated = ~std::uint64_t{0};
+
+/// C(n, k) with saturation at 2^64-1.
+std::uint64_t binomial(unsigned n, unsigned k);
+
+/// pow(d, e) with saturation.
+std::uint64_t sat_pow(std::uint64_t d, unsigned e);
+
+/// a * b with saturation.
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b);
+
+/// a + b with saturation.
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b);
+
+/// sigma_k = C(n,k) (d-1)^k: the Proposition 3 upper bound on the number of
+/// steps of parallel degree exactly k+1 taken by Parallel SOLVE of width 1
+/// on the skeleton of any T in B(d,n).
+std::uint64_t prop3_bound(unsigned n, unsigned d, unsigned k);
+
+/// (n-k) C(n,k) (d-1)^k: the Proposition 6 bound for the node-expansion
+/// model (steps of parallel degree exactly k+1 of N-Parallel SOLVE).
+std::uint64_t prop6_bound(unsigned n, unsigned d, unsigned k);
+
+/// Maximum possible parallel degree of a width-w step on a height-n d-ary
+/// tree: sum_{k=0..w} C(n,k)(d-1)^k (each leaf of pruning number k is
+/// pinned by choosing k "detour" levels and a nonzero sibling offset each).
+/// For w = 1 this is 1 + n(d-1) >= n+1, the paper's processor count.
+std::uint64_t width_processor_bound(unsigned n, unsigned d, unsigned w);
+
+/// k1 of Lemma 1: max { k : C(n,k) d^k <= d^floor(n/2) }.
+unsigned lemma1_k1(unsigned n, unsigned d);
+
+/// k2 of Lemma 2: max { k : sum_{i=0..k} (i+1) C(n,i)(d-1)^i <= d^floor(n/2) }.
+unsigned lemma2_k2(unsigned n, unsigned d);
+
+/// The adversary bound of Proposition 4's proof: the largest possible
+/// number of steps of Parallel SOLVE of width 1 on a skeleton with S
+/// leaves, obtained by filling the degree histogram greedily from degree 1
+/// upward subject to the Proposition 3 caps and total work S. Dividing
+/// S by this value lower-bounds the provable speed-up.
+std::uint64_t prop4_max_steps(unsigned n, unsigned d, std::uint64_t total_work);
+
+}  // namespace gtpar

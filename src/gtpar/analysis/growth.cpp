@@ -1,0 +1,47 @@
+#include "gtpar/analysis/growth.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gtpar {
+namespace {
+
+/// Bisection for a strictly decreasing continuous f with f(lo) > 0 > f(hi).
+template <typename F>
+double bisect(F f, double lo, double hi) {
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) > 0) lo = mid;
+    else hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double critical_one_probability(unsigned d) {
+  if (d == 0) throw std::invalid_argument("critical_one_probability: d >= 1");
+  // (1-q)^d - q is strictly decreasing in q on (0,1), positive at 0,
+  // negative at 1.
+  return bisect([d](double q) { return std::pow(1.0 - q, double(d)) - q; }, 0.0, 1.0);
+}
+
+double pearl_xi(unsigned d) {
+  if (d == 0) throw std::invalid_argument("pearl_xi: d >= 1");
+  // 1 - x - x^d is strictly decreasing on (0,1), positive at 0, negative
+  // at 1.
+  return bisect([d](double x) { return 1.0 - x - std::pow(x, double(d)); }, 0.0, 1.0);
+}
+
+double alphabeta_branching_factor(unsigned d) {
+  const double xi = pearl_xi(d);
+  return xi / (1.0 - xi);
+}
+
+double saks_wigderson_growth(unsigned d) {
+  if (d == 0) throw std::invalid_argument("saks_wigderson_growth: d >= 1");
+  const double dd = static_cast<double>(d);
+  return (dd - 1.0 + std::sqrt(dd * dd + 14.0 * dd + 1.0)) / 4.0;
+}
+
+}  // namespace gtpar

@@ -1,0 +1,38 @@
+// gtpar/analysis/growth.hpp
+//
+// Growth-rate constants from the literature the paper builds on (Section 6
+// and references [8,9,10]): the critical i.i.d. bias of uniform NOR trees,
+// Pearl's alpha-beta branching factor, and the Saks-Wigderson randomized
+// complexity exponent. Experiment E14 compares measured per-level growth
+// of the simulators against these constants.
+#pragma once
+
+namespace gtpar {
+
+/// The critical leaf bias q*(d) of uniform d-ary NOR trees: the unique
+/// q in (0,1) with (1-q)^d = q, i.e. the 1-probability that is invariant
+/// from level to level. At this bias the root value stays genuinely random
+/// at every height, which is what makes the i.i.d. instances "hard"
+/// [Pearl 1982, Tarsi 1983]. For d = 2, q* = (3-sqrt(5))/2 ~ 0.382; note
+/// 1 - q* = (sqrt(5)-1)/2 is Althoefer's golden bias in the AND/OR-leaf
+/// convention (golden_bias() in generators.hpp).
+double critical_one_probability(unsigned d);
+
+/// xi_d: the positive root of x^d + x - 1 = 0 (Pearl's parameter).
+double pearl_xi(unsigned d);
+
+/// Pearl's branching factor of alpha-beta on uniform d-ary MIN/MAX trees
+/// with i.i.d. continuous leaf values: R*(d) = xi_d / (1 - xi_d).
+/// Expected leaves examined grow as R*(d)^n; for d = 2 this is the golden
+/// ratio (1+sqrt(5))/2 ~ 1.618 [Pearl 1982, "The solution for the
+/// branching factor of the alpha-beta pruning algorithm"].
+double alphabeta_branching_factor(unsigned d);
+
+/// The Saks-Wigderson exponent: the randomized complexity of evaluating
+/// uniform d-ary NOR trees of height n is Theta(lambda_d^n) with
+/// lambda_d = (d - 1 + sqrt(d^2 + 14 d + 1)) / 4
+/// [Saks & Wigderson 1986, FOCS]. For d = 2: (1 + sqrt(33))/4 ~ 1.686.
+/// R-Sequential SOLVE achieves this bound (the paper's Section 6).
+double saks_wigderson_growth(unsigned d);
+
+}  // namespace gtpar

@@ -1,0 +1,49 @@
+// gtpar/common.hpp
+//
+// Fundamental types shared by every gtpar module: node identifiers, leaf
+// values, and the deterministic splittable hash used to derive reproducible
+// per-node randomness (leaf values, child permutations) from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gtpar {
+
+/// Index of a node inside a Tree arena. Nodes are stored in preorder; the
+/// root is always node 0.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (absent parent, missing child, ...).
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Leaf value of a MIN/MAX game tree. NOR/AND-OR trees use the values 0/1.
+using Value = std::int32_t;
+
+/// -infinity / +infinity bounds for alpha-beta windows. Chosen strictly
+/// outside the representable leaf range so that comparisons never saturate.
+inline constexpr Value kMinusInf = std::numeric_limits<Value>::min();
+inline constexpr Value kPlusInf = std::numeric_limits<Value>::max();
+
+/// splitmix64 finalizer: a high-quality 64-bit mixing function. Used as a
+/// stateless, splittable RNG: hashing (seed, node-path, stream) gives an
+/// independent uniform 64-bit value per node, so implicit trees are
+/// reproducible and consistent no matter in which order nodes are visited.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Combine two 64-bit words into one hash (order-sensitive).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+/// Uniform double in [0, 1) derived from a 64-bit hash.
+constexpr double to_unit_double(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace gtpar

@@ -1,0 +1,189 @@
+#include "gtpar/expand/minimax_expansion.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gtpar {
+
+MinimaxExpansionSimulator::MinimaxExpansionSimulator(const TreeSource& src) : src_(&src) {
+  GNode root;
+  root.src = src.root();
+  root.parent = 0;
+  root.maxing = true;
+  node_.push_back(root);
+  finished_.push_back(0);
+  pruned_.push_back(0);
+  touched_.push_back(0);
+  value_.push_back(0);
+  agg_.push_back(kMinusInf);
+  unfinished_children_.push_back(0);
+}
+
+bool MinimaxExpansionSimulator::in_pruned_tree(GenId v) const noexcept {
+  while (true) {
+    if (pruned_[v]) return false;
+    if (v == 0) return true;
+    v = node_[v].parent;
+  }
+}
+
+void MinimaxExpansionSimulator::on_child_finished(GenId parent, Value child_value) {
+  assert(!finished_[parent] && !pruned_[parent]);
+  if (node_[parent].maxing)
+    agg_[parent] = std::max(agg_[parent], child_value);
+  else
+    agg_[parent] = std::min(agg_[parent], child_value);
+  assert(unfinished_children_[parent] > 0);
+  if (--unfinished_children_[parent] == 0) finish_node(parent, agg_[parent]);
+}
+
+void MinimaxExpansionSimulator::finish_node(GenId v, Value val) {
+  assert(!finished_[v] && !pruned_[v]);
+  finished_[v] = 1;
+  value_[v] = val;
+  if (v != 0) on_child_finished(node_[v].parent, val);
+}
+
+void MinimaxExpansionSimulator::prune_node(GenId v) {
+  assert(!finished_[v] && !pruned_[v]);
+  pruned_[v] = 1;
+  if (v == 0) return;
+  const GenId p = node_[v].parent;
+  assert(unfinished_children_[p] > 0);
+  if (--unfinished_children_[p] == 0) {
+    assert(agg_[p] != (node_[p].maxing ? kMinusInf : kPlusInf));
+    finish_node(p, agg_[p]);
+  }
+}
+
+bool MinimaxExpansionSimulator::prune_sweep(GenId v, Value alpha, Value beta) {
+  bool changed = false;
+  const bool maxing = node_[v].maxing;
+  const std::uint32_t begin = node_[v].child_begin;
+  for (std::uint32_t i = 0; i < node_[v].child_count; ++i) {
+    if (finished_[v]) break;
+    const GenId c = children_[begin + i];
+    if (pruned_[c] || finished_[c]) continue;
+    Value ca = alpha, cb = beta;
+    if (maxing) {
+      if (agg_[v] != kMinusInf) ca = std::max(ca, agg_[v]);
+    } else {
+      if (agg_[v] != kPlusInf) cb = std::min(cb, agg_[v]);
+    }
+    if (ca >= cb) {
+      prune_node(c);
+      changed = true;
+    } else if (touched_[c] && node_[c].expanded) {
+      changed = prune_sweep(c, ca, cb) || changed;
+    }
+  }
+  return changed;
+}
+
+void MinimaxExpansionSimulator::expand(std::span<const GenId> batch) {
+  for (GenId v : batch) {
+    if (v >= node_.size()) throw std::invalid_argument("expand: unknown node");
+    if (node_[v].expanded) throw std::invalid_argument("expand: node re-expanded");
+    if (!in_pruned_tree(v)) throw std::invalid_argument("expand: deleted node in batch");
+  }
+  for (GenId v : batch) {
+    node_[v].expanded = true;
+    ++expansions_;
+    const unsigned d = src_->num_children(node_[v].src);
+    if (d == 0) {
+      // Expanding a leaf evaluates it; mark the path touched for the
+      // pruning sweep.
+      for (GenId a = v;; a = node_[a].parent) {
+        if (touched_[a]) break;
+        touched_[a] = 1;
+        if (a == 0) break;
+      }
+      finish_node(v, src_->leaf_value(node_[v].src));
+      continue;
+    }
+    node_[v].child_begin = static_cast<std::uint32_t>(children_.size());
+    node_[v].child_count = d;
+    unfinished_children_[v] = d;
+    agg_[v] = node_[v].maxing ? kMinusInf : kPlusInf;
+    for (unsigned i = 0; i < d; ++i) {
+      const GenId c = static_cast<GenId>(node_.size());
+      GNode g;
+      g.src = src_->child(node_[v].src, i);
+      g.parent = v;
+      g.maxing = !node_[v].maxing;
+      node_.push_back(g);
+      finished_.push_back(0);
+      pruned_.push_back(0);
+      touched_.push_back(0);
+      value_.push_back(0);
+      agg_.push_back(g.maxing ? kMinusInf : kPlusInf);
+      unfinished_children_.push_back(0);
+      children_.push_back(c);
+    }
+  }
+  while (!done() && prune_sweep(0, kMinusInf, kPlusInf)) {
+  }
+}
+
+void MinimaxExpansionSimulator::collect_rec(GenId v, long budget,
+                                            std::vector<GenId>& out) const {
+  if (!node_[v].expanded) {
+    out.push_back(v);
+    return;
+  }
+  long unfinished_index = 0;
+  const std::uint32_t begin = node_[v].child_begin;
+  for (std::uint32_t i = 0; i < node_[v].child_count; ++i) {
+    const GenId c = children_[begin + i];
+    if (pruned_[c] || finished_[c]) continue;
+    if (unfinished_index > budget) break;
+    collect_rec(c, budget - unfinished_index, out);
+    ++unfinished_index;
+  }
+}
+
+void MinimaxExpansionSimulator::collect_width_frontier(unsigned width,
+                                                       std::vector<GenId>& out) const {
+  out.clear();
+  if (done()) return;
+  collect_rec(0, static_cast<long>(width), out);
+}
+
+unsigned MinimaxExpansionSimulator::pruning_number(GenId v) const {
+  if (!is_frontier(v)) throw std::logic_error("pruning_number: not a frontier node");
+  unsigned pn = 0;
+  for (GenId x = v; x != 0; x = node_[x].parent) {
+    const GenId p = node_[x].parent;
+    const std::uint32_t begin = node_[p].child_begin;
+    for (std::uint32_t i = 0; i < node_[p].child_count; ++i) {
+      const GenId c = children_[begin + i];
+      if (c == x) break;
+      if (!pruned_[c] && !finished_[c]) ++pn;
+    }
+  }
+  return pn;
+}
+
+ValueRun run_n_parallel_ab(const TreeSource& src, unsigned width,
+                           const MinimaxExpansionObserver& observer) {
+  MinimaxExpansionSimulator sim(src);
+  ValueRun run;
+  std::vector<MinimaxExpansionSimulator::GenId> batch;
+  while (!sim.done()) {
+    sim.collect_width_frontier(width, batch);
+    assert(!batch.empty());
+    if (observer) observer(sim, batch);
+    sim.expand(batch);
+    run.stats.record_step(batch.size());
+  }
+  run.value = sim.root_value();
+  return run;
+}
+
+ValueRun run_n_sequential_ab(const TreeSource& src,
+                             const MinimaxExpansionObserver& observer) {
+  return run_n_parallel_ab(src, 0, observer);
+}
+
+}  // namespace gtpar

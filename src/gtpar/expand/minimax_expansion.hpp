@@ -1,0 +1,97 @@
+// gtpar/expand/minimax_expansion.hpp
+//
+// Node-expansion versions of Sequential alpha-beta and Parallel alpha-beta
+// (Section 5 mentions these exist; the paper omits details "given the space
+// limitation"). The construction mirrors nor_expansion.hpp: the simulator
+// expands frontier nodes of the *pruned* generated tree; the pruning
+// process of Section 4 (alpha/beta bounds from finished siblings of
+// ancestors, rule "delete unfinished v when alpha >= beta") runs on the
+// generated portion after every step.
+//
+// The pruning number of a frontier node is the number of unfinished
+// left-siblings of its ancestors in the pruned generated tree.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gtpar/common.hpp"
+#include "gtpar/expand/tree_source.hpp"
+#include "gtpar/sim/stats.hpp"
+
+namespace gtpar {
+
+class MinimaxExpansionSimulator {
+ public:
+  using GenId = std::uint32_t;
+
+  explicit MinimaxExpansionSimulator(const TreeSource& src);
+
+  bool done() const noexcept { return finished_[0]; }
+  Value root_value() const noexcept { return value_[0]; }
+
+  std::size_t generated() const noexcept { return node_.size(); }
+  std::uint64_t expansions() const noexcept { return expansions_; }
+
+  bool expanded(GenId v) const noexcept { return node_[v].expanded; }
+  bool finished(GenId v) const noexcept { return finished_[v]; }
+  bool pruned(GenId v) const noexcept { return pruned_[v]; }
+  bool in_pruned_tree(GenId v) const noexcept;
+  Value value(GenId v) const noexcept { return value_[v]; }
+  /// Frontier of the pruned generated tree: unexpanded and not deleted.
+  bool is_frontier(GenId v) const noexcept {
+    return !node_[v].expanded && in_pruned_tree(v);
+  }
+  TreeSource::Node source_node(GenId v) const noexcept { return node_[v].src; }
+
+  /// Expand a batch of frontier nodes simultaneously, then propagate
+  /// finishes and apply the pruning rule to fixpoint.
+  void expand(std::span<const GenId> batch);
+
+  /// All frontier nodes with pruning number <= width, leftmost first.
+  void collect_width_frontier(unsigned width, std::vector<GenId>& out) const;
+
+  unsigned pruning_number(GenId v) const;
+
+ private:
+  struct GNode {
+    TreeSource::Node src;
+    GenId parent = 0;
+    std::uint32_t child_begin = 0;
+    std::uint32_t child_count = 0;
+    bool expanded = false;
+    bool maxing = true;  // node kind by depth parity
+  };
+
+  void on_child_finished(GenId parent, Value child_value);
+  void finish_node(GenId v, Value val);
+  void prune_node(GenId v);
+  bool prune_sweep(GenId v, Value alpha, Value beta);
+  void collect_rec(GenId v, long budget, std::vector<GenId>& out) const;
+
+  const TreeSource* src_;
+  std::vector<GNode> node_;
+  std::vector<GenId> children_;
+  std::vector<char> finished_;
+  std::vector<char> pruned_;
+  std::vector<char> touched_;
+  std::vector<Value> value_;
+  std::vector<Value> agg_;
+  std::vector<std::uint32_t> unfinished_children_;
+  std::uint64_t expansions_ = 0;
+};
+
+using MinimaxExpansionObserver = std::function<void(const MinimaxExpansionSimulator&,
+                                                    std::span<const std::uint32_t>)>;
+
+/// N-Parallel alpha-beta of width w; width 0 is N-Sequential alpha-beta.
+ValueRun run_n_parallel_ab(const TreeSource& src, unsigned width,
+                           const MinimaxExpansionObserver& observer = {});
+
+/// N-Sequential alpha-beta: expand the leftmost frontier node of the
+/// pruned generated tree at each step.
+ValueRun run_n_sequential_ab(const TreeSource& src,
+                             const MinimaxExpansionObserver& observer = {});
+
+}  // namespace gtpar

@@ -1,0 +1,135 @@
+#include "gtpar/expand/nor_expansion.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gtpar {
+
+NorExpansionSimulator::NorExpansionSimulator(const TreeSource& src) : src_(&src) {
+  GNode root;
+  root.src = src.root();
+  root.parent = 0;  // self; the root is recognized by id 0
+  node_.push_back(root);
+  state_.push_back(State::kUndetermined);
+  undet_children_.push_back(0);
+}
+
+bool NorExpansionSimulator::live(GenId v) const noexcept {
+  while (true) {
+    if (state_[v] != State::kUndetermined) return false;
+    if (v == 0) return true;
+    v = node_[v].parent;
+  }
+}
+
+void NorExpansionSimulator::settle(GenId v, State s) {
+  while (true) {
+    if (state_[v] != State::kUndetermined) return;
+    state_[v] = s;
+    if (v == 0) return;
+    const GenId p = node_[v].parent;
+    if (s == State::kOne) {
+      v = p;
+      s = State::kZero;
+      continue;
+    }
+    assert(undet_children_[p] > 0);
+    if (--undet_children_[p] > 0) return;
+    if (state_[p] != State::kUndetermined) return;
+    v = p;
+    s = State::kOne;
+  }
+}
+
+void NorExpansionSimulator::expand(std::span<const GenId> batch) {
+  for (GenId v : batch) {
+    if (v >= node_.size()) throw std::invalid_argument("expand: unknown node");
+    if (node_[v].expanded) throw std::invalid_argument("expand: node re-expanded");
+    if (!live(v)) throw std::invalid_argument("expand: dead node in batch");
+  }
+  for (GenId v : batch) {
+    node_[v].expanded = true;
+    ++expansions_;
+    const unsigned d = src_->num_children(node_[v].src);
+    if (d == 0) {
+      settle(v, src_->leaf_value(node_[v].src) != 0 ? State::kOne : State::kZero);
+      continue;
+    }
+    node_[v].child_begin = static_cast<std::uint32_t>(children_.size());
+    node_[v].child_count = d;
+    undet_children_[v] = d;
+    for (unsigned i = 0; i < d; ++i) {
+      const GenId c = static_cast<GenId>(node_.size());
+      GNode g;
+      g.src = src_->child(node_[v].src, i);
+      g.parent = v;
+      node_.push_back(g);
+      state_.push_back(State::kUndetermined);
+      undet_children_.push_back(0);
+      children_.push_back(c);
+    }
+  }
+}
+
+void NorExpansionSimulator::collect_rec(GenId v, long budget,
+                                        std::vector<GenId>& out) const {
+  // Precondition: v is live.
+  if (!node_[v].expanded) {
+    out.push_back(v);  // frontier node
+    return;
+  }
+  long live_index = 0;
+  const std::uint32_t begin = node_[v].child_begin;
+  for (std::uint32_t i = 0; i < node_[v].child_count; ++i) {
+    const GenId c = children_[begin + i];
+    if (state_[c] != State::kUndetermined) continue;
+    if (live_index > budget) break;
+    collect_rec(c, budget - live_index, out);
+    ++live_index;
+  }
+}
+
+void NorExpansionSimulator::collect_width_frontier(unsigned width,
+                                                   std::vector<GenId>& out) const {
+  out.clear();
+  if (done()) return;
+  collect_rec(0, static_cast<long>(width), out);
+}
+
+unsigned NorExpansionSimulator::pruning_number(GenId v) const {
+  if (!is_frontier(v)) throw std::logic_error("pruning_number: not a frontier node");
+  unsigned pn = 0;
+  for (GenId x = v; x != 0; x = node_[x].parent) {
+    const GenId p = node_[x].parent;
+    const std::uint32_t begin = node_[p].child_begin;
+    for (std::uint32_t i = 0; i < node_[p].child_count; ++i) {
+      const GenId c = children_[begin + i];
+      if (c == x) break;
+      if (state_[c] == State::kUndetermined) ++pn;
+    }
+  }
+  return pn;
+}
+
+BoolRun run_n_parallel_solve(const TreeSource& src, unsigned width,
+                             const NorExpansionObserver& observer) {
+  NorExpansionSimulator sim(src);
+  BoolRun run;
+  std::vector<NorExpansionSimulator::GenId> batch;
+  while (!sim.done()) {
+    sim.collect_width_frontier(width, batch);
+    assert(!batch.empty() && "a live generated tree has a frontier node of pruning number 0");
+    if (observer) observer(sim, batch);
+    sim.expand(batch);
+    run.stats.record_step(batch.size());
+  }
+  run.value = sim.root_value();
+  return run;
+}
+
+BoolRun run_n_sequential_solve(const TreeSource& src,
+                               const NorExpansionObserver& observer) {
+  return run_n_parallel_solve(src, 0, observer);
+}
+
+}  // namespace gtpar

@@ -1,0 +1,94 @@
+// gtpar/expand/nor_expansion.hpp
+//
+// N-Sequential SOLVE and N-Parallel SOLVE of width w (Section 5): NOR-tree
+// evaluation in the node-expansion model. The simulator is given only the
+// root; at each basic step it expands a set of *frontier* nodes (live,
+// generated, unexpanded) simultaneously. Expanding a leaf evaluates it;
+// expanding an internal node produces its children. Work = node expansions.
+//
+// The pruning number of a frontier node is the number of live
+// left-siblings of its ancestors within the generated tree T*; N-Parallel
+// SOLVE of width w expands all frontier nodes with pruning number <= w,
+// and width 0 is N-Sequential SOLVE.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gtpar/common.hpp"
+#include "gtpar/expand/tree_source.hpp"
+#include "gtpar/sim/stats.hpp"
+
+namespace gtpar {
+
+class NorExpansionSimulator {
+ public:
+  /// Index of a generated node inside the simulator's arena (root = 0).
+  using GenId = std::uint32_t;
+
+  enum class State : char { kUndetermined = -1, kZero = 0, kOne = 1 };
+
+  explicit NorExpansionSimulator(const TreeSource& src);
+
+  bool done() const noexcept { return state_[0] != State::kUndetermined; }
+  bool root_value() const noexcept { return state_[0] == State::kOne; }
+
+  /// Number of nodes generated so far (|T*|).
+  std::size_t generated() const noexcept { return node_.size(); }
+  /// Number of node expansions performed so far (the total work).
+  std::uint64_t expansions() const noexcept { return expansions_; }
+
+  bool expanded(GenId v) const noexcept { return node_[v].expanded; }
+  State state(GenId v) const noexcept { return state_[v]; }
+  bool live(GenId v) const noexcept;
+  /// Frontier: live and not yet expanded.
+  bool is_frontier(GenId v) const noexcept {
+    return !node_[v].expanded && live(v);
+  }
+  TreeSource::Node source_node(GenId v) const noexcept { return node_[v].src; }
+
+  /// Expand a batch of frontier nodes simultaneously (one basic step).
+  void expand(std::span<const GenId> batch);
+
+  /// All frontier nodes with pruning number <= width, leftmost first.
+  /// Non-empty whenever !done().
+  void collect_width_frontier(unsigned width, std::vector<GenId>& out) const;
+
+  /// Pruning number of a frontier node (O(depth * d); for tests).
+  unsigned pruning_number(GenId v) const;
+
+ private:
+  struct GNode {
+    TreeSource::Node src;
+    GenId parent = 0;
+    std::uint32_t child_begin = 0;
+    std::uint32_t child_count = 0;
+    bool expanded = false;
+  };
+
+  void settle(GenId v, State s);
+  void collect_rec(GenId v, long budget, std::vector<GenId>& out) const;
+
+  const TreeSource* src_;
+  std::vector<GNode> node_;
+  std::vector<GenId> children_;
+  std::vector<State> state_;
+  std::vector<std::uint32_t> undet_children_;
+  std::uint64_t expansions_ = 0;
+};
+
+using NorExpansionObserver =
+    std::function<void(const NorExpansionSimulator&, std::span<const std::uint32_t>)>;
+
+/// N-Parallel SOLVE of width w; width 0 is N-Sequential SOLVE. stats.work
+/// counts node expansions (S*(T) for width 0, W*(T) otherwise); stats.steps
+/// counts basic steps (P*(T)).
+BoolRun run_n_parallel_solve(const TreeSource& src, unsigned width,
+                             const NorExpansionObserver& observer = {});
+
+/// N-Sequential SOLVE (Section 5): expand the leftmost frontier node.
+BoolRun run_n_sequential_solve(const TreeSource& src,
+                               const NorExpansionObserver& observer = {});
+
+}  // namespace gtpar

@@ -1,0 +1,72 @@
+#include "gtpar/expand/tree_source.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace gtpar {
+
+UniformSource::UniformSource(unsigned d, unsigned n,
+                             std::function<Value(std::uint64_t)> leaf_fn)
+    : d_(d), n_(n), leaf_fn_(std::move(leaf_fn)) {
+  if (d == 0) throw std::invalid_argument("UniformSource: d must be >= 1");
+}
+
+UniformSource make_iid_nor_source(unsigned d, unsigned n, double p_one,
+                                  std::uint64_t seed) {
+  return UniformSource(d, n, [=](std::uint64_t i) -> Value {
+    return to_unit_double(mix64(hash_combine(seed, i))) < p_one ? 1 : 0;
+  });
+}
+
+UniformSource make_iid_minimax_source(unsigned d, unsigned n, Value lo, Value hi,
+                                      std::uint64_t seed) {
+  if (lo > hi) throw std::invalid_argument("make_iid_minimax_source: lo > hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return UniformSource(d, n, [=](std::uint64_t i) -> Value {
+    return static_cast<Value>(static_cast<std::int64_t>(lo) +
+                              static_cast<std::int64_t>(mix64(hash_combine(seed, i)) % span));
+  });
+}
+
+Value WorstCaseNorSource::leaf_value(const Node& v) const {
+  // Replay the target-assignment rule of make_worst_case_nor along the path
+  // digits: a node with target 1 hands every child target 0; a node with
+  // target 0 hands target 1 to its last child only.
+  bool target = root_value_;
+  std::uint64_t scale = 1;
+  for (unsigned k = 1; k < n_; ++k) scale *= d_;
+  std::uint64_t p = v.path;
+  for (unsigned k = 0; k < n_; ++k) {
+    const unsigned digit = static_cast<unsigned>(p / scale);
+    p %= scale;
+    if (scale > 1) scale /= d_;
+    target = target ? false : (digit == d_ - 1);
+  }
+  return target ? 1 : 0;
+}
+
+namespace {
+
+void materialize_rec(const TreeSource& src, const TreeSource::Node& sv, TreeBuilder& b,
+                     NodeId dv, std::size_t max_nodes) {
+  if (b.size() > max_nodes) throw std::length_error("materialize: tree too large");
+  const unsigned d = src.num_children(sv);
+  if (d == 0) {
+    b.set_leaf_value(dv, src.leaf_value(sv));
+    return;
+  }
+  for (unsigned i = 0; i < d; ++i)
+    materialize_rec(src, src.child(sv, i), b, b.add_child(dv), max_nodes);
+}
+
+}  // namespace
+
+Tree materialize(const TreeSource& src, std::size_t max_nodes) {
+  TreeBuilder b;
+  const NodeId r = b.add_root();
+  materialize_rec(src, src.root(), b, r, max_nodes);
+  return b.build();
+}
+
+}  // namespace gtpar

@@ -1,0 +1,94 @@
+#include "gtpar/games/games.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace gtpar {
+
+bool TicTacToeSource::wins(std::uint16_t m) {
+  static constexpr std::array<std::uint16_t, 8> kLines{
+      0b111000000, 0b000111000, 0b000000111,  // rows
+      0b100100100, 0b010010010, 0b001001001,  // columns
+      0b100010001, 0b001010100};              // diagonals
+  for (const std::uint16_t line : kLines) {
+    if ((m & line) == line) return true;
+  }
+  return false;
+}
+
+TicTacToeSource::State TicTacToeSource::replay(const Node& v) {
+  State s;
+  for (unsigned k = 0; k < v.depth; ++k) {
+    const unsigned digit =
+        static_cast<unsigned>(v.path >> (4 * (v.depth - 1 - k))) & 0xF;
+    // The digit indexes the ordered list of empty squares.
+    const std::uint16_t occupied = static_cast<std::uint16_t>(s.x | s.o);
+    unsigned seen = 0;
+    unsigned square = 9;
+    for (unsigned sq = 0; sq < 9; ++sq) {
+      if (occupied & (1u << sq)) continue;
+      if (seen++ == digit) {
+        square = sq;
+        break;
+      }
+    }
+    if (square == 9) throw std::logic_error("TicTacToeSource: bad move digit");
+    if (s.ply % 2 == 0)
+      s.x = static_cast<std::uint16_t>(s.x | (1u << square));
+    else
+      s.o = static_cast<std::uint16_t>(s.o | (1u << square));
+    ++s.ply;
+  }
+  return s;
+}
+
+unsigned TicTacToeSource::num_children(const Node& v) const {
+  const State s = replay(v);
+  if (wins(s.x) || wins(s.o) || s.ply == 9) return 0;
+  return 9 - s.ply;
+}
+
+Value TicTacToeSource::leaf_value(const Node& v) const {
+  const State s = replay(v);
+  if (wins(s.x)) return 1;
+  if (wins(s.o)) return -1;
+  return 0;
+}
+
+std::string TicTacToeSource::board_string(const Node& v) {
+  const State s = replay(v);
+  std::string out(9, '.');
+  for (unsigned sq = 0; sq < 9; ++sq) {
+    if (s.x & (1u << sq)) out[sq] = 'X';
+    else if (s.o & (1u << sq)) out[sq] = 'O';
+  }
+  return out;
+}
+
+std::uint64_t TicTacToeSource::state_key(const Node& v) const {
+  const State s = replay(v);
+  return mix64((std::uint64_t(s.x) << 16) | s.o);
+}
+
+std::uint64_t NimSource::state_key(const Node& v) const {
+  return mix64((v.path << 1) | (v.depth & 1));
+}
+
+unsigned NimSource::remaining(const Node& v) const {
+  return static_cast<unsigned>(v.path);
+}
+
+unsigned NimSource::num_children(const Node& v) const {
+  const unsigned rem = remaining(v);
+  return rem < max_take_ ? rem : max_take_;
+}
+
+Value NimSource::leaf_value(const Node& v) const {
+  // remaining == 0; the player who moved at ply (depth-1) took the last
+  // object and wins. MAX moves at even plies.
+  if (v.depth == 0) throw std::logic_error("NimSource: empty game has no value");
+  return (v.depth - 1) % 2 == 0 ? 1 : -1;
+}
+
+}  // namespace gtpar

@@ -1,0 +1,180 @@
+#include "gtpar/games/mnk.hpp"
+
+#include <stdexcept>
+
+namespace gtpar {
+namespace {
+
+/// Every k-in-a-row line on a cols x rows board, as square bitmasks.
+std::vector<std::uint32_t> make_lines(unsigned cols, unsigned rows, unsigned k) {
+  std::vector<std::uint32_t> lines;
+  auto bit = [&](unsigned c, unsigned r) { return 1u << (r * cols + c); };
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      // Four directions: right, down, down-right, down-left.
+      const int dirs[4][2] = {{1, 0}, {0, 1}, {1, 1}, {-1, 1}};
+      for (const auto& d : dirs) {
+        const int ec = int(c) + d[0] * int(k - 1);
+        const int er = int(r) + d[1] * int(k - 1);
+        if (ec < 0 || ec >= int(cols) || er < 0 || er >= int(rows)) continue;
+        std::uint32_t line = 0;
+        for (unsigned i = 0; i < k; ++i)
+          line |= bit(unsigned(int(c) + d[0] * int(i)), unsigned(int(r) + d[1] * int(i)));
+        lines.push_back(line);
+      }
+    }
+  }
+  return lines;
+}
+
+std::string render_board(std::uint32_t x, std::uint32_t o, unsigned squares) {
+  std::string out(squares, '.');
+  for (unsigned sq = 0; sq < squares; ++sq) {
+    if (x & (1u << sq)) out[sq] = 'X';
+    else if (o & (1u << sq)) out[sq] = 'O';
+  }
+  return out;
+}
+
+}  // namespace
+
+MnkSource::MnkSource(unsigned cols, unsigned rows, unsigned k)
+    : cols_(cols), rows_(rows), k_(k) {
+  if (cols_ * rows_ > 16)
+    throw std::invalid_argument("MnkSource: at most 16 squares supported");
+  if (k_ == 0 || (k_ > cols_ && k_ > rows_))
+    throw std::invalid_argument("MnkSource: impossible k");
+  lines_ = make_lines(cols_, rows_, k_);
+}
+
+bool MnkSource::wins(std::uint32_t mask) const {
+  for (const std::uint32_t line : lines_) {
+    if ((mask & line) == line) return true;
+  }
+  return false;
+}
+
+MnkSource::State MnkSource::replay(const Node& v) const {
+  State s;
+  const unsigned total = squares();
+  for (unsigned ply = 0; ply < v.depth; ++ply) {
+    const unsigned digit = static_cast<unsigned>(v.path >> (4 * (v.depth - 1 - ply))) & 0xF;
+    const std::uint32_t occupied = s.x | s.o;
+    unsigned seen = 0, square = total;
+    for (unsigned sq = 0; sq < total; ++sq) {
+      if (occupied & (1u << sq)) continue;
+      if (seen++ == digit) {
+        square = sq;
+        break;
+      }
+    }
+    if (square == total) throw std::logic_error("MnkSource: bad move digit");
+    if (s.ply % 2 == 0) s.x |= 1u << square;
+    else s.o |= 1u << square;
+    ++s.ply;
+  }
+  return s;
+}
+
+unsigned MnkSource::num_children(const Node& v) const {
+  const State s = replay(v);
+  if (wins(s.x) || wins(s.o) || s.ply == squares()) return 0;
+  return squares() - s.ply;
+}
+
+Value MnkSource::leaf_value(const Node& v) const {
+  const State s = replay(v);
+  if (wins(s.x)) return 1;
+  if (wins(s.o)) return -1;
+  return 0;
+}
+
+std::uint64_t MnkSource::state_key(const Node& v) const {
+  const State s = replay(v);
+  return mix64((std::uint64_t(s.x) << 16) | s.o) ^ mix64(0x9b97u + squares());
+}
+
+std::string MnkSource::board_string(const Node& v) const {
+  const State s = replay(v);
+  return render_board(s.x, s.o, squares());
+}
+
+// ---------------------------------------------------------------------------
+// DropSource
+// ---------------------------------------------------------------------------
+
+DropSource::DropSource(unsigned cols, unsigned rows, unsigned k)
+    : cols_(cols), rows_(rows), k_(k) {
+  if (cols_ * rows_ > 16)
+    throw std::invalid_argument("DropSource: at most 16 squares supported");
+  if (cols_ > 8) throw std::invalid_argument("DropSource: at most 8 columns");
+  if (k_ == 0 || (k_ > cols_ && k_ > rows_))
+    throw std::invalid_argument("DropSource: impossible k");
+  lines_ = make_lines(cols_, rows_, k_);
+}
+
+bool DropSource::wins(std::uint32_t m) const {
+  for (const std::uint32_t line : lines_) {
+    if ((m & line) == line) return true;
+  }
+  return false;
+}
+
+unsigned DropSource::fill(const State& s, unsigned c) const {
+  // Row 0 is the bottom; a column fills bottom-up, so its height is the
+  // lowest empty row.
+  const std::uint32_t occ = s.x | s.o;
+  unsigned h = 0;
+  while (h < rows_ && (occ & (1u << (h * cols_ + c)))) ++h;
+  return h;
+}
+
+DropSource::State DropSource::replay(const Node& v) const {
+  State s;
+  for (unsigned ply = 0; ply < v.depth; ++ply) {
+    const unsigned digit =
+        static_cast<unsigned>(v.path >> (3 * (v.depth - 1 - ply))) & 0x7;
+    // The digit indexes the ordered list of non-full columns.
+    unsigned seen = 0, col = cols_;
+    for (unsigned c = 0; c < cols_; ++c) {
+      if (fill(s, c) == rows_) continue;
+      if (seen++ == digit) {
+        col = c;
+        break;
+      }
+    }
+    if (col == cols_) throw std::logic_error("DropSource: bad move digit");
+    const unsigned sq = fill(s, col) * cols_ + col;
+    if (s.ply % 2 == 0) s.x |= 1u << sq;
+    else s.o |= 1u << sq;
+    ++s.ply;
+  }
+  return s;
+}
+
+unsigned DropSource::num_children(const Node& v) const {
+  const State s = replay(v);
+  if (wins(s.x) || wins(s.o) || s.ply == squares()) return 0;
+  unsigned open = 0;
+  for (unsigned c = 0; c < cols_; ++c) open += fill(s, c) < rows_;
+  return open;
+}
+
+Value DropSource::leaf_value(const Node& v) const {
+  const State s = replay(v);
+  if (wins(s.x)) return 1;
+  if (wins(s.o)) return -1;
+  return 0;
+}
+
+std::uint64_t DropSource::state_key(const Node& v) const {
+  const State s = replay(v);
+  return mix64((std::uint64_t(s.x) << 16) | s.o) ^ mix64(0xd709u + cols_);
+}
+
+std::string DropSource::board_string(const Node& v) const {
+  const State s = replay(v);
+  return render_board(s.x, s.o, squares());
+}
+
+}  // namespace gtpar

@@ -1,0 +1,84 @@
+// gtpar/games/mnk.hpp
+//
+// The (m,n,k)-game family as implicit game trees: an m x n board, players
+// alternate placing marks, k in a row (horizontally, vertically or
+// diagonally) wins. Tic-tac-toe is (3,3,3); small boards give a spectrum
+// of realistic, transposition-rich search workloads with depths and
+// branching factors between Nim and full tic-tac-toe.
+//
+// Boards are limited to at most 16 squares (path digits are 4 bits/ply).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtpar/expand/tree_source.hpp"
+
+namespace gtpar {
+
+class MnkSource final : public TreeSource {
+ public:
+  /// Board of `cols` x `rows`, win with `k` in a row. Requires
+  /// cols*rows <= 16 and k <= max(cols, rows).
+  MnkSource(unsigned cols, unsigned rows, unsigned k);
+
+  unsigned num_children(const Node& v) const override;
+  Node child(const Node& v, unsigned i) const override {
+    return Node{(v.path << 4) | i, v.depth + 1};
+  }
+  Value leaf_value(const Node& v) const override;
+  std::uint64_t state_key(const Node& v) const override;
+
+  /// Board string (row-major, 'X'/'O'/'.') for display.
+  std::string board_string(const Node& v) const;
+
+  unsigned squares() const { return cols_ * rows_; }
+
+ private:
+  struct State {
+    std::uint32_t x = 0, o = 0;
+    unsigned ply = 0;
+  };
+  State replay(const Node& v) const;
+  bool wins(std::uint32_t mask) const;
+
+  unsigned cols_, rows_, k_;
+  std::vector<std::uint32_t> lines_;
+};
+
+/// Connect-k with gravity ("drop" games, Connect Four's little siblings):
+/// a move picks a non-full column and the piece falls to the lowest empty
+/// row. Branching is at most `cols` (not the number of empty squares), so
+/// these trees are narrower and deeper than the free-placement
+/// (m,n,k)-games — a different search profile on the same boards.
+/// Boards are limited to 16 squares and at most 8 columns (3-bit digits).
+class DropSource final : public TreeSource {
+ public:
+  DropSource(unsigned cols, unsigned rows, unsigned k);
+
+  unsigned num_children(const Node& v) const override;
+  Node child(const Node& v, unsigned i) const override {
+    return Node{(v.path << 3) | i, v.depth + 1};
+  }
+  Value leaf_value(const Node& v) const override;
+  std::uint64_t state_key(const Node& v) const override;
+
+  std::string board_string(const Node& v) const;
+  unsigned squares() const { return cols_ * rows_; }
+
+ private:
+  struct State {
+    std::uint32_t x = 0, o = 0;
+    unsigned ply = 0;
+  };
+  State replay(const Node& v) const;
+  bool wins(std::uint32_t mask) const;
+  /// Height of the stack in column c (number of pieces).
+  unsigned fill(const State& s, unsigned c) const;
+
+  unsigned cols_, rows_, k_;
+  std::vector<std::uint32_t> lines_;
+};
+
+}  // namespace gtpar

@@ -1,0 +1,453 @@
+#include "gtpar/mp/message_passing.hpp"
+
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+
+namespace gtpar {
+namespace {
+
+using GenId = std::uint32_t;
+constexpr GenId kNone = ~GenId{0};
+
+enum class MsgType : std::uint8_t { SSolve, PSolve, PSolve2, PSolve3, Val };
+
+struct Message {
+  MsgType type;
+  GenId node;
+  bool bit = false;  // payload of Val
+};
+
+/// Shared arena of generated nodes. Node "names" passed in messages are
+/// arena ids; children are created exactly once, at first expansion, so
+/// racing invocations that revisit a node reuse the same names.
+struct Arena {
+  struct Node {
+    TreeSource::Node src;
+    GenId parent = kNone;
+    GenId left = kNone, right = kNone;
+    unsigned level = 0;
+    bool expanded = false;
+    bool is_leaf = false;
+    bool leaf_value = false;
+  };
+  const TreeSource* source;
+  std::vector<Node> nodes;
+
+  explicit Arena(const TreeSource& src) : source(&src) {
+    Node root;
+    root.src = src.root();
+    nodes.push_back(root);
+  }
+
+  /// Expand `v` if not already expanded; returns true if this call did the
+  /// expansion (and thus costs a work unit).
+  bool expand(GenId v) {
+    Node& nd = nodes[v];
+    if (nd.expanded) return false;
+    nd.expanded = true;
+    const unsigned d = source->num_children(nd.src);
+    if (d == 0) {
+      nd.is_leaf = true;
+      nd.leaf_value = source->leaf_value(nd.src) != 0;
+      return true;
+    }
+    if (d != 2)
+      throw std::invalid_argument("message-passing solver requires a binary tree");
+    // Copy the parent's fields first: push_back below reallocates the node
+    // vector and would invalidate the `nd` reference.
+    const TreeSource::Node parent_src = nd.src;
+    const unsigned parent_level = nd.level;
+    for (unsigned i = 0; i < 2; ++i) {
+      Node child;
+      child.src = source->child(parent_src, i);
+      child.parent = v;
+      child.level = parent_level + 1;
+      const GenId id = static_cast<GenId>(nodes.size());
+      nodes.push_back(child);
+      if (i == 0)
+        nodes[v].left = id;
+      else
+        nodes[v].right = id;
+    }
+    return true;
+  }
+};
+
+/// Non-recursive left-to-right S-SOLVE* DFS, one expansion per round. The
+/// stack holds the path from the task's root to the node being processed,
+/// with the index of the child currently followed — exactly the "path g"
+/// of the paper, which conversions read.
+struct STask {
+  bool active = false;
+  GenId root = kNone;
+  struct Frame {
+    GenId node;
+    unsigned idx;  // 0: inside left child; 1: inside right child
+  };
+  std::vector<Frame> stack;
+  GenId next = kNone;  // node to expand on the task's next work unit
+  bool done = false;
+  bool value = false;
+
+  void start(GenId r) {
+    active = true;
+    root = r;
+    stack.clear();
+    next = r;
+    done = false;
+  }
+
+  /// One unit of work: expand `next`, then propagate values internally
+  /// (bookkeeping is free in the model). Returns true if the task just
+  /// completed, with `value` set.
+  bool step(Arena& arena, std::uint64_t& expansions) {
+    assert(active && !done);
+    if (arena.expand(next)) ++expansions;
+    const Arena::Node& nd = arena.nodes[next];
+    if (!nd.is_leaf) {
+      stack.push_back({next, 0});
+      next = nd.left;
+      return false;
+    }
+    // Leaf evaluated: propagate NOR values up the private stack.
+    bool val = nd.leaf_value;
+    while (true) {
+      if (stack.empty()) {
+        done = true;
+        value = val;
+        active = false;
+        return true;
+      }
+      Frame& top = stack.back();
+      if (val) {
+        // A 1-child settles its parent to 0.
+        stack.pop_back();
+        val = false;
+        continue;
+      }
+      if (top.idx == 0) {
+        top.idx = 1;
+        next = arena.nodes[top.node].right;
+        return false;
+      }
+      // Both children 0: parent is 1.
+      stack.pop_back();
+      val = true;
+    }
+  }
+};
+
+/// A P-family invocation (P-SOLVE*, P-SOLVE**, P-SOLVE***), including the
+/// case-two conversion walk.
+struct PTask {
+  enum class Kind : std::uint8_t { None, Fresh, Wait2, Wait3, ReplyKnown };
+  bool active = false;
+  Kind kind = Kind::None;
+  GenId v = kNone;
+
+  // Conversion walk state (case two of P-SOLVE*). Each entry is one round.
+  struct ConvStep {
+    GenId node;
+    unsigned idx;      // which child the path follows (0/1)
+    bool terminal;     // true for the final P-SOLVE*(terminal) step
+  };
+  std::vector<ConvStep> conv;
+  std::size_t conv_pos = 0;
+  Kind kind_after_conv = Kind::None;  // adopted in place for the path head
+
+  // Waiting state shared by Fresh (after expansion), Wait2 and Wait3.
+  bool left_known = false, left_val = false;
+  bool right_known = false, right_val = false;
+  bool upgraded_right = false;
+  bool known_value = false;  // payload for ReplyKnown
+
+  void reset() { *this = PTask{}; }
+};
+
+struct LevelSlots {
+  STask s;
+  PTask p;
+};
+
+class Simulator {
+ public:
+  Simulator(const TreeSource& src, const MpOptions& opt)
+      : arena_(src), opt_(opt) {}
+
+  MpResult run();
+
+ private:
+  void deliver(const Message& m);
+  void on_psolve(GenId v);
+  bool do_p_action(PTask& p);   // returns true if a work unit was spent
+  void conclude(GenId v, bool value);
+  void send(MsgType type, GenId node, bool bit = false);
+  unsigned level_of(GenId v) const { return arena_.nodes[v].level; }
+
+  Arena arena_;
+  MpOptions opt_;
+  std::vector<LevelSlots> levels_;
+  std::vector<Message> inbox_, outbox_;
+  std::uint64_t expansions_ = 0, messages_ = 0;
+  bool halted_ = false;
+  bool result_ = false;
+
+  LevelSlots& slots(unsigned level) {
+    if (levels_.size() <= level) levels_.resize(level + 1);
+    return levels_[level];
+  }
+};
+
+void Simulator::send(MsgType type, GenId node, bool bit) {
+  outbox_.push_back({type, node, bit});
+  ++messages_;
+}
+
+void Simulator::conclude(GenId v, bool value) {
+  if (arena_.nodes[v].parent == kNone) {
+    // Root value known: processor 0 broadcasts "halt".
+    halted_ = true;
+    result_ = value;
+    return;
+  }
+  send(MsgType::Val, v, value);
+}
+
+void Simulator::on_psolve(GenId v) {
+  LevelSlots& ls = slots(level_of(v));
+  if (ls.s.active && ls.s.root == v) {
+    // Case two: convert the running S-task. Precompute the top-down walk;
+    // the path head (v itself) is adopted in place rather than
+    // self-messaged, so the conversion cannot pre-empt itself.
+    PTask& p = ls.p;
+    p.reset();
+    p.active = true;
+    p.kind = PTask::Kind::Fresh;
+    p.v = v;
+    p.conv.clear();
+    p.conv_pos = 0;
+    for (const auto& f : ls.s.stack) p.conv.push_back({f.node, f.idx, false});
+    p.conv.push_back({ls.s.next, 0, true});
+    p.kind_after_conv = PTask::Kind::None;  // decided while walking
+    ls.s.active = false;                    // S-SOLVE*(v) is superseded
+    return;
+  }
+  // Race repair: the parent may send P-SOLVE*(v) in the same round in which
+  // our S-SOLVE*(v) completed (their val(w)=0 and our val(v) crossed in
+  // flight). The paper's case one assumes v is then unexpanded, which is
+  // false here; the processor simply re-reports the value it just computed.
+  if (ls.s.done && ls.s.root == v) {
+    PTask& p = ls.p;
+    p.reset();
+    p.active = true;
+    p.kind = PTask::Kind::ReplyKnown;
+    p.v = v;
+    p.known_value = ls.s.value;
+    return;
+  }
+  // Case one: fresh invocation (pre-empts any previous P invocation here).
+  PTask& p = ls.p;
+  p.reset();
+  p.active = true;
+  p.kind = PTask::Kind::Fresh;
+  p.v = v;
+}
+
+void Simulator::deliver(const Message& m) {
+  switch (m.type) {
+    case MsgType::SSolve: {
+      slots(level_of(m.node)).s.start(m.node);
+      break;
+    }
+    case MsgType::PSolve:
+      on_psolve(m.node);
+      break;
+    case MsgType::PSolve2:
+    case MsgType::PSolve3: {
+      PTask& p = slots(level_of(m.node)).p;
+      p.reset();
+      p.active = true;
+      p.kind = m.type == MsgType::PSolve2 ? PTask::Kind::Wait2 : PTask::Kind::Wait3;
+      p.v = m.node;
+      if (p.kind == PTask::Kind::Wait3) {
+        p.left_known = true;
+        p.left_val = false;  // P-SOLVE*** means the left child is known 0
+      }
+      break;
+    }
+    case MsgType::Val: {
+      const GenId parent = arena_.nodes[m.node].parent;
+      if (parent == kNone) break;
+      PTask& p = slots(level_of(parent)).p;
+      if (!p.active || p.v != parent) break;  // stale: dropped
+      // Vals are recorded even while a conversion walk is still running:
+      // a fast right-subtree scout can finish before the walk ends, and
+      // dropping its value would leave the path head waiting forever.
+      const Arena::Node& pn = arena_.nodes[parent];
+      if (m.node == pn.left) {
+        p.left_known = true;
+        p.left_val = m.bit;
+      } else if (m.node == pn.right) {
+        p.right_known = true;
+        p.right_val = m.bit;
+      }
+      break;
+    }
+  }
+}
+
+bool Simulator::do_p_action(PTask& p) {
+  if (!p.active) return false;
+
+  // Conversion walk: one path node per round.
+  if (p.conv_pos < p.conv.size()) {
+    const PTask::ConvStep step = p.conv[p.conv_pos++];
+    const Arena::Node& nd = arena_.nodes[step.node];
+    const bool is_head = step.node == p.v;
+    if (step.terminal) {
+      if (is_head) {
+        // Nothing of the subtree was expanded yet: become a fresh
+        // P-SOLVE*(v) in place.
+        p.conv.clear();
+        p.conv_pos = 0;
+        p.kind = PTask::Kind::Fresh;
+      } else {
+        send(MsgType::PSolve, step.node);
+      }
+    } else if (step.idx == 0) {
+      // Path follows the left child: P-SOLVE**(u) + scout on the right.
+      send(MsgType::SSolve, nd.right);
+      if (is_head) {
+        p.kind_after_conv = PTask::Kind::Wait2;
+      } else {
+        send(MsgType::PSolve2, step.node);
+      }
+    } else {
+      // Path follows the right child: left child is known 0.
+      if (is_head) {
+        p.kind_after_conv = PTask::Kind::Wait3;
+      } else {
+        send(MsgType::PSolve3, step.node);
+      }
+    }
+    if (p.conv_pos >= p.conv.size()) {
+      // Walk finished. The path head's role was either delegated to a
+      // fresh in-place P-SOLVE* (terminal head, kind stays Fresh) or
+      // recorded in kind_after_conv (Wait2/Wait3) and is adopted now.
+      p.conv.clear();
+      p.conv_pos = 0;
+      if (p.kind_after_conv != PTask::Kind::None) {
+        p.kind = p.kind_after_conv;
+        if (p.kind == PTask::Kind::Wait3) {
+          p.left_known = true;
+          p.left_val = false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Re-report a value already computed by this processor's completed scout.
+  if (p.kind == PTask::Kind::ReplyKnown) {
+    conclude(p.v, p.known_value);
+    p.active = false;
+    return true;
+  }
+
+  // Fresh P-SOLVE*(v): expand v (or adopt existing expansion) and fan out.
+  if (p.kind == PTask::Kind::Fresh) {
+    if (arena_.expand(p.v)) ++expansions_;
+    const Arena::Node& nd = arena_.nodes[p.v];
+    if (nd.is_leaf) {
+      conclude(p.v, nd.leaf_value);
+      p.active = false;
+      return true;
+    }
+    send(MsgType::PSolve, nd.left);
+    send(MsgType::SSolve, nd.right);
+    p.kind = PTask::Kind::Wait2;
+    return true;
+  }
+
+  // Waiting states: act on received values (free bookkeeping + messages;
+  // a round in which only messages are sent still counts as busy).
+  if (p.kind == PTask::Kind::Wait2 || p.kind == PTask::Kind::Wait3) {
+    if ((p.left_known && p.left_val) || (p.right_known && p.right_val)) {
+      conclude(p.v, false);
+      p.active = false;
+      return true;
+    }
+    if (p.left_known && p.right_known) {
+      conclude(p.v, true);  // both 0
+      p.active = false;
+      return true;
+    }
+    if (p.left_known && !p.left_val && !p.upgraded_right && !p.right_known) {
+      // val(w) = 0 arrived first: upgrade the right scout.
+      p.upgraded_right = true;
+      send(MsgType::PSolve, arena_.nodes[p.v].right);
+      return true;
+    }
+    return false;  // genuinely idle, waiting for messages
+  }
+  return false;
+}
+
+MpResult Simulator::run() {
+  // Kick-off: "P-SOLVE*(root)" to processor 0.
+  send(MsgType::PSolve, 0);
+
+  MpResult res;
+  std::uint64_t round = 0;
+  while (!halted_) {
+    if (++round > opt_.max_rounds)
+      throw std::runtime_error("message-passing solver exceeded round cap");
+    // 1. Unit-time delivery of last round's messages.
+    inbox_.swap(outbox_);
+    outbox_.clear();
+    for (const Message& m : inbox_) deliver(m);
+    inbox_.clear();
+    if (halted_) break;  // a Val delivery cannot halt, but stay defensive
+
+    // 2. Each physical processor performs at most one unit of work across
+    // the levels it owns (P-family action preferred over the S-task DFS,
+    // since pruning coordination is latency-critical).
+    const unsigned nlevels = static_cast<unsigned>(levels_.size());
+    const unsigned nprocs = opt_.num_processors == 0
+                                ? std::max(nlevels, 1u)
+                                : opt_.num_processors;
+    unsigned busy = 0;
+    for (unsigned q = 0; q < nprocs && !halted_; ++q) {
+      bool worked = false;
+      // P actions first across owned levels, then S steps.
+      for (unsigned l = q; l < nlevels && !worked; l += nprocs)
+        worked = do_p_action(levels_[l].p);
+      for (unsigned l = q; l < nlevels && !worked && !halted_; l += nprocs) {
+        STask& s = levels_[l].s;
+        if (s.active && !s.done) {
+          if (s.step(arena_, expansions_)) conclude(s.root, s.value);
+          worked = true;
+        }
+      }
+      if (worked) ++busy;
+    }
+    res.peak_busy = std::max(res.peak_busy, busy);
+    res.processors = std::max(res.processors, nprocs);
+  }
+
+  res.value = result_;
+  res.rounds = round;
+  res.expansions = expansions_;
+  res.messages = messages_;
+  return res;
+}
+
+}  // namespace
+
+MpResult run_message_passing_solve(const TreeSource& src, const MpOptions& opt) {
+  Simulator sim(src, opt);
+  return sim.run();
+}
+
+}  // namespace gtpar

@@ -1,0 +1,75 @@
+// gtpar/mp/message_passing.hpp
+//
+// The Section 7 implementation of N-Parallel SOLVE of width 1 on a
+// message-passing multiprocessor, as a deterministic round-based simulator.
+//
+// Model: any processor can send a message to any other in unit time
+// (messages sent in round r are delivered at the start of round r+1). One
+// processor is assigned to each *level* of the binary NOR-tree; processor
+// d is responsible for every invocation whose root node lies at level d.
+// With a fixed processor count p ("zones"), level l is owned by processor
+// l mod p, and a processor multiplexes one unit of work per round across
+// its levels.
+//
+// Six message types (verbatim from the paper): S-SOLVE*(v), P-SOLVE*(v),
+// P-SOLVE**(v), P-SOLVE***(v), val(v)=0, val(v)=1.
+//
+// Behaviours implemented exactly as described in Section 7:
+//  - S-SOLVE*(v): a non-recursive left-to-right DFS of the subtree at v,
+//    driven by a pushdown stack, one node expansion per round.
+//  - P-SOLVE*(v), case one (no S-task at v): expand v; send P-SOLVE*(w)
+//    and S-SOLVE*(x) to level d(v)+1; wait for val messages.
+//  - P-SOLVE*(v), case two (S-task at v in progress): convert — walk the
+//    S-task's stack path top-down, one node per round, sending
+//    P-SOLVE**(u) + S-SOLVE*(right(u)) when the path follows u's left
+//    child, P-SOLVE***(u) when it follows the right child, and
+//    P-SOLVE*(terminal) at the end.
+//  - P-SOLVE**(v): v expanded, left-child value unknown; wait for vals;
+//    upon val(w)=0 upgrade the right scout with P-SOLVE*(x).
+//  - P-SOLVE***(v): v expanded, left child known 0; wait for val(x)=b and
+//    report val(v)=1-b.
+//  - Pre-emption rule: a processor works only on the most recent S-SOLVE*
+//    invocation and the most recent P-family invocation per level; stale
+//    val messages are dropped. No abort messages exist; the only broadcast
+//    is "halt" when the root value is known.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gtpar/common.hpp"
+#include "gtpar/expand/tree_source.hpp"
+
+namespace gtpar {
+
+/// Outcome of a message-passing run.
+struct MpResult {
+  bool value = false;
+  /// Number of synchronous rounds until the root value was known.
+  std::uint64_t rounds = 0;
+  /// Node expansions performed (including redundant work by pre-empted
+  /// invocations that had not yet been replaced).
+  std::uint64_t expansions = 0;
+  /// Total messages sent.
+  std::uint64_t messages = 0;
+  /// Physical processors used.
+  unsigned processors = 0;
+  /// Peak number of busy processors in any single round.
+  unsigned peak_busy = 0;
+};
+
+struct MpOptions {
+  /// Physical processor count; 0 means one processor per level (the
+  /// paper's base arrangement), otherwise levels are folded into zones of
+  /// p consecutive levels and multiplexed.
+  unsigned num_processors = 0;
+  /// Safety cap on rounds (the simulator throws if exceeded — used by
+  /// tests to detect livelock; generous default).
+  std::uint64_t max_rounds = 50'000'000;
+};
+
+/// Run the Section 7 implementation on a *binary* NOR tree source (every
+/// internal node must have exactly 2 children; throws otherwise).
+MpResult run_message_passing_solve(const TreeSource& src, const MpOptions& opt = {});
+
+}  // namespace gtpar

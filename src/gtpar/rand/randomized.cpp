@@ -1,0 +1,80 @@
+#include "gtpar/rand/randomized.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace gtpar {
+
+std::vector<unsigned> PermutedSource::permutation(const Node& v) const {
+  const unsigned d = inner_->num_children(v);
+  std::vector<unsigned> perm(d);
+  std::iota(perm.begin(), perm.end(), 0u);
+  // Fisher-Yates driven by a splittable hash of (seed, node identity): the
+  // same node always draws the same permutation, so the "randomly permuted
+  // input tree" is consistent no matter how the search reaches it.
+  std::uint64_t h = mix64(hash_combine(hash_combine(seed_, v.path), v.depth));
+  for (unsigned i = d; i > 1; --i) {
+    h = mix64(h);
+    std::swap(perm[i - 1], perm[h % i]);
+  }
+  return perm;
+}
+
+TreeSource::Node PermutedSource::child(const Node& v, unsigned i) const {
+  return inner_->child(v, permutation(v)[i]);
+}
+
+BoolRun run_r_parallel_solve(const TreeSource& src, unsigned width, std::uint64_t seed) {
+  const PermutedSource permuted(src, seed);
+  return run_n_parallel_solve(permuted, width);
+}
+
+BoolRun run_r_sequential_solve(const TreeSource& src, std::uint64_t seed) {
+  return run_r_parallel_solve(src, 0, seed);
+}
+
+ValueRun run_r_parallel_ab(const TreeSource& src, unsigned width, std::uint64_t seed) {
+  const PermutedSource permuted(src, seed);
+  return run_n_parallel_ab(permuted, width);
+}
+
+ValueRun run_r_sequential_ab(const TreeSource& src, std::uint64_t seed) {
+  return run_r_parallel_ab(src, 0, seed);
+}
+
+namespace {
+
+template <typename RunFn>
+ExpectationEstimate estimate(unsigned trials, std::uint64_t seed0, RunFn&& run) {
+  ExpectationEstimate e;
+  e.min_steps = std::numeric_limits<double>::infinity();
+  double total_steps = 0, total_work = 0;
+  for (unsigned i = 0; i < trials; ++i) {
+    const auto r = run(seed0 + i);
+    const auto steps = static_cast<double>(r.stats.steps);
+    total_steps += steps;
+    total_work += static_cast<double>(r.stats.work);
+    e.max_steps = std::max(e.max_steps, steps);
+    e.min_steps = std::min(e.min_steps, steps);
+  }
+  e.mean_steps = total_steps / trials;
+  e.mean_work = total_work / trials;
+  return e;
+}
+
+}  // namespace
+
+ExpectationEstimate estimate_r_solve(const TreeSource& src, unsigned width,
+                                     unsigned trials, std::uint64_t seed0) {
+  return estimate(trials, seed0,
+                  [&](std::uint64_t s) { return run_r_parallel_solve(src, width, s); });
+}
+
+ExpectationEstimate estimate_r_ab(const TreeSource& src, unsigned width, unsigned trials,
+                                  std::uint64_t seed0) {
+  return estimate(trials, seed0,
+                  [&](std::uint64_t s) { return run_r_parallel_ab(src, width, s); });
+}
+
+}  // namespace gtpar

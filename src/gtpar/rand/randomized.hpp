@@ -1,0 +1,75 @@
+// gtpar/rand/randomized.hpp
+//
+// Randomized game-tree evaluation (Section 6). R-Sequential SOLVE expands a
+// random unexpanded child at each node; conceptually it is N-Sequential
+// SOLVE acting on a randomly permuted input tree (children of every node
+// independently shuffled). R-Parallel SOLVE, R-Sequential alpha-beta and
+// R-Parallel alpha-beta extend the same randomization to the other
+// node-expansion algorithms. We implement them exactly as that conceptual
+// description: a PermutedSource lazily permutes children with per-node
+// deterministic randomness derived from (seed, node identity), and the
+// deterministic N-algorithms run on top. Expectations are estimated by
+// averaging over independent seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gtpar/expand/minimax_expansion.hpp"
+#include "gtpar/expand/nor_expansion.hpp"
+#include "gtpar/expand/tree_source.hpp"
+
+namespace gtpar {
+
+/// TreeSource adapter that presents the children of every node in a
+/// uniformly random (deterministic in `seed`) order. Node identities are
+/// those of the inner source, so num_children/leaf_value pass through.
+class PermutedSource final : public TreeSource {
+ public:
+  PermutedSource(const TreeSource& inner, std::uint64_t seed)
+      : inner_(&inner), seed_(seed) {}
+
+  Node root() const override { return inner_->root(); }
+  unsigned num_children(const Node& v) const override {
+    return inner_->num_children(v);
+  }
+  Node child(const Node& v, unsigned i) const override;
+  Value leaf_value(const Node& v) const override { return inner_->leaf_value(v); }
+
+  /// The permutation applied at node v (index in presented order ->
+  /// index in the inner source's order). Exposed for tests.
+  std::vector<unsigned> permutation(const Node& v) const;
+
+ private:
+  const TreeSource* inner_;
+  std::uint64_t seed_;
+};
+
+/// R-Parallel SOLVE of width w with the given coin-flip seed; width 0 is
+/// R-Sequential SOLVE. stats.work counts node expansions.
+BoolRun run_r_parallel_solve(const TreeSource& src, unsigned width, std::uint64_t seed);
+
+/// R-Sequential SOLVE: expand the root; repeatedly pick a random
+/// unexpanded child and recurse until the value is determined.
+BoolRun run_r_sequential_solve(const TreeSource& src, std::uint64_t seed);
+
+/// R-Parallel alpha-beta of width w; width 0 is R-Sequential alpha-beta
+/// (a random depth-first traversal maintaining alpha/beta bounds).
+ValueRun run_r_parallel_ab(const TreeSource& src, unsigned width, std::uint64_t seed);
+ValueRun run_r_sequential_ab(const TreeSource& src, std::uint64_t seed);
+
+/// Monte-Carlo estimate of expected steps/work over `trials` independent
+/// randomizations (seeds seed0, seed0+1, ...).
+struct ExpectationEstimate {
+  double mean_steps = 0;
+  double mean_work = 0;
+  double max_steps = 0;
+  double min_steps = 0;
+};
+
+ExpectationEstimate estimate_r_solve(const TreeSource& src, unsigned width,
+                                     unsigned trials, std::uint64_t seed0);
+ExpectationEstimate estimate_r_ab(const TreeSource& src, unsigned width,
+                                  unsigned trials, std::uint64_t seed0);
+
+}  // namespace gtpar

@@ -1,0 +1,59 @@
+// gtpar/sim/stats.hpp
+//
+// Step accounting for the lock-step simulators. The paper's leaf-evaluation
+// and node-expansion models measure
+//   - running time: the number of basic steps,
+//   - total work: the number of leaves evaluated / nodes expanded,
+//   - processors used: the max parallel degree of any step,
+// and the proof of Theorem 1 studies t_k, the number of steps of parallel
+// degree exactly k. StepStats records all of these exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gtpar {
+
+/// Exact accounting of a lock-step run.
+struct StepStats {
+  std::uint64_t steps = 0;       ///< running time (number of basic steps)
+  std::uint64_t work = 0;        ///< total leaves evaluated / nodes expanded
+  std::size_t max_degree = 0;    ///< processors used
+  /// degree_hist[k] = number of steps with parallel degree exactly k
+  /// (index 0 is unused; a step always does at least one unit of work).
+  std::vector<std::uint64_t> degree_hist;
+
+  /// Record one basic step of the given parallel degree (> 0).
+  void record_step(std::size_t degree) {
+    ++steps;
+    work += degree;
+    if (degree > max_degree) max_degree = degree;
+    if (degree_hist.size() <= degree) degree_hist.resize(degree + 1, 0);
+    ++degree_hist[degree];
+  }
+
+  /// t_k of the paper: number of steps of parallel degree exactly k.
+  std::uint64_t t(std::size_t k) const {
+    return k < degree_hist.size() ? degree_hist[k] : 0;
+  }
+
+  /// Average parallel degree (work per step); 0 for an empty run.
+  double average_degree() const {
+    return steps == 0 ? 0.0 : static_cast<double>(work) / static_cast<double>(steps);
+  }
+};
+
+/// Outcome of a lock-step run on a Boolean (NOR) tree.
+struct BoolRun {
+  bool value = false;
+  StepStats stats;
+};
+
+/// Outcome of a lock-step run on a MIN/MAX tree.
+struct ValueRun {
+  std::int32_t value = 0;
+  StepStats stats;
+};
+
+}  // namespace gtpar

@@ -1,0 +1,56 @@
+#include "gtpar/sim/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "gtpar/solve/nor_simulator.hpp"
+
+namespace gtpar {
+
+StepTrace record_parallel_solve(const Tree& t, unsigned width, BoolRun* run) {
+  StepTrace trace;
+  const auto result =
+      run_parallel_solve(t, width, [&](const NorSimulator&, std::span<const NodeId> b) {
+        trace.steps.emplace_back(b.begin(), b.end());
+      });
+  if (run) *run = result;
+  return trace;
+}
+
+bool replay_nor_trace(const Tree& t, const StepTrace& trace) {
+  NorSimulator sim(t);
+  for (std::size_t i = 0; i < trace.steps.size(); ++i) {
+    if (sim.done())
+      throw std::invalid_argument("replay_nor_trace: trace continues past completion");
+    sim.evaluate_leaves(trace.steps[i]);
+  }
+  if (!sim.done())
+    throw std::invalid_argument("replay_nor_trace: trace ends before completion");
+  return sim.root_value();
+}
+
+void write_trace(std::ostream& os, const StepTrace& trace) {
+  for (const auto& step : trace.steps) {
+    for (std::size_t i = 0; i < step.size(); ++i) os << (i ? " " : "") << step[i];
+    os << '\n';
+  }
+}
+
+StepTrace read_trace(std::istream& is) {
+  StepTrace trace;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::vector<NodeId> step;
+    NodeId v;
+    while (ls >> v) step.push_back(v);
+    if (!step.empty()) trace.steps.push_back(std::move(step));
+  }
+  return trace;
+}
+
+}  // namespace gtpar

@@ -1,0 +1,48 @@
+// gtpar/sim/trace.hpp
+//
+// Step traces: the full schedule of a lock-step run (which leaves each
+// basic step evaluated), recordable from any policy via the step observer
+// and replayable into a fresh simulator. Replay re-validates every batch
+// against the model rules, which makes traces the backbone of the
+// differential tests (two implementations of the same policy must produce
+// identical traces) and lets runs be serialized and inspected offline.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "gtpar/common.hpp"
+#include "gtpar/sim/stats.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+/// The batches of one lock-step run, in step order.
+struct StepTrace {
+  std::vector<std::vector<NodeId>> steps;
+
+  bool operator==(const StepTrace&) const = default;
+
+  std::uint64_t total_work() const {
+    std::uint64_t w = 0;
+    for (const auto& s : steps) w += s.size();
+    return w;
+  }
+};
+
+/// Record the trace of Parallel SOLVE of width w on `t` (value returned
+/// through `run` as usual).
+StepTrace record_parallel_solve(const Tree& t, unsigned width, BoolRun* run = nullptr);
+
+/// Replay a trace through a fresh NOR simulator: every batch must be
+/// legal (live, unevaluated leaves) — the simulator throws otherwise —
+/// and the run must finish exactly at the last step. Returns the root
+/// value.
+bool replay_nor_trace(const Tree& t, const StepTrace& trace);
+
+/// Serialize / parse a trace (one step per line, space-separated ids).
+void write_trace(std::ostream& os, const StepTrace& trace);
+StepTrace read_trace(std::istream& is);
+
+}  // namespace gtpar

@@ -1,0 +1,207 @@
+#include "gtpar/solve/nor_simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gtpar {
+
+NorSimulator::NorSimulator(const Tree& t)
+    : tree_(&t),
+      state_(t.size(), State::kUndetermined),
+      undet_children_(t.size(), 0),
+      evaluated_(t.size(), 0) {
+  for (NodeId v = 0; v < t.size(); ++v)
+    undet_children_[v] = static_cast<std::uint32_t>(t.num_children(v));
+}
+
+bool NorSimulator::live(NodeId v) const noexcept {
+  for (NodeId a = v; a != kNoNode; a = tree_->parent(a)) {
+    if (state_[a] != State::kUndetermined) return false;
+  }
+  return true;
+}
+
+void NorSimulator::settle(NodeId v, State s) {
+  // Monotone determination: once set, a node's state never changes.
+  // Propagate upward: a child of value 1 determines its parent to 0; the
+  // last child to settle at 0 determines its parent to 1.
+  while (true) {
+    if (state_[v] != State::kUndetermined) return;
+    state_[v] = s;
+    const NodeId p = tree_->parent(v);
+    if (p == kNoNode) return;
+    if (s == State::kOne) {
+      v = p;
+      s = State::kZero;
+      continue;
+    }
+    // s == kZero: one fewer undetermined child under p.
+    assert(undet_children_[p] > 0);
+    if (--undet_children_[p] > 0) return;
+    if (state_[p] != State::kUndetermined) return;
+    v = p;
+    s = State::kOne;
+  }
+}
+
+void NorSimulator::evaluate_leaves(std::span<const NodeId> batch) {
+  for (NodeId leaf : batch) {
+    if (leaf >= tree_->size() || !tree_->is_leaf(leaf))
+      throw std::invalid_argument("evaluate_leaves: not a leaf");
+    if (evaluated_[leaf]) throw std::invalid_argument("evaluate_leaves: leaf re-evaluated");
+    if (!live(leaf)) throw std::invalid_argument("evaluate_leaves: dead leaf in batch");
+  }
+  // The batch is simultaneous: eligibility was checked against the state
+  // before the step; propagation happens after all checks.
+  for (NodeId leaf : batch) {
+    evaluated_[leaf] = 1;
+    ++leaves_evaluated_;
+    settle(leaf, tree_->leaf_value(leaf) != 0 ? State::kOne : State::kZero);
+  }
+}
+
+void NorSimulator::collect_rec(NodeId v, long budget, std::vector<NodeId>& out) const {
+  // Precondition: v is live and budget >= 0.
+  if (tree_->is_leaf(v)) {
+    out.push_back(v);
+    return;
+  }
+  long live_index = 0;  // number of live left-siblings of the next live child
+  for (NodeId c : tree_->children(v)) {
+    if (state_[c] != State::kUndetermined) continue;  // dead child: skipped, not counted
+    if (live_index > budget) break;
+    collect_rec(c, budget - live_index, out);
+    ++live_index;
+  }
+}
+
+void NorSimulator::collect_width_leaves(unsigned width, std::vector<NodeId>& out) const {
+  out.clear();
+  if (done()) return;
+  collect_rec(tree_->root(), static_cast<long>(width), out);
+}
+
+bool NorSimulator::collect_leftmost_rec(NodeId v, std::size_t count,
+                                        std::vector<NodeId>& out) const {
+  if (out.size() >= count) return true;
+  if (tree_->is_leaf(v)) {
+    out.push_back(v);
+    return out.size() >= count;
+  }
+  for (NodeId c : tree_->children(v)) {
+    if (state_[c] != State::kUndetermined) continue;
+    if (collect_leftmost_rec(c, count, out)) return true;
+  }
+  return false;
+}
+
+void NorSimulator::collect_leftmost_live(std::size_t count, std::vector<NodeId>& out) const {
+  out.clear();
+  if (done() || count == 0) return;
+  collect_leftmost_rec(tree_->root(), count, out);
+}
+
+std::vector<NodeId> NorSimulator::base_path() const {
+  if (done()) throw std::logic_error("base_path: evaluation already finished");
+  std::vector<NodeId> path{tree_->root()};
+  NodeId v = tree_->root();
+  while (!tree_->is_leaf(v)) {
+    NodeId next = kNoNode;
+    for (NodeId c : tree_->children(v)) {
+      if (state_[c] == State::kUndetermined) {
+        next = c;
+        break;
+      }
+    }
+    assert(next != kNoNode && "live internal node must have a live child");
+    path.push_back(next);
+    v = next;
+  }
+  return path;
+}
+
+std::vector<unsigned> NorSimulator::base_path_code() const {
+  const std::vector<NodeId> path = base_path();
+  std::vector<unsigned> code;
+  code.reserve(path.size() > 0 ? path.size() - 1 : 0);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const NodeId v = path[i];
+    const NodeId p = tree_->parent(v);
+    unsigned live_right = 0;
+    bool after = false;
+    for (NodeId c : tree_->children(p)) {
+      if (c == v) {
+        after = true;
+        continue;
+      }
+      if (after && state_[c] == State::kUndetermined) ++live_right;
+    }
+    code.push_back(live_right);
+  }
+  return code;
+}
+
+unsigned NorSimulator::pruning_number(NodeId leaf) const {
+  if (!live(leaf)) throw std::logic_error("pruning_number: leaf is dead");
+  unsigned pn = 0;
+  for (NodeId v = leaf; tree_->parent(v) != kNoNode; v = tree_->parent(v)) {
+    const NodeId p = tree_->parent(v);
+    for (NodeId c : tree_->children(p)) {
+      if (c == v) break;
+      if (state_[c] == State::kUndetermined) ++pn;
+    }
+  }
+  return pn;
+}
+
+BoolRun run_parallel_solve(const Tree& t, unsigned width, const NorStepObserver& observer) {
+  NorSimulator sim(t);
+  BoolRun run;
+  std::vector<NodeId> batch;
+  while (!sim.done()) {
+    sim.collect_width_leaves(width, batch);
+    assert(!batch.empty() && "an unfinished tree has a leaf of pruning number 0");
+    if (observer) observer(sim, batch);
+    sim.evaluate_leaves(batch);
+    run.stats.record_step(batch.size());
+  }
+  run.value = sim.root_value();
+  return run;
+}
+
+BoolRun run_parallel_solve_bounded(const Tree& t, unsigned width, std::size_t processors,
+                                   const NorStepObserver& observer) {
+  if (processors == 0)
+    throw std::invalid_argument("run_parallel_solve_bounded: processors must be >= 1");
+  NorSimulator sim(t);
+  BoolRun run;
+  std::vector<NodeId> batch;
+  while (!sim.done()) {
+    sim.collect_width_leaves(width, batch);
+    assert(!batch.empty());
+    if (batch.size() > processors) batch.resize(processors);  // leftmost priority
+    if (observer) observer(sim, batch);
+    sim.evaluate_leaves(batch);
+    run.stats.record_step(batch.size());
+  }
+  run.value = sim.root_value();
+  return run;
+}
+
+BoolRun run_team_solve(const Tree& t, std::size_t p, const NorStepObserver& observer) {
+  if (p == 0) throw std::invalid_argument("run_team_solve: p must be >= 1");
+  NorSimulator sim(t);
+  BoolRun run;
+  std::vector<NodeId> batch;
+  while (!sim.done()) {
+    sim.collect_leftmost_live(p, batch);
+    assert(!batch.empty());
+    if (observer) observer(sim, batch);
+    sim.evaluate_leaves(batch);
+    run.stats.record_step(batch.size());
+  }
+  run.value = sim.root_value();
+  return run;
+}
+
+}  // namespace gtpar

@@ -1,0 +1,117 @@
+// gtpar/solve/nor_simulator.hpp
+//
+// The lock-step evaluation engine for NOR-trees in the paper's
+// leaf-evaluation model (Section 1). A basic step evaluates a *set* of
+// leaves simultaneously; between steps the simulator propagates which node
+// values have become determined. All of Sequential SOLVE, Team SOLVE and
+// Parallel SOLVE of width w are thin policies over this engine: they only
+// differ in which leaf set they pick each step.
+//
+// Terminology (Section 2): the value of node v is *determined* if val(v)
+// follows from the leaves evaluated so far; v is *dead* if the value of
+// some ancestor (possibly v itself) is determined, else *live*. The
+// *pruning number* of a live leaf is the number of live left-siblings of
+// its ancestors.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gtpar/common.hpp"
+#include "gtpar/sim/stats.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+class NorSimulator {
+ public:
+  enum class State : char { kUndetermined = -1, kZero = 0, kOne = 1 };
+
+  explicit NorSimulator(const Tree& t);
+
+  const Tree& tree() const noexcept { return *tree_; }
+
+  /// True when the root's value is determined.
+  bool done() const noexcept { return state_[0] != State::kUndetermined; }
+
+  /// Root value; requires done().
+  bool root_value() const noexcept { return state_[0] == State::kOne; }
+
+  State state(NodeId v) const noexcept { return state_[v]; }
+  bool determined(NodeId v) const noexcept { return state_[v] != State::kUndetermined; }
+
+  /// Determined value of v; requires determined(v).
+  bool value(NodeId v) const noexcept { return state_[v] == State::kOne; }
+
+  /// True iff no ancestor of v (v included) is determined. O(depth).
+  bool live(NodeId v) const noexcept;
+
+  /// Number of distinct leaves evaluated so far (the total work).
+  std::uint64_t leaves_evaluated() const noexcept { return leaves_evaluated_; }
+
+  /// Evaluate a batch of leaves *simultaneously* (one basic step), then
+  /// propagate determination. Every leaf must be a live, unevaluated leaf
+  /// at the time of the call; this is asserted.
+  void evaluate_leaves(std::span<const NodeId> batch);
+
+  /// All live leaves with pruning number <= width, in left-to-right order —
+  /// the leaf set that Parallel SOLVE of the given width evaluates next.
+  /// Non-empty whenever !done().
+  void collect_width_leaves(unsigned width, std::vector<NodeId>& out) const;
+
+  /// The leftmost `count` live leaves (or fewer if the tree has fewer) —
+  /// the leaf set Team SOLVE with p = count evaluates next.
+  void collect_leftmost_live(std::size_t count, std::vector<NodeId>& out) const;
+
+  /// Root-to-leaf path ending at the leftmost live leaf (the *base path*
+  /// P_t of Proposition 3). Requires !done().
+  std::vector<NodeId> base_path() const;
+
+  /// Code of the base path: component i is the number of live
+  /// right-siblings of the (i+1)-st node of the path (the root, which has
+  /// no siblings, is skipped). Requires !done().
+  std::vector<unsigned> base_path_code() const;
+
+  /// Pruning number of a live leaf (O(depth * d); for tests/analysis).
+  unsigned pruning_number(NodeId leaf) const;
+
+ private:
+  void settle(NodeId v, State s);
+  void collect_rec(NodeId v, long budget, std::vector<NodeId>& out) const;
+  bool collect_leftmost_rec(NodeId v, std::size_t count, std::vector<NodeId>& out) const;
+
+  const Tree* tree_;
+  std::vector<State> state_;
+  std::vector<std::uint32_t> undet_children_;
+  std::vector<char> evaluated_;  // per-leaf flag; batch sanity checking
+  std::uint64_t leaves_evaluated_ = 0;
+};
+
+/// Callback invoked once per basic step, before the batch is evaluated.
+/// Used by tests and analysis tools to observe base paths / codes.
+using NorStepObserver =
+    std::function<void(const NorSimulator&, std::span<const NodeId>)>;
+
+/// Parallel SOLVE of width w (Section 2): at each step, evaluate all live
+/// leaves with pruning number at most w. Width 0 is Sequential SOLVE.
+BoolRun run_parallel_solve(const Tree& t, unsigned width,
+                           const NorStepObserver& observer = {});
+
+/// Team SOLVE with p processors (Section 2): at each step, evaluate the
+/// leftmost p live leaves.
+BoolRun run_team_solve(const Tree& t, std::size_t p,
+                       const NorStepObserver& observer = {});
+
+/// Parallel SOLVE of width w restricted to p physical processors: at each
+/// step, evaluate the leftmost p of the leaves that width-w parallelism
+/// makes eligible (pruning number <= w). This is the leaf-evaluation-model
+/// counterpart of Section 7's closing remark about running with "only a
+/// fixed number p of processors": Brent-style, steps are expected to scale
+/// as max(P_w(T), W_w(T)/p). p >= the width-w processor bound reproduces
+/// run_parallel_solve exactly; w = infinity, i.e. a very large width,
+/// degenerates to Team SOLVE.
+BoolRun run_parallel_solve_bounded(const Tree& t, unsigned width, std::size_t processors,
+                                   const NorStepObserver& observer = {});
+
+}  // namespace gtpar

@@ -1,0 +1,33 @@
+#include "gtpar/solve/sequential_solve.hpp"
+
+namespace gtpar {
+namespace {
+
+bool ssolve(const Tree& t, NodeId v, std::vector<NodeId>* out, std::uint64_t& work) {
+  if (t.is_leaf(v)) {
+    ++work;
+    if (out) out->push_back(v);
+    return t.leaf_value(v) != 0;
+  }
+  for (NodeId c : t.children(v)) {
+    if (ssolve(t, c, out, work)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SequentialSolveResult sequential_solve(const Tree& t) {
+  SequentialSolveResult r;
+  std::uint64_t work = 0;
+  r.value = ssolve(t, t.root(), &r.evaluated, work);
+  return r;
+}
+
+std::uint64_t sequential_solve_work(const Tree& t) {
+  std::uint64_t work = 0;
+  ssolve(t, t.root(), nullptr, work);
+  return work;
+}
+
+}  // namespace gtpar

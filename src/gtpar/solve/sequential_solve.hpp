@@ -1,0 +1,33 @@
+// gtpar/solve/sequential_solve.hpp
+//
+// The "left-to-right" sequential algorithm of Section 2 (program S-SOLVE):
+// evaluate children left to right and return 0 as soon as a child returns
+// 1. This is the direct recursive implementation; it is provably identical
+// (value and evaluated-leaf sequence) to Parallel SOLVE of width 0, which
+// the test suite checks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gtpar/common.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+/// Result of Sequential SOLVE.
+struct SequentialSolveResult {
+  bool value = false;
+  /// Leaves evaluated, in evaluation (left-to-right) order. Its size is the
+  /// paper's S(T).
+  std::vector<NodeId> evaluated;
+};
+
+/// Run Sequential SOLVE on the NOR-tree `t`.
+SequentialSolveResult sequential_solve(const Tree& t);
+
+/// Number of leaves Sequential SOLVE evaluates — S(T) — without
+/// materializing the leaf list.
+std::uint64_t sequential_solve_work(const Tree& t);
+
+}  // namespace gtpar

@@ -1,0 +1,311 @@
+#include "gtpar/threads/mt_ab.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "gtpar/threads/thread_pool.hpp"
+
+namespace gtpar {
+namespace {
+
+void pay_leaf_cost(std::uint64_t ns, LeafCostModel model) {
+  if (ns == 0) return;
+  if (model == LeafCostModel::kSleep) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    return;
+  }
+  const auto end = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+struct AbShared {
+  const Tree& t;
+  const MtAbOptions& opt;
+  std::atomic<std::uint64_t> leaf_evals{0};
+  /// Exact-value memo, one slot per node: bit 40 marks presence, the low
+  /// 32 bits hold the value. Only *exact* minimax values are stored (a
+  /// value computed without any cutoff below it), so a hit is usable under
+  /// any window. This is what makes promotion (abort scout, re-search in
+  /// parallel) cheap: the re-search walks the scout's completed subtrees
+  /// out of the cache instead of re-paying their leaves.
+  std::vector<std::atomic<std::int64_t>> memo;
+  ThreadPool pool;
+
+  static constexpr std::int64_t kHasBit = std::int64_t{1} << 40;
+
+  AbShared(const Tree& tree, const MtAbOptions& options)
+      : t(tree), opt(options), memo(tree.size()), pool(options.threads) {
+    for (auto& m : memo) m.store(0, std::memory_order_relaxed);
+  }
+
+  bool memo_lookup(NodeId v, Value& out) const {
+    const std::int64_t e = memo[v].load(std::memory_order_acquire);
+    if (!(e & kHasBit)) return false;
+    out = static_cast<Value>(static_cast<std::uint32_t>(e & 0xFFFFFFFFll));
+    return true;
+  }
+
+  void memo_store(NodeId v, Value val) {
+    memo[v].store(kHasBit | static_cast<std::uint32_t>(val),
+                  std::memory_order_release);
+  }
+
+  /// Evaluate a leaf through the memo: concurrent threads may both pay the
+  /// cost (racing on the same leaf is rare), but the count is per distinct
+  /// leaf and promotions re-read it for free.
+  Value eval_leaf(NodeId leaf) {
+    Value cached;
+    if (memo_lookup(leaf, cached)) return cached;
+    pay_leaf_cost(opt.leaf_cost_ns, opt.cost_model);
+    const Value v = t.leaf_value(leaf);
+    std::int64_t expected = 0;
+    if (memo[leaf].compare_exchange_strong(
+            expected, kHasBit | static_cast<std::uint32_t>(v),
+            std::memory_order_release, std::memory_order_acquire)) {
+      leaf_evals.fetch_add(1, std::memory_order_relaxed);
+    }
+    return v;
+  }
+};
+
+/// Sequential fail-soft alpha-beta with a dynamic bound published by the
+/// spawning spine (re-read at every node entry), cancellation, and exact
+/// memoisation. `exact` is set iff the returned value is the true minimax
+/// value of the subtree (no cutoff occurred at or below v).
+Value seq_ab(AbShared& sh, NodeId v, Value alpha, Value beta,
+             const std::atomic<Value>* dyn, bool dyn_is_alpha,
+             const std::atomic<bool>& cancel, bool& exact) {
+  exact = false;
+  if (cancel.load(std::memory_order_relaxed)) return 0;
+  {
+    Value cached;
+    if (sh.memo_lookup(v, cached)) {
+      exact = true;
+      return cached;
+    }
+  }
+  if (dyn) {
+    const Value b = dyn->load(std::memory_order_relaxed);
+    if (dyn_is_alpha)
+      alpha = std::max(alpha, b);
+    else
+      beta = std::min(beta, b);
+    if (alpha >= beta) return dyn_is_alpha ? alpha : beta;  // dead window
+  }
+  if (sh.t.is_leaf(v)) {
+    exact = true;
+    return sh.eval_leaf(v);
+  }
+  const bool maxing = node_kind(sh.t, v) == NodeKind::Max;
+  Value best = maxing ? kMinusInf : kPlusInf;
+  bool all_exact = true;
+  bool cut = false;
+  for (NodeId c : sh.t.children(v)) {
+    bool child_exact = false;
+    const Value x = seq_ab(sh, c, alpha, beta, dyn, dyn_is_alpha, cancel, child_exact);
+    if (cancel.load(std::memory_order_relaxed)) return 0;
+    all_exact = all_exact && child_exact;
+    if (maxing) {
+      best = std::max(best, x);
+      alpha = std::max(alpha, best);
+    } else {
+      best = std::min(best, x);
+      beta = std::min(beta, best);
+    }
+    if (alpha >= beta) {
+      cut = true;
+      break;
+    }
+  }
+  if (!cut && all_exact) {
+    exact = true;
+    sh.memo_store(v, best);
+  }
+  return best;
+}
+
+/// Completion latch with queue-steal, as in mt_solve.cpp.
+struct AbScout {
+  std::atomic<bool> cancel{false};
+  std::atomic<int> state{0};  // 0 queued, 1 running, 2 done
+  Value result = 0;
+  bool valid = false;  // worker produced a usable fail-soft result
+  bool exact = false;  // ... and it is the exact subtree value
+
+  bool claim() {
+    int expected = 0;
+    return state.compare_exchange_strong(expected, 1, std::memory_order_acq_rel);
+  }
+  void finish() { state.store(2, std::memory_order_release); }
+  bool done() const { return state.load(std::memory_order_acquire) == 2; }
+  /// Abort-join; steals the task if it has not started. Returns valid.
+  bool join() {
+    int expected = 0;
+    if (state.compare_exchange_strong(expected, 2, std::memory_order_acq_rel))
+      return false;  // never started
+    while (!done()) std::this_thread::yield();
+    return valid;
+  }
+};
+
+/// Spine search: full live window, one scout per level on the next
+/// sibling, with promotion (P-SOLVE case two) when the scout is still
+/// running once the spine catches up.
+Value pab(AbShared& sh, NodeId v, Value alpha, Value beta, bool& exact) {
+  exact = false;
+  {
+    Value cached;
+    if (sh.memo_lookup(v, cached)) {
+      exact = true;
+      return cached;
+    }
+  }
+  if (sh.t.is_leaf(v)) {
+    exact = true;
+    return sh.eval_leaf(v);
+  }
+  const bool maxing = node_kind(sh.t, v) == NodeKind::Max;
+  const auto children = sh.t.children(v);
+  Value best = maxing ? kMinusInf : kPlusInf;
+  bool all_exact = true;
+  std::atomic<Value> dyn{maxing ? alpha : beta};
+
+  auto merge = [&](Value r, bool r_exact) {
+    all_exact = all_exact && r_exact;
+    if (maxing) {
+      best = std::max(best, r);
+      alpha = std::max(alpha, best);
+      dyn.store(alpha, std::memory_order_relaxed);
+    } else {
+      best = std::min(best, r);
+      beta = std::min(beta, best);
+      dyn.store(beta, std::memory_order_relaxed);
+    }
+  };
+
+  auto launch_scout = [&](NodeId sc, Value a0, Value b0) {
+    auto scout = std::make_shared<AbScout>();
+    AbShared* shp = &sh;
+    std::atomic<Value>* dynp = &dyn;
+    const bool dia = maxing;
+    sh.pool.submit([shp, scout, sc, a0, b0, dynp, dia] {
+      if (!scout->claim()) return;
+      bool ex = false;
+      const Value r = seq_ab(*shp, sc, a0, b0, dynp, dia, scout->cancel, ex);
+      if (!scout->cancel.load(std::memory_order_relaxed)) {
+        scout->result = r;
+        scout->valid = true;
+        scout->exact = ex;
+      }
+      scout->finish();
+    });
+    return scout;
+  };
+
+  const unsigned width = std::max(sh.opt.width, 1u);
+  std::size_t i = 0;
+  while (i < children.size()) {
+    // Scouts on the next `width` siblings; the spine joins them in order.
+    std::vector<std::shared_ptr<AbScout>> scouts;
+    for (std::size_t j = i + 1; j < children.size() && scouts.size() < width; ++j)
+      scouts.push_back(launch_scout(children[j], alpha, beta));
+    const bool have_scout = !scouts.empty();
+    const std::shared_ptr<AbScout> scout = have_scout ? scouts[0] : nullptr;
+    auto cancel_extra_scouts = [&](std::size_t from) {
+      for (std::size_t j = from; j < scouts.size(); ++j) {
+        scouts[j]->cancel.store(true, std::memory_order_relaxed);
+        scouts[j]->join();
+      }
+    };
+
+    bool spine_exact = false;
+    const Value x = pab(sh, children[i], alpha, beta, spine_exact);
+    merge(x, spine_exact);
+    if (alpha >= beta) {
+      cancel_extra_scouts(0);
+      return best;  // fail-soft cutoff
+    }
+
+    if (have_scout) {
+      // Promotion: if the scout already finished, merge its result; else
+      // abort it and re-search the sibling in parallel mode. The memo lets
+      // the re-search reuse every subtree the scout completed exactly.
+      bool merged = false;
+      if (scout->done() && scout->valid) {
+        merge(scout->result, scout->exact);
+        merged = true;
+      } else if (!sh.opt.promotion) {
+        // Ablation mode: join-wait for the sequential scout.
+        if (scout->join()) {
+          merge(scout->result, scout->exact);
+          merged = true;
+        }
+      } else {
+        scout->cancel.store(true, std::memory_order_relaxed);
+        if (scout->join()) {
+          merge(scout->result, scout->exact);
+          merged = true;
+        }
+      }
+      if (!merged) {
+        bool sib_exact = false;
+        const Value r = pab(sh, children[i + 1], alpha, beta, sib_exact);
+        merge(r, sib_exact);
+      }
+      cancel_extra_scouts(1);
+      if (alpha >= beta) return best;
+      i += 2;
+      continue;
+    }
+    ++i;
+  }
+  if (all_exact) {
+    exact = true;
+    sh.memo_store(v, best);
+  }
+  return best;
+}
+
+MtAbResult finish_result(AbShared& sh, Value v,
+                         std::chrono::steady_clock::time_point start,
+                         std::chrono::steady_clock::time_point end) {
+  MtAbResult r;
+  r.value = v;
+  r.leaf_evaluations = sh.leaf_evals.load();
+  r.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+  return r;
+}
+
+}  // namespace
+
+MtAbResult mt_parallel_ab(const Tree& t, const MtAbOptions& opt) {
+  AbShared sh(t, opt);
+  const auto start = std::chrono::steady_clock::now();
+  bool exact = false;
+  const Value v = pab(sh, t.root(), kMinusInf, kPlusInf, exact);
+  const auto end = std::chrono::steady_clock::now();
+  return finish_result(sh, v, start, end);
+}
+
+MtAbResult mt_sequential_ab(const Tree& t, std::uint64_t leaf_cost_ns,
+                            LeafCostModel cost_model) {
+  MtAbOptions opt;
+  opt.threads = 1;
+  opt.leaf_cost_ns = leaf_cost_ns;
+  opt.cost_model = cost_model;
+  AbShared sh(t, opt);
+  std::atomic<bool> never{false};
+  const auto start = std::chrono::steady_clock::now();
+  bool exact = false;
+  const Value v =
+      seq_ab(sh, t.root(), kMinusInf, kPlusInf, nullptr, true, never, exact);
+  const auto end = std::chrono::steady_clock::now();
+  return finish_result(sh, v, start, end);
+}
+
+}  // namespace gtpar

@@ -1,0 +1,56 @@
+// gtpar/threads/mt_ab.hpp
+//
+// Real std::thread parallel alpha-beta — the MIN/MAX counterpart of
+// mt_solve.hpp, following the paper's cascade: the spine searches the
+// leftmost unfinished child with the live window while one sequential
+// alpha-beta scout per level runs on the next sibling with a *snapshot*
+// of the window. Scouts re-read the spine's shared window bound at every
+// node entry, so a bound sharpened by the spine prunes inside running
+// scouts as well ("each having its own alpha-bound and beta-bound,
+// coordinated in a cascading structure").
+//
+// Joining is fail-soft-safe: a scout launched with window (a0, b) returns
+// r such that r <= a0 implies val <= r (discardable, since the live alpha
+// only grew), r >= b implies a cutoff, and otherwise r is exact.
+#pragma once
+
+#include <cstdint>
+
+#include "gtpar/common.hpp"
+#include "gtpar/threads/mt_solve.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+struct MtAbOptions {
+  unsigned threads = 4;
+  std::uint64_t leaf_cost_ns = 2000;
+  LeafCostModel cost_model = LeafCostModel::kSpin;
+  /// Promotion (the paper's P-SOLVE case two): when the spine catches up
+  /// with a still-running scout, abort it and re-search the sibling in
+  /// parallel (reusing the scout's exactly-memoised subtrees). With false,
+  /// the spine join-waits for the sequential scout instead — the E17
+  /// ablation shows this serialises the top levels and caps the speed-up
+  /// near 2x.
+  bool promotion = true;
+  /// Scouts launched per level (1 = the paper's width-1 cascade).
+  unsigned width = 1;
+};
+
+struct MtAbResult {
+  Value value = 0;
+  /// Leaf evaluations across all threads (with multiplicity: an aborted
+  /// scout's work that the spine redoes counts twice — real cost).
+  std::uint64_t leaf_evaluations = 0;
+  std::uint64_t wall_ns = 0;
+};
+
+/// Multithreaded cascading parallel alpha-beta (width-1 style: one scout
+/// per level of the current principal variation).
+MtAbResult mt_parallel_ab(const Tree& t, const MtAbOptions& opt = {});
+
+/// Single-threaded alpha-beta with the same leaf-cost model.
+MtAbResult mt_sequential_ab(const Tree& t, std::uint64_t leaf_cost_ns = 2000,
+                            LeafCostModel cost_model = LeafCostModel::kSpin);
+
+}  // namespace gtpar

@@ -1,0 +1,221 @@
+#include "gtpar/threads/mt_solve.hpp"
+
+#include <chrono>
+#include <thread>
+#include <memory>
+#include <vector>
+
+#include "gtpar/threads/thread_pool.hpp"
+
+namespace gtpar {
+namespace {
+
+/// Pay the simulated unit leaf cost under the configured model.
+void pay_leaf_cost(std::uint64_t ns, LeafCostModel model) {
+  if (ns == 0) return;
+  if (model == LeafCostModel::kSleep) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    return;
+  }
+  const auto end = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+constexpr std::int8_t kUnknown = -1;
+
+/// Shared solver state. Node values determined by any thread are memoised
+/// in `val` (release/acquire), so aborted scouts leave their completed
+/// progress behind for the promoting spine.
+struct Shared {
+  const Tree& t;
+  const MtSolveOptions& opt;
+  std::vector<std::atomic<std::int8_t>> val;
+  std::atomic<std::uint64_t> leaf_evals{0};
+  ThreadPool pool;
+
+  Shared(const Tree& tree, const MtSolveOptions& options)
+      : t(tree), opt(options), val(tree.size()), pool(options.threads) {
+    for (auto& v : val) v.store(kUnknown, std::memory_order_relaxed);
+  }
+
+  /// Evaluate a leaf (cache-aware; the spin models the evaluation cost).
+  bool eval_leaf(NodeId leaf) {
+    const std::int8_t cached = val[leaf].load(std::memory_order_acquire);
+    if (cached != kUnknown) return cached != 0;
+    pay_leaf_cost(opt.leaf_cost_ns, opt.cost_model);
+    const bool b = t.leaf_value(leaf) != 0;
+    std::int8_t expected = kUnknown;
+    if (val[leaf].compare_exchange_strong(expected, b ? 1 : 0,
+                                          std::memory_order_release,
+                                          std::memory_order_acquire)) {
+      leaf_evals.fetch_add(1, std::memory_order_relaxed);
+      return b;
+    }
+    return expected != 0;  // another thread beat us to it
+  }
+
+  void store(NodeId v, bool b) {
+    std::int8_t expected = kUnknown;
+    val[v].compare_exchange_strong(expected, b ? 1 : 0, std::memory_order_release,
+                                   std::memory_order_acquire);
+  }
+
+  std::int8_t lookup(NodeId v) const { return val[v].load(std::memory_order_acquire); }
+
+  /// Sequential left-to-right SOLVE with memoisation and cancellation.
+  /// Returns the subtree value; meaningless if cancelled mid-way (callers
+  /// check the flag). Completed subtree values are always memoised.
+  bool ssolve(NodeId v, const std::atomic<bool>& cancel) {
+    const std::int8_t cached = lookup(v);
+    if (cached != kUnknown) return cached != 0;
+    if (cancel.load(std::memory_order_relaxed)) return false;
+    if (t.is_leaf(v)) return eval_leaf(v);
+    for (NodeId c : t.children(v)) {
+      const bool r = ssolve(c, cancel);
+      if (cancel.load(std::memory_order_relaxed)) return false;
+      if (r) {
+        store(v, false);
+        return false;
+      }
+    }
+    store(v, true);
+    return true;
+  }
+};
+
+/// A scout running on the pool: sequential SOLVE of one sibling subtree
+/// with its own abort flag and a claim/completion latch. The claim lets a
+/// joining spine "steal" a scout that is still sitting in the pool queue:
+/// a cancelled scout that never started must not make the spine wait for a
+/// busy worker to pick it up just to discard it.
+struct Scout {
+  std::atomic<bool> cancel{false};
+  enum : int { kQueued = 0, kRunning = 1, kDone = 2 };
+  std::atomic<int> state{kQueued};
+
+  /// Worker side: returns true if this call won the right to run the body.
+  bool claim() {
+    int expected = kQueued;
+    return state.compare_exchange_strong(expected, kRunning,
+                                         std::memory_order_acq_rel);
+  }
+
+  void finish() { state.store(kDone, std::memory_order_release); }
+
+  /// Spine side: abort-join. Steals the task if it has not started.
+  void wait() {
+    int expected = kQueued;
+    if (state.compare_exchange_strong(expected, kDone, std::memory_order_acq_rel))
+      return;  // never started; nothing to wait for
+    while (state.load(std::memory_order_acquire) != kDone)
+      std::this_thread::yield();
+  }
+};
+
+/// The spine: P-SOLVE of width 1. Runs in the calling thread; spawns one
+/// scout (sequential task) on the leftmost undetermined right-sibling of
+/// the child it is working on, per the cascade structure.
+bool psolve(Shared& sh, NodeId v) {
+  {
+    const std::int8_t cached = sh.lookup(v);
+    if (cached != kUnknown) return cached != 0;
+  }
+  if (sh.t.is_leaf(v)) return sh.eval_leaf(v);
+
+  const auto children = sh.t.children(v);
+  while (true) {
+    // Leftmost child whose value is still unknown = the base-path child.
+    NodeId spine_child = kNoNode;
+    std::size_t spine_idx = 0;
+    bool any_one = false;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      const std::int8_t cached = sh.lookup(children[i]);
+      if (cached == 1) {
+        any_one = true;
+        break;
+      }
+      if (cached == kUnknown) {
+        spine_child = children[i];
+        spine_idx = i;
+        break;
+      }
+    }
+    if (any_one) {
+      sh.store(v, false);
+      return false;
+    }
+    if (spine_child == kNoNode) {
+      sh.store(v, true);  // all children 0
+      return true;
+    }
+
+    // Scout the next `width` unknown siblings while the spine descends
+    // (width 1 is the paper's cascade).
+    std::vector<std::shared_ptr<Scout>> scouts;
+    for (std::size_t i = spine_idx + 1;
+         i < children.size() && scouts.size() < sh.opt.width; ++i) {
+      const NodeId scout_child = children[i];
+      if (sh.lookup(scout_child) != kUnknown) continue;
+      auto scout = std::make_shared<Scout>();
+      sh.pool.submit([&sh, scout, scout_child] {
+        if (!scout->claim()) return;  // stolen by the joining spine
+        sh.ssolve(scout_child, scout->cancel);
+        scout->finish();
+      });
+      scouts.push_back(std::move(scout));
+    }
+
+    const bool l = psolve(sh, spine_child);
+
+    for (const auto& scout : scouts) {
+      // Abort the scouts (pre-emption); their memoised progress persists,
+      // so the next loop iteration promotes into their subtrees without
+      // redoing completed work — P-SOLVE's case two.
+      scout->cancel.store(true, std::memory_order_relaxed);
+      scout->wait();
+    }
+    if (l) {
+      sh.store(v, false);
+      return false;
+    }
+    // l == 0: loop; the next unknown child (often the scouted one) becomes
+    // the new spine child.
+  }
+}
+
+}  // namespace
+
+MtSolveResult mt_parallel_solve(const Tree& t, const MtSolveOptions& opt) {
+  Shared sh(t, opt);
+  const auto start = std::chrono::steady_clock::now();
+  const bool value = psolve(sh, t.root());
+  const auto end = std::chrono::steady_clock::now();
+  MtSolveResult r;
+  r.value = value;
+  r.leaf_evaluations = sh.leaf_evals.load();
+  r.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+  return r;
+}
+
+MtSolveResult mt_sequential_solve(const Tree& t, std::uint64_t leaf_cost_ns,
+                                  LeafCostModel cost_model) {
+  MtSolveOptions opt;
+  opt.threads = 1;
+  opt.leaf_cost_ns = leaf_cost_ns;
+  opt.cost_model = cost_model;
+  Shared sh(t, opt);
+  std::atomic<bool> never{false};
+  const auto start = std::chrono::steady_clock::now();
+  const bool value = sh.ssolve(t.root(), never);
+  const auto end = std::chrono::steady_clock::now();
+  MtSolveResult r;
+  r.value = value;
+  r.leaf_evaluations = sh.leaf_evals.load();
+  r.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+  return r;
+}
+
+}  // namespace gtpar

@@ -1,0 +1,45 @@
+// gtpar/threads/thread_pool.hpp
+//
+// A small fixed-size worker pool used by the real-thread implementations
+// of Parallel SOLVE and parallel alpha-beta. Tasks are plain
+// std::function<void()>; completion is signalled through whatever state
+// the task captures (the solvers use per-scout completion flags), so the
+// pool itself stays minimal and lock-contention-free on the hot path.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gtpar {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Never blocks (unbounded queue).
+  void submit(std::function<void()> task);
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gtpar

@@ -1,0 +1,68 @@
+#include "gtpar/tree/andor.hpp"
+
+#include <vector>
+
+namespace gtpar {
+namespace {
+
+AndOrKind kind_at_depth(AndOrKind root_kind, unsigned depth) {
+  const bool even = depth % 2 == 0;
+  if (root_kind == AndOrKind::Or) return even ? AndOrKind::Or : AndOrKind::And;
+  return even ? AndOrKind::And : AndOrKind::Or;
+}
+
+}  // namespace
+
+NorConversion to_nor(const Tree& andor, AndOrKind root_kind) {
+  // For strictly alternating kinds, replacing every internal node by NOR
+  // works out so that the NOR value of a node equals the complement of its
+  // AND/OR value exactly at OR levels:
+  //   NOT OR(x_1..x_d)  = NOR(x_1..x_d)           (children uncomplemented)
+  //   AND(x_1..x_d)     = NOR(NOT x_1..NOT x_d)   (children complemented)
+  // Since children of OR nodes are AND nodes and vice versa, the demanded
+  // complement flag alternates in lockstep with the kinds, and only leaves
+  // need value flips: a leaf is flipped iff its depth sits at an OR level.
+  TreeBuilder b;
+  const NodeId root = b.add_root();
+  struct Item {
+    NodeId src, dst;
+  };
+  std::vector<Item> stack{{andor.root(), root}};
+  auto emit = [&](NodeId src, NodeId dst) {
+    if (andor.is_leaf(src)) {
+      const bool flip = kind_at_depth(root_kind, andor.depth(src)) == AndOrKind::Or;
+      const bool v = andor.leaf_value(src) != 0;
+      b.set_leaf_value(dst, (flip ? !v : v) ? 1 : 0);
+    } else {
+      stack.push_back({src, dst});
+    }
+  };
+  stack.clear();
+  emit(andor.root(), root);
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    for (NodeId c : andor.children(it.src)) emit(c, b.add_child(it.dst));
+  }
+  return {b.build(), root_kind == AndOrKind::Or};
+}
+
+bool andor_value(const Tree& t, AndOrKind root_kind) {
+  std::vector<char> val(t.size(), 0);
+  for (NodeId v = static_cast<NodeId>(t.size()); v-- > 0;) {
+    if (t.is_leaf(v)) {
+      val[v] = t.leaf_value(v) != 0;
+      continue;
+    }
+    const bool is_and = kind_at_depth(root_kind, t.depth(v)) == AndOrKind::And;
+    char r = is_and ? 1 : 0;
+    for (NodeId c : t.children(v)) {
+      if (is_and) r = static_cast<char>(r && val[c]);
+      else r = static_cast<char>(r || val[c]);
+    }
+    val[v] = r;
+  }
+  return val[t.root()] != 0;
+}
+
+}  // namespace gtpar

@@ -1,0 +1,45 @@
+// gtpar/tree/andor.hpp
+//
+// AND/OR <-> NOR conversion (Section 2). The paper presents every Boolean
+// game tree as a NOR-tree: "An AND/OR tree is equivalent to its NOR-tree
+// representation up to complementation of the value of the root and
+// possibly the values on the leaves."
+//
+// Derivation used here: for x_i in {0,1},
+//   OR(x_1..x_d)  = NOT NOR(x_1..x_d)
+//   AND(x_1..x_d) = NOR(NOT x_1, .., NOT x_d)
+// Replacing every internal node by NOR therefore requires flipping a leaf
+// exactly when the number of AND nodes on the strict path from the root to
+// the leaf's parent, plus 1 if the parent itself is an AND node... more
+// simply: a node computes the *complement* of the original value iff the
+// number of internal nodes strictly above it demands it. We track a
+// "negated" flag top-down: the NOR root computes NOT(root) if the root was
+// an OR node; a child of a NOR node must supply the complement of what the
+// original child supplied iff the parent's original kind was AND.
+#pragma once
+
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+/// Kind of internal node in an AND/OR tree, by depth parity.
+enum class AndOrKind : std::uint8_t { And, Or };
+
+/// Result of converting an AND/OR tree to its NOR representation.
+struct NorConversion {
+  Tree nor_tree;
+  /// True iff val(nor_tree) == NOT val(original): the caller complements
+  /// the NOR root value to recover the AND/OR value.
+  bool root_complemented;
+};
+
+/// Convert an AND/OR tree (internal kinds alternate by depth,
+/// `root_kind` at the root) into an equivalent NOR-tree of identical
+/// shape. Leaf values are flipped where the construction requires it.
+NorConversion to_nor(const Tree& andor, AndOrKind root_kind);
+
+/// Value of the AND/OR tree `t` (root kind `root_kind`, alternating) by
+/// direct postorder evaluation — ground truth for conversion tests.
+bool andor_value(const Tree& t, AndOrKind root_kind);
+
+}  // namespace gtpar

@@ -1,0 +1,44 @@
+#include "gtpar/tree/dot_export.hpp"
+
+#include <sstream>
+
+namespace gtpar {
+
+std::string to_dot(const Tree& t, const DotStyle& style) {
+  std::ostringstream os;
+  os << "digraph gametree {\n";
+  os << "  node [fontsize=10];\n";
+  for (NodeId v = 0; v < t.size(); ++v) {
+    os << "  n" << v << " [";
+    // Label.
+    os << "label=\"";
+    if (style.label) {
+      os << style.label(v);
+    } else if (t.is_leaf(v)) {
+      os << t.leaf_value(v);
+    } else {
+      os << (node_kind(t, v) == NodeKind::Max ? "MAX" : "MIN");
+    }
+    os << "\"";
+    // Shape.
+    if (style.game_shapes && !t.is_leaf(v)) {
+      os << ", shape="
+         << (node_kind(t, v) == NodeKind::Max ? "triangle" : "invtriangle");
+    } else if (t.is_leaf(v)) {
+      os << ", shape=box";
+    }
+    // Fill.
+    if (style.fill) {
+      const std::string c = style.fill(v);
+      if (!c.empty()) os << ", style=filled, fillcolor=\"" << c << "\"";
+    }
+    os << "];\n";
+  }
+  for (NodeId v = 0; v < t.size(); ++v) {
+    for (NodeId c : t.children(v)) os << "  n" << v << " -> n" << c << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace gtpar

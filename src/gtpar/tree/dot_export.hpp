@@ -1,0 +1,31 @@
+// gtpar/tree/dot_export.hpp
+//
+// Graphviz (DOT) export of trees and of simulator snapshots, for papers,
+// debugging and teaching: the examples write the step-by-step evolution
+// of a width-1 run as a DOT sequence.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "gtpar/common.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+/// Per-node rendering hooks. Defaults: label = value for leaves / kind for
+/// internal nodes; no fill colour.
+struct DotStyle {
+  /// Text inside the node.
+  std::function<std::string(NodeId)> label;
+  /// Graphviz fillcolor (empty = unfilled), e.g. "lightblue".
+  std::function<std::string(NodeId)> fill;
+  /// Shape: MIN/MAX game-tree convention draws MAX as triangles pointing
+  /// up and MIN pointing down when true; plain circles/boxes otherwise.
+  bool game_shapes = true;
+};
+
+/// Render `t` as a DOT digraph.
+std::string to_dot(const Tree& t, const DotStyle& style = {});
+
+}  // namespace gtpar

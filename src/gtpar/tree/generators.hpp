@@ -1,0 +1,128 @@
+// gtpar/tree/generators.hpp
+//
+// Workload generators: every tree family the paper's analysis talks about.
+//
+//  - uniform d-ary trees of height n with pluggable leaf values (the paper's
+//    B(d,n) and M(d,n) classes);
+//  - i.i.d. random instances (Section 6's probabilistic model, including the
+//    golden-ratio bias p = (sqrt(5)-1)/2 used by Althoefer);
+//  - adversarial instances: the all-leaves-evaluated worst case for
+//    Sequential SOLVE and the no-pruning worst case for alpha-beta;
+//  - best-case instances that meet the Fact 1 / Fact 2 lower bounds with
+//    equality;
+//  - near-uniform random-shape trees for Corollary 2;
+//  - child-reordering utilities (move-ordering quality, random permutation).
+//
+// All randomness is derived from splittable hashes of (seed, position), so
+// generation is deterministic and independent of traversal order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "gtpar/common.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+/// Callback producing the value of the i-th leaf (left-to-right, 0-based).
+using LeafFn = std::function<Value(std::uint64_t)>;
+
+/// Uniform d-ary tree of height n; leaf i gets leaf_fn(i). Height 0 is a
+/// single leaf. Requires d >= 1 (the paper assumes d >= 2 for its bounds,
+/// but degenerate trees are useful in tests).
+Tree make_uniform(unsigned d, unsigned n, const LeafFn& leaf_fn);
+
+/// Uniform NOR-tree with i.i.d. Bernoulli(p_one) leaves.
+Tree make_uniform_iid_nor(unsigned d, unsigned n, double p_one, std::uint64_t seed);
+
+/// Uniform MIN/MAX tree with i.i.d. uniform integer leaves in [lo, hi].
+Tree make_uniform_iid_minimax(unsigned d, unsigned n, Value lo, Value hi,
+                              std::uint64_t seed);
+
+/// Uniform tree whose every leaf carries the same value.
+Tree make_uniform_constant(unsigned d, unsigned n, Value value);
+
+/// Uniform tree with explicit leaf values (values.size() must be d^n).
+Tree make_uniform_from_values(unsigned d, unsigned n, std::span<const Value> values);
+
+/// The golden-ratio bias (sqrt(5)-1)/2 ~ 0.618: the critical leaf
+/// probability for binary NOR-trees under which the i.i.d. distribution is
+/// self-similar across levels (Section 6; Althoefer's setting).
+double golden_bias();
+
+/// Adversarial NOR instance on which Sequential SOLVE evaluates *all* d^n
+/// leaves: every value-1 node is the last child of its parent and all its
+/// siblings evaluate to 0, so the left-to-right scan never short-circuits.
+/// root_value selects the value of the root (both variants exist).
+Tree make_worst_case_nor(unsigned d, unsigned n, bool root_value);
+
+/// Best-case NOR instance: Sequential SOLVE evaluates exactly a minimal
+/// proof tree. Subtrees never visited by Sequential SOLVE are filled with
+/// i.i.d. Bernoulli(filler_p_one) leaves so that parallel algorithms still
+/// see nontrivial off-path structure. root_value selects the root's value.
+Tree make_best_case_nor(unsigned d, unsigned n, bool root_value, double filler_p_one,
+                        std::uint64_t seed);
+
+/// MIN/MAX instance on which alpha-beta prunes nothing (evaluates all d^n
+/// leaves): children of MAX nodes carry strictly increasing values,
+/// children of MIN nodes strictly decreasing, all inside nested ranges.
+Tree make_worst_case_minimax(unsigned d, unsigned n);
+
+/// MIN/MAX instance with perfect move ordering: alpha-beta evaluates
+/// exactly d^floor(n/2) + d^ceil(n/2) - 1 leaves (the Fact 2 lower bound).
+Tree make_best_case_minimax(unsigned d, unsigned n);
+
+/// Parameters of the near-uniform random family of Corollary 2: node
+/// degrees are drawn uniformly from [d_min, d_max] and each root-leaf path
+/// length falls in [n_min, n_max].
+struct RandomShapeParams {
+  unsigned d_min = 2;
+  unsigned d_max = 3;
+  unsigned n_min = 6;
+  unsigned n_max = 8;
+  /// Probability that a node at an eligible depth (>= n_min) terminates as
+  /// a leaf before reaching n_max.
+  double early_leaf_prob = 0.3;
+};
+
+/// Near-uniform NOR-tree (Corollary 2 family) with Bernoulli(p_one) leaves.
+Tree make_random_shape_nor(const RandomShapeParams& params, double p_one,
+                           std::uint64_t seed);
+
+/// Near-uniform MIN/MAX tree with uniform integer leaves in [lo, hi].
+Tree make_random_shape_minimax(const RandomShapeParams& params, Value lo, Value hi,
+                               std::uint64_t seed);
+
+/// Rebuild `t` with the children of every internal node reordered by
+/// `reorder`, which receives the node id (in `t`) and its children list and
+/// permutes the list in place. Leaf values are preserved.
+Tree reorder_children(const Tree& t,
+                      const std::function<void(NodeId, std::span<NodeId>)>& reorder);
+
+/// Rebuild `t` with children of every node independently shuffled at random
+/// (the "randomly permuted input tree" of Section 6).
+Tree shuffle_children(const Tree& t, std::uint64_t seed);
+
+/// MIN/MAX tree with i.i.d. leaves whose children are then ordered
+/// best-first with probability `ordering_quality` per node (1.0 = perfect
+/// ordering, 0.0 = random order). Models practical move-ordering strength.
+Tree make_ordered_iid_minimax(unsigned d, unsigned n, Value lo, Value hi,
+                              std::uint64_t seed, double ordering_quality);
+
+/// MIN/MAX tree with *correlated* leaf values, the structure real game
+/// evaluations have: each edge carries a random increment in
+/// [-step, step], and a leaf's value is the sum of the increments along
+/// its path (a positional evaluation drifting with each move). Unlike
+/// i.i.d. leaves, sibling subtrees have similar values, so alpha-beta's
+/// pruning behaviour matches "wide-and-shallow" chess-like trees much more
+/// closely — the setting the paper's Section 8 contrasts with its
+/// tall-tree asymptotics.
+Tree make_correlated_minimax(unsigned d, unsigned n, Value step, std::uint64_t seed);
+
+/// Number of leaves of a uniform d-ary tree of height n (d^n), as a
+/// checked 64-bit value.
+std::uint64_t uniform_leaf_count(unsigned d, unsigned n);
+
+}  // namespace gtpar

@@ -1,0 +1,141 @@
+#include "gtpar/tree/proof_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+void collect_proof_leaves(const Tree& t, NodeId v, const std::vector<char>& val,
+                          std::vector<NodeId>& out) {
+  if (t.is_leaf(v)) {
+    out.push_back(v);
+    return;
+  }
+  if (val[v]) {
+    // Value 1: every child has value 0 and all are needed.
+    for (NodeId c : t.children(v)) collect_proof_leaves(t, c, val, out);
+  } else {
+    // Value 0: one child of value 1 suffices; take the leftmost.
+    for (NodeId c : t.children(v)) {
+      if (val[c]) {
+        collect_proof_leaves(t, c, val, out);
+        return;
+      }
+    }
+    throw std::logic_error("collect_proof_leaves: 0-node without a 1-child");
+  }
+}
+
+}  // namespace
+
+std::vector<NodeId> nor_proof_tree_leaves(const Tree& t) {
+  const std::vector<char> val = nor_values(t);
+  std::vector<NodeId> out;
+  collect_proof_leaves(t, t.root(), val, out);
+  return out;
+}
+
+std::uint64_t nor_proof_tree_size(const Tree& t) {
+  const std::vector<char> val = nor_values(t);
+  // cost[v] = leaves of a smallest proof tree for the subtree at v.
+  // Children have larger ids, so a backward pass is a postorder.
+  std::vector<std::uint64_t> cost(t.size(), 0);
+  for (NodeId v = static_cast<NodeId>(t.size()); v-- > 0;) {
+    if (t.is_leaf(v)) {
+      cost[v] = 1;
+    } else if (val[v]) {
+      std::uint64_t s = 0;
+      for (NodeId c : t.children(v)) s += cost[c];
+      cost[v] = s;
+    } else {
+      std::uint64_t m = std::numeric_limits<std::uint64_t>::max();
+      for (NodeId c : t.children(v)) {
+        if (val[c]) m = std::min(m, cost[c]);
+      }
+      cost[v] = m;
+    }
+  }
+  return cost[t.root()];
+}
+
+std::uint64_t fact1_lower_bound(unsigned d, unsigned n) {
+  std::uint64_t r = 1;
+  for (unsigned i = 0; i < n / 2; ++i) r *= d;
+  return r;
+}
+
+std::uint64_t fact2_lower_bound(unsigned d, unsigned n) {
+  std::uint64_t lo = 1, hi = 1;
+  for (unsigned i = 0; i < n / 2; ++i) lo *= d;
+  for (unsigned i = 0; i < (n + 1) / 2; ++i) hi *= d;
+  return lo + hi - 1;
+}
+
+std::uint64_t minimax_verification_size(const Tree& t) {
+  const std::vector<Value> val = minimax_values(t);
+  const Value target = val[t.root()];
+
+  // geq[v]: min leaves to verify val(v) >= target (valid iff val(v) >= target).
+  // leq[v]: min leaves to verify val(v) <= target (valid iff val(v) <= target).
+  // both[v]: min leaves to verify val(v) == target (valid iff val(v) == target).
+  // At a MAX node, ">= target" needs one child with val >= target;
+  // "<= target" needs all children; "==" picks one equal child to pin both
+  // bounds and certifies "<=" on the rest. MIN nodes are dual. Subtrees are
+  // disjoint, so set sizes add.
+  constexpr auto kInf = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> geq(t.size(), kInf), leq(t.size(), kInf), both(t.size(), kInf);
+
+  for (NodeId v = static_cast<NodeId>(t.size()); v-- > 0;) {
+    if (t.is_leaf(v)) {
+      if (val[v] >= target) geq[v] = 1;
+      if (val[v] <= target) leq[v] = 1;
+      if (val[v] == target) both[v] = 1;
+      continue;
+    }
+    const bool maxing = node_kind(t, v) == NodeKind::Max;
+    std::uint64_t all_leq = 0, all_geq = 0;
+    bool all_leq_ok = true, all_geq_ok = true;
+    std::uint64_t one_geq = kInf, one_leq = kInf;
+    for (NodeId c : t.children(v)) {
+      if (leq[c] == kInf) all_leq_ok = false;
+      else all_leq += leq[c];
+      if (geq[c] == kInf) all_geq_ok = false;
+      else all_geq += geq[c];
+      one_geq = std::min(one_geq, geq[c]);
+      one_leq = std::min(one_leq, leq[c]);
+    }
+    if (maxing) {
+      if (val[v] >= target) geq[v] = one_geq;
+      if (val[v] <= target && all_leq_ok) leq[v] = all_leq;
+      if (val[v] == target && all_leq_ok) {
+        // Swap one child's "<=" certificate for its "==" certificate.
+        std::uint64_t best = kInf;
+        for (NodeId c : t.children(v)) {
+          if (both[c] == kInf) continue;
+          best = std::min(best, all_leq - leq[c] + both[c]);
+        }
+        both[v] = best;
+      }
+    } else {
+      if (val[v] <= target) leq[v] = one_leq;
+      if (val[v] >= target && all_geq_ok) geq[v] = all_geq;
+      if (val[v] == target && all_geq_ok) {
+        std::uint64_t best = kInf;
+        for (NodeId c : t.children(v)) {
+          if (both[c] == kInf) continue;
+          best = std::min(best, all_geq - geq[c] + both[c]);
+        }
+        both[v] = best;
+      }
+    }
+  }
+  if (both[t.root()] == kInf)
+    throw std::logic_error("minimax_verification_size: no certificate found");
+  return both[t.root()];
+}
+
+}  // namespace gtpar

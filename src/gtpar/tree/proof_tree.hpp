@@ -1,0 +1,47 @@
+// gtpar/tree/proof_tree.hpp
+//
+// Proof trees and the inherent lower bounds of Fact 1 and Fact 2.
+//
+// A proof tree of a NOR-tree T (Section 2) is a smallest subtree of T that
+// verifies val(T): below a node of value 0 it contains one child of value
+// 1; below a node of value 1 it contains all children (each of value 0).
+// Any algorithm that evaluates T must have evaluated every leaf of some
+// proof tree, which yields the d^floor(n/2) lower bound of Fact 1.
+//
+// For MIN/MAX trees, Fact 2 combines a proof tree for "val(r) > a" and one
+// for "val(r) < b" sharing exactly one leaf, giving the classic
+// d^floor(n/2) + d^ceil(n/2) - 1 bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gtpar/common.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+/// Leaves of one (leftmost) proof tree of the NOR-tree `t`: a minimal leaf
+/// set whose values certify val(t). The returned leaves are in
+/// left-to-right order.
+std::vector<NodeId> nor_proof_tree_leaves(const Tree& t);
+
+/// Size of a smallest proof tree (leaf count) of the NOR-tree `t`.
+/// Computed exactly by dynamic programming: cost0(v) = min over children c
+/// with val(c)=1 of cost1(c); cost1(v) = sum over children of cost0(c).
+std::uint64_t nor_proof_tree_size(const Tree& t);
+
+/// Fact 1 lower bound d^floor(n/2) on the total work of any algorithm that
+/// evaluates an instance of B(d,n).
+std::uint64_t fact1_lower_bound(unsigned d, unsigned n);
+
+/// Fact 2 lower bound d^floor(n/2) + d^ceil(n/2) - 1 for M(d,n).
+std::uint64_t fact2_lower_bound(unsigned d, unsigned n);
+
+/// Minimal number of leaf evaluations needed to *verify* that the MIN/MAX
+/// tree `t` has its actual root value (the union of a > and a < proof
+/// tree), computed exactly by dynamic programming. On uniform trees with
+/// strict orderings this meets fact2_lower_bound with equality.
+std::uint64_t minimax_verification_size(const Tree& t);
+
+}  // namespace gtpar

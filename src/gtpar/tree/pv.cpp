@@ -1,0 +1,53 @@
+#include "gtpar/tree/pv.hpp"
+
+#include <stdexcept>
+
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+
+std::vector<NodeId> principal_variation(const Tree& t) {
+  const std::vector<Value> val = minimax_values(t);
+  std::vector<NodeId> pv{t.root()};
+  NodeId v = t.root();
+  while (!t.is_leaf(v)) {
+    NodeId next = kNoNode;
+    for (NodeId c : t.children(v)) {
+      if (val[c] == val[v]) {
+        next = c;
+        break;
+      }
+    }
+    if (next == kNoNode)
+      throw std::logic_error("principal_variation: no child attains the value");
+    pv.push_back(next);
+    v = next;
+  }
+  return pv;
+}
+
+std::vector<NodeId> nor_principal_path(const Tree& t) {
+  const std::vector<char> val = nor_values(t);
+  std::vector<NodeId> path{t.root()};
+  NodeId v = t.root();
+  while (!t.is_leaf(v)) {
+    NodeId next = kNoNode;
+    if (val[v]) {
+      next = t.child(v, 0);  // all children are 0; leftmost certifies
+    } else {
+      for (NodeId c : t.children(v)) {
+        if (val[c]) {
+          next = c;
+          break;
+        }
+      }
+    }
+    if (next == kNoNode)
+      throw std::logic_error("nor_principal_path: inconsistent values");
+    path.push_back(next);
+    v = next;
+  }
+  return path;
+}
+
+}  // namespace gtpar

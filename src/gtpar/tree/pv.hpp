@@ -1,0 +1,25 @@
+// gtpar/tree/pv.hpp
+//
+// Principal-variation extraction for explicit trees: the leftmost
+// optimal-play path from the root, i.e. the line both players follow when
+// each picks the first child attaining the node's minimax value.
+#pragma once
+
+#include <vector>
+
+#include "gtpar/common.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+/// Nodes of the principal variation of the MIN/MAX tree `t`, root first,
+/// ending at a leaf. Every node on the path has the same minimax value as
+/// the root.
+std::vector<NodeId> principal_variation(const Tree& t);
+
+/// The NOR-tree analogue: the leftmost proof path certifying the root's
+/// value — at a 0-valued node, the leftmost 1-child; at a 1-valued node,
+/// the leftmost child (all children are 0). Ends at a leaf.
+std::vector<NodeId> nor_principal_path(const Tree& t);
+
+}  // namespace gtpar

@@ -1,0 +1,112 @@
+#include "gtpar/tree/serialization.hpp"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gtpar {
+namespace {
+
+void write_rec(std::ostream& os, const Tree& t, NodeId v) {
+  if (t.is_leaf(v)) {
+    os << t.leaf_value(v);
+    return;
+  }
+  os << '(';
+  bool first = true;
+  for (NodeId c : t.children(v)) {
+    if (!first) os << ' ';
+    first = false;
+    write_rec(os, t, c);
+  }
+  os << ')';
+}
+
+struct Parser {
+  std::istream& is;
+
+  int peek_token() {
+    int c = is.peek();
+    while (c != EOF && std::isspace(c)) {
+      is.get();
+      c = is.peek();
+    }
+    return c;
+  }
+
+  void parse_node(TreeBuilder& b, NodeId v) {
+    const int c = peek_token();
+    if (c == '(') {
+      is.get();
+      bool any = false;
+      while (true) {
+        const int k = peek_token();
+        if (k == ')') {
+          is.get();
+          break;
+        }
+        if (k == EOF) throw std::invalid_argument("parse_tree: unbalanced '('");
+        parse_node(b, b.add_child(v));
+        any = true;
+      }
+      if (!any) throw std::invalid_argument("parse_tree: empty internal node");
+    } else if (c == '-' || std::isdigit(c)) {
+      long long value = 0;
+      if (!(is >> value)) throw std::invalid_argument("parse_tree: bad leaf value");
+      b.set_leaf_value(v, static_cast<Value>(value));
+    } else {
+      throw std::invalid_argument("parse_tree: unexpected character");
+    }
+  }
+};
+
+void pretty_rec(std::ostream& os, const Tree& t, NodeId v, const std::string& indent) {
+  os << indent;
+  if (t.is_leaf(v)) {
+    os << "leaf " << t.leaf_value(v) << '\n';
+    return;
+  }
+  os << (node_kind(t, v) == NodeKind::Max ? "MAX" : "MIN") << " (depth " << t.depth(v)
+     << ")\n";
+  for (NodeId c : t.children(v)) pretty_rec(os, t, c, indent + "  ");
+}
+
+}  // namespace
+
+void write_tree(std::ostream& os, const Tree& t) { write_rec(os, t, t.root()); }
+
+std::string to_string(const Tree& t) {
+  std::ostringstream os;
+  write_tree(os, t);
+  return os.str();
+}
+
+Tree read_tree(std::istream& is) {
+  TreeBuilder b;
+  Parser p{is};
+  p.parse_node(b, b.add_root());
+  return b.build();
+}
+
+Tree parse_tree(const std::string& text) {
+  std::istringstream is(text);
+  Tree t = read_tree(is);
+  // Reject trailing garbage (other than whitespace).
+  int c = is.peek();
+  while (c != EOF && std::isspace(c)) {
+    is.get();
+    c = is.peek();
+  }
+  if (c != EOF) throw std::invalid_argument("parse_tree: trailing characters");
+  return t;
+}
+
+std::string pretty_print(const Tree& t) {
+  std::ostringstream os;
+  pretty_rec(os, t, t.root(), "");
+  return os.str();
+}
+
+}  // namespace gtpar

@@ -1,0 +1,38 @@
+// gtpar/tree/serialization.hpp
+//
+// Plain-text serialization of trees, so that workloads can be saved,
+// diffed, and replayed across runs, and small trees can be written by hand
+// in tests.
+//
+// Format (s-expression):  leaf  ::= integer
+//                         node  ::= '(' child+ ')'
+// Example: the binary NOR-tree of height 2 with leaves 1 0 0 1 is
+// "((1 0) (0 1))". Whitespace between tokens is arbitrary.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+/// Serialize `t` to the s-expression format (single line, no trailing
+/// newline).
+std::string to_string(const Tree& t);
+
+/// Write the s-expression form of `t` to `os`.
+void write_tree(std::ostream& os, const Tree& t);
+
+/// Parse a tree from its s-expression form. Throws std::invalid_argument
+/// on malformed input (unbalanced parens, empty node, trailing garbage).
+Tree parse_tree(const std::string& text);
+
+/// Read one tree from `is` (consumes exactly one s-expression).
+Tree read_tree(std::istream& is);
+
+/// Multi-line ASCII rendering of a small tree for debugging; internal nodes
+/// are labelled with their MIN/MAX kind and depth.
+std::string pretty_print(const Tree& t);
+
+}  // namespace gtpar

@@ -1,0 +1,52 @@
+#include "gtpar/tree/skeleton.hpp"
+
+#include <stdexcept>
+
+namespace gtpar {
+
+Skeleton make_skeleton(const Tree& t, std::span<const NodeId> kept_leaves) {
+  if (kept_leaves.empty())
+    throw std::invalid_argument("make_skeleton: kept_leaves must be non-empty");
+
+  std::vector<char> keep(t.size(), 0);
+  for (NodeId leaf : kept_leaves) {
+    if (leaf >= t.size() || !t.is_leaf(leaf))
+      throw std::invalid_argument("make_skeleton: kept_leaves must name leaves");
+    for (NodeId v = leaf; v != kNoNode && !keep[v]; v = t.parent(v)) keep[v] = 1;
+  }
+
+  Skeleton s;
+  s.new_of.assign(t.size(), kNoNode);
+
+  TreeBuilder b;
+  // Recursive copy of the kept sub-forest, preserving child order. An
+  // explicit stack of (old node, new node) pairs avoids deep recursion.
+  const NodeId new_root = b.add_root();
+  s.old_of.push_back(t.root());
+  s.new_of[t.root()] = new_root;
+  if (t.is_leaf(t.root())) b.set_leaf_value(new_root, t.leaf_value(t.root()));
+
+  std::vector<std::pair<NodeId, NodeId>> stack{{t.root(), new_root}};
+  while (!stack.empty()) {
+    const auto [ov, nv] = stack.back();
+    stack.pop_back();
+    for (NodeId oc : t.children(ov)) {
+      if (!keep[oc]) continue;
+      const NodeId nc = b.add_child(nv);
+      if (static_cast<std::size_t>(nc) != s.old_of.size())
+        throw std::logic_error("make_skeleton: builder id mismatch");
+      s.old_of.push_back(oc);
+      s.new_of[oc] = nc;
+      if (t.is_leaf(oc)) {
+        b.set_leaf_value(nc, t.leaf_value(oc));
+      } else {
+        stack.emplace_back(oc, nc);
+      }
+    }
+  }
+
+  s.tree = b.build();
+  return s;
+}
+
+}  // namespace gtpar

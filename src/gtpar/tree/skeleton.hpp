@@ -1,0 +1,33 @@
+// gtpar/tree/skeleton.hpp
+//
+// The skeleton H_T of Section 3: the subtree of T induced by the ancestors
+// of the leaves that a given sequential algorithm evaluates. Proposition 2
+// (and its MIN/MAX twin, Proposition 5) compare the parallel algorithm's
+// running time on T against its running time on H_T, so tests and benches
+// need skeletons as first-class objects.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gtpar/common.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+/// A skeleton together with node mappings to and from the original tree.
+struct Skeleton {
+  Tree tree;
+  /// old_of[new_id] = id of the corresponding node in the original tree.
+  std::vector<NodeId> old_of;
+  /// new_of[old_id] = id in the skeleton, or kNoNode if the node was cut.
+  std::vector<NodeId> new_of;
+};
+
+/// Build the subtree of `t` induced by all ancestors of `kept_leaves`
+/// (child order is preserved; a node survives iff it is an ancestor of at
+/// least one kept leaf). `kept_leaves` must be non-empty and name leaves of
+/// `t`. Leaf values are copied verbatim.
+Skeleton make_skeleton(const Tree& t, std::span<const NodeId> kept_leaves);
+
+}  // namespace gtpar

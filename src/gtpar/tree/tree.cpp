@@ -1,0 +1,122 @@
+#include "gtpar/tree/tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gtpar {
+
+bool Tree::is_uniform(unsigned d, unsigned n) const noexcept {
+  if (empty()) return false;
+  for (NodeId v = 0; v < size(); ++v) {
+    if (is_leaf(v)) {
+      if (depth_[v] != n) return false;
+    } else {
+      if (child_count_[v] != d) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<NodeId> Tree::leaves() const {
+  std::vector<NodeId> out;
+  out.reserve(num_leaves_);
+  // Preorder arena: an iterative DFS preserves left-to-right leaf order.
+  std::vector<NodeId> stack{root()};
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    if (is_leaf(v)) {
+      out.push_back(v);
+      continue;
+    }
+    auto cs = children(v);
+    for (std::size_t i = cs.size(); i-- > 0;) stack.push_back(cs[i]);
+  }
+  return out;
+}
+
+NodeId TreeBuilder::add_root() {
+  if (!parent_.empty()) throw std::logic_error("TreeBuilder: root already exists");
+  parent_.push_back(kNoNode);
+  kids_.emplace_back();
+  value_.push_back(0);
+  has_value_.push_back(false);
+  return 0;
+}
+
+NodeId TreeBuilder::add_child(NodeId parent) {
+  if (parent >= parent_.size()) throw std::logic_error("TreeBuilder: unknown parent");
+  if (has_value_[parent])
+    throw std::logic_error("TreeBuilder: cannot add a child to a leaf");
+  const NodeId id = static_cast<NodeId>(parent_.size());
+  parent_.push_back(parent);
+  kids_.emplace_back();
+  value_.push_back(0);
+  has_value_.push_back(false);
+  kids_[parent].push_back(id);
+  return id;
+}
+
+void TreeBuilder::set_leaf_value(NodeId v, Value value) {
+  if (v >= parent_.size()) throw std::logic_error("TreeBuilder: unknown node");
+  if (!kids_[v].empty())
+    throw std::logic_error("TreeBuilder: node with children cannot be a leaf");
+  value_[v] = value;
+  has_value_[v] = true;
+}
+
+Tree TreeBuilder::build() {
+  const std::size_t m = parent_.size();
+  if (m == 0) throw std::logic_error("TreeBuilder: empty tree");
+  for (std::size_t v = 0; v < m; ++v) {
+    if (kids_[v].empty() && !has_value_[v])
+      throw std::logic_error("TreeBuilder: childless node without a leaf value");
+  }
+
+  Tree t;
+  t.parent_ = std::move(parent_);
+  t.value_ = std::move(value_);
+  t.child_begin_.resize(m);
+  t.child_count_.resize(m);
+  t.depth_.resize(m);
+  t.child_index_.resize(m);
+  t.subtree_leaves_.assign(m, 0);
+
+  std::size_t total_children = 0;
+  for (const auto& k : kids_) total_children += k.size();
+  t.children_.reserve(total_children);
+  for (std::size_t v = 0; v < m; ++v) {
+    t.child_begin_[v] = static_cast<std::uint32_t>(t.children_.size());
+    t.child_count_[v] = static_cast<std::uint32_t>(kids_[v].size());
+    for (std::size_t i = 0; i < kids_[v].size(); ++i) {
+      t.children_.push_back(kids_[v][i]);
+      t.child_index_[kids_[v][i]] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Depths: parents precede children in the arena (add_child appends), so a
+  // single forward pass suffices.
+  t.depth_[0] = 0;
+  t.child_index_[0] = 0;
+  t.height_ = 0;
+  for (NodeId v = 1; v < m; ++v) {
+    t.depth_[v] = t.depth_[t.parent_[v]] + 1;
+    t.height_ = std::max(t.height_, t.depth_[v]);
+  }
+
+  // Subtree leaf counts: backward pass (children have larger ids).
+  t.num_leaves_ = 0;
+  for (NodeId v = static_cast<NodeId>(m); v-- > 0;) {
+    if (t.child_count_[v] == 0) {
+      t.subtree_leaves_[v] = 1;
+      ++t.num_leaves_;
+    }
+    if (v != 0) t.subtree_leaves_[t.parent_[v]] += t.subtree_leaves_[v];
+  }
+
+  kids_.clear();
+  has_value_.clear();
+  return t;
+}
+
+}  // namespace gtpar

@@ -1,0 +1,62 @@
+#include "gtpar/tree/values.hpp"
+
+#include <algorithm>
+
+namespace gtpar {
+
+std::vector<char> nor_values(const Tree& t) {
+  std::vector<char> val(t.size(), 0);
+  // Children have larger ids than parents (builder invariant), so one
+  // backward pass computes a full postorder evaluation.
+  for (NodeId v = static_cast<NodeId>(t.size()); v-- > 0;) {
+    if (t.is_leaf(v)) {
+      val[v] = t.leaf_value(v) != 0 ? 1 : 0;
+    } else {
+      char r = 1;
+      for (NodeId c : t.children(v)) {
+        if (val[c]) {
+          r = 0;
+          break;
+        }
+      }
+      val[v] = r;
+    }
+  }
+  return val;
+}
+
+bool nor_value(const Tree& t, NodeId v) {
+  if (t.is_leaf(v)) return t.leaf_value(v) != 0;
+  for (NodeId c : t.children(v)) {
+    if (nor_value(t, c)) return false;
+  }
+  return true;
+}
+
+std::vector<Value> minimax_values(const Tree& t) {
+  std::vector<Value> val(t.size(), 0);
+  for (NodeId v = static_cast<NodeId>(t.size()); v-- > 0;) {
+    if (t.is_leaf(v)) {
+      val[v] = t.leaf_value(v);
+      continue;
+    }
+    const bool maxing = node_kind(t, v) == NodeKind::Max;
+    Value r = maxing ? kMinusInf : kPlusInf;
+    for (NodeId c : t.children(v)) r = maxing ? std::max(r, val[c]) : std::min(r, val[c]);
+    val[v] = r;
+  }
+  return val;
+}
+
+Value minimax_value(const Tree& t, NodeId v) {
+  if (t.is_leaf(v)) return t.leaf_value(v);
+  const bool maxing = node_kind(t, v) == NodeKind::Max;
+  Value r = maxing ? kMinusInf : kPlusInf;
+  for (NodeId c : t.children(v)) {
+    const Value x = minimax_value(t, c);
+    r = maxing ? std::max(r, x) : std::min(r, x);
+  }
+  return r;
+}
+
+}  // namespace gtpar

@@ -1,0 +1,36 @@
+// gtpar/tree/values.hpp
+//
+// Ground-truth evaluation of trees by full postorder traversal. These are
+// the reference semantics every search algorithm in the library is tested
+// against: they visit *all* leaves, with no pruning whatsoever.
+#pragma once
+
+#include <vector>
+
+#include "gtpar/common.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+/// Value of node v in the NOR-tree semantics: a leaf's value is its stored
+/// 0/1; an internal node is 0 if any child evaluates to 1, else 1.
+/// (The paper represents AND/OR trees as NOR-trees; see andor.hpp.)
+bool nor_value(const Tree& t, NodeId v);
+
+/// Value of the whole NOR-tree (its root).
+inline bool nor_value(const Tree& t) { return nor_value(t, t.root()); }
+
+/// Values of *all* nodes of the NOR-tree, indexed by NodeId.
+std::vector<char> nor_values(const Tree& t);
+
+/// Value of node v under MIN/MAX semantics: the root (depth 0) is a MAX
+/// node, depths alternate; a leaf's value is its stored Value.
+Value minimax_value(const Tree& t, NodeId v);
+
+/// Value of the whole MIN/MAX tree (its root).
+inline Value minimax_value(const Tree& t) { return minimax_value(t, t.root()); }
+
+/// Values of all nodes of the MIN/MAX tree, indexed by NodeId.
+std::vector<Value> minimax_values(const Tree& t);
+
+}  // namespace gtpar

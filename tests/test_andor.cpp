@@ -1,0 +1,75 @@
+// AND/OR <-> NOR conversion (Section 2's representation change).
+#include <gtest/gtest.h>
+
+#include "gtpar/tree/andor.hpp"
+#include "gtpar/tree/serialization.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(AndOr, DirectEvaluationSmallCases) {
+  // Root OR: (1 0) -> 1; root AND: (1 0) -> 0.
+  const Tree t = parse_tree("(1 0)");
+  EXPECT_TRUE(andor_value(t, AndOrKind::Or));
+  EXPECT_FALSE(andor_value(t, AndOrKind::And));
+}
+
+TEST(AndOr, ConversionPreservesValueOrRoot) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    for (AndOrKind k : {AndOrKind::And, AndOrKind::Or}) {
+      const Tree t = make_uniform_iid_nor(2, 5, 0.5, seed);
+      const bool truth = andor_value(t, k);
+      const NorConversion conv = to_nor(t, k);
+      const bool nor_val = nor_value(conv.nor_tree);
+      const bool recovered = conv.root_complemented ? !nor_val : nor_val;
+      EXPECT_EQ(recovered, truth) << "seed=" << seed
+                                  << " kind=" << (k == AndOrKind::And ? "AND" : "OR");
+    }
+  }
+}
+
+TEST(AndOr, ConversionPreservesShape) {
+  const Tree t = make_uniform_iid_nor(3, 3, 0.4, 1);
+  const NorConversion conv = to_nor(t, AndOrKind::Or);
+  ASSERT_EQ(conv.nor_tree.size(), t.size());
+  EXPECT_EQ(conv.nor_tree.height(), t.height());
+  EXPECT_EQ(conv.nor_tree.num_leaves(), t.num_leaves());
+}
+
+TEST(AndOr, ConversionOnRaggedTrees) {
+  // Leaves at different depths still convert correctly.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    RandomShapeParams p;
+    p.n_min = 2;
+    p.n_max = 5;
+    const Tree t = make_random_shape_nor(p, 0.5, seed);
+    for (AndOrKind k : {AndOrKind::And, AndOrKind::Or}) {
+      const bool truth = andor_value(t, k);
+      const NorConversion conv = to_nor(t, k);
+      const bool recovered =
+          conv.root_complemented ? !nor_value(conv.nor_tree) : nor_value(conv.nor_tree);
+      EXPECT_EQ(recovered, truth) << "seed " << seed;
+    }
+  }
+}
+
+TEST(AndOr, SingleLeafConversion) {
+  const Tree t = parse_tree("1");
+  for (AndOrKind k : {AndOrKind::And, AndOrKind::Or}) {
+    const NorConversion conv = to_nor(t, k);
+    const bool recovered =
+        conv.root_complemented ? !nor_value(conv.nor_tree) : nor_value(conv.nor_tree);
+    EXPECT_EQ(recovered, andor_value(t, k));
+  }
+}
+
+TEST(AndOr, RootComplementFlagMatchesRootKind) {
+  const Tree t = make_uniform_iid_nor(2, 4, 0.5, 9);
+  EXPECT_TRUE(to_nor(t, AndOrKind::Or).root_complemented);
+  EXPECT_FALSE(to_nor(t, AndOrKind::And).root_complemented);
+}
+
+}  // namespace
+}  // namespace gtpar

@@ -1,0 +1,127 @@
+// Combinatorial bounds of Section 3 (binomials, sigma_k, k1, k2, and the
+// Proposition 4 adversary).
+#include <gtest/gtest.h>
+
+#include "gtpar/analysis/bounds.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(Binomial, SmallValuesExact) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 3), 120u);
+  EXPECT_EQ(binomial(52, 5), 2598960u);
+  EXPECT_EQ(binomial(3, 7), 0u);
+}
+
+TEST(Binomial, PascalIdentity) {
+  for (unsigned n = 1; n <= 40; ++n) {
+    for (unsigned k = 1; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Binomial, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(binomial(200, 100), kSaturated);
+  EXPECT_EQ(sat_pow(2, 64), kSaturated);
+  EXPECT_EQ(sat_pow(2, 63), 1ull << 63);
+  EXPECT_EQ(sat_mul(kSaturated, 2), kSaturated);
+  EXPECT_EQ(sat_add(kSaturated - 1, 5), kSaturated);
+  EXPECT_EQ(sat_mul(1ull << 32, 1ull << 31), 1ull << 63);
+}
+
+TEST(Prop3Bound, MatchesDefinition) {
+  // sigma_k = C(n,k)(d-1)^k.
+  EXPECT_EQ(prop3_bound(8, 2, 0), 1u);
+  EXPECT_EQ(prop3_bound(8, 2, 3), binomial(8, 3));
+  EXPECT_EQ(prop3_bound(8, 3, 3), binomial(8, 3) * 8);
+  EXPECT_EQ(prop3_bound(8, 2, 9), 0u);
+}
+
+TEST(Prop3Bound, SumsToCodeSpace) {
+  // sum_k sigma_k = d^n: every code vector has some number of non-zeros.
+  for (unsigned d = 2; d <= 4; ++d) {
+    for (unsigned n = 1; n <= 10; ++n) {
+      std::uint64_t sum = 0;
+      for (unsigned k = 0; k <= n; ++k) sum += prop3_bound(n, d, k);
+      EXPECT_EQ(sum, sat_pow(d, n)) << "d=" << d << " n=" << n;
+    }
+  }
+}
+
+TEST(Prop6Bound, IsNMinusKTimesProp3) {
+  EXPECT_EQ(prop6_bound(8, 2, 3), 5 * prop3_bound(8, 2, 3));
+  EXPECT_EQ(prop6_bound(8, 2, 8), 0u);
+}
+
+TEST(WidthProcessorBound, MatchesPaperForWidth1) {
+  // Width 1 on a binary tree: 1 + n(d-1) = n + 1 processors.
+  for (unsigned n = 1; n <= 20; ++n)
+    EXPECT_EQ(width_processor_bound(n, 2, 1), n + 1);
+  // Width 2/3: O(n^2)/O(n^3) growth as the conclusion of the paper states.
+  EXPECT_EQ(width_processor_bound(10, 2, 2), 1u + 10u + binomial(10, 2));
+}
+
+TEST(Lemma1, K1IsMaximalAndLinearInN) {
+  for (unsigned d = 2; d <= 3; ++d) {
+    for (unsigned n = 8; n <= 60; n += 4) {
+      const unsigned k1 = lemma1_k1(n, d);
+      const std::uint64_t budget = sat_pow(d, n / 2);
+      // Defining inequality holds at k1 and fails at k1 + 1.
+      EXPECT_LE(sat_mul(binomial(n, k1), sat_pow(d, k1)), budget);
+      const std::uint64_t next = sat_mul(binomial(n, k1 + 1), sat_pow(d, k1 + 1));
+      EXPECT_GT(next, budget) << "d=" << d << " n=" << n;
+    }
+    // Linear growth: k1 >= alpha * n for a visible constant at large n.
+    EXPECT_GE(lemma1_k1(60, d), 60u / 12u);
+  }
+}
+
+TEST(Lemma2, K2IsMaximalAndBelowK1Budget) {
+  for (unsigned d = 2; d <= 3; ++d) {
+    for (unsigned n = 8; n <= 60; n += 4) {
+      const unsigned k2 = lemma2_k2(n, d);
+      const std::uint64_t budget = sat_pow(d, n / 2);
+      std::uint64_t sum = 0;
+      for (unsigned i = 0; i <= k2; ++i)
+        sum = sat_add(sum, sat_mul(i + 1, prop3_bound(n, d, i)));
+      EXPECT_LE(sum, budget);
+      sum = sat_add(sum, sat_mul(k2 + 2, prop3_bound(n, d, k2 + 1)));
+      EXPECT_GT(sum, budget) << "d=" << d << " n=" << n;
+      // Lemma 2's proof concludes k2 >= k1 for n above an n0(d); small n
+      // genuinely violate it (k2=0 < k1=1 at d=2, n=8), consistent with the
+      // lemma being asymptotic.
+      if (n >= 24) {
+        EXPECT_GE(k2, lemma1_k1(n, d)) << "d=" << d << " n=" << n;
+      }
+    }
+    EXPECT_GE(lemma2_k2(60, d), 60u / 10u);
+  }
+}
+
+TEST(Prop4Adversary, DegenerateCases) {
+  // With zero work there are no steps; with work 1 there is one step.
+  EXPECT_EQ(prop4_max_steps(8, 2, 0), 0u);
+  EXPECT_EQ(prop4_max_steps(8, 2, 1), 1u);
+  // Only one degree-1 step is allowed (sigma_0 = 1), so work 2 forces a
+  // degree-2 step: still 1 + 0 extra... work 2 = one degree-1 step plus one
+  // leftover unit which cannot form a batch alone at degree 2.
+  EXPECT_EQ(prop4_max_steps(8, 2, 2), 1u);
+  EXPECT_EQ(prop4_max_steps(8, 2, 3), 2u);
+}
+
+TEST(Prop4Adversary, StepsGrowSublinearlyInWork) {
+  // The whole point of Proposition 4: steps <= work / Omega(n).
+  const unsigned n = 40, d = 2;
+  const std::uint64_t work = sat_pow(d, n / 2);
+  const std::uint64_t steps = prop4_max_steps(n, d, work);
+  EXPECT_LT(steps, work / 4u) << "adversary cannot keep parallel degree low";
+}
+
+}  // namespace
+}  // namespace gtpar

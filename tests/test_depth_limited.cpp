@@ -1,0 +1,106 @@
+// Depth-limited heuristic alpha-beta and iterative deepening.
+#include <gtest/gtest.h>
+
+#include "gtpar/ab/depth_limited.hpp"
+#include "gtpar/expand/tree_source.hpp"
+#include "gtpar/games/games.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+// A simple tic-tac-toe heuristic: open lines for X minus open lines for O.
+Value ttt_heuristic(const TreeSource::Node& v) {
+  const std::string b = TicTacToeSource::board_string(v);
+  static const int lines[8][3] = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, {0, 3, 6},
+                                  {1, 4, 7}, {2, 5, 8}, {0, 4, 8}, {2, 4, 6}};
+  int score = 0;
+  for (const auto& ln : lines) {
+    bool x_ok = true, o_ok = true;
+    for (int i : ln) {
+      if (b[std::size_t(i)] == 'O') x_ok = false;
+      if (b[std::size_t(i)] == 'X') o_ok = false;
+    }
+    score += int(x_ok) - int(o_ok);
+  }
+  return score;
+}
+
+TEST(DepthLimited, FullDepthEqualsExactSearch) {
+  // With depth >= height, the heuristic is never consulted and the value
+  // is exact.
+  const auto src = make_iid_minimax_source(2, 6, -50, 50, 3);
+  const Tree t = materialize(src);
+  const auto r = depth_limited_ab(src, 6, [](const TreeSource::Node&) { return 0; });
+  EXPECT_EQ(r.value, minimax_value(t));
+  EXPECT_EQ(r.heuristic_evaluations, 0u);
+  EXPECT_EQ(r.pv.size(), 6u);
+}
+
+TEST(DepthLimited, DepthZeroIsJustTheHeuristic) {
+  const auto src = make_iid_minimax_source(2, 6, -50, 50, 3);
+  const auto r = depth_limited_ab(src, 0, [](const TreeSource::Node&) { return 42; });
+  EXPECT_EQ(r.value, 42);
+  EXPECT_EQ(r.heuristic_evaluations, 1u);
+  EXPECT_TRUE(r.pv.empty());
+}
+
+TEST(DepthLimited, TerminalsInsideHorizonUseTrueValues) {
+  // Nim(4,3) has terminals at depth 2; a depth-9 search never needs the
+  // heuristic.
+  const NimSource nim(4, 3);
+  const auto r = depth_limited_ab(nim, 9, [](const TreeSource::Node&) { return 99; });
+  EXPECT_EQ(r.value, NimSource::theoretical_value(4, 3));
+  EXPECT_EQ(r.heuristic_evaluations, 0u);
+}
+
+TEST(DepthLimited, PvIsAConsistentLine) {
+  // Replaying the PV through the source must stay legal (child indices in
+  // range) and end at the horizon or a terminal.
+  const TicTacToeSource ttt;
+  const auto r = depth_limited_ab(ttt, 5, ttt_heuristic);
+  auto v = ttt.root();
+  for (const unsigned mv : r.pv) {
+    ASSERT_LT(mv, ttt.num_children(v));
+    v = ttt.child(v, mv);
+  }
+  EXPECT_LE(r.pv.size(), 5u);
+}
+
+TEST(DepthLimited, DeepTicTacToeSearchFindsTheDraw) {
+  const TicTacToeSource ttt;
+  const auto r = depth_limited_ab(ttt, 9, ttt_heuristic);
+  EXPECT_EQ(r.value, 0) << "full-depth search sees the draw";
+}
+
+TEST(IterativeDeepening, HistoryHasOneEntryPerDepth) {
+  const TicTacToeSource ttt;
+  std::vector<DepthLimitedResult> history;
+  const auto r = iterative_deepening(ttt, 4, ttt_heuristic, &history);
+  ASSERT_EQ(history.size(), 4u);
+  EXPECT_EQ(history.back().value, r.value);
+  // Deeper searches cost more nodes.
+  for (std::size_t i = 1; i < history.size(); ++i)
+    EXPECT_GT(history[i].nodes, history[i - 1].nodes);
+}
+
+TEST(IterativeDeepening, ConvergesToGameValueOnTicTacToe) {
+  const TicTacToeSource ttt;
+  std::vector<DepthLimitedResult> history;
+  iterative_deepening(ttt, 9, ttt_heuristic, &history);
+  EXPECT_EQ(history.back().value, 0);
+}
+
+TEST(DepthLimited, HeuristicQualityShowsUpInShallowValues) {
+  // At depth 1 the (good) heuristic prefers the centre, the classic
+  // tic-tac-toe opening.
+  const TicTacToeSource ttt;
+  const auto r = depth_limited_ab(ttt, 1, ttt_heuristic);
+  ASSERT_FALSE(r.pv.empty());
+  const auto child = ttt.child(ttt.root(), r.pv[0]);
+  EXPECT_EQ(TicTacToeSource::board_string(child), "....X....");
+}
+
+}  // namespace
+}  // namespace gtpar

@@ -1,0 +1,192 @@
+// Node-expansion model (Section 5): sources, N-Sequential / N-Parallel
+// SOLVE, the skeleton identity S*(T) = |H_T|, Proposition 6, and the
+// MIN/MAX expansion algorithms.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/analysis/bounds.hpp"
+#include "gtpar/expand/minimax_expansion.hpp"
+#include "gtpar/expand/nor_expansion.hpp"
+#include "gtpar/expand/tree_source.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/skeleton.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(TreeSource, UniformSourceMaterializesToUniformTree) {
+  const auto src = make_iid_nor_source(2, 5, 0.618, 7);
+  const Tree t = materialize(src);
+  EXPECT_TRUE(t.is_uniform(2, 5));
+  // Same leaf values as the explicit generator with the same seed.
+  const Tree direct = make_uniform_iid_nor(2, 5, 0.618, 7);
+  EXPECT_EQ(nor_values(t), nor_values(direct));
+}
+
+TEST(TreeSource, WorstCaseSourceMatchesExplicitGenerator) {
+  for (bool rv : {false, true}) {
+    const WorstCaseNorSource src(2, 5, rv);
+    const Tree t = materialize(src);
+    const Tree direct = make_worst_case_nor(2, 5, rv);
+    ASSERT_EQ(t.size(), direct.size());
+    EXPECT_EQ(nor_values(t), nor_values(direct));
+  }
+}
+
+TEST(TreeSource, ExplicitAdapterRoundTrips) {
+  const Tree t = make_uniform_iid_minimax(3, 3, -5, 5, 3);
+  const ExplicitTreeSource src(t);
+  const Tree back = materialize(src);
+  EXPECT_EQ(minimax_values(t), minimax_values(back));
+}
+
+using ExpandParams = std::tuple<unsigned, unsigned, unsigned, std::uint64_t>;
+class NExpansionSweep : public ::testing::TestWithParam<ExpandParams> {};
+
+TEST_P(NExpansionSweep, NorValueCorrect) {
+  const auto [d, n, width, seed] = GetParam();
+  const auto src = make_iid_nor_source(d, n, 0.618, seed);
+  const Tree t = materialize(src);
+  const auto run = run_n_parallel_solve(src, width);
+  EXPECT_EQ(run.value, nor_value(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, NExpansionSweep,
+                         ::testing::Combine(::testing::Values(2u, 3u),
+                                            ::testing::Values(3u, 5u),
+                                            ::testing::Values(0u, 1u, 2u),
+                                            ::testing::Values(0ull, 1ull, 2ull)));
+
+TEST(NSequentialSolve, ExpandsExactlyTheSkeleton) {
+  // "The skeleton H_T consists of precisely those nodes of T that are
+  // expanded by N-Sequential SOLVE on T."
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 7, 0.618, seed);
+    const ExplicitTreeSource src(t);
+    const auto run = run_n_sequential_solve(src);
+    const auto seq = sequential_solve(t);
+    const Skeleton h = make_skeleton(t, seq.evaluated);
+    EXPECT_EQ(run.stats.work, h.tree.size()) << "seed " << seed;
+    EXPECT_EQ(run.value, seq.value);
+  }
+}
+
+TEST(NSequentialSolve, OneExpansionPerStep) {
+  const auto src = make_iid_nor_source(2, 6, 0.5, 4);
+  const auto run = run_n_sequential_solve(src);
+  EXPECT_EQ(run.stats.steps, run.stats.work);
+  EXPECT_EQ(run.stats.max_degree, 1u);
+}
+
+TEST(NParallelSolve, FrontierBatchHasSmallPruningNumbers) {
+  const auto src = make_iid_nor_source(2, 6, 0.618, 5);
+  run_n_parallel_solve(src, 1,
+                       [&](const NorExpansionSimulator& sim,
+                           std::span<const std::uint32_t> batch) {
+                         for (auto v : batch) EXPECT_LE(sim.pruning_number(v), 1u);
+                       });
+}
+
+TEST(NParallelSolve, Proposition6BoundsHoldOnSkeletons) {
+  // t*_{k+1}(H_T) <= (n-k) C(n,k) (d-1)^k for width-1 N-Parallel SOLVE.
+  const unsigned d = 2, n = 8;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Tree t = make_uniform_iid_nor(d, n, 0.618, seed);
+    const Skeleton h = make_skeleton(t, sequential_solve(t).evaluated);
+    const ExplicitTreeSource src(h.tree);
+    const auto run = run_n_parallel_solve(src, 1);
+    for (unsigned k = 0; k < n; ++k)
+      EXPECT_LE(run.stats.t(k + 1), prop6_bound(n, d, k)) << "seed=" << seed << " k=" << k;
+  }
+}
+
+TEST(NParallelSolve, StepsMonotoneInWidth) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto src = make_iid_nor_source(2, 8, 0.618, seed);
+    std::uint64_t prev = ~0ull;
+    for (unsigned w : {0u, 1u, 2u}) {
+      const auto run = run_n_parallel_solve(src, w);
+      EXPECT_LE(run.stats.steps, prev);
+      prev = run.stats.steps;
+    }
+  }
+}
+
+TEST(NParallelSolve, GeneratesNoMoreThanTreeSize) {
+  const auto src = make_iid_nor_source(2, 6, 0.618, 9);
+  NorExpansionSimulator sim(src);
+  std::vector<std::uint32_t> batch;
+  while (!sim.done()) {
+    sim.collect_width_frontier(1, batch);
+    sim.expand(batch);
+  }
+  const Tree t = materialize(src);
+  EXPECT_LE(sim.generated(), t.size());
+  EXPECT_LE(sim.expansions(), sim.generated());
+}
+
+// ---------------------------------------------------------------------------
+// MIN/MAX node-expansion versions.
+// ---------------------------------------------------------------------------
+
+class NAbSweep : public ::testing::TestWithParam<ExpandParams> {};
+
+TEST_P(NAbSweep, MinimaxValueCorrect) {
+  const auto [d, n, width, seed] = GetParam();
+  const auto src = make_iid_minimax_source(d, n, -1000, 1000, seed);
+  const Tree t = materialize(src);
+  const auto run = run_n_parallel_ab(src, width);
+  EXPECT_EQ(run.value, minimax_value(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, NAbSweep,
+                         ::testing::Combine(::testing::Values(2u, 3u),
+                                            ::testing::Values(3u, 5u),
+                                            ::testing::Values(0u, 1u, 2u),
+                                            ::testing::Values(0ull, 1ull, 2ull)));
+
+TEST(NSequentialAb, ExpandsNoMoreThanFullTree) {
+  const auto src = make_iid_minimax_source(2, 7, 0, 1 << 16, 3);
+  const Tree t = materialize(src);
+  const auto run = run_n_sequential_ab(src);
+  EXPECT_LT(run.stats.work, t.size()) << "alpha-beta should prune something";
+}
+
+TEST(NSequentialAb, EvaluatedLeafSetMatchesLeafModel) {
+  // The node-expansion sequential alpha-beta evaluates the same *leaves* as
+  // the leaf-evaluation sequential alpha-beta (expansions additionally
+  // count internal nodes).
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Tree t = make_uniform_iid_minimax(2, 5, 0, 1 << 16, seed);
+    const ExplicitTreeSource src(t);
+    std::vector<NodeId> expanded_leaves;
+    run_n_parallel_ab(src, 0,
+                      [&](const MinimaxExpansionSimulator& sim,
+                          std::span<const std::uint32_t> batch) {
+                        for (auto g : batch) {
+                          const auto node = sim.source_node(g);
+                          const auto id = static_cast<NodeId>(node.path);
+                          if (t.is_leaf(id)) expanded_leaves.push_back(id);
+                        }
+                      });
+    EXPECT_EQ(expanded_leaves, sequential_ab_leaves(t)) << "seed " << seed;
+  }
+}
+
+TEST(NParallelAb, TiesHeavyCorrectness) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto src = make_iid_minimax_source(2, 6, 0, 2, seed);
+    const Tree t = materialize(src);
+    for (unsigned w : {0u, 1u, 3u}) {
+      EXPECT_EQ(run_n_parallel_ab(src, w).value, minimax_value(t))
+          << "seed=" << seed << " w=" << w;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gtpar

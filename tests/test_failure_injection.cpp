@@ -1,0 +1,120 @@
+// Failure injection: the library must fail loudly and leave no corrupted
+// state when its inputs misbehave — throwing tree sources, invalid
+// batches, model violations.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/expand/nor_expansion.hpp"
+#include "gtpar/expand/tree_source.hpp"
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+/// A source that throws after a budget of leaf evaluations — models an
+/// oracle that becomes unavailable mid-search.
+class FailingSource final : public TreeSource {
+ public:
+  FailingSource(const TreeSource& inner, std::uint64_t budget)
+      : inner_(&inner), budget_(budget) {}
+
+  Node root() const override { return inner_->root(); }
+  unsigned num_children(const Node& v) const override {
+    return inner_->num_children(v);
+  }
+  Node child(const Node& v, unsigned i) const override { return inner_->child(v, i); }
+  Value leaf_value(const Node& v) const override {
+    if (evals_++ >= budget_) throw std::runtime_error("oracle unavailable");
+    return inner_->leaf_value(v);
+  }
+
+  mutable std::uint64_t evals_ = 0;
+
+ private:
+  const TreeSource* inner_;
+  std::uint64_t budget_;
+};
+
+TEST(FailureInjection, ThrowingSourcePropagatesCleanly) {
+  const auto inner = make_iid_nor_source(2, 8, 0.618, 1);
+  const FailingSource failing(inner, 5);
+  EXPECT_THROW(run_n_sequential_solve(failing), std::runtime_error);
+}
+
+TEST(FailureInjection, ZeroBudgetFailsOnFirstLeaf) {
+  const auto inner = make_iid_nor_source(2, 4, 0.5, 2);
+  const FailingSource failing(inner, 0);
+  EXPECT_THROW(run_n_parallel_solve(failing, 1), std::runtime_error);
+}
+
+TEST(FailureInjection, GenerousBudgetSucceeds) {
+  const auto inner = make_iid_nor_source(2, 6, 0.618, 3);
+  const Tree t = materialize(inner);
+  const FailingSource failing(inner, 1u << 20);
+  EXPECT_EQ(run_n_sequential_solve(failing).value, nor_value(t));
+}
+
+TEST(FailureInjection, SimulatorRejectsForeignAndRepeatedLeaves) {
+  const Tree t = make_uniform_iid_nor(2, 4, 0.5, 1);
+  NorSimulator sim(t);
+  // Internal node in a batch.
+  const NodeId internal = t.root();
+  const NodeId leaf = t.leaves().front();
+  EXPECT_THROW(sim.evaluate_leaves(std::vector<NodeId>{internal}), std::invalid_argument);
+  // Out-of-range id.
+  EXPECT_THROW(sim.evaluate_leaves(std::vector<NodeId>{NodeId(t.size() + 5)}),
+               std::invalid_argument);
+  // Valid evaluation, then a repeat of the same leaf.
+  sim.evaluate_leaves(std::vector<NodeId>{leaf});
+  EXPECT_THROW(sim.evaluate_leaves(std::vector<NodeId>{leaf}), std::invalid_argument);
+}
+
+TEST(FailureInjection, SimulatorStateSurvivesARejectedBatch) {
+  // A rejected batch must not change any state: the run can continue and
+  // still produce the right answer.
+  const Tree t = make_uniform_iid_nor(2, 6, 0.618, 5);
+  NorSimulator sim(t);
+  std::vector<NodeId> batch;
+  sim.collect_width_leaves(1, batch);
+  EXPECT_THROW(sim.evaluate_leaves(std::vector<NodeId>{t.root()}), std::invalid_argument);
+  // Continue normally.
+  while (!sim.done()) {
+    sim.collect_width_leaves(1, batch);
+    sim.evaluate_leaves(batch);
+  }
+  EXPECT_EQ(sim.root_value(), nor_value(t));
+}
+
+TEST(FailureInjection, MinimaxSimulatorRejectsPrunedLeaves) {
+  // Drive a run until something is pruned, then try to evaluate a deleted
+  // leaf.
+  const Tree t = make_best_case_minimax(2, 6);
+  MinimaxSimulator sim(t);
+  std::vector<NodeId> batch;
+  NodeId pruned_leaf = kNoNode;
+  while (!sim.done() && pruned_leaf == kNoNode) {
+    sim.collect_width_leaves(0, batch);
+    sim.evaluate_leaves(batch);
+    for (NodeId leaf : t.leaves()) {
+      if (!sim.finished(leaf) && !sim.in_pruned_tree(leaf)) {
+        pruned_leaf = leaf;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(pruned_leaf, kNoNode) << "best-case ordering must prune quickly";
+  EXPECT_THROW(sim.evaluate_leaves(std::vector<NodeId>{pruned_leaf}),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, MaterializeEnforcesNodeCap) {
+  const auto src = make_iid_nor_source(2, 20, 0.5, 1);
+  EXPECT_THROW(materialize(src, /*max_nodes=*/1000), std::length_error);
+}
+
+}  // namespace
+}  // namespace gtpar

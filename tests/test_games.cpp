@@ -1,0 +1,101 @@
+// Game sources: tic-tac-toe and Nim, with known game-theoretic values as
+// oracles for the node-expansion search algorithms.
+#include <gtest/gtest.h>
+
+#include "gtpar/expand/minimax_expansion.hpp"
+#include "gtpar/games/games.hpp"
+#include "gtpar/rand/randomized.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(TicTacToe, RootHasNineMoves) {
+  const TicTacToeSource src;
+  EXPECT_EQ(src.num_children(src.root()), 9u);
+  EXPECT_EQ(TicTacToeSource::board_string(src.root()), ".........");
+}
+
+TEST(TicTacToe, ChildBoardsPlaceAlternatingMarks) {
+  const TicTacToeSource src;
+  const auto c0 = src.child(src.root(), 0);
+  EXPECT_EQ(TicTacToeSource::board_string(c0), "X........");
+  const auto c01 = src.child(c0, 0);
+  EXPECT_EQ(TicTacToeSource::board_string(c01), "XO.......");
+  EXPECT_EQ(src.num_children(c01), 7u);
+}
+
+TEST(TicTacToe, DetectsTerminalWin) {
+  // X plays 0,1,2 (top row) while O plays elsewhere: after X's third move
+  // the node is terminal with value +1. Build the move-digit path by hand:
+  // X:sq0 (digit 0), O:sq3 (empty list after X0 is 1,2,3,..: sq3 = digit 2),
+  // X:sq1 (digit 0), O:sq4 (empties 2,4,5,..: digit 1), X:sq2 (digit 0).
+  const TicTacToeSource src;
+  auto v = src.root();
+  for (unsigned digit : {0u, 2u, 0u, 1u, 0u}) v = src.child(v, digit);
+  EXPECT_EQ(TicTacToeSource::board_string(v), "XXXOO....");
+  EXPECT_EQ(src.num_children(v), 0u);
+  EXPECT_EQ(src.leaf_value(v), 1);
+}
+
+TEST(TicTacToe, GameIsADraw) {
+  const TicTacToeSource src;
+  const auto run = run_n_sequential_ab(src);
+  EXPECT_EQ(run.value, 0) << "tic-tac-toe is a draw under optimal play";
+  // Alpha-beta must prune: the full move-sequence tree has ~550k nodes.
+  EXPECT_LT(run.stats.work, 200000u);
+  EXPECT_GT(run.stats.work, 1000u);
+}
+
+TEST(TicTacToe, ParallelWidthsAgree) {
+  const TicTacToeSource src;
+  for (unsigned w : {1u, 2u}) {
+    const auto run = run_n_parallel_ab(src, w);
+    EXPECT_EQ(run.value, 0) << "width " << w;
+  }
+}
+
+TEST(TicTacToe, RandomizedSearchAgrees) {
+  const TicTacToeSource src;
+  for (std::uint64_t seed = 0; seed < 3; ++seed)
+    EXPECT_EQ(run_r_parallel_ab(src, 1, seed).value, 0) << "seed " << seed;
+}
+
+TEST(Nim, TheoreticalValues) {
+  EXPECT_EQ(NimSource::theoretical_value(4, 3), -1);
+  EXPECT_EQ(NimSource::theoretical_value(5, 3), 1);
+  EXPECT_EQ(NimSource::theoretical_value(8, 3), -1);
+  EXPECT_EQ(NimSource::theoretical_value(7, 2), 1);
+  EXPECT_EQ(NimSource::theoretical_value(6, 2), -1);
+}
+
+TEST(Nim, SearchMatchesTheoryAcrossSizes) {
+  for (unsigned k = 1; k <= 3; ++k) {
+    for (unsigned s = 1; s <= 12; ++s) {
+      const NimSource src(s, k);
+      const auto run = run_n_sequential_ab(src);
+      EXPECT_EQ(run.value, NimSource::theoretical_value(s, k))
+          << "Nim(" << s << "," << k << ")";
+    }
+  }
+}
+
+TEST(Nim, ParallelAgreesWithTheory) {
+  const NimSource src(13, 3);
+  for (unsigned w : {0u, 1u, 2u}) {
+    EXPECT_EQ(run_n_parallel_ab(src, w).value, NimSource::theoretical_value(13, 3))
+        << "width " << w;
+  }
+}
+
+TEST(Nim, ChildCountsRespectRemaining) {
+  const NimSource src(2, 3);
+  EXPECT_EQ(src.num_children(src.root()), 2u);  // can take only 1 or 2
+  const auto after_take1 = src.child(src.root(), 0);
+  EXPECT_EQ(src.num_children(after_take1), 1u);
+  const auto after_take2 = src.child(src.root(), 1);
+  EXPECT_EQ(src.num_children(after_take2), 0u);  // terminal
+  EXPECT_EQ(src.leaf_value(after_take2), 1);     // MAX took the last object
+}
+
+}  // namespace
+}  // namespace gtpar

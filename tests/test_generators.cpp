@@ -1,0 +1,209 @@
+// Workload generators: shapes, determinism, and the adversarial guarantees
+// (worst-case NOR forces full evaluation; ordered MIN/MAX instances hit the
+// no-pruning / perfect-pruning extremes — those two are asserted in
+// test_alphabeta.cpp and test_sequential_solve.cpp respectively).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(Generators, IidNorIsDeterministicInSeed) {
+  const Tree a = make_uniform_iid_nor(2, 8, 0.618, 42);
+  const Tree b = make_uniform_iid_nor(2, 8, 0.618, 42);
+  const Tree c = make_uniform_iid_nor(2, 8, 0.618, 43);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_same = true, differs_from_c = false;
+  for (NodeId v = 0; v < a.size(); ++v) {
+    if (!a.is_leaf(v)) continue;
+    all_same = all_same && a.leaf_value(v) == b.leaf_value(v);
+    differs_from_c = differs_from_c || a.leaf_value(v) != c.leaf_value(v);
+  }
+  EXPECT_TRUE(all_same);
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(Generators, IidNorBiasRoughlyRespected) {
+  const double p = 0.3;
+  const Tree t = make_uniform_iid_nor(2, 12, p, 7);
+  std::uint64_t ones = 0;
+  for (NodeId leaf : t.leaves()) ones += t.leaf_value(leaf) != 0;
+  const double frac = double(ones) / double(t.num_leaves());
+  EXPECT_NEAR(frac, p, 0.02);
+}
+
+TEST(Generators, IidMinimaxStaysInRange) {
+  const Tree t = make_uniform_iid_minimax(3, 5, -7, 9, 11);
+  for (NodeId leaf : t.leaves()) {
+    EXPECT_GE(t.leaf_value(leaf), -7);
+    EXPECT_LE(t.leaf_value(leaf), 9);
+  }
+}
+
+TEST(Generators, GoldenBiasValue) {
+  EXPECT_NEAR(golden_bias(), 0.6180339887, 1e-9);
+  // The defining fixed-point property: p = 1 - p^2 (for binary NOR trees,
+  // Pr[node = 1] is preserved across levels exactly at this bias).
+  const double p = golden_bias();
+  EXPECT_NEAR(p, 1.0 - p * p, 1e-12);
+}
+
+TEST(Generators, WorstCaseNorHasConsistentTargets) {
+  for (unsigned d = 2; d <= 3; ++d) {
+    for (unsigned n = 1; n <= 5; ++n) {
+      for (bool rv : {false, true}) {
+        const Tree t = make_worst_case_nor(d, n, rv);
+        EXPECT_TRUE(t.is_uniform(d, n));
+        EXPECT_EQ(nor_value(t), rv) << "d=" << d << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Generators, BestCaseNorHasRequestedRootValue) {
+  for (bool rv : {false, true}) {
+    const Tree t = make_best_case_nor(2, 6, rv, 0.5, 3);
+    EXPECT_TRUE(t.is_uniform(2, 6));
+    EXPECT_EQ(nor_value(t), rv);
+  }
+}
+
+TEST(Generators, WorstCaseMinimaxChildValuesOrdered) {
+  const Tree t = make_worst_case_minimax(2, 4);
+  const auto vals = minimax_values(t);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.is_leaf(v)) continue;
+    const auto cs = t.children(v);
+    const bool maxing = node_kind(t, v) == NodeKind::Max;
+    for (std::size_t i = 1; i < cs.size(); ++i) {
+      if (maxing)
+        EXPECT_LT(vals[cs[i - 1]], vals[cs[i]]) << "MAX children must increase";
+      else
+        EXPECT_GT(vals[cs[i - 1]], vals[cs[i]]) << "MIN children must decrease";
+    }
+  }
+}
+
+TEST(Generators, BestCaseMinimaxChildValuesOrdered) {
+  const Tree t = make_best_case_minimax(2, 4);
+  const auto vals = minimax_values(t);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.is_leaf(v)) continue;
+    const auto cs = t.children(v);
+    const bool maxing = node_kind(t, v) == NodeKind::Max;
+    for (std::size_t i = 1; i < cs.size(); ++i) {
+      if (maxing)
+        EXPECT_GT(vals[cs[i - 1]], vals[cs[i]]) << "MAX children must decrease";
+      else
+        EXPECT_LT(vals[cs[i - 1]], vals[cs[i]]) << "MIN children must increase";
+    }
+  }
+}
+
+TEST(Generators, RandomShapeRespectsBounds) {
+  RandomShapeParams p;
+  p.d_min = 2;
+  p.d_max = 4;
+  p.n_min = 3;
+  p.n_max = 6;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_random_shape_nor(p, 0.5, seed);
+    for (NodeId v = 0; v < t.size(); ++v) {
+      if (t.is_leaf(v)) {
+        EXPECT_GE(t.depth(v), p.n_min);
+        EXPECT_LE(t.depth(v), p.n_max);
+      } else {
+        EXPECT_GE(t.num_children(v), p.d_min);
+        EXPECT_LE(t.num_children(v), p.d_max);
+      }
+    }
+  }
+}
+
+TEST(Generators, ShuffleChildrenPreservesLeafMultiset) {
+  const Tree t = make_uniform_iid_minimax(3, 4, 0, 1000, 5);
+  const Tree s = shuffle_children(t, 99);
+  ASSERT_EQ(t.size(), s.size());
+  std::multiset<Value> a, b;
+  for (NodeId leaf : t.leaves()) a.insert(t.leaf_value(leaf));
+  for (NodeId leaf : s.leaves()) b.insert(s.leaf_value(leaf));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Generators, ShuffleActuallyPermutes) {
+  const Tree t = make_uniform(2, 6, [](std::uint64_t i) { return Value(i); });
+  const Tree s = shuffle_children(t, 1);
+  const auto tl = t.leaves();
+  const auto sl = s.leaves();
+  bool moved = false;
+  for (std::size_t i = 0; i < tl.size(); ++i)
+    moved = moved || t.leaf_value(tl[i]) != s.leaf_value(sl[i]);
+  EXPECT_TRUE(moved) << "a 64-leaf shuffle should move at least one leaf";
+}
+
+TEST(Generators, OrderedIidMinimaxPerfectOrderingSortsChildren) {
+  const Tree t = make_ordered_iid_minimax(3, 4, 0, 1 << 20, 17, 1.0);
+  const auto vals = minimax_values(t);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.is_leaf(v)) continue;
+    const auto cs = t.children(v);
+    const bool maxing = node_kind(t, v) == NodeKind::Max;
+    for (std::size_t i = 1; i < cs.size(); ++i) {
+      if (maxing)
+        EXPECT_GE(vals[cs[i - 1]], vals[cs[i]]);
+      else
+        EXPECT_LE(vals[cs[i - 1]], vals[cs[i]]);
+    }
+  }
+}
+
+TEST(Generators, OrderedIidMinimaxPreservesRootValue) {
+  for (double q : {0.0, 0.5, 1.0}) {
+    const Tree base = make_uniform_iid_minimax(3, 4, 0, 1 << 20, 23);
+    const Tree t = make_ordered_iid_minimax(3, 4, 0, 1 << 20, 23, q);
+    EXPECT_EQ(minimax_value(base), minimax_value(t)) << "q=" << q;
+  }
+}
+
+TEST(Generators, CorrelatedMinimaxValuesAreEdgeSums) {
+  // Sibling leaves share all but the last increment, so their values stay
+  // within 2*step of each other.
+  const Value step = 10;
+  const Tree t = make_correlated_minimax(3, 5, step, 7);
+  EXPECT_TRUE(t.is_uniform(3, 5));
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.is_leaf(v) || !t.is_leaf(t.child(v, 0))) continue;
+    const auto cs = t.children(v);
+    for (std::size_t i = 1; i < cs.size(); ++i) {
+      EXPECT_LE(std::abs(t.leaf_value(cs[i]) - t.leaf_value(cs[0])), 2 * step);
+    }
+  }
+}
+
+TEST(Generators, CorrelatedMinimaxIsDeterministicAndSeedSensitive) {
+  const Tree a = make_correlated_minimax(2, 6, 50, 1);
+  const Tree b = make_correlated_minimax(2, 6, 50, 1);
+  const Tree c = make_correlated_minimax(2, 6, 50, 2);
+  EXPECT_EQ(minimax_value(a), minimax_value(b));
+  bool differs = false;
+  const auto la = a.leaves();
+  const auto lc = c.leaves();
+  for (std::size_t i = 0; i < la.size(); ++i)
+    differs = differs || a.leaf_value(la[i]) != c.leaf_value(lc[i]);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generators, UniformFromValuesRoundTrip) {
+  const std::vector<Value> vals{5, 3, 8, 1};
+  const Tree t = make_uniform_from_values(2, 2, vals);
+  const auto ls = t.leaves();
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t.leaf_value(ls[i]), vals[i]);
+  EXPECT_THROW(make_uniform_from_values(2, 3, vals), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gtpar

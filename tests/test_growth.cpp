@@ -1,0 +1,88 @@
+// Growth-rate constants (analysis/growth.hpp) and their empirical
+// footprints on the simulators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gtpar/analysis/growth.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/tree/generators.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(Growth, CriticalBiasClosedFormsForSmallD) {
+  // d=1: (1-q) = q -> 1/2. d=2: (1-q)^2 = q -> q = (3-sqrt5)/2.
+  EXPECT_NEAR(critical_one_probability(1), 0.5, 1e-12);
+  EXPECT_NEAR(critical_one_probability(2), (3.0 - std::sqrt(5.0)) / 2.0, 1e-12);
+}
+
+TEST(Growth, CriticalBiasComplementsGoldenBias) {
+  EXPECT_NEAR(critical_one_probability(2), 1.0 - golden_bias(), 1e-9);
+}
+
+TEST(Growth, CriticalBiasIsLevelInvariant) {
+  for (unsigned d = 2; d <= 5; ++d) {
+    const double q = critical_one_probability(d);
+    EXPECT_NEAR(std::pow(1.0 - q, double(d)), q, 1e-10) << "d=" << d;
+    EXPECT_GT(q, 0.0);
+    EXPECT_LT(q, 1.0);
+  }
+}
+
+TEST(Growth, PearlXiSatisfiesItsEquation) {
+  for (unsigned d = 2; d <= 6; ++d) {
+    const double xi = pearl_xi(d);
+    EXPECT_NEAR(std::pow(xi, double(d)) + xi, 1.0, 1e-10) << "d=" << d;
+  }
+  // d = 2: xi is the golden-ratio conjugate.
+  EXPECT_NEAR(pearl_xi(2), (std::sqrt(5.0) - 1.0) / 2.0, 1e-10);
+}
+
+TEST(Growth, BranchingFactorBetweenSqrtDAndD) {
+  // Pearl: d^(1/2) < R*(d) < d for d >= 2 (better than minimax, worse
+  // than the perfect-ordering bound).
+  for (unsigned d = 2; d <= 8; ++d) {
+    const double r = alphabeta_branching_factor(d);
+    EXPECT_GT(r, std::sqrt(double(d))) << "d=" << d;
+    EXPECT_LT(r, double(d)) << "d=" << d;
+  }
+  EXPECT_NEAR(alphabeta_branching_factor(2), (1.0 + std::sqrt(5.0)) / 2.0, 1e-9);
+}
+
+TEST(Growth, SaksWigdersonKnownValues) {
+  EXPECT_NEAR(saks_wigderson_growth(2), (1.0 + std::sqrt(33.0)) / 4.0, 1e-12);
+  // Between sqrt(d) (certificate size) and d (full tree) for all d.
+  for (unsigned d = 2; d <= 8; ++d) {
+    EXPECT_GT(saks_wigderson_growth(d), std::sqrt(double(d)));
+    EXPECT_LT(saks_wigderson_growth(d), double(d));
+  }
+}
+
+TEST(Growth, MeasuredSolveGrowthAtCriticalBiasIsSubFullTree) {
+  // At the critical bias the measured per-level growth of E[S(T)] sits
+  // clearly below d (full tree) and at or above sqrt(d) (certificate).
+  const unsigned d = 2;
+  const double q = critical_one_probability(d);
+  double prev = 0;
+  double ratio_sum = 0;
+  int ratios = 0;
+  for (unsigned n = 8; n <= 14; n += 2) {
+    double total = 0;
+    const int kSeeds = 12;
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed)
+      total += double(sequential_solve_work(make_uniform_iid_nor(d, n, q, seed * 3 + n)));
+    const double mean = total / kSeeds;
+    if (prev > 0) {
+      ratio_sum += std::sqrt(mean / prev);  // per-level growth over 2 levels
+      ++ratios;
+    }
+    prev = mean;
+  }
+  const double growth = ratio_sum / ratios;
+  EXPECT_GT(growth, 1.3) << "growth " << growth;
+  EXPECT_LT(growth, 1.95) << "growth " << growth;
+}
+
+}  // namespace
+}  // namespace gtpar

@@ -1,0 +1,157 @@
+// Section 7 message-passing implementation: correctness over many random
+// instances, termination, zone multiplexing, and the relationship between
+// rounds and the idealized N-Parallel SOLVE step counts.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gtpar/expand/nor_expansion.hpp"
+#include "gtpar/expand/tree_source.hpp"
+#include "gtpar/mp/message_passing.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(MessagePassing, SingleLeafRoot) {
+  const UniformSource src(2, 0, [](std::uint64_t) { return Value(1); });
+  const auto r = run_message_passing_solve(src);
+  EXPECT_TRUE(r.value);
+  EXPECT_EQ(r.expansions, 1u);
+}
+
+TEST(MessagePassing, HeightOne) {
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      const std::vector<Value> vals{Value(a), Value(b)};
+      const UniformSource src(2, 1, [&](std::uint64_t i) { return vals[i]; });
+      const auto r = run_message_passing_solve(src);
+      EXPECT_EQ(r.value, !(a || b)) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+using MpParams = std::tuple<unsigned, double, std::uint64_t>;
+class MessagePassingSweep : public ::testing::TestWithParam<MpParams> {};
+
+TEST_P(MessagePassingSweep, ValueMatchesGroundTruth) {
+  const auto [n, p_one, seed] = GetParam();
+  const auto src = make_iid_nor_source(2, n, p_one, seed);
+  const Tree t = materialize(src);
+  const auto r = run_message_passing_solve(src);
+  EXPECT_EQ(r.value, nor_value(t));
+  EXPECT_GT(r.rounds, 0u);
+  EXPECT_GT(r.expansions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MessagePassingSweep,
+                         ::testing::Combine(::testing::Values(2u, 4u, 7u, 9u),
+                                            ::testing::Values(0.3, 0.618, 0.9),
+                                            ::testing::Values(0ull, 1ull, 2ull, 3ull,
+                                                              4ull, 5ull, 6ull, 7ull)));
+
+TEST(MessagePassing, ManySeedsStress) {
+  // Broad randomized stress: correct value and bounded rounds on 200
+  // instances (termination is the main hazard in a pre-emptive protocol).
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const auto src = make_iid_nor_source(2, 6, 0.618, seed);
+    const Tree t = materialize(src);
+    MpOptions opt;
+    opt.max_rounds = 1'000'000;
+    const auto r = run_message_passing_solve(src, opt);
+    ASSERT_EQ(r.value, nor_value(t)) << "seed " << seed;
+  }
+}
+
+TEST(MessagePassing, WorstCaseInstancesTerminateCorrectly) {
+  for (unsigned n = 1; n <= 10; ++n) {
+    for (bool rv : {false, true}) {
+      const WorstCaseNorSource src(2, n, rv);
+      const auto r = run_message_passing_solve(src);
+      EXPECT_EQ(r.value, rv) << "n=" << n;
+    }
+  }
+}
+
+TEST(MessagePassing, RoundsAreWithinConstantFactorOfIdealSteps) {
+  // The Section 7 claim: the implementation preserves the linear speed-up,
+  // i.e. rounds = O(ideal lock-step N-Parallel width-1 steps). Assert a
+  // generous constant on mid-size instances.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto src = make_iid_nor_source(2, 10, 0.618, seed);
+    const auto ideal = run_n_parallel_solve(src, 1);
+    const auto mp = run_message_passing_solve(src);
+    EXPECT_GE(mp.rounds, ideal.stats.steps) << "rounds cannot beat the ideal";
+    EXPECT_LE(mp.rounds, 8 * ideal.stats.steps + 8 * 10)
+        << "seed " << seed << ": rounds " << mp.rounds << " vs ideal steps "
+        << ideal.stats.steps;
+  }
+}
+
+TEST(MessagePassing, RedundantWorkIsBounded) {
+  // Pre-empted invocations may duplicate expansions, but the total work
+  // stays within a constant factor of the ideal total work.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto src = make_iid_nor_source(2, 10, 0.618, seed);
+    const auto ideal = run_n_parallel_solve(src, 1);
+    const auto mp = run_message_passing_solve(src);
+    EXPECT_LE(mp.expansions, 4 * ideal.stats.work + 16) << "seed " << seed;
+  }
+}
+
+TEST(MessagePassing, ZoneMultiplexingStaysCorrect) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto src = make_iid_nor_source(2, 8, 0.618, seed);
+    const Tree t = materialize(src);
+    const bool truth = nor_value(t);
+    for (unsigned p : {1u, 2u, 3u, 5u, 9u}) {
+      MpOptions opt;
+      opt.num_processors = p;
+      const auto r = run_message_passing_solve(src, opt);
+      EXPECT_EQ(r.value, truth) << "seed=" << seed << " p=" << p;
+      EXPECT_LE(r.peak_busy, p);
+    }
+  }
+}
+
+TEST(MessagePassing, FewerProcessorsNeverFasterMuch) {
+  // Multiplexing p processors over n+1 levels costs roughly a factor
+  // (n+1)/p; with p = 1 the run must be at least as long as with full
+  // processors.
+  const auto src = make_iid_nor_source(2, 9, 0.618, 3);
+  const auto full = run_message_passing_solve(src);
+  MpOptions one;
+  one.num_processors = 1;
+  const auto serial = run_message_passing_solve(src, one);
+  EXPECT_GE(serial.rounds, full.rounds);
+}
+
+TEST(MessagePassing, RaggedBinaryTrees) {
+  // The protocol only needs binary internal nodes, not uniform depth.
+  RandomShapeParams p;
+  p.d_min = 2;
+  p.d_max = 2;
+  p.n_min = 3;
+  p.n_max = 9;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const Tree t = make_random_shape_nor(p, 0.618, seed);
+    const ExplicitTreeSource src(t);
+    const auto r = run_message_passing_solve(src);
+    EXPECT_EQ(r.value, nor_value(t)) << "seed " << seed;
+  }
+}
+
+TEST(MessagePassing, RejectsNonBinaryTrees) {
+  const auto src = make_iid_nor_source(3, 3, 0.5, 1);
+  EXPECT_THROW(run_message_passing_solve(src), std::invalid_argument);
+}
+
+TEST(MessagePassing, PeakBusyRespectsLevelCount) {
+  const auto src = make_iid_nor_source(2, 8, 0.618, 11);
+  const auto r = run_message_passing_solve(src);
+  EXPECT_LE(r.peak_busy, 8u + 1u) << "one processor per level of the tree";
+}
+
+}  // namespace
+}  // namespace gtpar

@@ -1,0 +1,221 @@
+// Parallel SOLVE of width w: correctness sweeps, degree structure,
+// Proposition 3 (step-degree caps, base-path code distinctness), and the
+// work bound of Corollary 1.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "gtpar/analysis/bounds.hpp"
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/proof_tree.hpp"
+#include "gtpar/tree/skeleton.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Correctness sweep: (d, n, p_one, width) grid over i.i.d. instances.
+// ---------------------------------------------------------------------------
+using SolveParams = std::tuple<unsigned, unsigned, double, unsigned>;
+
+class ParallelSolveSweep : public ::testing::TestWithParam<SolveParams> {};
+
+TEST_P(ParallelSolveSweep, ValueMatchesGroundTruthAndWorkIsBounded) {
+  const auto [d, n, p_one, width] = GetParam();
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Tree t = make_uniform_iid_nor(d, n, p_one, seed);
+    const auto run = run_parallel_solve(t, width);
+    EXPECT_EQ(run.value, nor_value(t)) << "seed " << seed;
+    // Work never exceeds the number of leaves and is at least the Fact 1
+    // lower bound; steps never exceed work.
+    EXPECT_LE(run.stats.work, t.num_leaves());
+    EXPECT_GE(run.stats.work, fact1_lower_bound(d, n));
+    EXPECT_LE(run.stats.steps, run.stats.work);
+    // Parallelism is capped by the structural processor bound.
+    EXPECT_LE(run.stats.max_degree, width_processor_bound(n, d, width));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ParallelSolveSweep,
+    ::testing::Combine(::testing::Values(2u, 3u), ::testing::Values(4u, 6u),
+                       ::testing::Values(0.3, 0.618, 0.8),
+                       ::testing::Values(0u, 1u, 2u, 3u)));
+
+// ---------------------------------------------------------------------------
+// Structural properties of width-1 steps.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSolveWidth1, EveryBatchLeafHasPruningNumberAtMostOne) {
+  const Tree t = make_uniform_iid_nor(2, 7, 0.618, 5);
+  run_parallel_solve(t, 1, [&](const NorSimulator& sim, std::span<const NodeId> batch) {
+    for (NodeId leaf : batch) EXPECT_LE(sim.pruning_number(leaf), 1u);
+  });
+}
+
+TEST(ParallelSolveWidth1, BatchIsExactlyTheEligibleSet) {
+  // No live leaf of pruning number <= 1 is left out of the batch.
+  const Tree t = make_uniform_iid_nor(2, 6, 0.618, 9);
+  run_parallel_solve(t, 1, [&](const NorSimulator& sim, std::span<const NodeId> batch) {
+    std::set<NodeId> in_batch(batch.begin(), batch.end());
+    for (NodeId leaf : t.leaves()) {
+      if (!sim.live(leaf)) continue;
+      const unsigned pn = sim.pruning_number(leaf);
+      EXPECT_EQ(in_batch.count(leaf) > 0, pn <= 1)
+          << "leaf " << leaf << " pn=" << pn;
+    }
+  });
+}
+
+TEST(ParallelSolveWidth1, DegreeEqualsNonzeroCodeComponentsPlusOne) {
+  // The proof of Proposition 3: the parallel degree of a step is |R| + 1
+  // where R is the set of base-path nodes with a live right-sibling.
+  const Tree t = make_uniform_iid_nor(3, 5, 0.5, 13);
+  run_parallel_solve(t, 1, [&](const NorSimulator& sim, std::span<const NodeId> batch) {
+    const auto code = sim.base_path_code();
+    std::size_t nonzero = 0;
+    for (unsigned c : code) nonzero += c > 0;
+    EXPECT_EQ(batch.size(), nonzero + 1);
+  });
+}
+
+TEST(ParallelSolveWidth1, CodesDecreaseLexicographically) {
+  // Key step of Proposition 3: C(t+1) strictly precedes C(t).
+  const Tree t = make_uniform_iid_nor(2, 8, 0.618, 17);
+  const auto r = sequential_solve(t);
+  const Skeleton s = make_skeleton(t, r.evaluated);
+  std::vector<unsigned> prev;
+  bool first = true;
+  run_parallel_solve(s.tree, 1,
+                     [&](const NorSimulator& sim, std::span<const NodeId>) {
+                       const auto code = sim.base_path_code();
+                       if (!first) {
+                         EXPECT_LT(std::vector<unsigned>(code), prev)
+                             << "codes must strictly decrease lexicographically";
+                       }
+                       prev = code;
+                       first = false;
+                     });
+}
+
+TEST(ParallelSolveWidth1, Proposition3BoundsHoldOnSkeletons) {
+  // t_{k+1}(H_T) <= C(n,k)(d-1)^k for every k.
+  for (unsigned d = 2; d <= 3; ++d) {
+    const unsigned n = d == 2 ? 8 : 6;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      const Tree t = make_uniform_iid_nor(d, n, 0.618, seed);
+      const auto r = sequential_solve(t);
+      const Skeleton s = make_skeleton(t, r.evaluated);
+      const auto run = run_parallel_solve(s.tree, 1);
+      for (unsigned k = 0; k <= n; ++k) {
+        EXPECT_LE(run.stats.t(k + 1), prop3_bound(n, d, k))
+            << "d=" << d << " seed=" << seed << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(ParallelSolveWidth1, MaxDegreeAtMostNPlusOneTimesDMinus1) {
+  // Width 1 uses at most 1 + n(d-1) processors; on binary trees, n+1.
+  const unsigned n = 9;
+  const Tree t = make_uniform_iid_nor(2, n, 0.618, 2);
+  const auto run = run_parallel_solve(t, 1);
+  EXPECT_LE(run.stats.max_degree, n + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Work bounds (Corollary 1) and behavior on extremal instances.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSolve, Corollary1WorkRatioIsModest) {
+  // W(T) <= c' S(T). The proof gives an absolute constant; empirically the
+  // ratio is small. We assert a generous cap of 4 on the tested family.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 10, 0.618, seed);
+    const std::uint64_t s_work = sequential_solve_work(t);
+    const auto run = run_parallel_solve(t, 1);
+    EXPECT_LE(run.stats.work, 4 * s_work) << "seed " << seed;
+  }
+}
+
+TEST(ParallelSolve, SpeedupOnWorstCaseInstancesIsLinearIsh) {
+  // On the all-leaves-evaluated instance the skeleton is the full tree and
+  // Theorem 1 predicts S/P >= c(n+1). Check a concrete mid-size instance
+  // achieves at least a (n+1)/4 speed-up (c = 1/4 is far below what the
+  // simulation actually achieves; this guards regressions).
+  const unsigned n = 10;
+  const Tree t = make_worst_case_nor(2, n, false);
+  const std::uint64_t s_work = sequential_solve_work(t);
+  ASSERT_EQ(s_work, uniform_leaf_count(2, n));
+  const auto run = run_parallel_solve(t, 1);
+  const double speedup = double(s_work) / double(run.stats.steps);
+  EXPECT_GE(speedup, double(n + 1) / 4.0) << "speed-up " << speedup;
+}
+
+TEST(ParallelSolve, WidthZeroNeverEvaluatesMoreThanSequential) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_uniform_iid_nor(3, 5, 0.4, seed);
+    EXPECT_EQ(run_parallel_solve(t, 0).stats.work, sequential_solve_work(t));
+  }
+}
+
+TEST(ParallelSolve, HigherWidthNeverIncreasesSteps) {
+  // More parallelism can only determine values sooner: steps are monotone
+  // non-increasing in width on every instance we test.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 8, 0.618, seed);
+    std::uint64_t prev = ~0ull;
+    for (unsigned w : {0u, 1u, 2u, 3u}) {
+      const auto run = run_parallel_solve(t, w);
+      EXPECT_LE(run.stats.steps, prev) << "seed=" << seed << " width=" << w;
+      prev = run.stats.steps;
+    }
+  }
+}
+
+TEST(ParallelSolve, RaggedTreesCorrectness) {
+  RandomShapeParams p;
+  p.d_min = 2;
+  p.d_max = 4;
+  p.n_min = 3;
+  p.n_max = 7;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const Tree t = make_random_shape_nor(p, 0.55, seed);
+    for (unsigned w : {1u, 2u}) {
+      EXPECT_EQ(run_parallel_solve(t, w).value, nor_value(t))
+          << "seed=" << seed << " w=" << w;
+    }
+  }
+}
+
+TEST(ParallelSolve, LargeInstanceScalability) {
+  // A million-leaf adversarial instance: the whole pipeline (generation,
+  // simulation, accounting) must stay fast and the Theorem 1 speed-up
+  // visible. This doubles as a guard against accidental O(tree)-per-step
+  // regressions in the eligible-set enumeration.
+  const unsigned n = 20;
+  const Tree t = make_worst_case_nor(2, n, false);
+  ASSERT_EQ(t.num_leaves(), 1u << n);
+  const auto run = run_parallel_solve(t, 1);
+  EXPECT_FALSE(run.value);
+  EXPECT_EQ(run.stats.work, 1u << n);
+  const double speedup = double(1u << n) / double(run.stats.steps);
+  EXPECT_GE(speedup, double(n + 1) / 4.0);
+}
+
+TEST(ParallelSolve, SingleLeafTree) {
+  TreeBuilder b;
+  b.set_leaf_value(b.add_root(), 1);
+  const Tree t = b.build();
+  const auto run = run_parallel_solve(t, 1);
+  EXPECT_TRUE(run.value);
+  EXPECT_EQ(run.stats.steps, 1u);
+  EXPECT_EQ(run.stats.work, 1u);
+}
+
+}  // namespace
+}  // namespace gtpar

@@ -1,0 +1,144 @@
+// Cross-cutting property tests: determinism, monotonicity, and model
+// relationships that no single module test pins down.
+#include <gtest/gtest.h>
+
+#include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/expand/nor_expansion.hpp"
+#include "gtpar/expand/tree_source.hpp"
+#include "gtpar/mp/message_passing.hpp"
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/serialization.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(Properties, MessagePassingIsDeterministic) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto src = make_iid_nor_source(2, 8, 0.618, seed);
+    const auto a = run_message_passing_solve(src);
+    const auto b = run_message_passing_solve(src);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.expansions, b.expansions);
+    EXPECT_EQ(a.messages, b.messages);
+  }
+}
+
+TEST(Properties, LockStepRunsAreDeterministic) {
+  const Tree t = make_uniform_iid_nor(3, 5, 0.5, 9);
+  const auto a = run_parallel_solve(t, 2);
+  const auto b = run_parallel_solve(t, 2);
+  EXPECT_EQ(a.stats.steps, b.stats.steps);
+  EXPECT_EQ(a.stats.degree_hist, b.stats.degree_hist);
+}
+
+TEST(Properties, DeterminationIsMonotoneOverSteps) {
+  // Once a node is determined it stays determined with the same value.
+  const Tree t = make_uniform_iid_nor(2, 7, 0.618, 3);
+  std::vector<char> prev(t.size(), -2);
+  run_parallel_solve(t, 1, [&](const NorSimulator& sim, std::span<const NodeId>) {
+    for (NodeId v = 0; v < t.size(); ++v) {
+      const char s = static_cast<char>(sim.state(v));
+      if (prev[v] == 0 || prev[v] == 1) {
+        EXPECT_EQ(s, prev[v]) << "node " << v << " changed state";
+      }
+      prev[v] = s;
+    }
+  });
+}
+
+TEST(Properties, FinishedAndPrunedAreMonotoneInAbProcess) {
+  const Tree t = make_uniform_iid_minimax(2, 6, 0, 1 << 16, 4);
+  std::vector<char> was_finished(t.size(), 0), was_pruned(t.size(), 0);
+  run_parallel_ab(t, 2, [&](const MinimaxSimulator& sim, std::span<const NodeId>) {
+    for (NodeId v = 0; v < t.size(); ++v) {
+      if (was_finished[v]) {
+        EXPECT_TRUE(sim.finished(v));
+      }
+      if (was_pruned[v]) {
+        EXPECT_TRUE(sim.pruned(v));
+      }
+      EXPECT_FALSE(sim.finished(v) && sim.pruned(v))
+          << "a node cannot be both finished and deleted";
+      was_finished[v] = sim.finished(v);
+      was_pruned[v] = sim.pruned(v);
+    }
+  });
+}
+
+TEST(Properties, LeafModelDominatesExpansionModelInSteps) {
+  // Expansion steps also pay for internal nodes, so for the same width the
+  // node-expansion run can never need fewer steps than the leaf run.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 8, 0.618, seed);
+    const ExplicitTreeSource src(t);
+    for (unsigned w : {0u, 1u, 2u}) {
+      const auto leaf_model = run_parallel_solve(t, w);
+      const auto expansion_model = run_n_parallel_solve(src, w);
+      EXPECT_LE(leaf_model.stats.steps, expansion_model.stats.steps)
+          << "seed=" << seed << " w=" << w;
+      EXPECT_EQ(leaf_model.value, expansion_model.value);
+    }
+  }
+}
+
+TEST(Properties, SerializationFuzzRoundTrip) {
+  // Round-trip a diverse batch of generated trees, including degenerate
+  // arities and negative values.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    RandomShapeParams p;
+    p.d_min = 1 + unsigned(seed % 3);
+    p.d_max = p.d_min + unsigned(seed % 4);
+    p.n_min = 1 + unsigned(seed % 3);
+    p.n_max = p.n_min + 3;
+    const Tree t = make_random_shape_minimax(p, -1000000, 1000000, seed);
+    const Tree back = parse_tree(to_string(t));
+    ASSERT_EQ(t.size(), back.size()) << "seed " << seed;
+    EXPECT_EQ(minimax_value(t), minimax_value(back)) << "seed " << seed;
+    EXPECT_EQ(to_string(t), to_string(back)) << "seed " << seed;
+  }
+}
+
+TEST(Properties, WorkAccountingIsConsistentAcrossPolicies) {
+  // steps <= work <= leaves for every policy; sum of degree histogram
+  // equals steps; weighted sum equals work.
+  const Tree t = make_uniform_iid_nor(2, 9, 0.618, 8);
+  for (unsigned w : {0u, 1u, 3u}) {
+    const auto run = run_parallel_solve(t, w);
+    std::uint64_t steps = 0, work = 0;
+    for (std::size_t k = 0; k < run.stats.degree_hist.size(); ++k) {
+      steps += run.stats.degree_hist[k];
+      work += run.stats.degree_hist[k] * k;
+    }
+    EXPECT_EQ(steps, run.stats.steps);
+    EXPECT_EQ(work, run.stats.work);
+    EXPECT_LE(run.stats.steps, run.stats.work);
+    EXPECT_LE(run.stats.work, t.num_leaves());
+    // average_degree is the work-per-step ratio.
+    EXPECT_NEAR(run.stats.average_degree(),
+                double(run.stats.work) / double(run.stats.steps), 1e-12);
+  }
+}
+
+TEST(Properties, SolveValueAgreesAcrossAllEngines) {
+  // One instance, every engine: ground truth, recursive, lock-step widths,
+  // team, bounded, node-expansion, message-passing.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 8, 0.618, seed);
+    const ExplicitTreeSource src(t);
+    const bool truth = nor_value(t);
+    EXPECT_EQ(sequential_solve(t).value, truth);
+    EXPECT_EQ(run_parallel_solve(t, 1).value, truth);
+    EXPECT_EQ(run_parallel_solve(t, 3).value, truth);
+    EXPECT_EQ(run_team_solve(t, 7).value, truth);
+    EXPECT_EQ(run_parallel_solve_bounded(t, 2, 3).value, truth);
+    EXPECT_EQ(run_n_parallel_solve(src, 1).value, truth);
+    EXPECT_EQ(run_message_passing_solve(src).value, truth);
+  }
+}
+
+}  // namespace
+}  // namespace gtpar

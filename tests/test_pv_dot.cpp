@@ -1,0 +1,86 @@
+// Principal-variation extraction and DOT export.
+#include <gtest/gtest.h>
+
+#include "gtpar/tree/dot_export.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/pv.hpp"
+#include "gtpar/tree/serialization.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(PrincipalVariation, EveryNodeOnPvAttainsRootValue) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const Tree t = make_uniform_iid_minimax(3, 4, -100, 100, seed);
+    const auto vals = minimax_values(t);
+    const auto pv = principal_variation(t);
+    ASSERT_FALSE(pv.empty());
+    EXPECT_EQ(pv.front(), t.root());
+    EXPECT_TRUE(t.is_leaf(pv.back()));
+    for (NodeId v : pv) EXPECT_EQ(vals[v], vals[t.root()]);
+    // Consecutive entries are parent/child.
+    for (std::size_t i = 1; i < pv.size(); ++i) EXPECT_EQ(t.parent(pv[i]), pv[i - 1]);
+  }
+}
+
+TEST(PrincipalVariation, HandCase) {
+  const Tree t = parse_tree("((3 9) (5 2))");
+  const auto pv = principal_variation(t);
+  // Root value 3: PV goes through the left MIN child to the leaf 3.
+  ASSERT_EQ(pv.size(), 3u);
+  EXPECT_EQ(t.leaf_value(pv.back()), 3);
+}
+
+TEST(NorPrincipalPath, EndsAtACertifyingLeaf) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 6, 0.618, seed);
+    const auto vals = nor_values(t);
+    const auto path = nor_principal_path(t);
+    EXPECT_TRUE(t.is_leaf(path.back()));
+    // Along the path, a 0-node is followed by a 1-child and a 1-node by a
+    // 0-child.
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      EXPECT_EQ(t.parent(path[i]), path[i - 1]);
+      EXPECT_NE(vals[path[i]], vals[path[i - 1]]);
+    }
+  }
+}
+
+TEST(DotExport, ContainsAllNodesAndEdges) {
+  const Tree t = make_uniform_constant(2, 3, 1);
+  const std::string dot = to_dot(t);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    // Built with += to sidestep a GCC 12 -Wrestrict false positive on
+    // chained std::string operator+.
+    std::string needle = "n";
+    needle += std::to_string(v);
+    needle += " [";
+    EXPECT_NE(dot.find(needle), std::string::npos);
+  }
+  // Count edges: size-1 arrows.
+  std::size_t arrows = 0, pos = 0;
+  while ((pos = dot.find("->", pos)) != std::string::npos) {
+    ++arrows;
+    pos += 2;
+  }
+  EXPECT_EQ(arrows, t.size() - 1);
+}
+
+TEST(DotExport, UsesGameShapesAndCustomHooks) {
+  const Tree t = parse_tree("((1 0) 1)");
+  const std::string plain = to_dot(t);
+  EXPECT_NE(plain.find("triangle"), std::string::npos);
+  EXPECT_NE(plain.find("invtriangle"), std::string::npos);
+
+  DotStyle style;
+  style.label = [](NodeId v) { return "node" + std::to_string(v); };
+  style.fill = [](NodeId v) { return v == 0 ? "gold" : std::string(); };
+  const std::string custom = to_dot(t, style);
+  EXPECT_NE(custom.find("label=\"node0\""), std::string::npos);
+  EXPECT_NE(custom.find("fillcolor=\"gold\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gtpar

@@ -1,0 +1,115 @@
+// Randomized algorithms (Section 6): permutation correctness, equivalence
+// with running the deterministic algorithms on a shuffled tree, and
+// estimation helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gtpar/expand/tree_source.hpp"
+#include "gtpar/rand/randomized.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(PermutedSource, PermutationIsValidAndDeterministic) {
+  const auto inner = make_iid_nor_source(4, 3, 0.5, 1);
+  const PermutedSource a(inner, 99), b(inner, 99), c(inner, 100);
+  const auto root = a.root();
+  const auto pa = a.permutation(root);
+  ASSERT_EQ(pa.size(), 4u);
+  auto sorted = pa;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<unsigned>{0, 1, 2, 3}));
+  EXPECT_EQ(pa, b.permutation(root));
+  // Different seeds give a different permutation for at least one node.
+  bool differs = pa != c.permutation(root);
+  for (unsigned i = 0; i < 4 && !differs; ++i)
+    differs = a.permutation(a.child(root, i)) != c.permutation(c.child(root, i));
+  EXPECT_TRUE(differs);
+}
+
+TEST(PermutedSource, PreservesRootValue) {
+  // Permuting children never changes the NOR / MIN-MAX value.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto inner = make_iid_nor_source(2, 6, 0.618, seed);
+    const Tree truth = materialize(inner);
+    const PermutedSource perm(inner, seed * 7 + 1);
+    const Tree shuffled = materialize(perm);
+    EXPECT_EQ(nor_value(truth), nor_value(shuffled)) << "seed " << seed;
+  }
+}
+
+TEST(RSequentialSolve, CorrectOnAllSeeds) {
+  const auto src = make_iid_nor_source(2, 6, 0.618, 5);
+  const bool truth = nor_value(materialize(src));
+  for (std::uint64_t seed = 0; seed < 20; ++seed)
+    EXPECT_EQ(run_r_sequential_solve(src, seed).value, truth) << "seed " << seed;
+}
+
+TEST(RParallelSolve, CorrectAcrossWidths) {
+  const auto src = make_iid_nor_source(3, 4, 0.5, 8);
+  const bool truth = nor_value(materialize(src));
+  for (unsigned w : {0u, 1u, 2u}) {
+    for (std::uint64_t seed = 0; seed < 10; ++seed)
+      EXPECT_EQ(run_r_parallel_solve(src, w, seed).value, truth)
+          << "w=" << w << " seed=" << seed;
+  }
+}
+
+TEST(RParallelAb, CorrectAcrossWidths) {
+  const auto src = make_iid_minimax_source(2, 6, -100, 100, 4);
+  const Value truth = minimax_value(materialize(src));
+  for (unsigned w : {0u, 1u, 2u}) {
+    for (std::uint64_t seed = 0; seed < 10; ++seed)
+      EXPECT_EQ(run_r_parallel_ab(src, w, seed).value, truth)
+          << "w=" << w << " seed=" << seed;
+  }
+}
+
+TEST(RSequentialSolve, IsDeterministicGivenSeed) {
+  const auto src = make_iid_nor_source(2, 7, 0.618, 2);
+  const auto a = run_r_sequential_solve(src, 123);
+  const auto b = run_r_sequential_solve(src, 123);
+  EXPECT_EQ(a.stats.steps, b.stats.steps);
+  EXPECT_EQ(a.stats.work, b.stats.work);
+}
+
+TEST(RandomizedEstimates, MeansAreWithinMinMax) {
+  const auto src = make_iid_nor_source(2, 6, golden_bias(), 3);
+  const auto est = estimate_r_solve(src, 1, 16, 0);
+  EXPECT_GE(est.mean_steps, est.min_steps);
+  EXPECT_LE(est.mean_steps, est.max_steps);
+  EXPECT_GT(est.mean_work, 0.0);
+}
+
+TEST(RandomizedEstimates, AbEstimatorIsConsistent) {
+  const auto src = make_iid_minimax_source(2, 6, 0, 100, 5);
+  const auto est = estimate_r_ab(src, 1, 12, 7);
+  EXPECT_GE(est.mean_steps, est.min_steps);
+  EXPECT_LE(est.mean_steps, est.max_steps);
+  EXPECT_GE(est.mean_work, est.mean_steps) << "work per step is at least 1";
+}
+
+TEST(Randomized, ExpectedSpeedupOfWidth1IsSubstantial) {
+  // Theorem 5 on a mid-size instance: E[S*_R] / E[P*_R] should comfortably
+  // exceed 2 on a height-8 binary tree at the golden-ratio bias.
+  const auto src = make_iid_nor_source(2, 8, golden_bias(), 17);
+  const auto seq = estimate_r_solve(src, 0, 12, 100);
+  const auto par = estimate_r_solve(src, 1, 12, 100);
+  EXPECT_GT(seq.mean_steps / par.mean_steps, 2.0);
+}
+
+TEST(Randomized, WorstCaseInstanceNoLongerWorstUnderRandomization) {
+  // On the adversarial all-leaves instance, R-Sequential SOLVE should beat
+  // the deterministic left-to-right scan on average (the classic motivation
+  // for randomization): expected expansions < the deterministic count.
+  const WorstCaseNorSource src(2, 8, false);
+  const auto det = run_n_sequential_solve(src);
+  const auto est = estimate_r_solve(src, 0, 16, 7);
+  EXPECT_LT(est.mean_work, double(det.stats.work));
+}
+
+}  // namespace
+}  // namespace gtpar

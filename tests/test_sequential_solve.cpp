@@ -1,0 +1,109 @@
+// Sequential SOLVE: correctness, work accounting, extremal instances, and
+// equivalence with Parallel SOLVE of width 0.
+#include <gtest/gtest.h>
+
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/proof_tree.hpp"
+#include "gtpar/tree/serialization.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(SequentialSolve, HandCases) {
+  // (1 0): first leaf 1 -> stop, value 0, one evaluation.
+  auto r = sequential_solve(parse_tree("(1 0)"));
+  EXPECT_FALSE(r.value);
+  EXPECT_EQ(r.evaluated.size(), 1u);
+
+  // (0 0): must see both leaves.
+  r = sequential_solve(parse_tree("(0 0)"));
+  EXPECT_TRUE(r.value);
+  EXPECT_EQ(r.evaluated.size(), 2u);
+
+  // ((0 0) (0 1)): left child = NOR(0,0) = 1 -> root 0 without touching the
+  // right subtree; two evaluations.
+  r = sequential_solve(parse_tree("((0 0) (0 1))"));
+  EXPECT_FALSE(r.value);
+  EXPECT_EQ(r.evaluated.size(), 2u);
+
+  // ((0 1) (1 0)): left child = NOR(0,1) = 0 after both leaves; right child
+  // = 0 after its first leaf (value 1); root = NOR(0,0) = 1; three
+  // evaluations in total.
+  r = sequential_solve(parse_tree("((0 1) (1 0))"));
+  EXPECT_TRUE(r.value);
+  EXPECT_EQ(r.evaluated.size(), 3u);
+}
+
+TEST(SequentialSolve, MatchesGroundTruth) {
+  for (unsigned d = 2; d <= 4; ++d) {
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      const Tree t = make_uniform_iid_nor(d, 5, 0.5, seed);
+      EXPECT_EQ(sequential_solve(t).value, nor_value(t)) << "d=" << d << " seed=" << seed;
+    }
+  }
+}
+
+TEST(SequentialSolve, EvaluatedLeavesAreLeftToRight) {
+  const Tree t = make_uniform_iid_nor(2, 8, 0.618, 11);
+  const auto r = sequential_solve(t);
+  for (std::size_t i = 1; i < r.evaluated.size(); ++i)
+    EXPECT_LT(r.evaluated[i - 1], r.evaluated[i])
+        << "preorder ids are monotone along a left-to-right scan";
+}
+
+TEST(SequentialSolve, WorstCaseEvaluatesAllLeaves) {
+  for (unsigned d = 2; d <= 3; ++d) {
+    for (unsigned n = 1; n <= 7; ++n) {
+      for (bool rv : {false, true}) {
+        const Tree t = make_worst_case_nor(d, n, rv);
+        EXPECT_EQ(sequential_solve_work(t), uniform_leaf_count(d, n))
+            << "d=" << d << " n=" << n << " rv=" << rv;
+      }
+    }
+  }
+}
+
+TEST(SequentialSolve, BestCaseEvaluatesExactlyAProofTree) {
+  for (unsigned n = 1; n <= 8; ++n) {
+    const Tree t0 = make_best_case_nor(2, n, false, 0.618, n);
+    EXPECT_EQ(sequential_solve_work(t0), fact1_lower_bound(2, n)) << "n=" << n;
+  }
+}
+
+TEST(SequentialSolve, AgreesWithWidthZeroParallelSolve) {
+  // Parallel SOLVE of width 0 *is* Sequential SOLVE: same value, and one
+  // step per evaluated leaf in the same order.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 6, 0.618, seed);
+    const auto seq = sequential_solve(t);
+    std::vector<NodeId> order;
+    const auto par = run_parallel_solve(t, 0, [&](const NorSimulator&,
+                                                  std::span<const NodeId> batch) {
+      ASSERT_EQ(batch.size(), 1u);
+      order.push_back(batch[0]);
+    });
+    EXPECT_EQ(par.value, seq.value);
+    EXPECT_EQ(par.stats.steps, seq.evaluated.size());
+    EXPECT_EQ(par.stats.work, seq.evaluated.size());
+    EXPECT_EQ(order, seq.evaluated) << "seed " << seed;
+  }
+}
+
+TEST(SequentialSolve, SingleLeaf) {
+  EXPECT_TRUE(sequential_solve(parse_tree("1")).value);
+  EXPECT_EQ(sequential_solve_work(parse_tree("0")), 1u);
+}
+
+TEST(SequentialSolve, RaggedTrees) {
+  RandomShapeParams p;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const Tree t = make_random_shape_nor(p, 0.5, seed);
+    EXPECT_EQ(sequential_solve(t).value, nor_value(t)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gtpar

@@ -1,0 +1,67 @@
+// S-expression serialization round trips and error handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/serialization.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(Serialization, LeafRoundTrip) {
+  EXPECT_EQ(to_string(parse_tree("42")), "42");
+  EXPECT_EQ(to_string(parse_tree("-7")), "-7");
+}
+
+TEST(Serialization, NestedRoundTrip) {
+  const std::string s = "((1 0) (0 (1 1 0)))";
+  EXPECT_EQ(to_string(parse_tree(s)), s);
+}
+
+TEST(Serialization, WhitespaceInsensitive) {
+  const Tree a = parse_tree("((1 0) 1)");
+  const Tree b = parse_tree("  (\n (1\t0)   1 ) ");
+  EXPECT_EQ(to_string(a), to_string(b));
+}
+
+TEST(Serialization, GeneratedTreesRoundTrip) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Tree t = make_uniform_iid_minimax(3, 4, -9, 9, seed);
+    const Tree back = parse_tree(to_string(t));
+    ASSERT_EQ(t.size(), back.size());
+    EXPECT_EQ(minimax_value(t), minimax_value(back));
+    EXPECT_EQ(to_string(t), to_string(back));
+  }
+  RandomShapeParams p;
+  const Tree t = make_random_shape_nor(p, 0.5, 3);
+  EXPECT_EQ(to_string(t), to_string(parse_tree(to_string(t))));
+}
+
+TEST(Serialization, StreamInterface) {
+  std::istringstream is("(1 0) (0 0)");
+  const Tree a = read_tree(is);
+  const Tree b = read_tree(is);
+  EXPECT_EQ(to_string(a), "(1 0)");
+  EXPECT_EQ(to_string(b), "(0 0)");
+}
+
+TEST(Serialization, RejectsMalformedInput) {
+  EXPECT_THROW(parse_tree(""), std::invalid_argument);
+  EXPECT_THROW(parse_tree("("), std::invalid_argument);
+  EXPECT_THROW(parse_tree("()"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("(1 0"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("(1 0) extra"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("abc"), std::invalid_argument);
+}
+
+TEST(Serialization, PrettyPrintMentionsKinds) {
+  const std::string s = pretty_print(parse_tree("((1 0) 1)"));
+  EXPECT_NE(s.find("MAX"), std::string::npos);
+  EXPECT_NE(s.find("MIN"), std::string::npos);
+  EXPECT_NE(s.find("leaf 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gtpar

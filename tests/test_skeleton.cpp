@@ -1,0 +1,131 @@
+// Skeleton H_T construction (Section 3) and its defining properties.
+#include <gtest/gtest.h>
+
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/skeleton.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+Skeleton solve_skeleton(const Tree& t) {
+  const auto r = sequential_solve(t);
+  return make_skeleton(t, r.evaluated);
+}
+
+TEST(Skeleton, ContainsExactlyAncestorsOfEvaluatedLeaves) {
+  const Tree t = make_uniform_iid_nor(2, 6, 0.618, 3);
+  const auto r = sequential_solve(t);
+  const Skeleton s = make_skeleton(t, r.evaluated);
+
+  std::vector<char> is_anc(t.size(), 0);
+  for (NodeId leaf : r.evaluated)
+    for (NodeId v = leaf; v != kNoNode; v = t.parent(v)) is_anc[v] = 1;
+
+  for (NodeId v = 0; v < t.size(); ++v)
+    EXPECT_EQ(s.new_of[v] != kNoNode, is_anc[v] != 0) << "node " << v;
+}
+
+TEST(Skeleton, PreservesValuesAndOrder) {
+  const Tree t = make_uniform_iid_nor(3, 4, 0.4, 7);
+  const Skeleton s = solve_skeleton(t);
+  // Mapping is mutually inverse.
+  for (NodeId nv = 0; nv < s.tree.size(); ++nv)
+    EXPECT_EQ(s.new_of[s.old_of[nv]], nv);
+  // Child order in the skeleton matches the original relative order.
+  for (NodeId nv = 0; nv < s.tree.size(); ++nv) {
+    const auto cs = s.tree.children(nv);
+    for (std::size_t i = 1; i < cs.size(); ++i)
+      EXPECT_LT(s.old_of[cs[i - 1]], s.old_of[cs[i]]);
+  }
+  // The skeleton's root value equals the original's: Sequential SOLVE's
+  // evaluated set certifies the value, and H_T keeps all of it.
+  EXPECT_EQ(nor_value(s.tree), nor_value(t));
+}
+
+TEST(Skeleton, SequentialSolveEvaluatesEveryLeafOfItsSkeleton) {
+  // The leaves of H_T are exactly L(T), and Sequential SOLVE on H_T
+  // evaluates all of them in the same order: S(H_T) = S(T).
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 7, 0.618, seed);
+    const auto r = sequential_solve(t);
+    const Skeleton s = make_skeleton(t, r.evaluated);
+    EXPECT_EQ(s.tree.num_leaves(), r.evaluated.size());
+    const auto rs = sequential_solve(s.tree);
+    EXPECT_EQ(rs.evaluated.size(), r.evaluated.size()) << "seed " << seed;
+    EXPECT_EQ(rs.value, r.value);
+    // Same leaves in the same order, via the node mapping.
+    for (std::size_t i = 0; i < rs.evaluated.size(); ++i)
+      EXPECT_EQ(s.old_of[rs.evaluated[i]], r.evaluated[i]);
+  }
+}
+
+TEST(Skeleton, Proposition2_ParallelNoSlowerOnOriginalThanSkeleton) {
+  // P_w(T) <= P_w(H_T) for every width w (Proposition 2).
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 7, 0.618, seed);
+    const Skeleton s = solve_skeleton(t);
+    for (unsigned w : {0u, 1u, 2u, 3u}) {
+      const auto on_t = run_parallel_solve(t, w);
+      const auto on_h = run_parallel_solve(s.tree, w);
+      EXPECT_LE(on_t.stats.steps, on_h.stats.steps)
+          << "seed=" << seed << " width=" << w;
+      EXPECT_EQ(on_t.value, on_h.value);
+    }
+  }
+}
+
+TEST(Skeleton, PropertyA_DeadInSkeletonImpliesDeadInOriginal) {
+  // The invariant at the heart of Proposition 2's proof: running width-w
+  // Parallel SOLVE side by side on T and H_T, a skeleton node dead in the
+  // H_T-run is dead in the T-run at every step.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 6, 0.618, seed);
+    const Skeleton h = solve_skeleton(t);
+    for (unsigned w : {1u, 2u}) {
+      NorSimulator on_t(t);
+      NorSimulator on_h(h.tree);
+      std::vector<NodeId> batch;
+      while (!on_h.done()) {
+        // Advance both simulators one step (T may finish first; the
+        // invariant is only about nodes of H_T while both run).
+        if (!on_t.done()) {
+          on_t.collect_width_leaves(w, batch);
+          on_t.evaluate_leaves(batch);
+        }
+        on_h.collect_width_leaves(w, batch);
+        on_h.evaluate_leaves(batch);
+        for (NodeId hv = 0; hv < h.tree.size(); ++hv) {
+          if (!on_h.live(hv)) {
+            EXPECT_FALSE(on_t.live(h.old_of[hv]))
+                << "seed=" << seed << " w=" << w << " node " << hv;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Skeleton, WorksOnNonUniformTrees) {
+  RandomShapeParams p;
+  p.n_min = 3;
+  p.n_max = 6;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_random_shape_nor(p, 0.5, seed);
+    const Skeleton s = solve_skeleton(t);
+    EXPECT_EQ(nor_value(s.tree), nor_value(t));
+    EXPECT_LE(s.tree.size(), t.size());
+  }
+}
+
+TEST(Skeleton, RejectsBadInput) {
+  const Tree t = make_uniform_constant(2, 3, 0);
+  EXPECT_THROW(make_skeleton(t, {}), std::invalid_argument);
+  const std::vector<NodeId> not_a_leaf{t.root()};
+  EXPECT_THROW(make_skeleton(t, not_a_leaf), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gtpar

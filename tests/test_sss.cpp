@@ -1,0 +1,139 @@
+// SSS* (Stockman's best-first search): correctness, dominance over
+// alpha-beta, and behaviour on the ordering extremes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gtpar/ab/alphabeta.hpp"
+#include "gtpar/ab/sss.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/proof_tree.hpp"
+#include "gtpar/tree/serialization.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(SssStar, HandCases) {
+  EXPECT_EQ(sss_star(parse_tree("7")).value, 7);
+  EXPECT_EQ(sss_star(parse_tree("(3 9 5)")).value, 9);
+  EXPECT_EQ(sss_star(parse_tree("((3 9) (5 2))")).value, 3);
+}
+
+using SssParams = std::tuple<unsigned, unsigned, std::uint64_t>;
+class SssSweep : public ::testing::TestWithParam<SssParams> {};
+
+TEST_P(SssSweep, ValueCorrectAndDominatesAlphaBeta) {
+  const auto [d, n, seed] = GetParam();
+  const Tree t = make_uniform_iid_minimax(d, n, -1000, 1000, seed);
+  const auto s = sss_star(t);
+  const auto ab = alphabeta(t);
+  EXPECT_EQ(s.value, minimax_value(t));
+  // Stockman's dominance theorem: SSS* never examines a leaf that
+  // alpha-beta skips.
+  EXPECT_LE(s.distinct_leaves, ab.distinct_leaves);
+  EXPECT_GE(s.distinct_leaves, fact2_lower_bound(d, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SssSweep,
+                         ::testing::Combine(::testing::Values(2u, 3u),
+                                            ::testing::Values(3u, 5u, 6u),
+                                            ::testing::Values(0ull, 1ull, 2ull, 3ull,
+                                                              4ull)));
+
+TEST(SssStar, TiesHeavyTrees) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const Tree t = make_uniform_iid_minimax(2, 6, 0, 2, seed);
+    const auto s = sss_star(t);
+    EXPECT_EQ(s.value, minimax_value(t)) << "seed " << seed;
+    EXPECT_LE(s.distinct_leaves, alphabeta(t).distinct_leaves) << "seed " << seed;
+  }
+}
+
+TEST(SssStar, BestCaseOrderingMeetsFact2) {
+  for (unsigned d = 2; d <= 3; ++d) {
+    for (unsigned n = 1; n <= 6; ++n) {
+      const Tree t = make_best_case_minimax(d, n);
+      EXPECT_EQ(sss_star(t).distinct_leaves, fact2_lower_bound(d, n))
+          << "d=" << d << " n=" << n;
+    }
+  }
+}
+
+TEST(SssStar, BeatsAlphaBetaOnWorstOrdering) {
+  // The classic SSS* selling point: on badly ordered trees it evaluates
+  // strictly fewer leaves than alpha-beta.
+  const Tree t = make_worst_case_minimax(2, 8);
+  const auto s = sss_star(t);
+  const auto ab = alphabeta(t);
+  EXPECT_EQ(ab.distinct_leaves, uniform_leaf_count(2, 8));
+  EXPECT_LT(s.distinct_leaves, ab.distinct_leaves);
+}
+
+TEST(SssStar, OpenListStaysBounded) {
+  // |OPEN| is bounded by the widest cut of a solution tree: d^ceil(n/2).
+  const unsigned d = 2, n = 10;
+  const Tree t = make_uniform_iid_minimax(d, n, 0, 1 << 20, 3);
+  const auto s = sss_star(t);
+  std::uint64_t bound = 1;
+  for (unsigned i = 0; i < (n + 1) / 2; ++i) bound *= d;
+  EXPECT_LE(s.peak_open, 2 * bound) << "peak " << s.peak_open;
+}
+
+TEST(ParallelSss, OneProcessorIsSequential) {
+  const Tree t = make_uniform_iid_minimax(2, 7, 0, 1 << 16, 3);
+  const auto seq = sss_star(t);
+  const auto par = parallel_sss(t, 1);
+  EXPECT_EQ(par.value, seq.value);
+  EXPECT_EQ(par.steps, seq.gamma_steps);
+  EXPECT_EQ(par.distinct_leaves, seq.distinct_leaves);
+}
+
+TEST(ParallelSss, ValueCorrectAcrossP) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Tree t = make_uniform_iid_minimax(2, 7, 0, 1 << 16, seed);
+    const Value truth = minimax_value(t);
+    for (std::size_t p : {2u, 5u, 16u, 100u}) {
+      EXPECT_EQ(parallel_sss(t, p).value, truth) << "seed=" << seed << " p=" << p;
+    }
+  }
+}
+
+TEST(ParallelSss, StepsShrinkWithP) {
+  const Tree t = make_worst_case_minimax(2, 10);
+  std::uint64_t prev = ~0ull;
+  for (std::size_t p : {1u, 2u, 4u, 8u, 16u}) {
+    const auto run = parallel_sss(t, p);
+    EXPECT_LT(run.steps, prev) << "p=" << p;
+    prev = run.steps;
+  }
+}
+
+TEST(ParallelSss, WorkOverheadStaysBounded) {
+  // Speculative Gamma ops may evaluate extra leaves; keep it a small
+  // multiple of the sequential leaf count.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Tree t = make_uniform_iid_minimax(2, 8, 0, 1 << 16, seed);
+    const auto seq = sss_star(t);
+    const auto par = parallel_sss(t, 8);
+    EXPECT_LE(par.distinct_leaves, 4 * seq.distinct_leaves + 16) << "seed " << seed;
+  }
+}
+
+TEST(SssStar, RaggedTrees) {
+  RandomShapeParams p;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const Tree t = make_random_shape_minimax(p, -50, 50, seed);
+    EXPECT_EQ(sss_star(t).value, minimax_value(t)) << "seed " << seed;
+  }
+}
+
+TEST(SssStar, GammaStepsAreFiniteAndReasonable) {
+  const Tree t = make_uniform_iid_minimax(2, 8, 0, 1 << 16, 1);
+  const auto s = sss_star(t);
+  EXPECT_GT(s.gamma_steps, s.distinct_leaves);
+  EXPECT_LT(s.gamma_steps, 50 * s.distinct_leaves + 1000);
+}
+
+}  // namespace
+}  // namespace gtpar

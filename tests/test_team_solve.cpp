@@ -1,0 +1,103 @@
+// Team SOLVE with p processors (Section 2, Proposition 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(TeamSolve, OneProcessorIsSequentialSolve) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 6, 0.618, seed);
+    const auto team = run_team_solve(t, 1);
+    const auto seq = sequential_solve(t);
+    EXPECT_EQ(team.value, seq.value);
+    EXPECT_EQ(team.stats.steps, seq.evaluated.size());
+    EXPECT_EQ(team.stats.work, seq.evaluated.size());
+  }
+}
+
+TEST(TeamSolve, ValueCorrectAcrossProcessorCounts) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Tree t = make_uniform_iid_nor(3, 5, 0.5, seed);
+    const bool truth = nor_value(t);
+    for (std::size_t p : {1u, 2u, 4u, 8u, 32u, 1000u}) {
+      EXPECT_EQ(run_team_solve(t, p).value, truth) << "seed=" << seed << " p=" << p;
+    }
+  }
+}
+
+TEST(TeamSolve, BatchNeverExceedsP) {
+  const Tree t = make_uniform_iid_nor(2, 8, 0.618, 3);
+  const auto run = run_team_solve(t, 5);
+  EXPECT_LE(run.stats.max_degree, 5u);
+}
+
+TEST(TeamSolve, BatchIsTheLeftmostLiveLeaves) {
+  const Tree t = make_uniform_iid_nor(2, 6, 0.618, 4);
+  run_team_solve(t, 3, [&](const NorSimulator& sim, std::span<const NodeId> batch) {
+    // Every live leaf to the left of the last batch element is in the batch.
+    ASSERT_FALSE(batch.empty());
+    const NodeId last = batch.back();
+    std::set<NodeId> in_batch(batch.begin(), batch.end());
+    for (NodeId leaf : t.leaves()) {
+      if (leaf > last) break;
+      if (sim.live(leaf)) {
+        EXPECT_TRUE(in_batch.count(leaf)) << "leaf " << leaf;
+      }
+    }
+  });
+}
+
+TEST(TeamSolve, StepsMonotoneNonIncreasingInP) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 8, 0.618, seed);
+    std::uint64_t prev = ~0ull;
+    for (std::size_t p : {1u, 2u, 4u, 8u, 16u}) {
+      const auto run = run_team_solve(t, p);
+      EXPECT_LE(run.stats.steps, prev) << "seed=" << seed << " p=" << p;
+      prev = run.stats.steps;
+    }
+  }
+}
+
+TEST(TeamSolve, Proposition1SqrtSpeedupOnSuperLeafArgument) {
+  // With p = d^k processors, Team SOLVE is at least sqrt(p) faster than
+  // Sequential SOLVE (Proposition 1 gives Omega(sqrt p); the constant here
+  // is 1 via the super-leaf argument since each super-leaf costs Sequential
+  // SOLVE at least d^floor(k/2) >= sqrt(p)/sqrt(d) steps).
+  const unsigned d = 2, n = 12, k = 4;
+  const std::size_t p = 1u << k;  // d^k
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Tree t = make_uniform_iid_nor(d, n, 0.618, seed);
+    const std::uint64_t s = sequential_solve_work(t);
+    const auto team = run_team_solve(t, p);
+    const double speedup = double(s) / double(team.stats.steps);
+    EXPECT_GE(speedup, std::sqrt(double(p)) / std::sqrt(double(d)))
+        << "seed=" << seed << " speed-up=" << speedup;
+  }
+}
+
+TEST(TeamSolve, HugePEvaluatesWholeFrontierEachStep) {
+  // With p >= number of leaves, every live leaf is evaluated each step;
+  // steps is at most height+1-ish small number (actually 1 step suffices to
+  // determine everything since all leaves get evaluated at step 1).
+  const Tree t = make_uniform_iid_nor(2, 5, 0.5, 7);
+  const auto run = run_team_solve(t, t.num_leaves());
+  EXPECT_EQ(run.stats.steps, 1u);
+  EXPECT_EQ(run.stats.work, t.num_leaves());
+}
+
+TEST(TeamSolve, RejectsZeroProcessors) {
+  const Tree t = make_uniform_constant(2, 2, 0);
+  EXPECT_THROW(run_team_solve(t, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gtpar

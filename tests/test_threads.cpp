@@ -1,0 +1,220 @@
+// Real-thread implementations: correctness under concurrency (stress over
+// many seeds and shapes), cancellation/promotion behaviour, and sanity of
+// the work accounting. Wall-clock speed-ups are measured in bench E10.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/threads/mt_ab.hpp"
+#include "gtpar/threads/mt_solve.hpp"
+#include "gtpar/threads/thread_pool.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 1000; ++i) pool.submit([&count] { ++count; });
+  }  // destructor drains
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, AtLeastOneWorker) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(0);
+    pool.submit([&count] { ++count; });
+  }
+  EXPECT_EQ(count.load(), 1);
+}
+
+using MtParams = std::tuple<unsigned, unsigned, unsigned, std::uint64_t>;
+class MtSolveSweep : public ::testing::TestWithParam<MtParams> {};
+
+TEST_P(MtSolveSweep, ValueMatchesGroundTruth) {
+  const auto [d, n, threads, seed] = GetParam();
+  const Tree t = make_uniform_iid_nor(d, n, 0.618, seed);
+  const bool truth = nor_value(t);
+  MtSolveOptions opt;
+  opt.threads = threads;
+  opt.leaf_cost_ns = 0;  // stress scheduling, not the spin
+  const auto r = mt_parallel_solve(t, opt);
+  EXPECT_EQ(r.value, truth);
+  EXPECT_LE(r.leaf_evaluations, t.num_leaves());
+  EXPECT_GT(r.leaf_evaluations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MtSolveSweep,
+                         ::testing::Combine(::testing::Values(2u, 3u),
+                                            ::testing::Values(6u, 9u),
+                                            ::testing::Values(1u, 2u, 8u),
+                                            ::testing::Values(0ull, 1ull, 2ull, 3ull)));
+
+TEST(MtSolve, RepeatedRunsAreStable) {
+  // Rerun the same instance many times to shake out races.
+  const Tree t = make_uniform_iid_nor(2, 10, 0.618, 42);
+  const bool truth = nor_value(t);
+  MtSolveOptions opt;
+  opt.threads = 8;
+  opt.leaf_cost_ns = 0;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(mt_parallel_solve(t, opt).value, truth) << "iteration " << i;
+  }
+}
+
+TEST(MtSolve, WorstCaseInstance) {
+  const Tree t = make_worst_case_nor(2, 10, false);
+  MtSolveOptions opt;
+  opt.threads = 8;
+  opt.leaf_cost_ns = 0;
+  const auto r = mt_parallel_solve(t, opt);
+  EXPECT_EQ(r.value, false);
+  EXPECT_EQ(r.leaf_evaluations, t.num_leaves())
+      << "the adversarial instance forces every leaf";
+}
+
+TEST(MtSolve, WorkStaysWithinConstantFactorOfSequential) {
+  // Corollary 1 in the real-thread setting: total distinct leaves evaluated
+  // by the parallel run is at most a small multiple of S(T).
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 12, 0.618, seed);
+    const std::uint64_t s = sequential_solve_work(t);
+    MtSolveOptions opt;
+    opt.threads = 8;
+    opt.leaf_cost_ns = 0;
+    const auto r = mt_parallel_solve(t, opt);
+    EXPECT_LE(r.leaf_evaluations, 4 * s + 16) << "seed " << seed;
+  }
+}
+
+TEST(MtSolve, SequentialBaselineMatchesModelWork) {
+  const Tree t = make_uniform_iid_nor(2, 10, 0.618, 9);
+  const auto r = mt_sequential_solve(t, 0);
+  EXPECT_EQ(r.value, nor_value(t));
+  EXPECT_EQ(r.leaf_evaluations, sequential_solve_work(t));
+}
+
+TEST(MtSolve, HigherWidthsStayCorrect) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_uniform_iid_nor(3, 7, 0.5, seed);
+    const bool truth = nor_value(t);
+    for (unsigned w : {2u, 3u}) {
+      MtSolveOptions opt;
+      opt.threads = 8;
+      opt.leaf_cost_ns = 0;
+      opt.width = w;
+      const auto r = mt_parallel_solve(t, opt);
+      EXPECT_EQ(r.value, truth) << "seed=" << seed << " width=" << w;
+      EXPECT_LE(r.leaf_evaluations, t.num_leaves());
+    }
+  }
+}
+
+TEST(MtSolve, RaggedTrees) {
+  RandomShapeParams p;
+  p.d_min = 2;
+  p.d_max = 4;
+  p.n_min = 4;
+  p.n_max = 8;
+  MtSolveOptions opt;
+  opt.threads = 8;
+  opt.leaf_cost_ns = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Tree t = make_random_shape_nor(p, 0.55, seed);
+    EXPECT_EQ(mt_parallel_solve(t, opt).value, nor_value(t)) << "seed " << seed;
+  }
+}
+
+class MtAbSweep : public ::testing::TestWithParam<MtParams> {};
+
+TEST_P(MtAbSweep, ValueMatchesGroundTruth) {
+  const auto [d, n, threads, seed] = GetParam();
+  const Tree t = make_uniform_iid_minimax(d, n, -1000, 1000, seed);
+  MtAbOptions opt;
+  opt.threads = threads;
+  opt.leaf_cost_ns = 0;
+  const auto r = mt_parallel_ab(t, opt);
+  EXPECT_EQ(r.value, minimax_value(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MtAbSweep,
+                         ::testing::Combine(::testing::Values(2u, 3u),
+                                            ::testing::Values(6u, 8u),
+                                            ::testing::Values(1u, 2u, 8u),
+                                            ::testing::Values(0ull, 1ull, 2ull, 3ull)));
+
+TEST(MtAb, TiesHeavyStress) {
+  // Narrow value ranges maximize dead-window joins; rerun for stability.
+  MtAbOptions opt;
+  opt.threads = 8;
+  opt.leaf_cost_ns = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const Tree t = make_uniform_iid_minimax(2, 8, 0, 2, seed);
+    const Value truth = minimax_value(t);
+    for (int rep = 0; rep < 5; ++rep)
+      ASSERT_EQ(mt_parallel_ab(t, opt).value, truth)
+          << "seed " << seed << " rep " << rep;
+  }
+}
+
+TEST(MtAb, HigherWidthsStayCorrect) {
+  MtAbOptions opt;
+  opt.threads = 8;
+  opt.leaf_cost_ns = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_uniform_iid_minimax(3, 6, -100, 100, seed);
+    const Value truth = minimax_value(t);
+    for (unsigned w : {2u, 3u}) {
+      opt.width = w;
+      EXPECT_EQ(mt_parallel_ab(t, opt).value, truth) << "seed=" << seed << " w=" << w;
+    }
+  }
+}
+
+TEST(MtAb, NoPromotionStaysCorrect) {
+  MtAbOptions opt;
+  opt.threads = 8;
+  opt.leaf_cost_ns = 0;
+  opt.promotion = false;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_uniform_iid_minimax(2, 8, 0, 3, seed);
+    EXPECT_EQ(mt_parallel_ab(t, opt).value, minimax_value(t)) << "seed " << seed;
+  }
+}
+
+TEST(MtAb, SequentialBaselineMatchesClassic) {
+  const Tree t = make_uniform_iid_minimax(2, 8, 0, 1 << 16, 3);
+  const auto r = mt_sequential_ab(t, 0);
+  EXPECT_EQ(r.value, minimax_value(t));
+}
+
+TEST(MtAb, OrderedInstances) {
+  MtAbOptions opt;
+  opt.threads = 8;
+  opt.leaf_cost_ns = 0;
+  for (unsigned n = 2; n <= 8; ++n) {
+    const Tree best = make_best_case_minimax(2, n);
+    EXPECT_EQ(mt_parallel_ab(best, opt).value, minimax_value(best)) << "n=" << n;
+    const Tree worst = make_worst_case_minimax(2, n);
+    EXPECT_EQ(mt_parallel_ab(worst, opt).value, minimax_value(worst)) << "n=" << n;
+  }
+}
+
+TEST(MtAb, RaggedTrees) {
+  RandomShapeParams p;
+  MtAbOptions opt;
+  opt.threads = 8;
+  opt.leaf_cost_ns = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Tree t = make_random_shape_minimax(p, -50, 50, seed);
+    EXPECT_EQ(mt_parallel_ab(t, opt).value, minimax_value(t)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gtpar

@@ -1,0 +1,73 @@
+// Step traces: record / replay / serialize, and differential testing of
+// policies through their schedules.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gtpar/sim/trace.hpp"
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(Trace, RecordAndReplayAgree) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 7, 0.618, seed);
+    BoolRun run;
+    const StepTrace trace = record_parallel_solve(t, 1, &run);
+    EXPECT_EQ(trace.steps.size(), run.stats.steps);
+    EXPECT_EQ(trace.total_work(), run.stats.work);
+    EXPECT_EQ(replay_nor_trace(t, trace), run.value);
+    EXPECT_EQ(run.value, nor_value(t));
+  }
+}
+
+TEST(Trace, RecordingIsDeterministic) {
+  const Tree t = make_uniform_iid_nor(3, 5, 0.4, 2);
+  EXPECT_EQ(record_parallel_solve(t, 2), record_parallel_solve(t, 2));
+}
+
+TEST(Trace, SerializationRoundTrip) {
+  const Tree t = make_uniform_iid_nor(2, 6, 0.618, 7);
+  const StepTrace trace = record_parallel_solve(t, 1);
+  std::stringstream ss;
+  write_trace(ss, trace);
+  const StepTrace back = read_trace(ss);
+  EXPECT_EQ(trace, back);
+  EXPECT_EQ(replay_nor_trace(t, back), nor_value(t));
+}
+
+TEST(Trace, ReplayRejectsTruncatedTrace) {
+  const Tree t = make_uniform_iid_nor(2, 6, 0.618, 9);
+  StepTrace trace = record_parallel_solve(t, 1);
+  ASSERT_GT(trace.steps.size(), 1u);
+  trace.steps.pop_back();
+  EXPECT_THROW(replay_nor_trace(t, trace), std::invalid_argument);
+}
+
+TEST(Trace, ReplayRejectsOverlongTrace) {
+  const Tree t = make_uniform_iid_nor(2, 6, 0.618, 9);
+  StepTrace trace = record_parallel_solve(t, 1);
+  trace.steps.push_back(trace.steps.back());
+  EXPECT_THROW(replay_nor_trace(t, trace), std::invalid_argument);
+}
+
+TEST(Trace, ReplayRejectsForeignSchedule) {
+  // A trace recorded on one tree is (generically) illegal on another: some
+  // batch will touch a dead or already-evaluated leaf.
+  const Tree a = make_uniform_iid_nor(2, 6, 0.618, 1);
+  const Tree b = make_uniform_iid_nor(2, 6, 0.618, 2);
+  const StepTrace trace = record_parallel_solve(a, 1);
+  EXPECT_THROW(replay_nor_trace(b, trace), std::invalid_argument);
+}
+
+TEST(Trace, WidthZeroTraceIsOneLeafPerStep) {
+  const Tree t = make_uniform_iid_nor(2, 7, 0.618, 4);
+  const StepTrace trace = record_parallel_solve(t, 0);
+  for (const auto& step : trace.steps) EXPECT_EQ(step.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gtpar

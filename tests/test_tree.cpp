@@ -1,0 +1,111 @@
+// Unit tests for the Tree arena and TreeBuilder invariants.
+#include <gtest/gtest.h>
+
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/serialization.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(TreeBuilder, SingleLeafTree) {
+  TreeBuilder b;
+  const NodeId r = b.add_root();
+  b.set_leaf_value(r, 7);
+  const Tree t = b.build();
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.is_leaf(t.root()));
+  EXPECT_EQ(t.leaf_value(t.root()), 7);
+  EXPECT_EQ(t.height(), 0u);
+  EXPECT_EQ(t.num_leaves(), 1u);
+  EXPECT_EQ(t.parent(t.root()), kNoNode);
+}
+
+TEST(TreeBuilder, HandBuiltShape) {
+  // root -> (a -> (x, y), b)
+  TreeBuilder b;
+  const NodeId r = b.add_root();
+  const NodeId a = b.add_child(r);
+  const NodeId bb = b.add_child(r);
+  const NodeId x = b.add_child(a);
+  const NodeId y = b.add_child(a);
+  b.set_leaf_value(x, 1);
+  b.set_leaf_value(y, 0);
+  b.set_leaf_value(bb, 1);
+  const Tree t = b.build();
+
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.num_children(r), 2u);
+  EXPECT_EQ(t.child(r, 0), a);
+  EXPECT_EQ(t.child(r, 1), bb);
+  EXPECT_EQ(t.parent(x), a);
+  EXPECT_EQ(t.depth(x), 2u);
+  EXPECT_EQ(t.depth(bb), 1u);
+  EXPECT_EQ(t.height(), 2u);
+  EXPECT_EQ(t.child_index(y), 1u);
+  EXPECT_EQ(t.child_index(bb), 1u);
+  EXPECT_EQ(t.num_leaves(), 3u);
+  EXPECT_EQ(t.subtree_leaves(a), 2u);
+  EXPECT_EQ(t.subtree_leaves(r), 3u);
+  EXPECT_TRUE(t.is_ancestor(r, x));
+  EXPECT_TRUE(t.is_ancestor(x, x));
+  EXPECT_FALSE(t.is_ancestor(a, bb));
+}
+
+TEST(TreeBuilder, RejectsInvalidConstruction) {
+  TreeBuilder b;
+  EXPECT_THROW(b.build(), std::logic_error);  // empty
+  const NodeId r = b.add_root();
+  EXPECT_THROW(b.add_root(), std::logic_error);  // duplicate root
+  EXPECT_THROW(b.build(), std::logic_error);     // childless without value
+  const NodeId c = b.add_child(r);
+  EXPECT_THROW(b.set_leaf_value(r, 1), std::logic_error);  // internal as leaf
+  b.set_leaf_value(c, 1);
+  EXPECT_THROW(b.add_child(c), std::logic_error);  // child under a leaf
+  EXPECT_NO_THROW(b.build());
+}
+
+TEST(Tree, LeavesInLeftToRightOrder) {
+  const Tree t = make_uniform(3, 2, [](std::uint64_t i) { return Value(i); });
+  const auto ls = t.leaves();
+  ASSERT_EQ(ls.size(), 9u);
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    EXPECT_EQ(t.leaf_value(ls[i]), Value(i)) << "leaf " << i;
+  }
+}
+
+TEST(Tree, IsUniformDetectsShape) {
+  EXPECT_TRUE(make_uniform_constant(2, 5, 0).is_uniform(2, 5));
+  EXPECT_FALSE(make_uniform_constant(2, 5, 0).is_uniform(2, 4));
+  EXPECT_FALSE(make_uniform_constant(2, 5, 0).is_uniform(3, 5));
+  const Tree ragged = parse_tree("((1 0) 1)");
+  EXPECT_FALSE(ragged.is_uniform(2, 2));
+}
+
+TEST(Tree, UniformSizesMatchClosedForm) {
+  for (unsigned d = 2; d <= 4; ++d) {
+    for (unsigned n = 0; n <= 6; ++n) {
+      const Tree t = make_uniform_constant(d, n, 0);
+      std::uint64_t nodes = 0, power = 1;
+      for (unsigned i = 0; i <= n; ++i) {
+        nodes += power;
+        power *= d;
+      }
+      EXPECT_EQ(t.size(), nodes) << "d=" << d << " n=" << n;
+      EXPECT_EQ(t.num_leaves(), uniform_leaf_count(d, n));
+      EXPECT_EQ(t.height(), n);
+    }
+  }
+}
+
+TEST(Tree, DepthsAndKindsAlternate) {
+  const Tree t = make_uniform_constant(2, 3, 0);
+  EXPECT_EQ(node_kind(t, t.root()), NodeKind::Max);
+  for (NodeId c : t.children(t.root())) {
+    EXPECT_EQ(node_kind(t, c), NodeKind::Min);
+    for (NodeId g : t.children(c)) EXPECT_EQ(node_kind(t, g), NodeKind::Max);
+  }
+}
+
+}  // namespace
+}  // namespace gtpar

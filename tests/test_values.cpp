@@ -1,0 +1,94 @@
+// Ground-truth NOR and MIN/MAX evaluation.
+#include <gtest/gtest.h>
+
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/serialization.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(NorValue, SingleLeaf) {
+  EXPECT_TRUE(nor_value(parse_tree("1")));
+  EXPECT_FALSE(nor_value(parse_tree("0")));
+}
+
+TEST(NorValue, OneLevel) {
+  EXPECT_FALSE(nor_value(parse_tree("(1 0)")));   // a 1-child kills a NOR node
+  EXPECT_FALSE(nor_value(parse_tree("(0 1)")));
+  EXPECT_TRUE(nor_value(parse_tree("(0 0)")));    // all children 0 -> 1
+  EXPECT_FALSE(nor_value(parse_tree("(1 1 1)")));
+}
+
+TEST(NorValue, TwoLevels) {
+  // ((0 0) (1 0)): left child value 1 -> root 0.
+  EXPECT_FALSE(nor_value(parse_tree("((0 0) (1 0))")));
+  // ((1 0) (0 1)): both children value 0 -> root 1.
+  EXPECT_TRUE(nor_value(parse_tree("((1 0) (0 1))")));
+}
+
+TEST(NorValue, RecursiveAgreesWithBatch) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Tree t = make_uniform_iid_nor(3, 4, 0.4, seed);
+    const auto all = nor_values(t);
+    EXPECT_EQ(nor_value(t), all[t.root()] != 0) << "seed " << seed;
+    // Spot check internal-node consistency on every node.
+    for (NodeId v = 0; v < t.size(); ++v) {
+      if (t.is_leaf(v)) continue;
+      char expect = 1;
+      for (NodeId c : t.children(v)) {
+        if (all[c]) expect = 0;
+      }
+      EXPECT_EQ(all[v], expect);
+    }
+  }
+}
+
+TEST(MinimaxValue, SingleLeafAndOneLevel) {
+  EXPECT_EQ(minimax_value(parse_tree("42")), 42);
+  EXPECT_EQ(minimax_value(parse_tree("(3 9 5)")), 9);   // root is MAX
+  EXPECT_EQ(minimax_value(parse_tree("((3 9) (5 2))")), 3);  // MAX of MINs
+}
+
+TEST(MinimaxValue, NegativeValues) {
+  EXPECT_EQ(minimax_value(parse_tree("(-3 -9)")), -3);
+  EXPECT_EQ(minimax_value(parse_tree("((-3 -9) (-5 -2))")), -5);
+}
+
+TEST(MinimaxValue, RecursiveAgreesWithBatch) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Tree t = make_uniform_iid_minimax(2, 6, -100, 100, seed);
+    const auto all = minimax_values(t);
+    EXPECT_EQ(minimax_value(t), all[t.root()]);
+  }
+}
+
+TEST(MinimaxValue, BooleanTreeMatchesNorComplementStructure) {
+  // On 0/1 leaves, a MIN/MAX tree is an OR/AND tree: MAX = OR, MIN = AND.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 5, 0.5, seed);
+    const Value mm = minimax_value(t);
+    EXPECT_TRUE(mm == 0 || mm == 1);
+  }
+}
+
+TEST(MinimaxValue, InvariantUnderChildPermutation) {
+  // max/min are symmetric, so shuffling children of every node preserves
+  // the root value.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_uniform_iid_minimax(3, 4, -50, 50, seed);
+    const Tree s = shuffle_children(t, seed * 31 + 7);
+    EXPECT_EQ(minimax_value(t), minimax_value(s)) << "seed " << seed;
+  }
+}
+
+TEST(NorValue, InvariantUnderChildPermutation) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_uniform_iid_nor(3, 4, 0.4, seed);
+    const Tree s = shuffle_children(t, seed * 17 + 3);
+    EXPECT_EQ(nor_value(t), nor_value(s)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gtpar
