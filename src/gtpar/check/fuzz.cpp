@@ -1,0 +1,171 @@
+#include "gtpar/check/fuzz.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/serialization.hpp"
+
+namespace gtpar::check {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Pick a height so that d^n stays in the low thousands of leaves.
+unsigned height_for_degree(unsigned d, std::uint64_t h) {
+  switch (d) {
+    case 1: return 1 + static_cast<unsigned>(h % 10);   // degenerate chains
+    case 2: return 2 + static_cast<unsigned>(h % 9);    // up to 1024 leaves
+    case 3: return 2 + static_cast<unsigned>(h % 5);    // up to 729
+    default: return 2 + static_cast<unsigned>(h % 4);   // up to 625
+  }
+}
+
+double bias_from(std::uint64_t h) {
+  constexpr double kBiases[] = {0.3, 0.5, 0.7, 0.0};
+  const double b = kBiases[h % 4];
+  return b == 0.0 ? golden_bias() : b;
+}
+
+Tree make_nor_fuzz_tree(std::uint64_t seed, std::ostringstream& family) {
+  const std::uint64_t h = mix64(seed);
+  const unsigned pick = h % 6;
+  const unsigned d = 1 + static_cast<unsigned>((h >> 8) % 4);
+  const unsigned n = height_for_degree(d, h >> 16);
+  const double p = bias_from(h >> 24);
+  switch (pick) {
+    case 0:
+      family << "uniform-iid-nor d=" << d << " n=" << n << " p=" << p;
+      return make_uniform_iid_nor(d, n, p, seed);
+    case 1: {
+      RandomShapeParams params;
+      params.d_min = std::max(1u, d - 1);
+      params.d_max = d + 1;
+      params.n_min = std::max(2u, n / 2);
+      params.n_max = std::max<unsigned>(params.n_min, std::min(n, 8u));
+      family << "random-shape-nor d=[" << params.d_min << "," << params.d_max
+             << "] n=[" << params.n_min << "," << params.n_max << "] p=" << p;
+      return make_random_shape_nor(params, p, seed);
+    }
+    case 2: {
+      const unsigned dd = std::max(2u, d);
+      family << "worst-case-nor d=" << dd << " n=" << n << " root=" << (h >> 32) % 2;
+      return make_worst_case_nor(dd, n, (h >> 32) % 2 != 0);
+    }
+    case 3: {
+      const unsigned dd = std::max(2u, d);
+      family << "best-case-nor d=" << dd << " n=" << n << " root=" << (h >> 32) % 2;
+      return make_best_case_nor(dd, n, (h >> 32) % 2 != 0, p, seed);
+    }
+    case 4: {
+      const unsigned dd = std::max(2u, d);
+      family << "shuffled-worst-case-nor d=" << dd << " n=" << n;
+      return shuffle_children(make_worst_case_nor(dd, n, (h >> 32) % 2 != 0), seed);
+    }
+    default:
+      family << "constant-nor d=" << d << " n=" << n << " v=" << (h >> 32) % 2;
+      return make_uniform_constant(d, n, static_cast<Value>((h >> 32) % 2));
+  }
+}
+
+Tree make_minimax_fuzz_tree(std::uint64_t seed, std::ostringstream& family) {
+  const std::uint64_t h = mix64(seed ^ 0x6d696e696d617869ull);
+  const unsigned pick = h % 7;
+  const unsigned d = 1 + static_cast<unsigned>((h >> 8) % 4);
+  const unsigned n = height_for_degree(d, h >> 16);
+  const Value lo = -static_cast<Value>(1 + (h >> 24) % 1000);
+  const Value hi = static_cast<Value>(1 + (h >> 34) % 1000);
+  switch (pick) {
+    case 0:
+      family << "uniform-iid-minimax d=" << d << " n=" << n << " range=[" << lo << ","
+             << hi << "]";
+      return make_uniform_iid_minimax(d, n, lo, hi, seed);
+    case 1: {
+      RandomShapeParams params;
+      params.d_min = std::max(1u, d - 1);
+      params.d_max = d + 1;
+      params.n_min = std::max(2u, n / 2);
+      params.n_max = std::max<unsigned>(params.n_min, std::min(n, 8u));
+      family << "random-shape-minimax d=[" << params.d_min << "," << params.d_max
+             << "] n=[" << params.n_min << "," << params.n_max << "]";
+      return make_random_shape_minimax(params, lo, hi, seed);
+    }
+    case 2: {
+      const unsigned dd = std::max(2u, d);
+      family << "worst-case-minimax d=" << dd << " n=" << n;
+      return make_worst_case_minimax(dd, n);
+    }
+    case 3: {
+      const unsigned dd = std::max(2u, d);
+      family << "best-case-minimax d=" << dd << " n=" << n;
+      return make_best_case_minimax(dd, n);
+    }
+    case 4: {
+      const unsigned dd = std::max(2u, d);
+      family << "correlated-minimax d=" << dd << " n=" << n;
+      return make_correlated_minimax(dd, n, 16, seed);
+    }
+    case 5: {
+      const unsigned dd = std::max(2u, d);
+      const double q = static_cast<double>((h >> 44) % 101) / 100.0;
+      family << "ordered-iid-minimax d=" << dd << " n=" << n << " q=" << q;
+      return make_ordered_iid_minimax(dd, n, lo, hi, seed, q);
+    }
+    default: {
+      const unsigned dd = std::max(2u, d);
+      family << "shuffled-worst-case-minimax d=" << dd << " n=" << n;
+      return shuffle_children(make_worst_case_minimax(dd, n), seed);
+    }
+  }
+}
+
+}  // namespace
+
+Tree make_fuzz_tree(std::uint64_t seed, bool minimax, std::string* family_out) {
+  std::ostringstream family;
+  Tree t = minimax ? make_minimax_fuzz_tree(seed, family)
+                   : make_nor_fuzz_tree(seed, family);
+  if (family_out) *family_out = family.str();
+  return t;
+}
+
+std::vector<CorpusCase> load_corpus(const std::string& dir) {
+  if (!fs::is_directory(dir))
+    throw std::invalid_argument("load_corpus: not a directory: " + dir);
+  std::vector<CorpusCase> cases;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".tree") continue;
+    std::ifstream in(entry.path());
+    if (!in) throw std::runtime_error("load_corpus: cannot read " + entry.path().string());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    CorpusCase c;
+    c.name = entry.path().filename().string();
+    c.minimax = c.name.rfind("mm_", 0) == 0;
+    try {
+      c.tree = parse_tree(buf.str());
+    } catch (const std::exception& e) {
+      throw std::runtime_error("load_corpus: " + entry.path().string() + ": " + e.what());
+    }
+    cases.push_back(std::move(c));
+  }
+  std::sort(cases.begin(), cases.end(),
+            [](const CorpusCase& a, const CorpusCase& b) { return a.name < b.name; });
+  return cases;
+}
+
+std::string dump_corpus_tree(const std::string& dir, const std::string& name,
+                             const Tree& t) {
+  fs::create_directories(dir);
+  const fs::path path = fs::path(dir) / name;
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("dump_corpus_tree: cannot write " + path.string());
+  write_tree(out, t);
+  out << '\n';
+  return path.string();
+}
+
+}  // namespace gtpar::check

@@ -1,0 +1,49 @@
+// gtpar/check/fuzz.hpp
+//
+// Reproducible tree-shape sweeping for the property fuzzer. A single
+// 64-bit seed deterministically selects a generator family (uniform,
+// non-uniform random shape, adversarial orderings, best-case orderings,
+// correlated values, shuffled variants, degenerate arities), its
+// parameters (degree, height, leaf bias), and the leaf randomness — so
+// "fuzz_search --seed S" reproduces a failure exactly, and a corpus is
+// just a list of seeds plus serialized counterexample trees.
+//
+// Sizes are capped (a few thousand leaves) so one oracle pass per tree
+// stays fast even under sanitizers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar::check {
+
+/// Deterministically derive a fuzz tree from (seed, semantics). If
+/// `family_out` is non-null it receives a human-readable description of
+/// the chosen generator and parameters (for failure reports).
+Tree make_fuzz_tree(std::uint64_t seed, bool minimax, std::string* family_out = nullptr);
+
+/// One corpus entry: a serialized tree plus the semantics to check it
+/// under (derived from the file name prefix, "nor_" or "mm_").
+struct CorpusCase {
+  std::string name;  ///< file name without directory
+  bool minimax = false;
+  Tree tree;
+};
+
+/// Load every "*.tree" file of `dir` (s-expression format, one tree per
+/// file; see tree/serialization.hpp). Files prefixed "mm_" are checked
+/// under MIN/MAX semantics, everything else as NOR. Returns entries
+/// sorted by name; throws std::runtime_error on unreadable/unparsable
+/// files, std::invalid_argument if the directory does not exist.
+std::vector<CorpusCase> load_corpus(const std::string& dir);
+
+/// Serialize `t` to `dir/name` ("mm_"/"nor_" prefix chooses the replay
+/// semantics; append ".tree" for load_corpus to pick it up). Creates the
+/// directory if needed; returns the full path written.
+std::string dump_corpus_tree(const std::string& dir, const std::string& name,
+                             const Tree& t);
+
+}  // namespace gtpar::check

@@ -1,0 +1,175 @@
+#include "gtpar/check/oracle.hpp"
+
+#include <exception>
+#include <sstream>
+
+#include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/check/registry.hpp"
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/tree/proof_tree.hpp"
+#include "gtpar/tree/skeleton.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar::check {
+namespace {
+
+void fail(OracleReport& report, std::string algorithm, std::string message) {
+  report.failures.push_back({std::move(algorithm), std::move(message)});
+}
+
+/// Run every applicable registry entry and compare against `expected`.
+/// `certificate` is the minimal distinct-leaf count any correct run must
+/// reach (Facts 1/2).
+void run_registry(const std::vector<Algorithm>& registry, const Tree& t,
+                  Value expected, std::uint64_t certificate,
+                  const OracleOptions& opt, OracleReport& report) {
+  const ExplicitTreeSource src(t);
+  for (const Algorithm& algo : registry) {
+    if (algo.applies && !algo.applies(t)) continue;
+    const unsigned runs = algo.traits.threaded ? std::max(opt.determinism_runs, 1u) : 1;
+    RunOutcome first{};
+    for (unsigned i = 0; i < runs; ++i) {
+      RunOutcome out;
+      try {
+        out = algo.run(t, src, opt.seed);
+      } catch (const std::exception& e) {
+        fail(report, algo.name, std::string("threw: ") + e.what());
+        break;
+      }
+      if (i == 0) {
+        first = out;
+        if (out.value != expected) {
+          std::ostringstream os;
+          os << "value " << out.value << " != expected " << expected;
+          fail(report, algo.name, os.str());
+        }
+        switch (algo.traits.work_unit) {
+          case WorkUnit::kDistinctLeaves:
+            if (out.work < certificate || out.work > t.num_leaves()) {
+              std::ostringstream os;
+              os << "distinct-leaf work " << out.work << " outside [certificate "
+                 << certificate << ", leaves " << t.num_leaves() << "]";
+              fail(report, algo.name, os.str());
+            }
+            break;
+          case WorkUnit::kExpansions:
+            if (out.work < certificate || out.work > t.size()) {
+              std::ostringstream os;
+              os << "expansion work " << out.work << " outside [certificate "
+                 << certificate << ", nodes " << t.size() << "]";
+              fail(report, algo.name, os.str());
+            }
+            break;
+          case WorkUnit::kOther:
+            if (out.work < certificate) {
+              std::ostringstream os;
+              os << "work " << out.work << " below certificate " << certificate;
+              fail(report, algo.name, os.str());
+            }
+            break;
+        }
+      } else if (out.value != first.value) {
+        std::ostringstream os;
+        os << "nondeterministic value: run 0 gave " << first.value << ", run " << i
+           << " gave " << out.value;
+        fail(report, algo.name, os.str());
+        break;
+      }
+    }
+  }
+}
+
+/// §4 invariants, checked while the lock-step pruning process runs: after
+/// every basic step (propagation + pruning rule to fixpoint) each
+/// unfinished node of the pruned tree has an open window alpha < beta, and
+/// the pruned tree still has the true root value (Theorem 2).
+void check_ab_window_soundness(const Tree& t, Value truth, OracleReport& report) {
+  for (unsigned w : {0u, 2u}) {
+    bool reported = false;
+    const auto run = run_parallel_ab(
+        t, w, [&](const MinimaxSimulator& sim, std::span<const NodeId>) {
+          if (reported) return;
+          if (sim.pruned_tree_value() != truth) {
+            std::ostringstream os;
+            os << "Theorem 2 violated at width " << w << ": pruned-tree value "
+               << sim.pruned_tree_value() << " != " << truth;
+            fail(report, "ab-window-soundness", os.str());
+            reported = true;
+            return;
+          }
+          for (NodeId v = 0; v < t.size(); ++v) {
+            if (sim.finished(v) || !sim.in_pruned_tree(v)) continue;
+            const Value a = sim.alpha_bound(v);
+            const Value b = sim.beta_bound(v);
+            if (a >= b) {
+              std::ostringstream os;
+              os << "width " << w << ": unfinished node " << v
+                 << " survives with closed window [" << a << ", " << b << "]";
+              fail(report, "ab-window-soundness", os.str());
+              reported = true;
+              return;
+            }
+          }
+        });
+    if (run.value != truth)
+      fail(report, "ab-window-soundness",
+           "lock-step run value diverged from ground truth");
+  }
+}
+
+/// §3 Proposition 2: P_w(T) <= P_w(H_T), the skeleton being induced by the
+/// leaves Sequential SOLVE evaluates. Plus internal consistency: width-0
+/// lock-step equals the recursive Sequential SOLVE leaf-for-leaf.
+void check_solve_skeleton_consistency(const Tree& t, OracleReport& report) {
+  const auto seq = sequential_solve(t);
+  const auto w0 = run_parallel_solve(t, 0);
+  if (w0.stats.work != seq.evaluated.size())
+    fail(report, "skeleton-consistency",
+         "width-0 lock-step work differs from Sequential SOLVE");
+  const Skeleton h = make_skeleton(t, seq.evaluated);
+  for (unsigned w : {1u, 2u}) {
+    const auto on_tree = run_parallel_solve(t, w);
+    const auto on_skeleton = run_parallel_solve(h.tree, w);
+    if (on_tree.stats.steps > on_skeleton.stats.steps) {
+      std::ostringstream os;
+      os << "Proposition 2 violated at width " << w << ": " << on_tree.stats.steps
+         << " steps on T vs " << on_skeleton.stats.steps << " on H_T";
+      fail(report, "skeleton-consistency", os.str());
+    }
+  }
+}
+
+}  // namespace
+
+std::string OracleReport::summary() const {
+  std::ostringstream os;
+  for (const auto& f : failures) os << f.algorithm << ": " << f.message << "\n";
+  return os.str();
+}
+
+OracleReport check_nor_tree(const Tree& t, const OracleOptions& opt) {
+  OracleReport report;
+  const bool truth = nor_value(t);
+  report.expected = truth ? 1 : 0;
+  run_registry(nor_registry(), t, report.expected, nor_proof_tree_size(t), opt, report);
+  if (opt.step_invariants && t.size() <= opt.max_invariant_nodes)
+    check_solve_skeleton_consistency(t, report);
+  return report;
+}
+
+OracleReport check_minimax_tree(const Tree& t, const OracleOptions& opt) {
+  OracleReport report;
+  report.expected = minimax_value(t);
+  run_registry(minimax_registry(), t, report.expected, minimax_verification_size(t),
+               opt, report);
+  if (opt.step_invariants && t.size() <= opt.max_invariant_nodes)
+    check_ab_window_soundness(t, report.expected, report);
+  return report;
+}
+
+OracleReport check_tree(const Tree& t, bool minimax, const OracleOptions& opt) {
+  return minimax ? check_minimax_tree(t, opt) : check_nor_tree(t, opt);
+}
+
+}  // namespace gtpar::check

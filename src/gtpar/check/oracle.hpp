@@ -1,0 +1,73 @@
+// gtpar/check/oracle.hpp
+//
+// The differential oracle: evaluate one tree with every algorithm in the
+// registry (check/registry.hpp) and verify the paper's central correctness
+// invariant — all of them must agree on the root value (§2 Theorem 2 for
+// the pruning process; ground truth is the full postorder of
+// tree/values.hpp) — plus per-algorithm structural invariants:
+//
+//  - work bounds: every distinct-leaf counter lies between the certificate
+//    lower bound of Facts 1/2 (proof_tree.hpp: any correct algorithm must
+//    evaluate every leaf of some proof tree / verification set) and the
+//    total leaf count; expansion counters are bounded by the node count;
+//  - determinism: threaded algorithms are re-run and must reproduce their
+//    value exactly (races typically surface as occasional wrong values);
+//  - alpha-beta window soundness (§4): while the lock-step pruning process
+//    runs, every unfinished node of the pruned tree keeps alpha < beta
+//    (the pruning rule is applied to fixpoint), and the pruned tree's
+//    mathematical value equals the true root value after every basic step
+//    (the Theorem 2 invariant);
+//  - skeleton consistency (§3 Proposition 2): Parallel SOLVE takes no more
+//    steps on T than on the skeleton H_T induced by Sequential SOLVE's
+//    evaluated leaves.
+//
+// The oracle never aborts on the first failure: it returns a report listing
+// every divergence, which the fuzzer (tools/fuzz_search.cpp) feeds to the
+// shrinker (check/shrink.hpp) to produce a minimal counterexample.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar::check {
+
+struct OracleOptions {
+  /// Seed handed to randomized algorithms.
+  std::uint64_t seed = 0;
+  /// Total runs of each threaded algorithm (>= 1); all must agree.
+  unsigned determinism_runs = 2;
+  /// Run the step-level lock-step invariants (window soundness, Theorem 2,
+  /// Proposition 2). Quadratic-ish in tree size, so skipped for trees
+  /// larger than max_invariant_nodes.
+  bool step_invariants = true;
+  std::size_t max_invariant_nodes = 2048;
+};
+
+/// One divergence found by the oracle.
+struct OracleFailure {
+  std::string algorithm;  ///< registry name, or the invariant's label
+  std::string message;
+};
+
+struct OracleReport {
+  Value expected = 0;  ///< ground-truth root value
+  std::vector<OracleFailure> failures;
+
+  bool ok() const noexcept { return failures.empty(); }
+  /// One line per failure; empty string when ok().
+  std::string summary() const;
+};
+
+/// Check a NOR-tree against every registered SOLVE-family algorithm.
+OracleReport check_nor_tree(const Tree& t, const OracleOptions& opt = {});
+
+/// Check a MIN/MAX tree against every registered MIN/MAX algorithm.
+OracleReport check_minimax_tree(const Tree& t, const OracleOptions& opt = {});
+
+/// Dispatch on semantics: minimax ? check_minimax_tree : check_nor_tree.
+OracleReport check_tree(const Tree& t, bool minimax, const OracleOptions& opt = {});
+
+}  // namespace gtpar::check

@@ -1,0 +1,287 @@
+#include "gtpar/check/registry.hpp"
+
+#include "gtpar/ab/alphabeta.hpp"
+#include "gtpar/ab/depth_limited.hpp"
+#include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/ab/sss.hpp"
+#include "gtpar/ab/tt_search.hpp"
+#include "gtpar/expand/minimax_expansion.hpp"
+#include "gtpar/expand/nor_expansion.hpp"
+#include "gtpar/mp/message_passing.hpp"
+#include "gtpar/rand/randomized.hpp"
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/threads/mt_ab.hpp"
+#include "gtpar/threads/mt_solve.hpp"
+
+namespace gtpar::check {
+namespace {
+
+bool is_binary(const Tree& t) {
+  for (NodeId v = 0; v < t.size(); ++v)
+    if (!t.is_leaf(v) && t.num_children(v) != 2) return false;
+  return true;
+}
+
+std::vector<Algorithm> build_nor_registry() {
+  std::vector<Algorithm> r;
+
+  r.push_back({"sequential-solve",
+               {WorkUnit::kDistinctLeaves, false, false},
+               nullptr,
+               [](const Tree& t, const TreeSource&, std::uint64_t) {
+                 const auto res = sequential_solve(t);
+                 return RunOutcome{res.value ? 1 : 0, res.evaluated.size()};
+               }});
+
+  for (unsigned w : {1u, 2u, 4u}) {
+    r.push_back({"parallel-solve-w" + std::to_string(w),
+                 {WorkUnit::kDistinctLeaves, false, false},
+                 nullptr,
+                 [w](const Tree& t, const TreeSource&, std::uint64_t) {
+                   const auto res = run_parallel_solve(t, w);
+                   return RunOutcome{res.value ? 1 : 0, res.stats.work};
+                 }});
+  }
+
+  for (std::size_t p : {std::size_t{3}, std::size_t{8}}) {
+    r.push_back({"team-solve-p" + std::to_string(p),
+                 {WorkUnit::kDistinctLeaves, false, false},
+                 nullptr,
+                 [p](const Tree& t, const TreeSource&, std::uint64_t) {
+                   const auto res = run_team_solve(t, p);
+                   return RunOutcome{res.value ? 1 : 0, res.stats.work};
+                 }});
+  }
+
+  r.push_back({"parallel-solve-bounded-w2-p3",
+               {WorkUnit::kDistinctLeaves, false, false},
+               nullptr,
+               [](const Tree& t, const TreeSource&, std::uint64_t) {
+                 const auto res = run_parallel_solve_bounded(t, 2, 3);
+                 return RunOutcome{res.value ? 1 : 0, res.stats.work};
+               }});
+
+  r.push_back({"n-sequential-solve",
+               {WorkUnit::kExpansions, false, false},
+               nullptr,
+               [](const Tree&, const TreeSource& src, std::uint64_t) {
+                 const auto res = run_n_sequential_solve(src);
+                 return RunOutcome{res.value ? 1 : 0, res.stats.work};
+               }});
+
+  r.push_back({"n-parallel-solve-w1",
+               {WorkUnit::kExpansions, false, false},
+               nullptr,
+               [](const Tree&, const TreeSource& src, std::uint64_t) {
+                 const auto res = run_n_parallel_solve(src, 1);
+                 return RunOutcome{res.value ? 1 : 0, res.stats.work};
+               }});
+
+  r.push_back({"r-sequential-solve",
+               {WorkUnit::kExpansions, false, true},
+               nullptr,
+               [](const Tree&, const TreeSource& src, std::uint64_t seed) {
+                 const auto res = run_r_sequential_solve(src, seed);
+                 return RunOutcome{res.value ? 1 : 0, res.stats.work};
+               }});
+
+  r.push_back({"r-parallel-solve-w1",
+               {WorkUnit::kExpansions, false, true},
+               nullptr,
+               [](const Tree&, const TreeSource& src, std::uint64_t seed) {
+                 const auto res = run_r_parallel_solve(src, 1, seed);
+                 return RunOutcome{res.value ? 1 : 0, res.stats.work};
+               }});
+
+  r.push_back({"message-passing-solve",
+               {WorkUnit::kExpansions, false, false},
+               is_binary,
+               [](const Tree&, const TreeSource& src, std::uint64_t) {
+                 const auto res = run_message_passing_solve(src);
+                 return RunOutcome{res.value ? 1 : 0, res.expansions};
+               }});
+
+  r.push_back({"mt-sequential-solve",
+               {WorkUnit::kDistinctLeaves, true, false},
+               nullptr,
+               [](const Tree& t, const TreeSource&, std::uint64_t) {
+                 const auto res = mt_sequential_solve(t, /*leaf_cost_ns=*/0);
+                 return RunOutcome{res.value ? 1 : 0, res.leaf_evaluations};
+               }});
+
+  for (unsigned w : {1u, 3u}) {
+    r.push_back({"mt-parallel-solve-w" + std::to_string(w),
+                 {WorkUnit::kDistinctLeaves, true, false},
+                 nullptr,
+                 [w](const Tree& t, const TreeSource&, std::uint64_t) {
+                   MtSolveOptions opt;
+                   opt.threads = 4;
+                   opt.leaf_cost_ns = 0;
+                   opt.width = w;
+                   const auto res = mt_parallel_solve(t, opt);
+                   return RunOutcome{res.value ? 1 : 0, res.leaf_evaluations};
+                 }});
+  }
+
+  return r;
+}
+
+std::vector<Algorithm> build_minimax_registry() {
+  std::vector<Algorithm> r;
+
+  r.push_back({"full-minimax",
+               {WorkUnit::kDistinctLeaves, false, false},
+               nullptr,
+               [](const Tree& t, const TreeSource&, std::uint64_t) {
+                 const auto res = full_minimax(t);
+                 return RunOutcome{res.value, res.distinct_leaves};
+               }});
+
+  r.push_back({"alphabeta",
+               {WorkUnit::kDistinctLeaves, false, false},
+               nullptr,
+               [](const Tree& t, const TreeSource&, std::uint64_t) {
+                 const auto res = alphabeta(t);
+                 return RunOutcome{res.value, res.distinct_leaves};
+               }});
+
+  r.push_back({"scout",
+               {WorkUnit::kDistinctLeaves, false, false},
+               nullptr,
+               [](const Tree& t, const TreeSource&, std::uint64_t) {
+                 const auto res = scout(t);
+                 return RunOutcome{res.value, res.distinct_leaves};
+               }});
+
+  r.push_back({"sequential-ab",
+               {WorkUnit::kDistinctLeaves, false, false},
+               nullptr,
+               [](const Tree& t, const TreeSource&, std::uint64_t) {
+                 const auto res = run_sequential_ab(t);
+                 return RunOutcome{res.value, res.stats.work};
+               }});
+
+  for (unsigned w : {1u, 2u}) {
+    r.push_back({"parallel-ab-w" + std::to_string(w),
+                 {WorkUnit::kDistinctLeaves, false, false},
+                 nullptr,
+                 [w](const Tree& t, const TreeSource&, std::uint64_t) {
+                   const auto res = run_parallel_ab(t, w);
+                   return RunOutcome{res.value, res.stats.work};
+                 }});
+  }
+
+  r.push_back({"parallel-ab-bounded-w2-p3",
+               {WorkUnit::kDistinctLeaves, false, false},
+               nullptr,
+               [](const Tree& t, const TreeSource&, std::uint64_t) {
+                 const auto res = run_parallel_ab_bounded(t, 2, 3);
+                 return RunOutcome{res.value, res.stats.work};
+               }});
+
+  r.push_back({"sss-star",
+               {WorkUnit::kDistinctLeaves, false, false},
+               nullptr,
+               [](const Tree& t, const TreeSource&, std::uint64_t) {
+                 const auto res = sss_star(t);
+                 return RunOutcome{res.value, res.distinct_leaves};
+               }});
+
+  r.push_back({"parallel-sss-p4",
+               {WorkUnit::kDistinctLeaves, false, false},
+               nullptr,
+               [](const Tree& t, const TreeSource&, std::uint64_t) {
+                 const auto res = parallel_sss(t, 4);
+                 return RunOutcome{res.value, res.distinct_leaves};
+               }});
+
+  r.push_back({"n-sequential-ab",
+               {WorkUnit::kExpansions, false, false},
+               nullptr,
+               [](const Tree&, const TreeSource& src, std::uint64_t) {
+                 const auto res = run_n_sequential_ab(src);
+                 return RunOutcome{res.value, res.stats.work};
+               }});
+
+  r.push_back({"n-parallel-ab-w1",
+               {WorkUnit::kExpansions, false, false},
+               nullptr,
+               [](const Tree&, const TreeSource& src, std::uint64_t) {
+                 const auto res = run_n_parallel_ab(src, 1);
+                 return RunOutcome{res.value, res.stats.work};
+               }});
+
+  r.push_back({"r-sequential-ab",
+               {WorkUnit::kExpansions, false, true},
+               nullptr,
+               [](const Tree&, const TreeSource& src, std::uint64_t seed) {
+                 const auto res = run_r_sequential_ab(src, seed);
+                 return RunOutcome{res.value, res.stats.work};
+               }});
+
+  r.push_back({"r-parallel-ab-w1",
+               {WorkUnit::kExpansions, false, true},
+               nullptr,
+               [](const Tree&, const TreeSource& src, std::uint64_t seed) {
+                 const auto res = run_r_parallel_ab(src, 1, seed);
+                 return RunOutcome{res.value, res.stats.work};
+               }});
+
+  r.push_back({"tt-alphabeta",
+               {WorkUnit::kOther, false, false},
+               nullptr,
+               [](const Tree&, const TreeSource& src, std::uint64_t) {
+                 const auto res = tt_alphabeta(src);
+                 return RunOutcome{res.value, res.leaf_evaluations};
+               }});
+
+  r.push_back({"depth-limited-ab-full",
+               {WorkUnit::kOther, false, false},
+               nullptr,
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 // Horizon strictly below every leaf: the heuristic is never
+                 // consulted, so the result must be the exact minimax value.
+                 const auto res = depth_limited_ab(
+                     src, t.height() + 1, [](const TreeSource::Node&) { return Value{0}; });
+                 return RunOutcome{res.value, res.leaf_evaluations};
+               }});
+
+  r.push_back({"mt-sequential-ab",
+               {WorkUnit::kDistinctLeaves, true, false},
+               nullptr,
+               [](const Tree& t, const TreeSource&, std::uint64_t) {
+                 const auto res = mt_sequential_ab(t, /*leaf_cost_ns=*/0);
+                 return RunOutcome{res.value, res.leaf_evaluations};
+               }});
+
+  for (const bool promotion : {true, false}) {
+    r.push_back({promotion ? "mt-parallel-ab" : "mt-parallel-ab-nopromo",
+                 {WorkUnit::kDistinctLeaves, true, false},
+                 nullptr,
+                 [promotion](const Tree& t, const TreeSource&, std::uint64_t) {
+                   MtAbOptions opt;
+                   opt.threads = 4;
+                   opt.leaf_cost_ns = 0;
+                   opt.promotion = promotion;
+                   const auto res = mt_parallel_ab(t, opt);
+                   return RunOutcome{res.value, res.leaf_evaluations};
+                 }});
+  }
+
+  return r;
+}
+
+}  // namespace
+
+const std::vector<Algorithm>& nor_registry() {
+  static const std::vector<Algorithm> registry = build_nor_registry();
+  return registry;
+}
+
+const std::vector<Algorithm>& minimax_registry() {
+  static const std::vector<Algorithm> registry = build_minimax_registry();
+  return registry;
+}
+
+}  // namespace gtpar::check

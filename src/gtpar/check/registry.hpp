@@ -1,0 +1,76 @@
+// gtpar/check/registry.hpp
+//
+// The algorithm registry behind the differential oracle (check/oracle.hpp):
+// one uniform entry per search algorithm in the library, NOR and MIN/MAX
+// families alike, so that cross-algorithm harnesses (the oracle, the
+// fuzzer, future perf gates) can enumerate "everything that computes a game
+// tree value" without hard-coding the call sites.
+//
+// Every entry runs the algorithm on an explicit Tree (an
+// ExplicitTreeSource over the same tree is provided for node-expansion and
+// transposition-table searchers) and reports the computed value plus work
+// counters in the algorithm's own cost model. Traits tell the oracle which
+// invariants apply: distinct-leaf counters are checked against the
+// certificate lower bound of Facts 1/2 (proof_tree.hpp), threaded
+// algorithms are re-run for determinism, randomized ones consume the
+// oracle's seed.
+//
+// To add an algorithm: append a register_* call in registry.cpp and it is
+// automatically picked up by the oracle, test_differential, and
+// tools/fuzz_search. Names must be unique within a registry (asserted by
+// test_differential).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gtpar/common.hpp"
+#include "gtpar/expand/tree_source.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar::check {
+
+/// Cost model of an algorithm's `work` counter, selecting which structural
+/// bounds the oracle can apply to it.
+enum class WorkUnit : std::uint8_t {
+  kDistinctLeaves,  ///< distinct leaves evaluated: certificate <= work <= #leaves
+  kExpansions,      ///< node expansions: certificate <= work <= #nodes
+  kOther,           ///< multiplicity counts etc.: certificate <= work only
+};
+
+/// What a registered algorithm reports back to the oracle.
+struct RunOutcome {
+  Value value = 0;
+  /// Total work in the unit declared by Traits::work_unit.
+  std::uint64_t work = 0;
+};
+
+struct Traits {
+  WorkUnit work_unit = WorkUnit::kDistinctLeaves;
+  /// Uses std::thread: the oracle re-runs it to pin value determinism.
+  bool threaded = false;
+  /// Consumes the oracle seed (expected value must still match).
+  bool randomized = false;
+};
+
+/// One entry of the differential registry.
+struct Algorithm {
+  std::string name;
+  Traits traits;
+  /// Whether the algorithm can run on this tree (e.g. the Section 7
+  /// message-passing simulator requires binary trees). Null = always.
+  std::function<bool(const Tree&)> applies;
+  /// Run on `t`; `src` is an ExplicitTreeSource over `t`. Deterministic
+  /// algorithms ignore `seed`.
+  std::function<RunOutcome(const Tree& t, const TreeSource& src, std::uint64_t seed)> run;
+};
+
+/// All registered NOR-tree (SOLVE-family) algorithms.
+const std::vector<Algorithm>& nor_registry();
+
+/// All registered MIN/MAX algorithms.
+const std::vector<Algorithm>& minimax_registry();
+
+}  // namespace gtpar::check

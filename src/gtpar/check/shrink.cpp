@@ -1,0 +1,130 @@
+#include "gtpar/check/shrink.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar::check {
+namespace {
+
+/// Copy the subtree of `t` rooted at `from` under the builder node `to`,
+/// skipping the subtree rooted at `skip` (kNoNode = keep everything) and
+/// collapsing `as_leaf` (kNoNode = none) into a leaf of value `leaf_value`.
+void copy_rec(const Tree& t, NodeId from, TreeBuilder& b, NodeId to, NodeId skip,
+              NodeId as_leaf, Value leaf_value) {
+  if (from == as_leaf) {
+    b.set_leaf_value(to, leaf_value);
+    return;
+  }
+  if (t.is_leaf(from)) {
+    b.set_leaf_value(to, t.leaf_value(from));
+    return;
+  }
+  for (NodeId c : t.children(from)) {
+    if (c == skip) continue;
+    copy_rec(t, c, b, b.add_child(to), skip, as_leaf, leaf_value);
+  }
+}
+
+Tree rebuild(const Tree& t, NodeId root, NodeId skip, NodeId as_leaf, Value leaf_value) {
+  TreeBuilder b;
+  copy_rec(t, root, b, b.add_root(), skip, as_leaf, leaf_value);
+  return b.build();
+}
+
+Value subtree_value(const Tree& t, NodeId v, Semantics semantics) {
+  return semantics == Semantics::kNor ? Value{nor_value(t, v) ? 1 : 0}
+                                      : minimax_value(t, v);
+}
+
+/// Copy of `t` with the value of leaf `target` replaced.
+void patch_rec(const Tree& t, NodeId from, TreeBuilder& b, NodeId to, NodeId target,
+               Value value) {
+  if (t.is_leaf(from)) {
+    b.set_leaf_value(to, from == target ? value : t.leaf_value(from));
+    return;
+  }
+  for (NodeId c : t.children(from)) patch_rec(t, c, b, b.add_child(to), target, value);
+}
+
+Tree patch_leaf(const Tree& t, NodeId target, Value value) {
+  TreeBuilder b;
+  patch_rec(t, t.root(), b, b.add_root(), target, value);
+  return b.build();
+}
+
+}  // namespace
+
+Tree extract_subtree(const Tree& t, NodeId v) {
+  return rebuild(t, v, kNoNode, kNoNode, 0);
+}
+
+Tree delete_subtree(const Tree& t, NodeId v) {
+  assert(v != t.root());
+  assert(t.num_children(t.parent(v)) >= 2);
+  return rebuild(t, t.root(), v, kNoNode, 0);
+}
+
+Tree replace_with_leaf(const Tree& t, NodeId v, Value value) {
+  assert(!t.is_leaf(v));
+  return rebuild(t, t.root(), kNoNode, v, value);
+}
+
+ShrinkResult shrink_tree(const Tree& failing, const FailurePredicate& fails,
+                         Semantics semantics, std::size_t max_predicate_calls) {
+  ShrinkResult res;
+  res.tree = failing;
+
+  auto try_candidate = [&](Tree candidate) -> bool {
+    if (res.predicate_calls >= max_predicate_calls) return false;
+    ++res.predicate_calls;
+    if (!fails(candidate)) return false;
+    res.tree = std::move(candidate);
+    ++res.rounds;
+    return true;
+  };
+
+  bool progressed = true;
+  while (progressed && res.predicate_calls < max_predicate_calls) {
+    progressed = false;
+    const Tree& t = res.tree;
+
+    // 1. Hoist a child subtree of the root as the whole counterexample.
+    for (NodeId c : t.children(t.root())) {
+      if (try_candidate(extract_subtree(t, c))) {
+        progressed = true;
+        break;
+      }
+    }
+    if (progressed) continue;
+
+    // 2. Delete one child subtree, largest first (node order approximates
+    //    that well enough; we simply scan all deletable children).
+    for (NodeId v = 1; v < t.size() && !progressed; ++v) {
+      if (t.num_children(t.parent(v)) < 2) continue;
+      if (try_candidate(delete_subtree(t, v))) progressed = true;
+    }
+    if (progressed) continue;
+
+    // 3. Collapse an internal subtree to a leaf with its exact value.
+    for (NodeId v = 1; v < t.size() && !progressed; ++v) {
+      if (t.is_leaf(v)) continue;
+      if (try_candidate(replace_with_leaf(t, v, subtree_value(t, v, semantics))))
+        progressed = true;
+    }
+    if (progressed) continue;
+
+    // 4. Shrink leaf magnitudes toward 0 (halving preserves order only
+    //    coarsely, which is fine: the predicate re-validates).
+    if (semantics == Semantics::kMinimax) {
+      for (NodeId v = 0; v < t.size() && !progressed; ++v) {
+        if (!t.is_leaf(v) || t.leaf_value(v) == 0) continue;
+        if (try_candidate(patch_leaf(t, v, t.leaf_value(v) / 2))) progressed = true;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace gtpar::check

@@ -1,0 +1,59 @@
+// gtpar/check/shrink.hpp
+//
+// Counterexample minimization for the property fuzzer: given a tree on
+// which some predicate fails (typically "the differential oracle reports a
+// divergence"), greedily apply structure-reducing surgeries while the
+// predicate keeps failing, until no candidate reduction fails any more.
+// The result is a (locally) minimal counterexample, small enough to read,
+// serialize into tests/corpus/, and debug by hand.
+//
+// Reductions tried, in order of aggressiveness:
+//  1. hoist: replace the whole tree by one of the root's child subtrees;
+//  2. delete: remove a child subtree (its parent keeps >= 1 child);
+//  3. collapse: replace an internal node's subtree by a single leaf
+//     carrying the subtree's exact value under the tree's semantics, so
+//     the root value is preserved and the failure is likely to persist;
+//  4. simplify: shrink leaf magnitudes toward 0 (MIN/MAX trees only).
+//
+// The individual surgeries are exposed because tests and future harnesses
+// (e.g. bisecting a regression) want them directly.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "gtpar/common.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar::check {
+
+/// Semantics used for value-preserving collapses.
+enum class Semantics : std::uint8_t { kNor, kMinimax };
+
+/// Returns true while the tree still exhibits the failure being minimized.
+using FailurePredicate = std::function<bool(const Tree&)>;
+
+/// The subtree rooted at v, as a standalone tree (v becomes the root).
+Tree extract_subtree(const Tree& t, NodeId v);
+
+/// `t` without the subtree rooted at v. Requires v != root and that v's
+/// parent keeps at least one child.
+Tree delete_subtree(const Tree& t, NodeId v);
+
+/// `t` with the subtree rooted at the internal node v replaced by a single
+/// leaf of the given value.
+Tree replace_with_leaf(const Tree& t, NodeId v, Value value);
+
+struct ShrinkResult {
+  Tree tree;                      ///< the minimized counterexample
+  std::size_t predicate_calls = 0;
+  unsigned rounds = 0;            ///< accepted reductions
+};
+
+/// Greedy shrink loop. `fails(failing)` must be true on entry; the returned
+/// tree also satisfies it. `max_predicate_calls` bounds the total cost.
+ShrinkResult shrink_tree(const Tree& failing, const FailurePredicate& fails,
+                         Semantics semantics,
+                         std::size_t max_predicate_calls = 5000);
+
+}  // namespace gtpar::check

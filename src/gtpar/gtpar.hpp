@@ -52,6 +52,12 @@
 #include "gtpar/analysis/bounds.hpp"
 #include "gtpar/analysis/growth.hpp"
 
+// Differential correctness harness (oracle, registry, fuzzer, shrinker).
+#include "gtpar/check/fuzz.hpp"
+#include "gtpar/check/oracle.hpp"
+#include "gtpar/check/registry.hpp"
+#include "gtpar/check/shrink.hpp"
+
 // Games.
 #include "gtpar/games/games.hpp"
 #include "gtpar/games/mnk.hpp"

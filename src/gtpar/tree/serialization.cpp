@@ -38,6 +38,7 @@ struct Parser {
 
   void parse_node(TreeBuilder& b, NodeId v) {
     const int c = peek_token();
+    if (c == EOF) throw std::invalid_argument("parse_tree: empty input");
     if (c == '(') {
       is.get();
       bool any = false;
@@ -75,7 +76,10 @@ void pretty_rec(std::ostream& os, const Tree& t, NodeId v, const std::string& in
 
 }  // namespace
 
-void write_tree(std::ostream& os, const Tree& t) { write_rec(os, t, t.root()); }
+void write_tree(std::ostream& os, const Tree& t) {
+  if (t.empty()) return;  // empty tree serializes to the empty string
+  write_rec(os, t, t.root());
+}
 
 std::string to_string(const Tree& t) {
   std::ostringstream os;

@@ -18,14 +18,16 @@
 namespace gtpar {
 
 /// Serialize `t` to the s-expression format (single line, no trailing
-/// newline).
+/// newline). A default-constructed empty tree serializes to the empty
+/// string (which parse_tree rejects: there is no s-expression for it).
 std::string to_string(const Tree& t);
 
-/// Write the s-expression form of `t` to `os`.
+/// Write the s-expression form of `t` to `os` (nothing for an empty tree).
 void write_tree(std::ostream& os, const Tree& t);
 
 /// Parse a tree from its s-expression form. Throws std::invalid_argument
-/// on malformed input (unbalanced parens, empty node, trailing garbage).
+/// on malformed input (empty input, unbalanced parens, empty node,
+/// trailing garbage).
 Tree parse_tree(const std::string& text);
 
 /// Read one tree from `is` (consumes exactly one s-expression).

@@ -2,14 +2,18 @@
 // relationships that no single module test pins down.
 #include <gtest/gtest.h>
 
+#include "gtpar/ab/alphabeta.hpp"
 #include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/ab/sss.hpp"
 #include "gtpar/expand/nor_expansion.hpp"
 #include "gtpar/expand/tree_source.hpp"
 #include "gtpar/mp/message_passing.hpp"
 #include "gtpar/solve/nor_simulator.hpp"
 #include "gtpar/solve/sequential_solve.hpp"
 #include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/proof_tree.hpp"
 #include "gtpar/tree/serialization.hpp"
+#include "gtpar/tree/skeleton.hpp"
 #include "gtpar/tree/values.hpp"
 
 namespace gtpar {
@@ -120,6 +124,98 @@ TEST(Properties, WorkAccountingIsConsistentAcrossPolicies) {
     // average_degree is the work-per-step ratio.
     EXPECT_NEAR(run.stats.average_degree(),
                 double(run.stats.work) / double(run.stats.steps), 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem-level bounds as per-instance properties. Each of these is an
+// inequality the paper proves (or that follows directly from a proof step),
+// checked on every tree of a seeded sweep rather than on one example.
+
+TEST(Properties, TeamSolveIsBoundedBySequentialWork) {
+  // At every Team SOLVE step the leftmost live leaf is one of the p leaves
+  // evaluated, and that leaf is exactly the one Sequential SOLVE would
+  // evaluate next; hence steps(T, p) <= S(T) and work(T, p) <= p * S(T)
+  // for every p (the first inequality in the proof of Theorem 1). The
+  // certificate bound work >= proof-tree size holds for *any* correct
+  // algorithm (Fact 1's argument).
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const Tree t = (seed % 2) ? make_uniform_iid_nor(2 + seed % 2, 6, 0.618, seed)
+                              : make_random_shape_nor({}, 0.5, seed);
+    const std::uint64_t s_work = sequential_solve_work(t);
+    const std::uint64_t proof = nor_proof_tree_size(t);
+    for (std::size_t p : {1u, 3u, 8u}) {
+      const auto run = run_team_solve(t, p);
+      EXPECT_LE(run.stats.steps, s_work) << "seed=" << seed << " p=" << p;
+      EXPECT_LE(run.stats.work, p * s_work) << "seed=" << seed << " p=" << p;
+      EXPECT_GE(run.stats.work, proof) << "seed=" << seed << " p=" << p;
+    }
+  }
+}
+
+TEST(Properties, Proposition2SkeletonDominance) {
+  // Proposition 2: Parallel SOLVE of width w is no slower on T than on the
+  // skeleton H_T induced by the leaves Sequential SOLVE evaluates. The
+  // paper states it for the uniform family; the induction works on any
+  // tree, which this sweep exercises (ragged shapes included).
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    RandomShapeParams params;
+    params.d_min = 1 + unsigned(seed % 2);
+    params.d_max = params.d_min + 2;
+    params.n_min = 3;
+    params.n_max = 6;
+    const Tree t = make_random_shape_nor(params, 0.5, seed);
+    const auto seq = sequential_solve(t);
+    const Skeleton h = make_skeleton(t, seq.evaluated);
+    for (unsigned w : {1u, 2u}) {
+      EXPECT_LE(run_parallel_solve(t, w).stats.steps,
+                run_parallel_solve(h.tree, w).stats.steps)
+          << "seed=" << seed << " w=" << w;
+    }
+  }
+}
+
+TEST(Properties, ParallelSolveStepsAreMonotoneInWidth) {
+  // Widening the frontier can only determine values earlier: the width-w
+  // eligible set contains the width-(w-1) set at every step, so the step
+  // count is nonincreasing in w (the monotonicity underlying Theorem 3's
+  // speedup statement).
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 7, (seed % 2) ? 0.618 : 0.4, seed);
+    std::uint64_t prev = ~std::uint64_t{0};
+    for (unsigned w : {0u, 1u, 2u, 4u}) {
+      const std::uint64_t steps = run_parallel_solve(t, w).stats.steps;
+      EXPECT_LE(steps, prev) << "seed=" << seed << " w=" << w;
+      prev = steps;
+    }
+  }
+}
+
+TEST(Properties, WidthOneWorkIsWithinConstantFactorOfSequential) {
+  // Theorem 3's work bound specialized to w = 1: each basic step of
+  // width-1 Parallel SOLVE evaluates the sequential leaf plus at most two
+  // speculative leaves (pruning number 1), so total work <= 3 * S(T).
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const Tree t = make_uniform_iid_nor(2 + seed % 3, 5, 0.618, seed);
+    const auto run = run_parallel_solve(t, 1);
+    EXPECT_LE(run.stats.work, 3 * sequential_solve_work(t)) << "seed=" << seed;
+  }
+}
+
+TEST(Properties, SssStarDominatesAlphaBetaOnEveryInstance) {
+  // Stockman's dominance theorem: SSS* never evaluates a leaf alpha-beta
+  // prunes, so its distinct-leaf count is <= alpha-beta's on *every* tree.
+  // Both still must pay for a minimal verification set (Fact 2's argument).
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const Tree t = (seed % 2)
+                       ? make_uniform_iid_minimax(2 + seed % 2, 5, -100, 100, seed)
+                       : make_random_shape_minimax({}, -100, 100, seed);
+    const auto sss = sss_star(t);
+    const auto ab = alphabeta(t);
+    EXPECT_LE(sss.distinct_leaves, ab.distinct_leaves) << "seed=" << seed;
+    const std::uint64_t verify = minimax_verification_size(t);
+    EXPECT_GE(sss.distinct_leaves, verify) << "seed=" << seed;
+    EXPECT_GE(ab.distinct_leaves, verify) << "seed=" << seed;
   }
 }
 

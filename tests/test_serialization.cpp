@@ -3,6 +3,7 @@
 
 #include <sstream>
 
+#include "gtpar/check/fuzz.hpp"
 #include "gtpar/tree/generators.hpp"
 #include "gtpar/tree/serialization.hpp"
 #include "gtpar/tree/values.hpp"
@@ -37,6 +38,59 @@ TEST(Serialization, GeneratedTreesRoundTrip) {
   RandomShapeParams p;
   const Tree t = make_random_shape_nor(p, 0.5, 3);
   EXPECT_EQ(to_string(t), to_string(parse_tree(to_string(t))));
+}
+
+TEST(Serialization, FuzzTreesRoundTripStructurally) {
+  // Structural round-trip over the differential fuzzer's shape families:
+  // parse(to_string(t)) must reproduce the exact node structure (parents,
+  // child counts, leaf values), not just the root value.
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    for (const bool minimax : {false, true}) {
+      const Tree t = check::make_fuzz_tree(seed, minimax);
+      const Tree back = parse_tree(to_string(t));
+      ASSERT_EQ(t.size(), back.size()) << "seed " << seed;
+      for (NodeId v = 0; v < t.size(); ++v) {
+        EXPECT_EQ(t.parent(v), back.parent(v)) << "seed " << seed << " node " << v;
+        EXPECT_EQ(t.num_children(v), back.num_children(v))
+            << "seed " << seed << " node " << v;
+        if (t.is_leaf(v)) {
+          EXPECT_EQ(t.leaf_value(v), back.leaf_value(v))
+              << "seed " << seed << " node " << v;
+        }
+      }
+      if (minimax) {
+        EXPECT_EQ(minimax_value(t), minimax_value(back)) << "seed " << seed;
+      } else {
+        EXPECT_EQ(nor_value(t), nor_value(back)) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Serialization, SingleLeafTreesRoundTrip) {
+  for (const Value v : {Value{0}, Value{1}, Value{-3}, Value{7},
+                        Value{-1000000}, Value{1000000}}) {
+    TreeBuilder b;
+    b.set_leaf_value(b.add_root(), v);
+    const Tree t = b.build();
+    ASSERT_EQ(t.size(), 1u);
+    const Tree back = parse_tree(to_string(t));
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back.leaf_value(back.root()), v);
+  }
+}
+
+TEST(Serialization, EmptyTreeSerializesToEmptyString) {
+  // The empty tree has no s-expression: writing it yields "", and parsing
+  // "" (or pure whitespace) is rejected rather than producing a bogus tree.
+  const Tree empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(to_string(empty), "");
+  std::ostringstream os;
+  write_tree(os, empty);
+  EXPECT_EQ(os.str(), "");
+  EXPECT_THROW(parse_tree(""), std::invalid_argument);
+  EXPECT_THROW(parse_tree("   \n\t "), std::invalid_argument);
 }
 
 TEST(Serialization, StreamInterface) {
