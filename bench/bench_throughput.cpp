@@ -1,18 +1,55 @@
-// bench_throughput — internal performance of the simulators themselves
-// (google-benchmark): how many basic steps and node expansions per second
-// the lock-step engines sustain. Not an experiment; a regression guard
-// for the implementation.
+// bench_throughput — internal performance of the evaluation machinery.
+//
+// Two modes:
+//
+//  (default)      google-benchmark micro benchmarks of the lock-step
+//                 simulators (steps / node expansions per second). A
+//                 regression guard for the implementation, not an
+//                 experiment.
+//
+//  --throughput   multi-tree requests/sec of the batched engine: a mixed
+//                 stream of Mt search requests (NOR + MIN/MAX trees,
+//                 widths 1-3, zero leaf cost so the scheduler itself is
+//                 the bottleneck) is timed three ways per worker count —
+//                 the work-stealing engine, the same engine on the legacy
+//                 global-queue pool (scheduler ablation), and the
+//                 pre-engine architecture (one fresh ThreadPool per
+//                 request, requests served one at a time, as the old
+//                 self-scheduling mt_* entrypoints worked). Reports
+//                 sustained requests/sec plus request-dispatch latency.
+//                 Options:
+//                    --quick        smaller stream, fewer repetitions
+//                    --json PATH    write results as JSON (default
+//                                   BENCH_throughput.json)
+//                    --check        exit non-zero if the work-stealing
+//                                   engine is slower than the legacy
+//                                   per-call pool path at the 4-worker
+//                                   mixed workload (the CI gate)
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/engine/api.hpp"
+#include "gtpar/engine/engine.hpp"
 #include "gtpar/expand/nor_expansion.hpp"
 #include "gtpar/expand/tree_source.hpp"
 #include "gtpar/solve/nor_simulator.hpp"
 #include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/threads/mt_ab.hpp"
+#include "gtpar/threads/mt_solve.hpp"
+#include "gtpar/threads/thread_pool.hpp"
 #include "gtpar/tree/generators.hpp"
 
 namespace gtpar {
 namespace {
+
+// --- Micro benchmarks (unchanged role: simulator regression guard). ---------
 
 void BM_SequentialSolveRecursive(benchmark::State& state) {
   const Tree t = make_worst_case_nor(2, unsigned(state.range(0)), false);
@@ -58,7 +95,233 @@ void BM_NodeExpansion(benchmark::State& state) {
 }
 BENCHMARK(BM_NodeExpansion)->Arg(12)->Arg(14);
 
+// --- Engine throughput mode. ------------------------------------------------
+
+struct CellResult {
+  unsigned workers = 0;
+  const char* scheduler = "";
+  std::size_t requests = 0;
+  std::uint64_t wall_ns = 0;       // best repetition
+  double rps = 0.0;                // requests/sec at the best repetition
+  std::uint64_t avg_dispatch_ns = 0;
+  std::uint64_t max_dispatch_ns = 0;
+  WorkStealingStats sched_stats{};  // zeros for the global queue
+};
+
+/// A tree plus which value domain it carries (NOR trees hold {0,1} leaves,
+/// MIN/MAX trees arbitrary values); the Tree class itself doesn't know.
+struct TaggedTree {
+  Tree tree;
+  bool minimax = false;
+};
+
+/// Mixed scheduler-bound workload: many small searches with zero leaf
+/// cost, so scheduling overhead (submit, wake, steal) dominates.
+std::vector<SearchRequest> build_workload(const std::vector<TaggedTree>& trees,
+                                          std::size_t count) {
+  std::vector<SearchRequest> reqs;
+  reqs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const TaggedTree& t = trees[i % trees.size()];
+    SearchRequest req;
+    req.tree = &t.tree;
+    req.leaf_cost_ns = 0;
+    req.width = 1 + unsigned(i % 3);
+    req.algorithm =
+        t.minimax ? Algorithm::kMtParallelAb : Algorithm::kMtParallelSolve;
+    reqs.push_back(req);
+  }
+  return reqs;
+}
+
+/// The pre-engine architecture, reproduced exactly: requests served one at
+/// a time, each constructing (and joining) its own global-queue ThreadPool
+/// — the old self-scheduling mt_* entrypoints gave callers no way to share
+/// a scheduler across searches.
+CellResult run_legacy_cell(unsigned workers, const std::vector<SearchRequest>& reqs,
+                           int reps) {
+  CellResult cell;
+  cell.workers = workers;
+  cell.scheduler = "legacy-threadpool";
+  cell.requests = reqs.size();
+  cell.wall_ns = UINT64_MAX;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (const SearchRequest& req : reqs) {
+      ThreadPool pool(workers);
+      if (req.algorithm == Algorithm::kMtParallelSolve) {
+        MtSolveOptions opt;
+        opt.leaf_cost_ns = req.leaf_cost_ns;
+        opt.cost_model = req.cost_model;
+        opt.width = req.width;
+        const auto r = mt_parallel_solve(*req.tree, opt, pool);
+        if (!r.complete) std::fprintf(stderr, "warning: incomplete search\n");
+      } else {
+        MtAbOptions opt;
+        opt.leaf_cost_ns = req.leaf_cost_ns;
+        opt.cost_model = req.cost_model;
+        opt.width = req.width;
+        const auto r = mt_parallel_ab(*req.tree, opt, pool);
+        if (!r.complete) std::fprintf(stderr, "warning: incomplete search\n");
+      }
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const auto wall = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+    cell.wall_ns = std::min(cell.wall_ns, wall);
+  }
+  cell.rps = double(cell.requests) / (double(cell.wall_ns) / 1e9);
+  return cell;
+}
+
+CellResult run_cell(Engine::Scheduler scheduler, unsigned workers,
+                    const std::vector<SearchRequest>& reqs, int reps) {
+  CellResult cell;
+  cell.workers = workers;
+  cell.scheduler =
+      scheduler == Engine::Scheduler::kWorkStealing ? "work-stealing" : "global-queue";
+  cell.requests = reqs.size();
+  cell.wall_ns = UINT64_MAX;
+  for (int rep = 0; rep < reps; ++rep) {
+    Engine::Options opt;
+    opt.workers = workers;
+    opt.scheduler = scheduler;
+    Engine eng(opt);
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<SearchResult> results = eng.run_all(reqs);
+    const auto end = std::chrono::steady_clock::now();
+    for (const SearchResult& r : results)
+      if (!r.complete) std::fprintf(stderr, "warning: incomplete search\n");
+    const auto wall = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+    if (wall < cell.wall_ns) {
+      cell.wall_ns = wall;
+      const EngineStats s = eng.stats();
+      cell.avg_dispatch_ns = s.completed ? s.total_dispatch_ns / s.completed : 0;
+      cell.max_dispatch_ns = s.max_dispatch_ns;
+      cell.sched_stats = s.scheduler;
+    }
+  }
+  cell.rps = double(cell.requests) / (double(cell.wall_ns) / 1e9);
+  return cell;
+}
+
+void write_json(const char* path, const std::vector<CellResult>& cells,
+                std::size_t requests, int reps, double speedup_at_4) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"engine_throughput\",\n");
+  std::fprintf(f, "  \"workload\": {\"requests\": %zu, \"repetitions\": %d, "
+                  "\"leaf_cost_ns\": 0, \"widths\": [1, 2, 3]},\n",
+               requests, reps);
+  std::fprintf(f, "  \"ws_engine_over_legacy_rps_at_4_workers\": %.3f,\n",
+               speedup_at_4);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"workers\": %u, \"scheduler\": \"%s\", \"requests\": %zu, "
+        "\"wall_ns\": %llu, \"requests_per_sec\": %.1f, "
+        "\"avg_dispatch_ns\": %llu, \"max_dispatch_ns\": %llu, "
+        "\"tasks_executed\": %llu, \"steals\": %llu, \"inline_runs\": %llu, "
+        "\"parks\": %llu}%s\n",
+        c.workers, c.scheduler, c.requests,
+        static_cast<unsigned long long>(c.wall_ns), c.rps,
+        static_cast<unsigned long long>(c.avg_dispatch_ns),
+        static_cast<unsigned long long>(c.max_dispatch_ns),
+        static_cast<unsigned long long>(c.sched_stats.executed),
+        static_cast<unsigned long long>(c.sched_stats.steals),
+        static_cast<unsigned long long>(c.sched_stats.inline_runs),
+        static_cast<unsigned long long>(c.sched_stats.parks),
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+int run_throughput(bool quick, const char* json_path, bool check) {
+  // Tree mix: pruning-friendly NOR, worst-case NOR (deep spines, many
+  // scouts), and MIN/MAX — different cascade shapes and task counts.
+  std::vector<TaggedTree> trees;
+  for (unsigned seed = 1; seed <= 4; ++seed)
+    trees.push_back({make_uniform_iid_nor(2, 10, golden_bias(), seed), false});
+  trees.push_back({make_worst_case_nor(2, 9, false), false});
+  trees.push_back({make_worst_case_nor(3, 6, false), false});
+  for (unsigned seed = 1; seed <= 4; ++seed)
+    trees.push_back({make_uniform_iid_minimax(2, 9, -100, 100, seed), true});
+
+  const std::size_t count = quick ? 64 : 256;
+  const int reps = quick ? 3 : 5;
+  const std::vector<SearchRequest> reqs = build_workload(trees, count);
+
+  std::printf("engine throughput: %zu mixed requests, best of %d reps\n\n", count,
+              reps);
+  std::printf("| workers | scheduler         | req/s    | avg dispatch | max dispatch | steals | parks |\n");
+  std::printf("|---------|-------------------|----------|--------------|--------------|--------|-------|\n");
+
+  std::vector<CellResult> cells;
+  double ws4 = 0.0, legacy4 = 0.0;
+  const auto emit = [&](const CellResult& c) {
+    std::printf(
+        "| %-7u | %-17s | %-8.0f | %9llu ns | %9llu ns | %-6llu | %-5llu |\n",
+        c.workers, c.scheduler, c.rps,
+        static_cast<unsigned long long>(c.avg_dispatch_ns),
+        static_cast<unsigned long long>(c.max_dispatch_ns),
+        static_cast<unsigned long long>(c.sched_stats.steals),
+        static_cast<unsigned long long>(c.sched_stats.parks));
+    cells.push_back(c);
+  };
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    const CellResult ws =
+        run_cell(Engine::Scheduler::kWorkStealing, workers, reqs, reps);
+    const CellResult gq =
+        run_cell(Engine::Scheduler::kGlobalQueue, workers, reqs, reps);
+    const CellResult legacy = run_legacy_cell(workers, reqs, reps);
+    emit(ws);
+    emit(gq);
+    emit(legacy);
+    if (workers == 4) {
+      ws4 = ws.rps;
+      legacy4 = legacy.rps;
+    }
+  }
+
+  const double speedup = legacy4 > 0 ? ws4 / legacy4 : 0.0;
+  std::printf("\nwork-stealing engine vs legacy per-call pools at 4 workers: %.2fx\n",
+              speedup);
+  write_json(json_path, cells, count, reps, speedup);
+
+  if (check && speedup < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: work-stealing engine slower than the legacy per-call "
+                 "ThreadPool path at the 4-worker mixed workload (%.2fx)\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace gtpar
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool throughput = false, quick = false, checkflag = false;
+  const char* json_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--throughput") == 0) throughput = true;
+    else if (std::strcmp(argv[i], "--quick") == 0) { throughput = true; quick = true; }
+    else if (std::strcmp(argv[i], "--check") == 0) { throughput = true; checkflag = true; }
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
+  if (throughput) return gtpar::run_throughput(quick, json_path, checkflag);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

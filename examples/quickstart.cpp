@@ -1,17 +1,14 @@
 // quickstart — a five-minute tour of the gtpar public API:
 //   1. build a game tree (by hand, from text, or from a generator);
-//   2. evaluate it sequentially (Sequential SOLVE / alpha-beta);
-//   3. evaluate it in parallel (Parallel SOLVE / Parallel alpha-beta of
-//      width w) and read off the step statistics the paper's theorems are
+//   2. evaluate it with the unified search façade (one SearchRequest per
+//      algorithm, one SearchResult shape back);
+//   3. compare the lock-step parallel algorithms the paper's theorems are
 //      about;
-//   4. run the same search on real threads.
+//   4. run real-thread searches, batched on the work-stealing engine.
 #include <cstdio>
 
-#include "gtpar/ab/alphabeta.hpp"
-#include "gtpar/ab/minimax_simulator.hpp"
-#include "gtpar/solve/nor_simulator.hpp"
-#include "gtpar/solve/sequential_solve.hpp"
-#include "gtpar/threads/mt_solve.hpp"
+#include "gtpar/engine/api.hpp"
+#include "gtpar/engine/engine.hpp"
 #include "gtpar/tree/generators.hpp"
 #include "gtpar/tree/serialization.hpp"
 #include "gtpar/tree/values.hpp"
@@ -29,45 +26,74 @@ int main() {
   // leaves at the golden-ratio bias (the paper's favourite distribution).
   const Tree t = make_uniform_iid_nor(2, 12, golden_bias(), /*seed=*/42);
 
-  // --- 2. Sequential evaluation. ------------------------------------------
-  const auto seq = sequential_solve(t);
-  std::printf("\nSequential SOLVE:  value=%d  S(T)=%zu leaves\n", int(seq.value),
-              seq.evaluated.size());
+  // --- 2. The façade: request in, result out. -----------------------------
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kSequentialSolve;
+  const SearchResult seq = search(req);
+  std::printf("\nSequential SOLVE:  value=%d  S(T)=%llu leaves\n", int(seq.value),
+              static_cast<unsigned long long>(seq.work));
 
   // --- 3. Parallel evaluation in the leaf-evaluation model. ----------------
+  // Same request, different algorithm/width knobs.
+  req.algorithm = Algorithm::kParallelSolve;
   for (unsigned width : {1u, 2u}) {
-    const auto par = run_parallel_solve(t, width);
+    req.width = width;
+    const SearchResult par = search(req);
     std::printf(
-        "Parallel SOLVE w=%u: value=%d  steps=%llu  work=%llu  "
-        "speed-up=%.2f  (processors used: %zu)\n",
-        width, int(par.value), static_cast<unsigned long long>(par.stats.steps),
-        static_cast<unsigned long long>(par.stats.work),
-        double(seq.evaluated.size()) / double(par.stats.steps),
-        par.stats.max_degree);
+        "Parallel SOLVE w=%u: value=%d  steps=%llu  work=%llu  speed-up=%.2f\n",
+        width, int(par.value), static_cast<unsigned long long>(par.steps),
+        static_cast<unsigned long long>(par.work),
+        double(seq.work) / double(par.steps));
   }
 
   // --- MIN/MAX trees work the same way. ------------------------------------
   const Tree m = make_uniform_iid_minimax(2, 10, -100, 100, 7);
-  const auto ab = alphabeta(m);
-  const auto par_ab = run_parallel_ab(m, 1);
+  SearchRequest mreq;
+  mreq.tree = &m;
+  mreq.algorithm = Algorithm::kAlphaBeta;
+  const SearchResult ab = search(mreq);
+  mreq.algorithm = Algorithm::kParallelAb;
+  mreq.width = 1;
+  const SearchResult par_ab = search(mreq);
   std::printf(
       "\nAlpha-beta:        value=%d  %llu leaves\n"
       "Parallel ab w=1:   value=%d  steps=%llu  speed-up=%.2f\n",
-      ab.value, static_cast<unsigned long long>(ab.distinct_leaves), par_ab.value,
-      static_cast<unsigned long long>(par_ab.stats.steps),
-      double(ab.distinct_leaves) / double(par_ab.stats.steps));
+      par_ab.value, static_cast<unsigned long long>(ab.work), par_ab.value,
+      static_cast<unsigned long long>(par_ab.steps),
+      double(ab.work) / double(par_ab.steps));
 
-  // --- 4. Real threads. -----------------------------------------------------
-  MtSolveOptions opt;
-  opt.threads = 4;
-  opt.leaf_cost_ns = 20'000;
-  opt.cost_model = LeafCostModel::kSleep;
-  const auto mt_seq = mt_sequential_solve(t, opt.leaf_cost_ns, opt.cost_model);
-  const auto mt_par = mt_parallel_solve(t, opt);
+  // --- 4. Real threads, batched on the engine. ------------------------------
+  // The Engine evaluates many requests concurrently on one shared
+  // work-stealing scheduler; jobs return handles with per-request
+  // accounting.
+  Engine::Options eopt;
+  eopt.workers = 4;
+  Engine eng(eopt);
+
+  SearchRequest mt;
+  mt.tree = &t;
+  mt.leaf_cost_ns = 20'000;
+  mt.cost_model = LeafCostModel::kSleep;
+  mt.algorithm = Algorithm::kMtSequentialSolve;
+  SearchJob seq_job = eng.submit(mt);
+  mt.algorithm = Algorithm::kMtParallelSolve;
+  SearchJob par_job = eng.submit(mt);
+
+  const SearchResult mt_seq = seq_job.wait();
+  const SearchResult mt_par = par_job.wait();
   std::printf(
-      "\nstd::thread width-1 cascade (leaf cost 20us):\n"
-      "  sequential: %.1f ms   parallel(4 threads): %.1f ms   speed-up %.2f\n",
+      "\nstd::thread width-1 cascade (leaf cost 20us, engine-batched):\n"
+      "  sequential: %.1f ms   parallel(4 workers): %.1f ms   speed-up %.2f\n",
       double(mt_seq.wall_ns) / 1e6, double(mt_par.wall_ns) / 1e6,
       double(mt_seq.wall_ns) / double(mt_par.wall_ns));
+
+  const EngineStats es = eng.stats();
+  std::printf(
+      "  engine: %llu jobs, %llu tasks executed, %llu steals, %llu parks\n",
+      static_cast<unsigned long long>(es.completed),
+      static_cast<unsigned long long>(es.scheduler.executed),
+      static_cast<unsigned long long>(es.scheduler.steals),
+      static_cast<unsigned long long>(es.scheduler.parks));
   return 0;
 }

@@ -13,15 +13,16 @@
 //   speedup_explorer 2 14 worst 0 1 2 3 4
 //   speedup_explorer 3 8 p0.4 1
 //   speedup_explorer 2 12 minimax 0 1 2
+//
+// All searches go through the unified façade (engine/api.hpp): one
+// SearchRequest per row, with only the algorithm and width varying.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "gtpar/ab/minimax_simulator.hpp"
-#include "gtpar/solve/nor_simulator.hpp"
-#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/engine/api.hpp"
 #include "gtpar/tree/generators.hpp"
 
 int main(int argc, char** argv) {
@@ -59,19 +60,24 @@ int main(int argc, char** argv) {
               is_minimax ? "MIN/MAX" : "NOR", d, n, dist.c_str(), t.size(),
               t.num_leaves());
 
-  const std::uint64_t s = is_minimax ? run_sequential_ab(t).stats.steps
-                                     : sequential_solve_work(t);
+  SearchRequest req;
+  req.tree = &t;
+
+  req.algorithm =
+      is_minimax ? Algorithm::kSequentialAb : Algorithm::kSequentialSolve;
+  const std::uint64_t s = is_minimax ? search(req).steps : search(req).work;
   std::printf("sequential work: %llu\n\n", static_cast<unsigned long long>(s));
-  std::printf("| width | steps | work | speed-up | max degree | avg degree |\n");
-  std::printf("|-------|-------|------|----------|------------|------------|\n");
+
+  req.algorithm = is_minimax ? Algorithm::kParallelAb : Algorithm::kParallelSolve;
+  std::printf("| width | steps | work | speed-up |\n");
+  std::printf("|-------|-------|------|----------|\n");
   for (const unsigned w : widths) {
-    const StepStats stats = is_minimax ? run_parallel_ab(t, w).stats
-                                       : run_parallel_solve(t, w).stats;
-    std::printf("| %-5u | %-5llu | %-4llu | %-8.2f | %-10zu | %-10.2f |\n", w,
-                static_cast<unsigned long long>(stats.steps),
-                static_cast<unsigned long long>(stats.work),
-                double(s) / double(stats.steps), stats.max_degree,
-                stats.average_degree());
+    req.width = w;
+    const SearchResult r = search(req);
+    std::printf("| %-5u | %-5llu | %-4llu | %-8.2f |\n", w,
+                static_cast<unsigned long long>(r.steps),
+                static_cast<unsigned long long>(r.work),
+                double(s) / double(r.steps));
   }
   return 0;
 }

@@ -1,26 +1,56 @@
 #include "gtpar/check/registry.hpp"
 
-#include "gtpar/ab/alphabeta.hpp"
-#include "gtpar/ab/depth_limited.hpp"
-#include "gtpar/ab/minimax_simulator.hpp"
-#include "gtpar/ab/sss.hpp"
-#include "gtpar/ab/tt_search.hpp"
-#include "gtpar/expand/minimax_expansion.hpp"
-#include "gtpar/expand/nor_expansion.hpp"
-#include "gtpar/mp/message_passing.hpp"
-#include "gtpar/rand/randomized.hpp"
-#include "gtpar/solve/nor_simulator.hpp"
-#include "gtpar/solve/sequential_solve.hpp"
-#include "gtpar/threads/mt_ab.hpp"
-#include "gtpar/threads/mt_solve.hpp"
+#include "gtpar/engine/api.hpp"
+#include "gtpar/engine/engine.hpp"
 
 namespace gtpar::check {
 namespace {
+
+// The registry is expressed on the unified façade (engine/api.hpp): every
+// entry builds a SearchRequest and runs it through gtpar::search (or
+// through a batched Engine for the engine-backed variants), so the oracle
+// exercises the exact dispatch path production callers use.
+//
+// `Algorithm` here is the registry-entry struct; the façade's enum is
+// referred to by its qualified name.
+using SearchAlgorithm = gtpar::Algorithm;
 
 bool is_binary(const Tree& t) {
   for (NodeId v = 0; v < t.size(); ++v)
     if (!t.is_leaf(v) && t.num_children(v) != 2) return false;
   return true;
+}
+
+SearchRequest make_request(SearchAlgorithm a, const Tree& t, const TreeSource& src) {
+  SearchRequest req;
+  req.algorithm = a;
+  req.tree = &t;
+  req.source = &src;
+  req.leaf_cost_ns = 0;  // counters, not wall-clock, are under test
+  return req;
+}
+
+RunOutcome run_facade(const SearchRequest& req) {
+  const SearchResult res = gtpar::search(req);
+  return RunOutcome{res.value, res.work};
+}
+
+/// Engine-backed batch entry: submit `copies` identical requests to one
+/// shared work-stealing Engine so their scouts interleave, then require
+/// every copy to agree. On disagreement returns `sentinel`, a value no
+/// correct search can produce, which the oracle flags as a mismatch.
+RunOutcome run_engine_batch(const SearchRequest& req, unsigned copies,
+                            Engine::Scheduler scheduler, Value sentinel) {
+  Engine::Options eopt;
+  eopt.workers = 4;
+  eopt.scheduler = scheduler;
+  Engine eng(eopt);
+  std::vector<SearchRequest> reqs(copies, req);
+  const std::vector<SearchResult> results = eng.run_all(reqs);
+  for (const SearchResult& res : results)
+    if (!res.complete || res.value != results.front().value)
+      return RunOutcome{sentinel, results.front().work};
+  return RunOutcome{results.front().value, results.front().work};
 }
 
 std::vector<Algorithm> build_nor_registry() {
@@ -29,100 +59,126 @@ std::vector<Algorithm> build_nor_registry() {
   r.push_back({"sequential-solve",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource&, std::uint64_t) {
-                 const auto res = sequential_solve(t);
-                 return RunOutcome{res.value ? 1 : 0, res.evaluated.size()};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 return run_facade(
+                     make_request(SearchAlgorithm::kSequentialSolve, t, src));
                }});
 
   for (unsigned w : {1u, 2u, 4u}) {
     r.push_back({"parallel-solve-w" + std::to_string(w),
                  {WorkUnit::kDistinctLeaves, false, false},
                  nullptr,
-                 [w](const Tree& t, const TreeSource&, std::uint64_t) {
-                   const auto res = run_parallel_solve(t, w);
-                   return RunOutcome{res.value ? 1 : 0, res.stats.work};
+                 [w](const Tree& t, const TreeSource& src, std::uint64_t) {
+                   auto req = make_request(SearchAlgorithm::kParallelSolve, t, src);
+                   req.width = w;
+                   return run_facade(req);
                  }});
   }
 
-  for (std::size_t p : {std::size_t{3}, std::size_t{8}}) {
+  for (unsigned p : {3u, 8u}) {
     r.push_back({"team-solve-p" + std::to_string(p),
                  {WorkUnit::kDistinctLeaves, false, false},
                  nullptr,
-                 [p](const Tree& t, const TreeSource&, std::uint64_t) {
-                   const auto res = run_team_solve(t, p);
-                   return RunOutcome{res.value ? 1 : 0, res.stats.work};
+                 [p](const Tree& t, const TreeSource& src, std::uint64_t) {
+                   auto req = make_request(SearchAlgorithm::kTeamSolve, t, src);
+                   req.threads = p;
+                   return run_facade(req);
                  }});
   }
 
   r.push_back({"parallel-solve-bounded-w2-p3",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource&, std::uint64_t) {
-                 const auto res = run_parallel_solve_bounded(t, 2, 3);
-                 return RunOutcome{res.value ? 1 : 0, res.stats.work};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 auto req =
+                     make_request(SearchAlgorithm::kParallelSolveBounded, t, src);
+                 req.width = 2;
+                 req.threads = 3;
+                 return run_facade(req);
                }});
 
   r.push_back({"n-sequential-solve",
                {WorkUnit::kExpansions, false, false},
                nullptr,
-               [](const Tree&, const TreeSource& src, std::uint64_t) {
-                 const auto res = run_n_sequential_solve(src);
-                 return RunOutcome{res.value ? 1 : 0, res.stats.work};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 return run_facade(
+                     make_request(SearchAlgorithm::kNSequentialSolve, t, src));
                }});
 
   r.push_back({"n-parallel-solve-w1",
                {WorkUnit::kExpansions, false, false},
                nullptr,
-               [](const Tree&, const TreeSource& src, std::uint64_t) {
-                 const auto res = run_n_parallel_solve(src, 1);
-                 return RunOutcome{res.value ? 1 : 0, res.stats.work};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 return run_facade(
+                     make_request(SearchAlgorithm::kNParallelSolve, t, src));
                }});
 
   r.push_back({"r-sequential-solve",
                {WorkUnit::kExpansions, false, true},
                nullptr,
-               [](const Tree&, const TreeSource& src, std::uint64_t seed) {
-                 const auto res = run_r_sequential_solve(src, seed);
-                 return RunOutcome{res.value ? 1 : 0, res.stats.work};
+               [](const Tree& t, const TreeSource& src, std::uint64_t seed) {
+                 auto req = make_request(SearchAlgorithm::kRSequentialSolve, t, src);
+                 req.seed = seed;
+                 return run_facade(req);
                }});
 
   r.push_back({"r-parallel-solve-w1",
                {WorkUnit::kExpansions, false, true},
                nullptr,
-               [](const Tree&, const TreeSource& src, std::uint64_t seed) {
-                 const auto res = run_r_parallel_solve(src, 1, seed);
-                 return RunOutcome{res.value ? 1 : 0, res.stats.work};
+               [](const Tree& t, const TreeSource& src, std::uint64_t seed) {
+                 auto req = make_request(SearchAlgorithm::kRParallelSolve, t, src);
+                 req.seed = seed;
+                 return run_facade(req);
                }});
 
   r.push_back({"message-passing-solve",
                {WorkUnit::kExpansions, false, false},
                is_binary,
-               [](const Tree&, const TreeSource& src, std::uint64_t) {
-                 const auto res = run_message_passing_solve(src);
-                 return RunOutcome{res.value ? 1 : 0, res.expansions};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 return run_facade(
+                     make_request(SearchAlgorithm::kMessagePassingSolve, t, src));
                }});
 
   r.push_back({"mt-sequential-solve",
                {WorkUnit::kDistinctLeaves, true, false},
                nullptr,
-               [](const Tree& t, const TreeSource&, std::uint64_t) {
-                 const auto res = mt_sequential_solve(t, /*leaf_cost_ns=*/0);
-                 return RunOutcome{res.value ? 1 : 0, res.leaf_evaluations};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 return run_facade(
+                     make_request(SearchAlgorithm::kMtSequentialSolve, t, src));
                }});
 
   for (unsigned w : {1u, 3u}) {
     r.push_back({"mt-parallel-solve-w" + std::to_string(w),
                  {WorkUnit::kDistinctLeaves, true, false},
                  nullptr,
-                 [w](const Tree& t, const TreeSource&, std::uint64_t) {
-                   MtSolveOptions opt;
-                   opt.threads = 4;
-                   opt.leaf_cost_ns = 0;
-                   opt.width = w;
-                   const auto res = mt_parallel_solve(t, opt);
-                   return RunOutcome{res.value ? 1 : 0, res.leaf_evaluations};
+                 [w](const Tree& t, const TreeSource& src, std::uint64_t) {
+                   auto req = make_request(SearchAlgorithm::kMtParallelSolve, t, src);
+                   req.width = w;
+                   req.threads = 4;
+                   return run_facade(req);
                  }});
   }
+
+  // Engine-backed variants: the same Mt cascade, but dispatched as batched
+  // requests on a shared scheduler. The sentinel 2 is outside the NOR value
+  // domain {0, 1}, so any cross-copy disagreement fails value checking.
+  r.push_back({"engine-mt-parallel-solve-x3",
+               {WorkUnit::kDistinctLeaves, true, false},
+               nullptr,
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 auto req = make_request(SearchAlgorithm::kMtParallelSolve, t, src);
+                 return run_engine_batch(req, 3, Engine::Scheduler::kWorkStealing,
+                                         /*sentinel=*/2);
+               }});
+
+  r.push_back({"engine-globalqueue-mt-parallel-solve-x3",
+               {WorkUnit::kDistinctLeaves, true, false},
+               nullptr,
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 auto req = make_request(SearchAlgorithm::kMtParallelSolve, t, src);
+                 return run_engine_batch(req, 3, Engine::Scheduler::kGlobalQueue,
+                                         /*sentinel=*/2);
+               }});
 
   return r;
 }
@@ -133,141 +189,161 @@ std::vector<Algorithm> build_minimax_registry() {
   r.push_back({"full-minimax",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource&, std::uint64_t) {
-                 const auto res = full_minimax(t);
-                 return RunOutcome{res.value, res.distinct_leaves};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 return run_facade(make_request(SearchAlgorithm::kMinimax, t, src));
                }});
 
   r.push_back({"alphabeta",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource&, std::uint64_t) {
-                 const auto res = alphabeta(t);
-                 return RunOutcome{res.value, res.distinct_leaves};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 return run_facade(make_request(SearchAlgorithm::kAlphaBeta, t, src));
                }});
 
   r.push_back({"scout",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource&, std::uint64_t) {
-                 const auto res = scout(t);
-                 return RunOutcome{res.value, res.distinct_leaves};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 return run_facade(make_request(SearchAlgorithm::kScout, t, src));
                }});
 
   r.push_back({"sequential-ab",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource&, std::uint64_t) {
-                 const auto res = run_sequential_ab(t);
-                 return RunOutcome{res.value, res.stats.work};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 return run_facade(
+                     make_request(SearchAlgorithm::kSequentialAb, t, src));
                }});
 
   for (unsigned w : {1u, 2u}) {
     r.push_back({"parallel-ab-w" + std::to_string(w),
                  {WorkUnit::kDistinctLeaves, false, false},
                  nullptr,
-                 [w](const Tree& t, const TreeSource&, std::uint64_t) {
-                   const auto res = run_parallel_ab(t, w);
-                   return RunOutcome{res.value, res.stats.work};
+                 [w](const Tree& t, const TreeSource& src, std::uint64_t) {
+                   auto req = make_request(SearchAlgorithm::kParallelAb, t, src);
+                   req.width = w;
+                   return run_facade(req);
                  }});
   }
 
   r.push_back({"parallel-ab-bounded-w2-p3",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource&, std::uint64_t) {
-                 const auto res = run_parallel_ab_bounded(t, 2, 3);
-                 return RunOutcome{res.value, res.stats.work};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 auto req = make_request(SearchAlgorithm::kParallelAbBounded, t, src);
+                 req.width = 2;
+                 req.threads = 3;
+                 return run_facade(req);
                }});
 
   r.push_back({"sss-star",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource&, std::uint64_t) {
-                 const auto res = sss_star(t);
-                 return RunOutcome{res.value, res.distinct_leaves};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 return run_facade(make_request(SearchAlgorithm::kSss, t, src));
                }});
 
   r.push_back({"parallel-sss-p4",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource&, std::uint64_t) {
-                 const auto res = parallel_sss(t, 4);
-                 return RunOutcome{res.value, res.distinct_leaves};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 auto req = make_request(SearchAlgorithm::kParallelSss, t, src);
+                 req.threads = 4;
+                 return run_facade(req);
                }});
 
   r.push_back({"n-sequential-ab",
                {WorkUnit::kExpansions, false, false},
                nullptr,
-               [](const Tree&, const TreeSource& src, std::uint64_t) {
-                 const auto res = run_n_sequential_ab(src);
-                 return RunOutcome{res.value, res.stats.work};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 return run_facade(
+                     make_request(SearchAlgorithm::kNSequentialAb, t, src));
                }});
 
   r.push_back({"n-parallel-ab-w1",
                {WorkUnit::kExpansions, false, false},
                nullptr,
-               [](const Tree&, const TreeSource& src, std::uint64_t) {
-                 const auto res = run_n_parallel_ab(src, 1);
-                 return RunOutcome{res.value, res.stats.work};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 return run_facade(
+                     make_request(SearchAlgorithm::kNParallelAb, t, src));
                }});
 
   r.push_back({"r-sequential-ab",
                {WorkUnit::kExpansions, false, true},
                nullptr,
-               [](const Tree&, const TreeSource& src, std::uint64_t seed) {
-                 const auto res = run_r_sequential_ab(src, seed);
-                 return RunOutcome{res.value, res.stats.work};
+               [](const Tree& t, const TreeSource& src, std::uint64_t seed) {
+                 auto req = make_request(SearchAlgorithm::kRSequentialAb, t, src);
+                 req.seed = seed;
+                 return run_facade(req);
                }});
 
   r.push_back({"r-parallel-ab-w1",
                {WorkUnit::kExpansions, false, true},
                nullptr,
-               [](const Tree&, const TreeSource& src, std::uint64_t seed) {
-                 const auto res = run_r_parallel_ab(src, 1, seed);
-                 return RunOutcome{res.value, res.stats.work};
+               [](const Tree& t, const TreeSource& src, std::uint64_t seed) {
+                 auto req = make_request(SearchAlgorithm::kRParallelAb, t, src);
+                 req.seed = seed;
+                 return run_facade(req);
                }});
 
   r.push_back({"tt-alphabeta",
                {WorkUnit::kOther, false, false},
                nullptr,
-               [](const Tree&, const TreeSource& src, std::uint64_t) {
-                 const auto res = tt_alphabeta(src);
-                 return RunOutcome{res.value, res.leaf_evaluations};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 return run_facade(
+                     make_request(SearchAlgorithm::kTtAlphaBeta, t, src));
                }});
 
   r.push_back({"depth-limited-ab-full",
                {WorkUnit::kOther, false, false},
                nullptr,
                [](const Tree& t, const TreeSource& src, std::uint64_t) {
-                 // Horizon strictly below every leaf: the heuristic is never
-                 // consulted, so the result must be the exact minimax value.
-                 const auto res = depth_limited_ab(
-                     src, t.height() + 1, [](const TreeSource::Node&) { return Value{0}; });
-                 return RunOutcome{res.value, res.leaf_evaluations};
+                 // depth_limit 0 = horizon strictly below every leaf: the
+                 // heuristic is never consulted, so the result must be the
+                 // exact minimax value.
+                 return run_facade(
+                     make_request(SearchAlgorithm::kDepthLimitedAb, t, src));
                }});
 
   r.push_back({"mt-sequential-ab",
                {WorkUnit::kDistinctLeaves, true, false},
                nullptr,
-               [](const Tree& t, const TreeSource&, std::uint64_t) {
-                 const auto res = mt_sequential_ab(t, /*leaf_cost_ns=*/0);
-                 return RunOutcome{res.value, res.leaf_evaluations};
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 return run_facade(
+                     make_request(SearchAlgorithm::kMtSequentialAb, t, src));
                }});
 
   for (const bool promotion : {true, false}) {
     r.push_back({promotion ? "mt-parallel-ab" : "mt-parallel-ab-nopromo",
                  {WorkUnit::kDistinctLeaves, true, false},
                  nullptr,
-                 [promotion](const Tree& t, const TreeSource&, std::uint64_t) {
-                   MtAbOptions opt;
-                   opt.threads = 4;
-                   opt.leaf_cost_ns = 0;
-                   opt.promotion = promotion;
-                   const auto res = mt_parallel_ab(t, opt);
-                   return RunOutcome{res.value, res.leaf_evaluations};
+                 [promotion](const Tree& t, const TreeSource& src, std::uint64_t) {
+                   auto req = make_request(SearchAlgorithm::kMtParallelAb, t, src);
+                   req.threads = 4;
+                   req.promotion = promotion;
+                   return run_facade(req);
                  }});
   }
+
+  // Engine-backed variants; kPlusInf is unreachable for tree values, so a
+  // cross-copy disagreement fails value checking.
+  r.push_back({"engine-mt-parallel-ab-x3",
+               {WorkUnit::kDistinctLeaves, true, false},
+               nullptr,
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 auto req = make_request(SearchAlgorithm::kMtParallelAb, t, src);
+                 return run_engine_batch(req, 3, Engine::Scheduler::kWorkStealing,
+                                         /*sentinel=*/kPlusInf);
+               }});
+
+  r.push_back({"engine-globalqueue-mt-parallel-ab-x3",
+               {WorkUnit::kDistinctLeaves, true, false},
+               nullptr,
+               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+                 auto req = make_request(SearchAlgorithm::kMtParallelAb, t, src);
+                 return run_engine_batch(req, 3, Engine::Scheduler::kGlobalQueue,
+                                         /*sentinel=*/kPlusInf);
+               }});
 
   return r;
 }

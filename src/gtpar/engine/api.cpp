@@ -1,0 +1,254 @@
+#include "gtpar/engine/api.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+
+#include "gtpar/ab/alphabeta.hpp"
+#include "gtpar/ab/depth_limited.hpp"
+#include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/ab/sss.hpp"
+#include "gtpar/ab/tt_search.hpp"
+#include "gtpar/engine/work_stealing.hpp"
+#include "gtpar/expand/minimax_expansion.hpp"
+#include "gtpar/expand/nor_expansion.hpp"
+#include "gtpar/mp/message_passing.hpp"
+#include "gtpar/rand/randomized.hpp"
+#include "gtpar/solve/nor_simulator.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/threads/mt_ab.hpp"
+#include "gtpar/threads/mt_solve.hpp"
+#include "gtpar/tree/pv.hpp"
+
+namespace gtpar {
+namespace {
+
+/// Algorithms that need an implicit tree; everything else reads req.tree.
+bool needs_source(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kNSequentialSolve:
+    case Algorithm::kNParallelSolve:
+    case Algorithm::kRSequentialSolve:
+    case Algorithm::kRParallelSolve:
+    case Algorithm::kMessagePassingSolve:
+    case Algorithm::kNSequentialAb:
+    case Algorithm::kNParallelAb:
+    case Algorithm::kRSequentialAb:
+    case Algorithm::kRParallelAb:
+    case Algorithm::kTtAlphaBeta:
+    case Algorithm::kDepthLimitedAb:
+      return true;
+    default:
+      return false;
+  }
+}
+
+SearchResult from_bool_run(const BoolRun& r) {
+  return SearchResult{r.value ? 1 : 0, r.stats.work, r.stats.steps, 0, true, {}};
+}
+
+SearchResult from_value_run(const ValueRun& r) {
+  return SearchResult{r.value, r.stats.work, r.stats.steps, 0, true, {}};
+}
+
+/// Dispatch on the algorithm id. `exec` is non-null iff the caller
+/// supplied a scheduler for the Mt cascades.
+SearchResult dispatch(const SearchRequest& req, const Tree* t,
+                      const TreeSource* src, Executor* exec) {
+  switch (req.algorithm) {
+    // --- NOR / SOLVE family. ---------------------------------------------
+    case Algorithm::kSequentialSolve: {
+      const auto r = sequential_solve(*t);
+      const auto n = static_cast<std::uint64_t>(r.evaluated.size());
+      return SearchResult{r.value ? 1 : 0, n, n, 0, true, {}};
+    }
+    case Algorithm::kParallelSolve:
+      return from_bool_run(run_parallel_solve(*t, req.width));
+    case Algorithm::kTeamSolve:
+      return from_bool_run(run_team_solve(*t, req.threads));
+    case Algorithm::kParallelSolveBounded:
+      return from_bool_run(run_parallel_solve_bounded(*t, req.width, req.threads));
+    case Algorithm::kNSequentialSolve:
+      return from_bool_run(run_n_sequential_solve(*src));
+    case Algorithm::kNParallelSolve:
+      return from_bool_run(run_n_parallel_solve(*src, req.width));
+    case Algorithm::kRSequentialSolve:
+      return from_bool_run(run_r_sequential_solve(*src, req.seed));
+    case Algorithm::kRParallelSolve:
+      return from_bool_run(run_r_parallel_solve(*src, req.width, req.seed));
+    case Algorithm::kMessagePassingSolve: {
+      const auto r = run_message_passing_solve(*src);
+      return SearchResult{r.value ? 1 : 0, r.expansions, r.rounds, 0, true, {}};
+    }
+    case Algorithm::kMtSequentialSolve: {
+      const auto r =
+          mt_sequential_solve(*t, req.leaf_cost_ns, req.cost_model, req.limits);
+      return SearchResult{r.value ? 1 : 0, r.leaf_evaluations, 0,
+                          r.wall_ns,       r.complete,         {}};
+    }
+    case Algorithm::kMtParallelSolve: {
+      MtSolveOptions opt;
+      opt.threads = req.threads;
+      opt.width = req.width;
+      opt.leaf_cost_ns = req.leaf_cost_ns;
+      opt.cost_model = req.cost_model;
+      const auto r = mt_parallel_solve(*t, opt, *exec, req.limits);
+      return SearchResult{r.value ? 1 : 0, r.leaf_evaluations, 0,
+                          r.wall_ns,       r.complete,         {}};
+    }
+
+    // --- MIN/MAX family. -------------------------------------------------
+    case Algorithm::kMinimax: {
+      const auto r = full_minimax(*t);
+      return SearchResult{r.value, r.distinct_leaves, 0, 0, true, {}};
+    }
+    case Algorithm::kAlphaBeta: {
+      const auto r = alphabeta(*t);
+      return SearchResult{r.value, r.distinct_leaves, 0, 0, true, {}};
+    }
+    case Algorithm::kScout: {
+      const auto r = scout(*t);
+      return SearchResult{r.value, r.distinct_leaves, 0, 0, true, {}};
+    }
+    case Algorithm::kSss: {
+      const auto r = sss_star(*t);
+      return SearchResult{r.value, r.distinct_leaves, r.steps, 0, true, {}};
+    }
+    case Algorithm::kParallelSss: {
+      const auto r = parallel_sss(*t, req.threads);
+      return SearchResult{r.value, r.distinct_leaves, r.steps, 0, true, {}};
+    }
+    case Algorithm::kSequentialAb:
+      return from_value_run(run_sequential_ab(*t));
+    case Algorithm::kParallelAb:
+      return from_value_run(run_parallel_ab(*t, req.width));
+    case Algorithm::kParallelAbBounded:
+      return from_value_run(run_parallel_ab_bounded(*t, req.width, req.threads));
+    case Algorithm::kNSequentialAb:
+      return from_value_run(run_n_sequential_ab(*src));
+    case Algorithm::kNParallelAb:
+      return from_value_run(run_n_parallel_ab(*src, req.width));
+    case Algorithm::kRSequentialAb:
+      return from_value_run(run_r_sequential_ab(*src, req.seed));
+    case Algorithm::kRParallelAb:
+      return from_value_run(run_r_parallel_ab(*src, req.width, req.seed));
+    case Algorithm::kTtAlphaBeta: {
+      const auto r = tt_alphabeta(*src);
+      return SearchResult{r.value, r.leaf_evaluations, 0, 0, true, {}};
+    }
+    case Algorithm::kDepthLimitedAb: {
+      unsigned depth = req.depth_limit;
+      if (depth == 0) {
+        if (t == nullptr)
+          throw std::invalid_argument(
+              "search: kDepthLimitedAb with depth_limit 0 (full horizon) "
+              "requires an explicit tree to derive the horizon");
+        depth = t->height() + 1;  // strictly below every leaf: exact search
+      }
+      const auto r =
+          depth_limited_ab(*src, depth, [](const TreeSource::Node&) { return Value{0}; });
+      return SearchResult{r.value, r.leaf_evaluations, 0, 0, true, {}};
+    }
+    case Algorithm::kMtSequentialAb: {
+      const auto r =
+          mt_sequential_ab(*t, req.leaf_cost_ns, req.cost_model, req.limits);
+      return SearchResult{r.value, r.leaf_evaluations, 0, r.wall_ns, r.complete, {}};
+    }
+    case Algorithm::kMtParallelAb: {
+      MtAbOptions opt;
+      opt.threads = req.threads;
+      opt.width = req.width;
+      opt.leaf_cost_ns = req.leaf_cost_ns;
+      opt.cost_model = req.cost_model;
+      opt.promotion = req.promotion;
+      const auto r = mt_parallel_ab(*t, opt, *exec, req.limits);
+      return SearchResult{r.value, r.leaf_evaluations, 0, r.wall_ns, r.complete, {}};
+    }
+  }
+  throw std::invalid_argument("search: unknown algorithm id");
+}
+
+SearchResult search_impl(const SearchRequest& req, Executor* exec) {
+  const Tree* t = req.tree;
+  const TreeSource* src = req.source;
+  // Derive the missing workload view where possible.
+  std::optional<ExplicitTreeSource> derived;
+  if (src == nullptr && t != nullptr && needs_source(req.algorithm)) {
+    derived.emplace(*t);
+    src = &*derived;
+  }
+  if (needs_source(req.algorithm)) {
+    if (src == nullptr)
+      throw std::invalid_argument("search: algorithm needs a TreeSource (or a "
+                                  "tree to derive one from)");
+  } else if (t == nullptr) {
+    throw std::invalid_argument("search: algorithm needs an explicit tree");
+  }
+  // kDepthLimitedAb / kTtAlphaBeta consult the tree for pv/horizon only.
+
+  const auto start = std::chrono::steady_clock::now();
+  SearchResult r = dispatch(req, t, src, exec);
+  const auto end = std::chrono::steady_clock::now();
+  if (r.wall_ns == 0)
+    r.wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+  if (req.want_pv && t != nullptr && r.complete) {
+    r.pv = is_minimax_algorithm(req.algorithm) ? principal_variation(*t)
+                                               : nor_principal_path(*t);
+  }
+  return r;
+}
+
+}  // namespace
+
+bool is_minimax_algorithm(Algorithm a) noexcept {
+  return a >= Algorithm::kMinimax;
+}
+
+const char* algorithm_name(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kSequentialSolve: return "sequential-solve";
+    case Algorithm::kParallelSolve: return "parallel-solve";
+    case Algorithm::kTeamSolve: return "team-solve";
+    case Algorithm::kParallelSolveBounded: return "parallel-solve-bounded";
+    case Algorithm::kNSequentialSolve: return "n-sequential-solve";
+    case Algorithm::kNParallelSolve: return "n-parallel-solve";
+    case Algorithm::kRSequentialSolve: return "r-sequential-solve";
+    case Algorithm::kRParallelSolve: return "r-parallel-solve";
+    case Algorithm::kMessagePassingSolve: return "message-passing-solve";
+    case Algorithm::kMtSequentialSolve: return "mt-sequential-solve";
+    case Algorithm::kMtParallelSolve: return "mt-parallel-solve";
+    case Algorithm::kMinimax: return "full-minimax";
+    case Algorithm::kAlphaBeta: return "alphabeta";
+    case Algorithm::kScout: return "scout";
+    case Algorithm::kSss: return "sss-star";
+    case Algorithm::kParallelSss: return "parallel-sss";
+    case Algorithm::kSequentialAb: return "sequential-ab";
+    case Algorithm::kParallelAb: return "parallel-ab";
+    case Algorithm::kParallelAbBounded: return "parallel-ab-bounded";
+    case Algorithm::kNSequentialAb: return "n-sequential-ab";
+    case Algorithm::kNParallelAb: return "n-parallel-ab";
+    case Algorithm::kRSequentialAb: return "r-sequential-ab";
+    case Algorithm::kRParallelAb: return "r-parallel-ab";
+    case Algorithm::kTtAlphaBeta: return "tt-alphabeta";
+    case Algorithm::kDepthLimitedAb: return "depth-limited-ab";
+    case Algorithm::kMtSequentialAb: return "mt-sequential-ab";
+    case Algorithm::kMtParallelAb: return "mt-parallel-ab";
+  }
+  return "unknown";
+}
+
+SearchResult search(const SearchRequest& req) {
+  const bool needs_exec = req.algorithm == Algorithm::kMtParallelSolve ||
+                          req.algorithm == Algorithm::kMtParallelAb;
+  if (!needs_exec) return search_impl(req, nullptr);
+  WorkStealingPool pool(std::max(req.threads, 1u));
+  return search_impl(req, &pool);
+}
+
+SearchResult search(const SearchRequest& req, Executor& exec) {
+  return search_impl(req, &exec);
+}
+
+}  // namespace gtpar

@@ -1,0 +1,146 @@
+// gtpar/engine/api.hpp
+//
+// The unified public search façade: one request/result pair for every
+// algorithm in the library, in both evaluation models.
+//
+//   SearchRequest req;
+//   req.tree = &t;
+//   req.algorithm = Algorithm::kMtParallelAb;
+//   req.threads = 8;
+//   SearchResult r = search(req);
+//
+// replaces the per-algorithm option structs (MtSolveOptions, MtAbOptions,
+// the run_* free functions) that each example and harness used to wire up
+// by hand. The legacy entrypoints remain as thin wrappers over this
+// façade; the differential-oracle registry (check/registry.cpp) and the
+// batched evaluation engine (engine/engine.hpp) are expressed directly on
+// top of it.
+//
+// search() is synchronous. For evaluating many trees concurrently —
+// cross-request load balancing on one shared work-stealing scheduler,
+// cancellation handles, per-request accounting — submit SearchRequests to
+// an Engine instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gtpar/common.hpp"
+#include "gtpar/engine/executor.hpp"
+#include "gtpar/expand/tree_source.hpp"
+#include "gtpar/threads/mt_solve.hpp"  // LeafCostModel
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+/// Every search algorithm in the library, NOR/SOLVE family first, then
+/// MIN/MAX. Prefixes follow the paper's naming: plain = leaf-evaluation
+/// lock-step simulators, N- = node-expansion model, R- = randomized,
+/// Mt- = real std::thread implementations.
+enum class Algorithm : std::uint8_t {
+  // NOR / SOLVE family (root value is 0 or 1).
+  kSequentialSolve,       ///< recursive Sequential SOLVE
+  kParallelSolve,         ///< lock-step Parallel SOLVE of width `width`
+  kTeamSolve,             ///< lock-step Team SOLVE with `threads` processors
+  kParallelSolveBounded,  ///< width `width` on `threads` processors (Brent)
+  kNSequentialSolve,      ///< node-expansion sequential (TreeSource)
+  kNParallelSolve,        ///< node-expansion width `width`
+  kRSequentialSolve,      ///< randomized sequential (`seed`)
+  kRParallelSolve,        ///< randomized width `width`
+  kMessagePassingSolve,   ///< Section 7 processor-per-level (binary trees)
+  kMtSequentialSolve,     ///< real-thread sequential baseline
+  kMtParallelSolve,       ///< real-thread width-`width` cascade
+  // MIN/MAX family.
+  kMinimax,           ///< full minimax, no pruning
+  kAlphaBeta,         ///< sequential alpha-beta
+  kScout,             ///< Pearl's SCOUT
+  kSss,               ///< SSS*
+  kParallelSss,       ///< parallel SSS* with `threads` processors
+  kSequentialAb,      ///< lock-step sequential alpha-beta (width 0)
+  kParallelAb,        ///< lock-step Parallel alpha-beta of width `width`
+  kParallelAbBounded, ///< width `width` on `threads` processors
+  kNSequentialAb,     ///< node-expansion sequential alpha-beta
+  kNParallelAb,       ///< node-expansion width `width`
+  kRSequentialAb,     ///< randomized sequential alpha-beta (`seed`)
+  kRParallelAb,       ///< randomized width `width`
+  kTtAlphaBeta,       ///< alpha-beta with a transposition table
+  kDepthLimitedAb,    ///< depth-limited alpha-beta (`depth_limit`)
+  kMtSequentialAb,    ///< real-thread sequential alpha-beta
+  kMtParallelAb,      ///< real-thread cascading parallel alpha-beta
+};
+
+/// True for the MIN/MAX family, false for the NOR/SOLVE family.
+bool is_minimax_algorithm(Algorithm a) noexcept;
+
+/// Stable lower-case identifier (e.g. "mt-parallel-ab"), used by the
+/// check registry and the benchmarks.
+const char* algorithm_name(Algorithm a) noexcept;
+
+/// One search to run: the workload (an explicit tree and/or an implicit
+/// TreeSource), the algorithm, and its knobs. Unused knobs are ignored by
+/// algorithms that do not consume them.
+struct SearchRequest {
+  /// Explicit workload. Required by explicit-tree algorithms; also used to
+  /// derive a TreeSource when `source` is null. Must outlive the search.
+  const Tree* tree = nullptr;
+  /// Implicit workload for the node-expansion algorithms (kN*/kR*/kTt.../
+  /// kDepthLimitedAb/kMessagePassingSolve). Null = an ExplicitTreeSource
+  /// over `tree`. Must outlive the search.
+  const TreeSource* source = nullptr;
+
+  Algorithm algorithm = Algorithm::kMtParallelSolve;
+
+  /// Paper width w for the width-parameterised algorithms; scouts per
+  /// level for the Mt cascades.
+  unsigned width = 1;
+  /// Worker threads (Mt algorithms without an external Executor) or
+  /// processor count p (kTeamSolve, k*Bounded, kParallelSss).
+  unsigned threads = 4;
+  /// Simulated leaf-evaluation cost (Mt algorithms).
+  std::uint64_t leaf_cost_ns = 0;
+  LeafCostModel cost_model = LeafCostModel::kSpin;
+  /// Promotion ablation knob (kMtParallelAb).
+  bool promotion = true;
+  /// Seed for the randomized algorithms.
+  std::uint64_t seed = 0;
+  /// Horizon for kDepthLimitedAb; 0 = below every leaf (exact search).
+  unsigned depth_limit = 0;
+  /// Extract the principal variation into SearchResult::pv (explicit
+  /// trees only).
+  bool want_pv = false;
+
+  /// Cooperative cancellation and wall-clock budget (Mt algorithms; the
+  /// lock-step simulators run to completion).
+  SearchLimits limits;
+};
+
+/// Uniform outcome of a search.
+struct SearchResult {
+  Value value = 0;  ///< root value (0/1 for the NOR family)
+  /// Total work in the algorithm's own unit (distinct leaves, leaf
+  /// evaluations, or node expansions — see check/registry.hpp Traits).
+  std::uint64_t work = 0;
+  /// Lock-step running time in basic steps; 0 for real-thread algorithms
+  /// (which measure wall_ns instead).
+  std::uint64_t steps = 0;
+  /// Wall-clock duration of the search in nanoseconds.
+  std::uint64_t wall_ns = 0;
+  /// False if the search stopped early on cancellation or budget; `value`
+  /// is then meaningless.
+  bool complete = true;
+  /// Principal variation (root to leaf) when requested via want_pv.
+  std::vector<NodeId> pv;
+};
+
+/// Run one search synchronously. Mt algorithms run their scouts on a
+/// private work-stealing scheduler of `threads` workers; everything else
+/// runs on the calling thread. Throws std::invalid_argument if the
+/// request lacks the workload its algorithm needs.
+SearchResult search(const SearchRequest& req);
+
+/// As above, but Mt algorithms spawn scouts on `exec` instead of a private
+/// scheduler — the building block the Engine uses to run many requests on
+/// one shared pool.
+SearchResult search(const SearchRequest& req, Executor& exec);
+
+}  // namespace gtpar

@@ -1,0 +1,168 @@
+#include "gtpar/engine/engine.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "gtpar/threads/thread_pool.hpp"
+
+namespace gtpar {
+
+using Clock = std::chrono::steady_clock;
+
+struct SearchJob::State {
+  SearchRequest req;
+  std::atomic<bool> cancel{false};
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> dispatch_ns{0};
+  Clock::time_point submit_time{};
+  std::mutex mu;
+  std::condition_variable cv;
+  SearchResult result;
+  std::exception_ptr error;
+};
+
+void SearchJob::cancel() noexcept {
+  if (st_) st_->cancel.store(true, std::memory_order_relaxed);
+}
+
+bool SearchJob::done() const noexcept {
+  return st_ && st_->done.load(std::memory_order_acquire);
+}
+
+const SearchResult& SearchJob::wait() {
+  std::unique_lock<std::mutex> lock(st_->mu);
+  st_->cv.wait(lock, [this] { return st_->done.load(std::memory_order_acquire); });
+  if (st_->error) std::rethrow_exception(st_->error);
+  return st_->result;
+}
+
+std::uint64_t SearchJob::dispatch_ns() const noexcept {
+  return st_ ? st_->dispatch_ns.load(std::memory_order_relaxed) : 0;
+}
+
+struct Engine::Impl {
+  Options opt;
+  std::unique_ptr<WorkStealingPool> ws;
+  std::unique_ptr<ThreadPool> gq;
+  Executor* exec = nullptr;
+
+  mutable std::mutex mu;
+  std::condition_variable idle_cv;
+  std::uint64_t in_flight = 0;
+  EngineStats agg;  // `scheduler` filled in on read
+
+  explicit Impl(const Options& o) : opt(o) {
+    if (opt.scheduler == Scheduler::kWorkStealing) {
+      WorkStealingPool::Options wso;
+      wso.threads = opt.workers;
+      wso.deque_capacity = opt.deque_capacity;
+      wso.injection_bound = opt.queue_bound;
+      ws = std::make_unique<WorkStealingPool>(wso);
+      exec = ws.get();
+    } else {
+      ThreadPool::Options tpo;
+      tpo.threads = opt.workers;
+      tpo.max_queue = opt.queue_bound;
+      gq = std::make_unique<ThreadPool>(tpo);
+      exec = gq.get();
+    }
+  }
+
+  void finish_job(const std::shared_ptr<SearchJob::State>& st) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      agg.completed += 1;
+      if (!st->error) {
+        if (!st->result.complete) agg.incomplete += 1;
+        agg.total_work += st->result.work;
+        agg.total_wall_ns += st->result.wall_ns;
+      }
+      const std::uint64_t d = st->dispatch_ns.load(std::memory_order_relaxed);
+      agg.total_dispatch_ns += d;
+      if (d > agg.max_dispatch_ns) agg.max_dispatch_ns = d;
+      in_flight -= 1;
+      if (in_flight == 0) idle_cv.notify_all();
+    }
+    {
+      // Publish done under the job mutex so a concurrent wait() cannot miss
+      // the notification between its predicate check and the cv sleep.
+      std::lock_guard<std::mutex> lock(st->mu);
+      st->done.store(true, std::memory_order_release);
+    }
+    st->cv.notify_all();
+  }
+};
+
+Engine::Engine() : Engine(Options{}) {}
+
+Engine::Engine(const Options& opt) : impl_(std::make_unique<Impl>(opt)) {}
+
+Engine::~Engine() {
+  drain();
+  // Pool destructors join the workers (work-stealing drains its deques).
+}
+
+SearchJob Engine::submit(SearchRequest req) {
+  auto st = std::make_shared<SearchJob::State>();
+  st->req = req;
+  st->req.limits.cancel = &st->cancel;
+  st->submit_time = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->agg.submitted += 1;
+    impl_->in_flight += 1;
+  }
+  Impl* impl = impl_.get();
+  impl->exec->submit([impl, st] {
+    const auto start = Clock::now();
+    st->dispatch_ns.store(
+        static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                       start - st->submit_time)
+                                       .count()),
+        std::memory_order_relaxed);
+    try {
+      st->result = search(st->req, *impl->exec);
+    } catch (...) {
+      st->error = std::current_exception();
+    }
+    impl->finish_job(st);
+  });
+  SearchJob job;
+  job.st_ = std::move(st);
+  return job;
+}
+
+SearchResult Engine::run(const SearchRequest& req) { return submit(req).wait(); }
+
+std::vector<SearchResult> Engine::run_all(const std::vector<SearchRequest>& reqs) {
+  std::vector<SearchJob> jobs;
+  jobs.reserve(reqs.size());
+  for (const auto& r : reqs) jobs.push_back(submit(r));
+  std::vector<SearchResult> out;
+  out.reserve(jobs.size());
+  for (auto& j : jobs) out.push_back(j.wait());
+  return out;
+}
+
+void Engine::drain() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->idle_cv.wait(lock, [this] { return impl_->in_flight == 0; });
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    s = impl_->agg;
+  }
+  if (impl_->ws) s.scheduler = impl_->ws->stats();
+  return s;
+}
+
+unsigned Engine::workers() const noexcept { return impl_->exec->workers(); }
+
+Executor& Engine::executor() noexcept { return *impl_->exec; }
+
+}  // namespace gtpar

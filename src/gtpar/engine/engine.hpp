@@ -1,0 +1,127 @@
+// gtpar/engine/engine.hpp
+//
+// The batched evaluation engine: accepts a stream of SearchRequests and
+// evaluates many game trees concurrently on one shared scheduler. Each
+// request runs as a task on the pool and spawns its scouts on the same
+// pool, so the scouts of concurrent requests interleave freely — a worker
+// that runs out of local work steals from whichever request currently has
+// runnable scouts (cross-request load balancing).
+//
+//   Engine eng({.workers = 8});
+//   SearchJob job = eng.submit(req);    // returns immediately
+//   ...
+//   job.cancel();                       // optional, cooperative
+//   const SearchResult& r = job.wait();
+//
+// The scheduler is pluggable: the default is the work-stealing pool
+// (engine/work_stealing.hpp); kGlobalQueue selects the legacy
+// mutex-guarded ThreadPool, kept as the baseline the throughput benchmark
+// compares against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gtpar/engine/api.hpp"
+#include "gtpar/engine/work_stealing.hpp"
+
+namespace gtpar {
+
+class Engine;
+
+/// Handle to one submitted request. Cheap to copy (shared state); valid
+/// after the Engine is destroyed (the Engine drains in-flight jobs first).
+class SearchJob {
+ public:
+  SearchJob() = default;
+
+  /// Request cooperative cancellation. The search observes the flag at
+  /// leaf granularity and returns with SearchResult::complete == false.
+  /// Lock-step simulator requests run to completion regardless.
+  void cancel() noexcept;
+
+  /// True once the result is available.
+  bool done() const noexcept;
+
+  /// Block until the search finishes; returns the result. Rethrows any
+  /// exception the search raised (e.g. std::invalid_argument for a
+  /// malformed request).
+  const SearchResult& wait();
+
+  /// Queue latency: nanoseconds between submit() and the first instruction
+  /// of the search on a worker. 0 until the job has started.
+  std::uint64_t dispatch_ns() const noexcept;
+
+ private:
+  friend class Engine;
+  struct State;
+  std::shared_ptr<State> st_;
+};
+
+/// Aggregate accounting across all jobs an Engine has run.
+struct EngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  /// Jobs that finished with complete == false (cancelled / out of budget).
+  std::uint64_t incomplete = 0;
+  std::uint64_t total_work = 0;
+  std::uint64_t total_wall_ns = 0;
+  std::uint64_t total_dispatch_ns = 0;
+  std::uint64_t max_dispatch_ns = 0;
+  /// Scheduler counters; all zero under Scheduler::kGlobalQueue.
+  WorkStealingStats scheduler{};
+};
+
+class Engine {
+ public:
+  enum class Scheduler : std::uint8_t {
+    kWorkStealing,  ///< per-worker deques, lock-free fast path (default)
+    kGlobalQueue,   ///< legacy ThreadPool: one mutex-guarded queue
+  };
+
+  struct Options {
+    unsigned workers = 4;
+    Scheduler scheduler = Scheduler::kWorkStealing;
+    /// Per-worker deque capacity (work-stealing only); overflow caller-runs.
+    std::size_t deque_capacity = 1024;
+    /// Bound on the external submission queue (injection queue for
+    /// work-stealing, the global queue for kGlobalQueue); 0 = unbounded.
+    std::size_t queue_bound = 0;
+  };
+
+  Engine();  // all-default Options
+  explicit Engine(const Options& opt);
+  /// Blocks until every in-flight job has finished, then joins the pool.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Enqueue one request; returns immediately. The job handle owns the
+  /// cancellation flag: the engine points req.limits.cancel at it, so
+  /// cancel through the handle (a caller-supplied cancel pointer is
+  /// replaced — use plain search() for externally-owned flags).
+  SearchJob submit(SearchRequest req);
+
+  /// Convenience: submit + wait.
+  SearchResult run(const SearchRequest& req);
+
+  /// Submit every request, then wait for all; results in request order.
+  std::vector<SearchResult> run_all(const std::vector<SearchRequest>& reqs);
+
+  /// Block until no job is in flight (the queue may refill afterwards).
+  void drain();
+
+  EngineStats stats() const;
+  unsigned workers() const noexcept;
+  /// The underlying scheduler, for running ad-hoc tasks or direct
+  /// search(req, exec) calls next to engine jobs.
+  Executor& executor() noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gtpar

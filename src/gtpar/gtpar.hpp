@@ -48,6 +48,12 @@
 #include "gtpar/threads/mt_solve.hpp"
 #include "gtpar/threads/thread_pool.hpp"
 
+// Unified search façade, work-stealing scheduler, and batched engine.
+#include "gtpar/engine/api.hpp"
+#include "gtpar/engine/engine.hpp"
+#include "gtpar/engine/executor.hpp"
+#include "gtpar/engine/work_stealing.hpp"
+
 // Analysis utilities.
 #include "gtpar/analysis/bounds.hpp"
 #include "gtpar/analysis/growth.hpp"

@@ -5,8 +5,9 @@
 #include <chrono>
 #include <memory>
 #include <thread>
+#include <vector>
 
-#include "gtpar/threads/thread_pool.hpp"
+#include "gtpar/engine/api.hpp"
 
 namespace gtpar {
 namespace {
@@ -25,7 +26,12 @@ void pay_leaf_cost(std::uint64_t ns, LeafCostModel model) {
 struct AbShared {
   const Tree& t;
   const MtAbOptions& opt;
+  Executor& exec;
+  SearchLimits limits;
   std::atomic<std::uint64_t> leaf_evals{0};
+  /// Latched stop: set once cancellation or the deadline is observed.
+  std::atomic<bool> stop_flag{false};
+  std::chrono::steady_clock::time_point deadline{};
   /// Exact-value memo, one slot per node: bit 40 marks presence, the low
   /// 32 bits hold the value. Only *exact* minimax values are stored (a
   /// value computed without any cutoff below it), so a hit is usable under
@@ -33,13 +39,28 @@ struct AbShared {
   /// parallel) cheap: the re-search walks the scout's completed subtrees
   /// out of the cache instead of re-paying their leaves.
   std::vector<std::atomic<std::int64_t>> memo;
-  ThreadPool pool;
 
   static constexpr std::int64_t kHasBit = std::int64_t{1} << 40;
 
-  AbShared(const Tree& tree, const MtAbOptions& options)
-      : t(tree), opt(options), memo(tree.size()), pool(options.threads) {
+  AbShared(const Tree& tree, const MtAbOptions& options, Executor& executor,
+           const SearchLimits& lim)
+      : t(tree), opt(options), exec(executor), limits(lim), memo(tree.size()) {
     for (auto& m : memo) m.store(0, std::memory_order_relaxed);
+    if (limits.budget_ns != 0)
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::nanoseconds(limits.budget_ns);
+  }
+
+  bool stopped() const { return stop_flag.load(std::memory_order_relaxed); }
+
+  bool poll_stop() {
+    if (stopped()) return true;
+    if ((limits.cancel && limits.cancel->load(std::memory_order_relaxed)) ||
+        (limits.budget_ns != 0 && std::chrono::steady_clock::now() >= deadline)) {
+      stop_flag.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
   }
 
   bool memo_lookup(NodeId v, Value& out) const {
@@ -60,6 +81,7 @@ struct AbShared {
   Value eval_leaf(NodeId leaf) {
     Value cached;
     if (memo_lookup(leaf, cached)) return cached;
+    if (poll_stop()) return 0;
     pay_leaf_cost(opt.leaf_cost_ns, opt.cost_model);
     const Value v = t.leaf_value(leaf);
     std::int64_t expected = 0;
@@ -80,7 +102,7 @@ Value seq_ab(AbShared& sh, NodeId v, Value alpha, Value beta,
              const std::atomic<Value>* dyn, bool dyn_is_alpha,
              const std::atomic<bool>& cancel, bool& exact) {
   exact = false;
-  if (cancel.load(std::memory_order_relaxed)) return 0;
+  if (cancel.load(std::memory_order_relaxed) || sh.stopped()) return 0;
   {
     Value cached;
     if (sh.memo_lookup(v, cached)) {
@@ -107,7 +129,7 @@ Value seq_ab(AbShared& sh, NodeId v, Value alpha, Value beta,
   for (NodeId c : sh.t.children(v)) {
     bool child_exact = false;
     const Value x = seq_ab(sh, c, alpha, beta, dyn, dyn_is_alpha, cancel, child_exact);
-    if (cancel.load(std::memory_order_relaxed)) return 0;
+    if (cancel.load(std::memory_order_relaxed) || sh.stopped()) return 0;
     all_exact = all_exact && child_exact;
     if (maxing) {
       best = std::max(best, x);
@@ -192,7 +214,7 @@ Value pab(AbShared& sh, NodeId v, Value alpha, Value beta, bool& exact) {
     AbShared* shp = &sh;
     std::atomic<Value>* dynp = &dyn;
     const bool dia = maxing;
-    sh.pool.submit([shp, scout, sc, a0, b0, dynp, dia] {
+    sh.exec.submit([shp, scout, sc, a0, b0, dynp, dia] {
       if (!scout->claim()) return;
       bool ex = false;
       const Value r = seq_ab(*shp, sc, a0, b0, dynp, dia, scout->cancel, ex);
@@ -209,6 +231,9 @@ Value pab(AbShared& sh, NodeId v, Value alpha, Value beta, bool& exact) {
   const unsigned width = std::max(sh.opt.width, 1u);
   std::size_t i = 0;
   while (i < children.size()) {
+    // No scouts of this level are outstanding here, so stopping is safe;
+    // `exact` stays false, so no ancestor memoises a truncated value.
+    if (sh.stopped()) return best;
     // Scouts on the next `width` siblings; the spine joins them in order.
     std::vector<std::shared_ptr<AbScout>> scouts;
     for (std::size_t j = i + 1; j < children.size() && scouts.size() < width; ++j)
@@ -263,6 +288,7 @@ Value pab(AbShared& sh, NodeId v, Value alpha, Value beta, bool& exact) {
     }
     ++i;
   }
+  if (sh.stopped()) return best;
   if (all_exact) {
     exact = true;
     sh.memo_store(v, best);
@@ -271,41 +297,71 @@ Value pab(AbShared& sh, NodeId v, Value alpha, Value beta, bool& exact) {
 }
 
 MtAbResult finish_result(AbShared& sh, Value v,
-                         std::chrono::steady_clock::time_point start,
-                         std::chrono::steady_clock::time_point end) {
+                         std::chrono::steady_clock::time_point start) {
+  const auto end = std::chrono::steady_clock::now();
   MtAbResult r;
   r.value = v;
   r.leaf_evaluations = sh.leaf_evals.load();
   r.wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+  r.complete = !sh.stopped();
   return r;
 }
 
 }  // namespace
 
-MtAbResult mt_parallel_ab(const Tree& t, const MtAbOptions& opt) {
-  AbShared sh(t, opt);
+MtAbResult mt_parallel_ab(const Tree& t, const MtAbOptions& opt, Executor& exec,
+                          const SearchLimits& limits) {
+  AbShared sh(t, opt, exec, limits);
   const auto start = std::chrono::steady_clock::now();
   bool exact = false;
   const Value v = pab(sh, t.root(), kMinusInf, kPlusInf, exact);
-  const auto end = std::chrono::steady_clock::now();
-  return finish_result(sh, v, start, end);
+  return finish_result(sh, v, start);
 }
 
 MtAbResult mt_sequential_ab(const Tree& t, std::uint64_t leaf_cost_ns,
-                            LeafCostModel cost_model) {
+                            LeafCostModel cost_model, const SearchLimits& limits) {
   MtAbOptions opt;
-  opt.threads = 1;
   opt.leaf_cost_ns = leaf_cost_ns;
   opt.cost_model = cost_model;
-  AbShared sh(t, opt);
+  class NullExecutor final : public Executor {
+   public:
+    void submit(std::function<void()> task) override { task(); }
+    unsigned workers() const noexcept override { return 0; }
+  } null_exec;
+  AbShared sh(t, opt, null_exec, limits);
   std::atomic<bool> never{false};
   const auto start = std::chrono::steady_clock::now();
   bool exact = false;
   const Value v =
       seq_ab(sh, t.root(), kMinusInf, kPlusInf, nullptr, true, never, exact);
-  const auto end = std::chrono::steady_clock::now();
-  return finish_result(sh, v, start, end);
+  return finish_result(sh, v, start);
+}
+
+// --- Deprecated self-scheduling wrappers (façade-backed). -------------------
+
+MtAbResult mt_parallel_ab(const Tree& t, const MtAbOptions& opt) {
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtParallelAb;
+  req.threads = opt.threads;
+  req.width = opt.width;
+  req.leaf_cost_ns = opt.leaf_cost_ns;
+  req.cost_model = opt.cost_model;
+  req.promotion = opt.promotion;
+  const SearchResult r = search(req);
+  return MtAbResult{r.value, r.work, r.wall_ns, r.complete};
+}
+
+MtAbResult mt_sequential_ab(const Tree& t, std::uint64_t leaf_cost_ns,
+                            LeafCostModel cost_model) {
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtSequentialAb;
+  req.leaf_cost_ns = leaf_cost_ns;
+  req.cost_model = cost_model;
+  const SearchResult r = search(req);
+  return MtAbResult{r.value, r.work, r.wall_ns, r.complete};
 }
 
 }  // namespace gtpar

@@ -12,17 +12,25 @@
 // Joining is fail-soft-safe: a scout launched with window (a0, b) returns
 // r such that r <= a0 implies val <= r (discardable, since the live alpha
 // only grew), r >= b implies a cutoff, and otherwise r is exact.
+//
+// As with mt_solve.hpp there are two entry styles: the core overloads run
+// on a caller-supplied Executor with SearchLimits (this is what the
+// batched engine uses, many trees at a time on one work-stealing
+// scheduler), and the original self-scheduling entrypoints remain as
+// DEPRECATED thin wrappers over the unified façade (engine/api.hpp).
 #pragma once
 
 #include <cstdint>
 
 #include "gtpar/common.hpp"
+#include "gtpar/engine/executor.hpp"
 #include "gtpar/threads/mt_solve.hpp"
 #include "gtpar/tree/tree.hpp"
 
 namespace gtpar {
 
 struct MtAbOptions {
+  /// Ignored by the Executor-taking core (the scheduler's size rules).
   unsigned threads = 4;
   std::uint64_t leaf_cost_ns = 2000;
   LeafCostModel cost_model = LeafCostModel::kSpin;
@@ -43,13 +51,27 @@ struct MtAbResult {
   /// scout's work that the spine redoes counts twice — real cost).
   std::uint64_t leaf_evaluations = 0;
   std::uint64_t wall_ns = 0;
+  /// False if the search stopped early (cancelled or budget exhausted).
+  bool complete = true;
 };
 
-/// Multithreaded cascading parallel alpha-beta (width-1 style: one scout
-/// per level of the current principal variation).
+/// Core: cascading parallel alpha-beta with scouts on `exec`. Safe to run
+/// many instances concurrently on one shared executor.
+MtAbResult mt_parallel_ab(const Tree& t, const MtAbOptions& opt, Executor& exec,
+                          const SearchLimits& limits = {});
+
+/// Core: single-threaded alpha-beta with the same leaf-cost model and
+/// limits.
+MtAbResult mt_sequential_ab(const Tree& t, std::uint64_t leaf_cost_ns,
+                            LeafCostModel cost_model, const SearchLimits& limits);
+
+/// DEPRECATED self-scheduling entrypoint: thin wrapper over gtpar::search
+/// with Algorithm::kMtParallelAb (work-stealing scheduler of opt.threads
+/// workers).
 MtAbResult mt_parallel_ab(const Tree& t, const MtAbOptions& opt = {});
 
-/// Single-threaded alpha-beta with the same leaf-cost model.
+/// DEPRECATED: thin wrapper over gtpar::search with
+/// Algorithm::kMtSequentialAb.
 MtAbResult mt_sequential_ab(const Tree& t, std::uint64_t leaf_cost_ns = 2000,
                             LeafCostModel cost_model = LeafCostModel::kSpin);
 

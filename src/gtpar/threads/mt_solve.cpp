@@ -1,11 +1,11 @@
 #include "gtpar/threads/mt_solve.hpp"
 
 #include <chrono>
-#include <thread>
 #include <memory>
+#include <thread>
 #include <vector>
 
-#include "gtpar/threads/thread_pool.hpp"
+#include "gtpar/engine/api.hpp"
 
 namespace gtpar {
 namespace {
@@ -30,19 +30,42 @@ constexpr std::int8_t kUnknown = -1;
 struct Shared {
   const Tree& t;
   const MtSolveOptions& opt;
+  Executor& exec;
+  SearchLimits limits;
   std::vector<std::atomic<std::int8_t>> val;
   std::atomic<std::uint64_t> leaf_evals{0};
-  ThreadPool pool;
+  /// Latched stop: set once cancellation or the deadline is observed.
+  std::atomic<bool> stop{false};
+  std::chrono::steady_clock::time_point deadline{};
 
-  Shared(const Tree& tree, const MtSolveOptions& options)
-      : t(tree), opt(options), val(tree.size()), pool(options.threads) {
+  Shared(const Tree& tree, const MtSolveOptions& options, Executor& executor,
+         const SearchLimits& lim)
+      : t(tree), opt(options), exec(executor), limits(lim), val(tree.size()) {
     for (auto& v : val) v.store(kUnknown, std::memory_order_relaxed);
+    if (limits.budget_ns != 0)
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::nanoseconds(limits.budget_ns);
+  }
+
+  bool stopped() const { return stop.load(std::memory_order_relaxed); }
+
+  /// Re-read the external limits; latch and report a stop. Called at leaf
+  /// granularity — the clock read is noise next to the leaf cost.
+  bool poll_stop() {
+    if (stopped()) return true;
+    if ((limits.cancel && limits.cancel->load(std::memory_order_relaxed)) ||
+        (limits.budget_ns != 0 && std::chrono::steady_clock::now() >= deadline)) {
+      stop.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
   }
 
   /// Evaluate a leaf (cache-aware; the spin models the evaluation cost).
   bool eval_leaf(NodeId leaf) {
     const std::int8_t cached = val[leaf].load(std::memory_order_acquire);
     if (cached != kUnknown) return cached != 0;
+    if (poll_stop()) return false;
     pay_leaf_cost(opt.leaf_cost_ns, opt.cost_model);
     const bool b = t.leaf_value(leaf) != 0;
     std::int8_t expected = kUnknown;
@@ -69,11 +92,11 @@ struct Shared {
   bool ssolve(NodeId v, const std::atomic<bool>& cancel) {
     const std::int8_t cached = lookup(v);
     if (cached != kUnknown) return cached != 0;
-    if (cancel.load(std::memory_order_relaxed)) return false;
+    if (cancel.load(std::memory_order_relaxed) || stopped()) return false;
     if (t.is_leaf(v)) return eval_leaf(v);
     for (NodeId c : t.children(v)) {
       const bool r = ssolve(c, cancel);
-      if (cancel.load(std::memory_order_relaxed)) return false;
+      if (cancel.load(std::memory_order_relaxed) || stopped()) return false;
       if (r) {
         store(v, false);
         return false;
@@ -84,9 +107,9 @@ struct Shared {
   }
 };
 
-/// A scout running on the pool: sequential SOLVE of one sibling subtree
-/// with its own abort flag and a claim/completion latch. The claim lets a
-/// joining spine "steal" a scout that is still sitting in the pool queue:
+/// A scout running on the scheduler: sequential SOLVE of one sibling
+/// subtree with its own abort flag and a claim/completion latch. The claim
+/// lets a joining spine "steal" a scout that is still sitting in a queue:
 /// a cancelled scout that never started must not make the spine wait for a
 /// busy worker to pick it up just to discard it.
 struct Scout {
@@ -125,6 +148,8 @@ bool psolve(Shared& sh, NodeId v) {
 
   const auto children = sh.t.children(v);
   while (true) {
+    // No scouts of this level are outstanding here, so stopping is safe.
+    if (sh.stopped()) return false;
     // Leftmost child whose value is still unknown = the base-path child.
     NodeId spine_child = kNoNode;
     std::size_t spine_idx = 0;
@@ -158,7 +183,7 @@ bool psolve(Shared& sh, NodeId v) {
       const NodeId scout_child = children[i];
       if (sh.lookup(scout_child) != kUnknown) continue;
       auto scout = std::make_shared<Scout>();
-      sh.pool.submit([&sh, scout, scout_child] {
+      sh.exec.submit([&sh, scout, scout_child] {
         if (!scout->claim()) return;  // stolen by the joining spine
         sh.ssolve(scout_child, scout->cancel);
         scout->finish();
@@ -184,38 +209,71 @@ bool psolve(Shared& sh, NodeId v) {
   }
 }
 
-}  // namespace
-
-MtSolveResult mt_parallel_solve(const Tree& t, const MtSolveOptions& opt) {
-  Shared sh(t, opt);
-  const auto start = std::chrono::steady_clock::now();
-  const bool value = psolve(sh, t.root());
+MtSolveResult finish(Shared& sh, bool value,
+                     std::chrono::steady_clock::time_point start) {
   const auto end = std::chrono::steady_clock::now();
   MtSolveResult r;
   r.value = value;
   r.leaf_evaluations = sh.leaf_evals.load();
   r.wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+  r.complete = !sh.stopped();
   return r;
+}
+
+}  // namespace
+
+MtSolveResult mt_parallel_solve(const Tree& t, const MtSolveOptions& opt,
+                                Executor& exec, const SearchLimits& limits) {
+  Shared sh(t, opt, exec, limits);
+  const auto start = std::chrono::steady_clock::now();
+  const bool value = psolve(sh, t.root());
+  return finish(sh, value, start);
+}
+
+MtSolveResult mt_sequential_solve(const Tree& t, std::uint64_t leaf_cost_ns,
+                                  LeafCostModel cost_model,
+                                  const SearchLimits& limits) {
+  MtSolveOptions opt;
+  opt.leaf_cost_ns = leaf_cost_ns;
+  opt.cost_model = cost_model;
+  // The sequential baseline spawns no scouts, so any executor satisfies
+  // it; use a null one to keep the run strictly single-threaded.
+  class NullExecutor final : public Executor {
+   public:
+    void submit(std::function<void()> task) override { task(); }
+    unsigned workers() const noexcept override { return 0; }
+  } null_exec;
+  Shared sh(t, opt, null_exec, limits);
+  std::atomic<bool> never{false};
+  const auto start = std::chrono::steady_clock::now();
+  const bool value = sh.ssolve(t.root(), never);
+  return finish(sh, value, start);
+}
+
+// --- Deprecated self-scheduling wrappers (façade-backed). -------------------
+
+MtSolveResult mt_parallel_solve(const Tree& t, const MtSolveOptions& opt) {
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtParallelSolve;
+  req.threads = opt.threads;
+  req.width = opt.width;
+  req.leaf_cost_ns = opt.leaf_cost_ns;
+  req.cost_model = opt.cost_model;
+  const SearchResult r = search(req);
+  return MtSolveResult{r.value != 0, r.work, r.wall_ns, r.complete};
 }
 
 MtSolveResult mt_sequential_solve(const Tree& t, std::uint64_t leaf_cost_ns,
                                   LeafCostModel cost_model) {
-  MtSolveOptions opt;
-  opt.threads = 1;
-  opt.leaf_cost_ns = leaf_cost_ns;
-  opt.cost_model = cost_model;
-  Shared sh(t, opt);
-  std::atomic<bool> never{false};
-  const auto start = std::chrono::steady_clock::now();
-  const bool value = sh.ssolve(t.root(), never);
-  const auto end = std::chrono::steady_clock::now();
-  MtSolveResult r;
-  r.value = value;
-  r.leaf_evaluations = sh.leaf_evals.load();
-  r.wall_ns = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
-  return r;
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtSequentialSolve;
+  req.leaf_cost_ns = leaf_cost_ns;
+  req.cost_model = cost_model;
+  const SearchResult r = search(req);
+  return MtSolveResult{r.value != 0, r.work, r.wall_ns, r.complete};
 }
 
 }  // namespace gtpar

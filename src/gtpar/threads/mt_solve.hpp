@@ -7,8 +7,8 @@
 // Structure (mirrors program P-SOLVE and the Section 7 cascade):
 //  - The *spine* (calling thread) runs P-SOLVE down the leftmost live path.
 //  - At every node on the spine, the next live sibling subtree is scouted
-//    by a sequential left-to-right task on the pool (one scout per level —
-//    the width-1 cascade).
+//    by a sequential left-to-right task on the scheduler (one scout per
+//    level — the width-1 cascade).
 //  - When the spine finishes a child with value 0, the scout is aborted via
 //    an atomic flag and the spine *promotes* into the scouted subtree. The
 //    scout has been memoising every subtree value it completed into a
@@ -22,12 +22,23 @@
 // the workload models the paper's unit-cost leaf evaluations; with 0 cost
 // the run degenerates to memory traffic and speed-ups vanish, exactly as
 // one would expect.
+//
+// Two entry styles:
+//  - The *core* overloads take an Executor (any scheduler implementing
+//    engine/executor.hpp — the engine runs them on its shared
+//    work-stealing pool so many trees can be in flight at once) and
+//    SearchLimits (cooperative cancellation + wall-clock budget).
+//  - The original self-scheduling entrypoints are retained as thin
+//    wrappers over the unified façade (engine/api.hpp), which dispatches
+//    them onto a private work-stealing scheduler. DEPRECATED: new code
+//    should use gtpar::search / gtpar::Engine directly.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
 #include "gtpar/common.hpp"
+#include "gtpar/engine/executor.hpp"
 #include "gtpar/tree/tree.hpp"
 
 namespace gtpar {
@@ -42,6 +53,7 @@ enum class LeafCostModel : std::uint8_t {
 struct MtSolveOptions {
   /// Worker threads for scouts (the spine runs on the calling thread).
   /// The width-1 cascade uses at most height(T) concurrent scouts.
+  /// Ignored by the Executor-taking core (the scheduler's size rules).
   unsigned threads = 4;
   /// Simulated cost of one leaf evaluation in nanoseconds.
   std::uint64_t leaf_cost_ns = 2000;
@@ -59,13 +71,29 @@ struct MtSolveResult {
   std::uint64_t leaf_evaluations = 0;
   /// Wall-clock duration of the solve in nanoseconds.
   std::uint64_t wall_ns = 0;
+  /// False if the search stopped early (cancelled or budget exhausted);
+  /// `value` is then meaningless.
+  bool complete = true;
 };
 
-/// Multithreaded width-1 Parallel SOLVE.
+/// Core: width-w Parallel SOLVE with scouts on `exec`. Safe to run many
+/// instances concurrently on one shared executor.
+MtSolveResult mt_parallel_solve(const Tree& t, const MtSolveOptions& opt,
+                                Executor& exec, const SearchLimits& limits = {});
+
+/// Core: single-threaded Sequential SOLVE with the same leaf-cost model
+/// and limits, for apples-to-apples wall-clock baselines.
+MtSolveResult mt_sequential_solve(const Tree& t, std::uint64_t leaf_cost_ns,
+                                  LeafCostModel cost_model,
+                                  const SearchLimits& limits);
+
+/// DEPRECATED self-scheduling entrypoint: thin wrapper over the unified
+/// façade (gtpar::search with Algorithm::kMtParallelSolve), which runs the
+/// cascade on a work-stealing scheduler of opt.threads workers.
 MtSolveResult mt_parallel_solve(const Tree& t, const MtSolveOptions& opt = {});
 
-/// Single-threaded Sequential SOLVE with the same leaf-cost model, for
-/// apples-to-apples wall-clock baselines.
+/// DEPRECATED: thin wrapper over gtpar::search with
+/// Algorithm::kMtSequentialSolve.
 MtSolveResult mt_sequential_solve(const Tree& t, std::uint64_t leaf_cost_ns = 2000,
                                   LeafCostModel cost_model = LeafCostModel::kSpin);
 

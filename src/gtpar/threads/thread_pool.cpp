@@ -4,8 +4,8 @@
 
 namespace gtpar {
 
-ThreadPool::ThreadPool(unsigned threads) {
-  const unsigned n = std::max(threads, 1u);
+ThreadPool::ThreadPool(Options opt) : opt_(opt) {
+  const unsigned n = std::max(opt_.threads, 1u);
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
 }
@@ -22,9 +22,32 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    if (opt_.max_queue == 0 || queue_.size() < opt_.max_queue) {
+      queue_.push_back(std::move(task));
+      task = nullptr;
+    } else {
+      ++caller_runs_;
+    }
+  }
+  if (task) {
+    // Queue at capacity: flow-control by running on the submitting thread.
+    // Correct for self-contained tasks (all of ours are: scouts signal
+    // completion through captured state), and it means a burst of requests
+    // can never grow the queue without bound.
+    task();
+    return;
   }
   cv_.notify_one();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::uint64_t ThreadPool::caller_runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return caller_runs_;
 }
 
 void ThreadPool::worker_loop() {

@@ -1,43 +1,78 @@
 // gtpar/threads/thread_pool.hpp
 //
-// A small fixed-size worker pool used by the real-thread implementations
-// of Parallel SOLVE and parallel alpha-beta. Tasks are plain
-// std::function<void()>; completion is signalled through whatever state
-// the task captures (the solvers use per-scout completion flags), so the
-// pool itself stays minimal and lock-contention-free on the hot path.
+// The legacy fixed-size worker pool: a single mutex+condition-variable
+// task queue shared by all workers. Kept as the baseline scheduler for the
+// engine's throughput comparisons (bench/bench_throughput.cpp) and for
+// callers that want the simplest possible pool; new code should prefer the
+// work-stealing scheduler (engine/work_stealing.hpp), which the unified
+// search façade (engine/api.hpp) uses by default.
+//
+// Tasks are plain std::function<void()>; completion is signalled through
+// whatever state the task captures (the solvers use per-scout completion
+// flags), so the pool itself stays minimal.
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "gtpar/engine/executor.hpp"
+
 namespace gtpar {
 
-class ThreadPool {
+class ThreadPool final : public Executor {
  public:
-  /// Spawn `threads` workers (at least 1).
-  explicit ThreadPool(unsigned threads);
+  struct Options {
+    unsigned threads = 4;
+    /// Maximum queued (not yet running) tasks; 0 = unbounded (legacy
+    /// behaviour). When the queue is full, submit() runs the task on the
+    /// calling thread instead of growing the queue (caller-runs policy),
+    /// so a burst of submissions is flow-controlled rather than buffered
+    /// without limit.
+    std::size_t max_queue = 0;
+  };
+
+  /// Spawn `threads` workers (at least 1) with an unbounded queue.
+  explicit ThreadPool(unsigned threads) : ThreadPool(Options{threads}) {}
+
+  explicit ThreadPool(Options opt);
 
   /// Drains outstanding tasks, then joins the workers.
-  ~ThreadPool();
+  ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task. Never blocks (unbounded queue).
-  void submit(std::function<void()> task);
+  /// Enqueue a task. Never blocks: with a bounded queue at capacity the
+  /// task is executed on the calling thread before submit() returns.
+  void submit(std::function<void()> task) override;
 
-  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+  unsigned workers() const noexcept override {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Deprecated alias for workers() (pre-engine name).
+  unsigned size() const noexcept { return workers(); }
+
+  /// Tasks currently queued (untaken). For tests and monitoring.
+  std::size_t pending() const;
+
+  /// Tasks that ran on their submitting thread via the caller-runs
+  /// overflow policy.
+  std::uint64_t caller_runs() const;
 
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  Options opt_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
+  std::uint64_t caller_runs_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

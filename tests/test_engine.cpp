@@ -1,0 +1,326 @@
+// Tests for the engine layer: the work-stealing scheduler, the bounded
+// legacy ThreadPool, the unified search façade, and the batched Engine
+// (concurrent requests, cancellation, budgets, determinism under
+// stealing).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gtpar/engine/api.hpp"
+#include "gtpar/engine/engine.hpp"
+#include "gtpar/engine/work_stealing.hpp"
+#include "gtpar/threads/mt_ab.hpp"
+#include "gtpar/threads/thread_pool.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+// --- Work-stealing pool. ----------------------------------------------------
+
+TEST(WorkStealingPool, RunsEveryTask) {
+  WorkStealingPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  // Destructor drains the deques and joins the workers.
+  {
+    WorkStealingPool inner(2);
+    for (int i = 0; i < 100; ++i)
+      inner.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  while (count.load() < 1000) std::this_thread::yield();
+  EXPECT_GE(count.load(), 1000);
+}
+
+TEST(WorkStealingPool, RunsNestedTasksSubmittedFromWorkers) {
+  WorkStealingPool pool(4);
+  std::atomic<int> count{0};
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    for (int i = 0; i < 64; ++i)
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    done.store(true);
+  });
+  while (!done.load() || count.load() < 64) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(WorkStealingPool, CallerRunsWhenDequeOverflows) {
+  WorkStealingPool::Options opt;
+  opt.threads = 1;
+  opt.deque_capacity = 2;  // tiny: nested submits must overflow
+  WorkStealingPool pool(opt);
+  std::atomic<int> count{0};
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    // 64 nested submits into a capacity-2 deque: most run inline
+    // (caller-runs) but every single one must run.
+    for (int i = 0; i < 64; ++i)
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    done.store(true);
+  });
+  while (!done.load() || count.load() < 64) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 64);
+  EXPECT_GT(pool.stats().inline_runs, 0u);
+}
+
+TEST(WorkStealingPool, CallerRunsWhenInjectionQueueOverflows) {
+  WorkStealingPool::Options opt;
+  opt.threads = 1;
+  opt.injection_bound = 1;
+  WorkStealingPool pool(opt);
+  std::atomic<int> count{0};
+  // External submits race one worker; the bound forces some inline runs,
+  // but all 200 must execute exactly once.
+  for (int i = 0; i < 200; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  while (count.load() < 200) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 200);
+}
+
+// --- Bounded legacy ThreadPool (the submit() footgun fix). ------------------
+
+TEST(ThreadPool, UnboundedModeRunsEverything) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 500; ++i)
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, BoundedModeCallerRunsInsteadOfGrowing) {
+  ThreadPool::Options opt;
+  opt.threads = 1;
+  opt.max_queue = 4;
+  std::atomic<int> count{0};
+  std::atomic<int> worker_blocked{0};
+  {
+    ThreadPool pool(opt);
+    // Park the single worker so the queue must fill.
+    pool.submit([&] {
+      worker_blocked.store(1);
+      while (worker_blocked.load() != 2) std::this_thread::yield();
+    });
+    while (worker_blocked.load() != 1) std::this_thread::yield();
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    // The queue never exceeds the bound: at least 100 - 4 of those ran on
+    // this thread (caller-runs), synchronously, before we get here.
+    EXPECT_LE(pool.pending(), std::size_t{4});
+    EXPECT_GE(pool.caller_runs(), std::uint64_t{96});
+    EXPECT_GE(count.load(), 96);
+    worker_blocked.store(2);
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+// --- Façade. ----------------------------------------------------------------
+
+TEST(SearchFacade, MatchesGroundTruthAcrossAlgorithms) {
+  const Tree t = make_uniform_iid_nor(2, 10, golden_bias(), 11);
+  const Value truth = nor_value(t) ? 1 : 0;
+  for (Algorithm a : {Algorithm::kSequentialSolve, Algorithm::kParallelSolve,
+                      Algorithm::kNSequentialSolve, Algorithm::kMtParallelSolve}) {
+    SearchRequest req;
+    req.tree = &t;
+    req.algorithm = a;
+    req.leaf_cost_ns = 0;
+    const SearchResult r = search(req);
+    EXPECT_EQ(r.value, truth) << algorithm_name(a);
+    EXPECT_TRUE(r.complete) << algorithm_name(a);
+    EXPECT_GT(r.work, 0u) << algorithm_name(a);
+  }
+
+  const Tree m = make_uniform_iid_minimax(3, 6, -50, 50, 13);
+  const Value mtruth = minimax_value(m);
+  for (Algorithm a : {Algorithm::kAlphaBeta, Algorithm::kSss,
+                      Algorithm::kNSequentialAb, Algorithm::kMtParallelAb}) {
+    SearchRequest req;
+    req.tree = &m;
+    req.algorithm = a;
+    req.leaf_cost_ns = 0;
+    const SearchResult r = search(req);
+    EXPECT_EQ(r.value, mtruth) << algorithm_name(a);
+  }
+}
+
+TEST(SearchFacade, ThrowsOnMissingWorkload) {
+  SearchRequest req;  // no tree, no source
+  EXPECT_THROW(search(req), std::invalid_argument);
+  req.algorithm = Algorithm::kNSequentialAb;
+  EXPECT_THROW(search(req), std::invalid_argument);
+}
+
+TEST(SearchFacade, DeprecatedWrappersAgreeWithFacade) {
+  const Tree t = make_uniform_iid_nor(2, 9, golden_bias(), 3);
+  const auto legacy = mt_parallel_solve(t, MtSolveOptions{4, 0, LeafCostModel::kSpin, 1});
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtParallelSolve;
+  req.leaf_cost_ns = 0;
+  const SearchResult r = search(req);
+  EXPECT_EQ(Value{legacy.value ? 1 : 0}, r.value);
+
+  const Tree m = make_uniform_iid_minimax(2, 8, -20, 20, 5);
+  const auto legacy_ab = mt_parallel_ab(m, MtAbOptions{4, 0, LeafCostModel::kSpin, true, 1});
+  req.tree = &m;
+  req.algorithm = Algorithm::kMtParallelAb;
+  const SearchResult rab = search(req);
+  EXPECT_EQ(legacy_ab.value, rab.value);
+}
+
+TEST(SearchFacade, PrincipalVariationOnRequest) {
+  const Tree m = make_uniform_iid_minimax(2, 6, -9, 9, 21);
+  SearchRequest req;
+  req.tree = &m;
+  req.algorithm = Algorithm::kAlphaBeta;
+  req.want_pv = true;
+  const SearchResult r = search(req);
+  ASSERT_FALSE(r.pv.empty());
+  EXPECT_EQ(r.pv.front(), m.root());
+  EXPECT_TRUE(m.is_leaf(r.pv.back()));
+  EXPECT_EQ(m.leaf_value(r.pv.back()), r.value);
+}
+
+// --- Engine. ----------------------------------------------------------------
+
+TEST(Engine, ManyConcurrentRequestsAllCorrect) {
+  std::vector<Tree> trees;
+  std::vector<Value> truths;
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    trees.push_back(make_uniform_iid_nor(2, 9, golden_bias(), seed));
+    truths.push_back(nor_value(trees.back()) ? 1 : 0);
+  }
+  Engine::Options opt;
+  opt.workers = 4;
+  Engine eng(opt);
+  std::vector<SearchRequest> reqs;
+  for (const Tree& t : trees) {
+    SearchRequest req;
+    req.tree = &t;
+    req.algorithm = Algorithm::kMtParallelSolve;
+    req.leaf_cost_ns = 0;
+    reqs.push_back(req);
+  }
+  const std::vector<SearchResult> results = eng.run_all(reqs);
+  ASSERT_EQ(results.size(), trees.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].value, truths[i]) << "tree " << i;
+    EXPECT_TRUE(results[i].complete);
+  }
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.submitted, trees.size());
+  EXPECT_EQ(s.completed, trees.size());
+  EXPECT_EQ(s.incomplete, 0u);
+  EXPECT_GT(s.total_work, 0u);
+}
+
+TEST(Engine, DeterministicValueUnderStealing) {
+  const Tree m = make_uniform_iid_minimax(2, 9, -100, 100, 99);
+  const Value truth = minimax_value(m);
+  Engine eng;
+  SearchRequest req;
+  req.tree = &m;
+  req.algorithm = Algorithm::kMtParallelAb;
+  req.leaf_cost_ns = 0;
+  // Whatever the interleaving of steals, the value is the tree's value.
+  for (int round = 0; round < 20; ++round) {
+    const SearchResult r = eng.run(req);
+    ASSERT_EQ(r.value, truth) << "round " << round;
+  }
+}
+
+TEST(Engine, GlobalQueueSchedulerProducesSameValues) {
+  const Tree t = make_uniform_iid_nor(2, 10, golden_bias(), 77);
+  const Value truth = nor_value(t) ? 1 : 0;
+  Engine::Options opt;
+  opt.scheduler = Engine::Scheduler::kGlobalQueue;
+  Engine eng(opt);
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtParallelSolve;
+  req.leaf_cost_ns = 0;
+  for (int round = 0; round < 5; ++round) EXPECT_EQ(eng.run(req).value, truth);
+}
+
+TEST(Engine, CancellationStopsASlowSearch) {
+  // Worst-case NOR tree: no pruning, so the full search pays ~1ms for each
+  // of the 2^10 leaves; cancellation must cut it short by orders of
+  // magnitude.
+  const Tree t = make_worst_case_nor(2, 10, false);
+  Engine eng;
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtParallelSolve;
+  req.leaf_cost_ns = 1'000'000;  // 1ms per leaf
+  req.cost_model = LeafCostModel::kSleep;
+  SearchJob job = eng.submit(req);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  job.cancel();
+  const SearchResult r = job.wait();
+  EXPECT_FALSE(r.complete);
+  // Far less than the ~1000 leaves the full search would pay for.
+  EXPECT_LT(r.work, t.num_leaves());
+}
+
+TEST(Engine, WallClockBudgetStopsASlowSearch) {
+  const Tree t = make_worst_case_nor(2, 10, false);
+  Engine eng;
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtParallelSolve;
+  req.leaf_cost_ns = 1'000'000;
+  req.cost_model = LeafCostModel::kSleep;
+  req.limits.budget_ns = 30'000'000;  // 30ms
+  const SearchResult r = eng.run(req);
+  EXPECT_FALSE(r.complete);
+  EXPECT_LT(r.work, t.num_leaves());
+}
+
+TEST(Engine, JobHandleReportsDispatchLatency) {
+  const Tree t = make_uniform_iid_nor(2, 8, golden_bias(), 8);
+  Engine eng;
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtSequentialSolve;
+  req.leaf_cost_ns = 0;
+  SearchJob job = eng.submit(req);
+  job.wait();
+  EXPECT_TRUE(job.done());
+  const EngineStats s = eng.stats();
+  EXPECT_GE(s.max_dispatch_ns, job.dispatch_ns());
+}
+
+TEST(Engine, RethrowsRequestErrors) {
+  Engine eng;
+  SearchRequest req;  // missing workload
+  SearchJob job = eng.submit(req);
+  EXPECT_THROW(job.wait(), std::invalid_argument);
+}
+
+TEST(Engine, MixedFamiliesInOneBatch) {
+  const Tree t = make_uniform_iid_nor(2, 9, golden_bias(), 31);
+  const Tree m = make_uniform_iid_minimax(2, 8, -10, 10, 32);
+  Engine eng;
+  SearchRequest a, b;
+  a.tree = &t;
+  a.algorithm = Algorithm::kMtParallelSolve;
+  a.leaf_cost_ns = 0;
+  b.tree = &m;
+  b.algorithm = Algorithm::kMtParallelAb;
+  b.leaf_cost_ns = 0;
+  SearchJob ja = eng.submit(a);
+  SearchJob jb = eng.submit(b);
+  EXPECT_EQ(ja.wait().value, nor_value(t) ? 1 : 0);
+  EXPECT_EQ(jb.wait().value, minimax_value(m));
+}
+
+}  // namespace
+}  // namespace gtpar
