@@ -25,18 +25,30 @@
 //                                   engine is slower than the legacy
 //                                   per-call pool path at the 4-worker
 //                                   mixed workload (the CI gate)
+//                    --faults       also measure the resilience layer: the
+//                                   4-worker workload re-run with the leaf
+//                                   hook + retry plumbing engaged at ZERO
+//                                   fault rate (its overhead is recorded as
+//                                   resilience_overhead_at_zero_faults and
+//                                   expected < 3%), and once more under a
+//                                   10% transient-fault storm with retries
+//                                   (throughput under chaos, informational)
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/common.hpp"
 #include "gtpar/engine/api.hpp"
 #include "gtpar/engine/engine.hpp"
+#include "gtpar/engine/resilience.hpp"
 #include "gtpar/expand/nor_expansion.hpp"
 #include "gtpar/expand/tree_source.hpp"
 #include "gtpar/solve/nor_simulator.hpp"
@@ -175,11 +187,14 @@ CellResult run_legacy_cell(unsigned workers, const std::vector<SearchRequest>& r
 }
 
 CellResult run_cell(Engine::Scheduler scheduler, unsigned workers,
-                    const std::vector<SearchRequest>& reqs, int reps) {
+                    const std::vector<SearchRequest>& reqs, int reps,
+                    const char* label = nullptr) {
   CellResult cell;
   cell.workers = workers;
   cell.scheduler =
-      scheduler == Engine::Scheduler::kWorkStealing ? "work-stealing" : "global-queue";
+      label != nullptr ? label
+      : scheduler == Engine::Scheduler::kWorkStealing ? "work-stealing"
+                                                      : "global-queue";
   cell.requests = reqs.size();
   cell.wall_ns = UINT64_MAX;
   for (int rep = 0; rep < reps; ++rep) {
@@ -206,8 +221,54 @@ CellResult run_cell(Engine::Scheduler scheduler, unsigned workers,
   return cell;
 }
 
+// --- Resilience overhead cells (--faults). ----------------------------------
+
+/// Stateless no-op hook: prices the per-leaf injection point + retry
+/// bookkeeping on the hot path with nothing ever thrown. The measured
+/// slowdown vs the bare 4-worker cell is the cost every production caller
+/// pays for having the resilience layer armed.
+class NoopHook final : public LeafHook {
+ public:
+  void on_leaf(NodeId, unsigned) override {}
+};
+
+/// Deterministic transient-fault storm: ~`rate` of leaves throw on their
+/// first evaluation attempt and succeed on retry. Stateless schedule (a
+/// hash of the leaf id), so concurrent workers and repeated repetitions
+/// see the same faults.
+class FlakyHook final : public LeafHook {
+ public:
+  FlakyHook(std::uint64_t seed, double rate) : seed_(seed), rate_(rate) {}
+  void on_leaf(NodeId leaf, unsigned attempt) override {
+    if (attempt > 0) return;
+    if (to_unit_double(mix64(hash_combine(seed_, leaf))) < rate_) {
+      faults_.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("bench: injected transient leaf fault");
+    }
+  }
+  std::uint64_t faults() const noexcept {
+    return faults_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::uint64_t seed_;
+  const double rate_;
+  std::atomic<std::uint64_t> faults_{0};
+};
+
+/// Copy of the workload with the resilience layer armed on every request.
+std::vector<SearchRequest> with_resilience(std::vector<SearchRequest> reqs,
+                                           LeafHook* hook, unsigned attempts) {
+  for (SearchRequest& req : reqs) {
+    req.leaf_hook = hook;
+    req.retry.max_attempts = attempts;
+  }
+  return reqs;
+}
+
 void write_json(const char* path, const std::vector<CellResult>& cells,
-                std::size_t requests, int reps, double speedup_at_4) {
+                std::size_t requests, int reps, double speedup_at_4,
+                bool faults, double zero_fault_overhead, double storm_rps_ratio) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -219,6 +280,11 @@ void write_json(const char* path, const std::vector<CellResult>& cells,
                requests, reps);
   std::fprintf(f, "  \"ws_engine_over_legacy_rps_at_4_workers\": %.3f,\n",
                speedup_at_4);
+  if (faults) {
+    std::fprintf(f, "  \"resilience_overhead_at_zero_faults\": %.4f,\n",
+                 zero_fault_overhead);
+    std::fprintf(f, "  \"retry_storm_rps_over_plain\": %.3f,\n", storm_rps_ratio);
+  }
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const CellResult& c = cells[i];
@@ -244,7 +310,7 @@ void write_json(const char* path, const std::vector<CellResult>& cells,
   std::printf("wrote %s\n", path);
 }
 
-int run_throughput(bool quick, const char* json_path, bool check) {
+int run_throughput(bool quick, const char* json_path, bool check, bool faults) {
   // Tree mix: pruning-friendly NOR, worst-case NOR (deep spines, many
   // scouts), and MIN/MAX — different cascade shapes and task counts.
   std::vector<TaggedTree> trees;
@@ -291,16 +357,57 @@ int run_throughput(bool quick, const char* json_path, bool check) {
     }
   }
 
+  // Resilience overhead: re-run the 4-worker work-stealing cell with the
+  // leaf hook + retry plumbing armed but inert (zero faults actually
+  // fired), then under a 10% transient-fault storm cleared by retries.
+  double zero_fault_overhead = 0.0, storm_ratio = 0.0;
+  std::uint64_t storm_faults = 0;
+  if (faults) {
+    NoopHook noop;
+    const CellResult armed =
+        run_cell(Engine::Scheduler::kWorkStealing, 4,
+                 with_resilience(reqs, &noop, 4), reps, "ws+inert-hook");
+    FlakyHook flaky(0x9e3779b97f4a7c15ull, 0.10);
+    const CellResult storm =
+        run_cell(Engine::Scheduler::kWorkStealing, 4,
+                 with_resilience(reqs, &flaky, 4), reps, "ws+retry-storm");
+    emit(armed);
+    emit(storm);
+    zero_fault_overhead = armed.rps > 0 ? ws4 / armed.rps - 1.0 : 0.0;
+    storm_ratio = ws4 > 0.0 ? storm.rps / ws4 : 0.0;
+    storm_faults = flaky.faults();
+  }
+
   const double speedup = legacy4 > 0 ? ws4 / legacy4 : 0.0;
   std::printf("\nwork-stealing engine vs legacy per-call pools at 4 workers: %.2fx\n",
               speedup);
-  write_json(json_path, cells, count, reps, speedup);
+  if (faults) {
+    std::printf(
+        "\nresilience overhead at zero fault rate (4 workers): %+.2f%% "
+        "(target < 3%%)\n",
+        zero_fault_overhead * 100.0);
+    std::printf(
+        "throughput under 10%% transient-fault storm with retries: %.2fx "
+        "plain (%llu faults injected and retried)\n",
+        storm_ratio, static_cast<unsigned long long>(storm_faults));
+  }
+
+  write_json(json_path, cells, count, reps, speedup, faults,
+             zero_fault_overhead, storm_ratio);
 
   if (check && speedup < 1.0) {
     std::fprintf(stderr,
                  "FAIL: work-stealing engine slower than the legacy per-call "
                  "ThreadPool path at the 4-worker mixed workload (%.2fx)\n",
                  speedup);
+    return 1;
+  }
+  if (check && faults && zero_fault_overhead > 0.10) {
+    std::fprintf(stderr,
+                 "FAIL: inert resilience plumbing costs %.1f%% at the "
+                 "4-worker workload (budget: 3%%, hard gate at 10%% to "
+                 "absorb shared-runner noise)\n",
+                 zero_fault_overhead * 100.0);
     return 1;
   }
   return 0;
@@ -310,15 +417,16 @@ int run_throughput(bool quick, const char* json_path, bool check) {
 }  // namespace gtpar
 
 int main(int argc, char** argv) {
-  bool throughput = false, quick = false, checkflag = false;
+  bool throughput = false, quick = false, checkflag = false, faults = false;
   const char* json_path = "BENCH_throughput.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--throughput") == 0) throughput = true;
     else if (std::strcmp(argv[i], "--quick") == 0) { throughput = true; quick = true; }
     else if (std::strcmp(argv[i], "--check") == 0) { throughput = true; checkflag = true; }
+    else if (std::strcmp(argv[i], "--faults") == 0) { throughput = true; faults = true; }
     else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
   }
-  if (throughput) return gtpar::run_throughput(quick, json_path, checkflag);
+  if (throughput) return gtpar::run_throughput(quick, json_path, checkflag, faults);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,142 @@
+#include "gtpar/check/faults.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "gtpar/common.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar::check {
+namespace {
+
+/// Independent hash streams so the fault classes compose without
+/// correlation.
+enum FaultStream : std::uint64_t {
+  kTransientStream = 0x7472616e73ULL,  // "trans"
+  kPermanentStream = 0x7065726dULL,    // "perm"
+  kSlowStream = 0x736c6f77ULL,         // "slow"
+};
+
+/// Deterministic per-(seed, leaf, stream) Bernoulli draw.
+bool decide(std::uint64_t seed, std::uint64_t key, std::uint64_t stream,
+            double rate) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  const std::uint64_t h = mix64(hash_combine(hash_combine(seed, stream), key));
+  return to_unit_double(h) < rate;
+}
+
+}  // namespace
+
+RetryPolicy FaultPlan::retry() const {
+  RetryPolicy p;
+  p.max_attempts = retry_attempts;
+  p.base_backoff_ns = retry_base_backoff_ns;
+  p.max_backoff_ns = retry_max_backoff_ns;
+  p.retry_on = [](const std::exception& e) {
+    return dynamic_cast<const TransientFault*>(&e) != nullptr;
+  };
+  return p;
+}
+
+void FaultState::on_attempt(std::uint64_t key) {
+  unsigned attempt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attempt = attempts_[key]++;
+  }
+  if (decide(plan_.seed, key, kSlowStream, plan_.slow_rate) &&
+      plan_.slow_ns != 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(plan_.slow_ns));
+  }
+  if (decide(plan_.seed, key, kPermanentStream, plan_.permanent_rate)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    throw PermanentFault("injected permanent fault at leaf key " +
+                         std::to_string(key));
+  }
+  if (attempt < plan_.flaky_attempts &&
+      decide(plan_.seed, key, kTransientStream, plan_.transient_rate)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    throw TransientFault("injected transient fault at leaf key " +
+                         std::to_string(key) + " attempt " +
+                         std::to_string(attempt));
+  }
+  const std::uint64_t done = evals_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (plan_.cancel_after_evals != 0 && done >= plan_.cancel_after_evals)
+    cancel_.store(true, std::memory_order_release);
+}
+
+std::string FaultCheckReport::summary() const {
+  std::ostringstream os;
+  os << "exact " << exact << ", lower " << lower_bounds << ", upper "
+     << upper_bounds << ", failed " << failed << ", faults injected "
+     << faults_injected;
+  for (const auto& f : failures) os << "\n  FAIL: " << f;
+  return os.str();
+}
+
+FaultCheckReport check_tree_under_faults(const Tree& t, bool minimax,
+                                         const FaultPlan& plan) {
+  FaultCheckReport report;
+  report.expected = minimax ? minimax_value(t) : (nor_value(t) ? 1 : 0);
+  const ExplicitTreeSource clean(t);
+  const auto& registry = minimax ? minimax_registry() : nor_registry();
+
+  for (const Algorithm& algo : registry) {
+    if (algo.applies && !algo.applies(t)) continue;
+    FaultState state(plan);
+    const FaultySource src(clean, state);
+    FaultInjector hook(state);
+    RunContext ctx;
+    ctx.seed = plan.seed;
+    ctx.retry = plan.retry();
+    ctx.leaf_hook = &hook;
+    if (plan.cancel_after_evals != 0) ctx.cancel = &state.cancel();
+
+    RunOutcome out;
+    try {
+      out = algo.run(t, src, ctx);
+    } catch (const std::exception& e) {
+      // The resilience contract: injected faults degrade, they never
+      // escape the façade.
+      report.failures.push_back(algo.name + ": fault escaped: " + e.what());
+      continue;
+    }
+    report.faults_injected += state.injected();
+
+    std::ostringstream os;
+    switch (out.completeness) {
+      case Completeness::kExact:
+        report.exact += 1;
+        if (out.value != report.expected) {
+          os << algo.name << ": claimed exact value " << out.value
+             << " != ground truth " << report.expected;
+          report.failures.push_back(os.str());
+        }
+        break;
+      case Completeness::kLowerBound:
+        report.lower_bounds += 1;
+        if (out.value > report.expected) {
+          os << algo.name << ": lower bound " << out.value
+             << " exceeds ground truth " << report.expected;
+          report.failures.push_back(os.str());
+        }
+        break;
+      case Completeness::kUpperBound:
+        report.upper_bounds += 1;
+        if (out.value < report.expected) {
+          os << algo.name << ": upper bound " << out.value
+             << " below ground truth " << report.expected;
+          report.failures.push_back(os.str());
+        }
+        break;
+      case Completeness::kFailed:
+        report.failed += 1;  // no claim to check
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace gtpar::check

@@ -1,0 +1,180 @@
+// gtpar/check/faults.hpp
+//
+// The fault-injection substrate behind the chaos harness: a composable,
+// seeded FaultPlan that wraps any TreeSource (FaultySource) or plugs into
+// the Mt cores' leaf hook (FaultInjector) and injects deterministic
+// faults at leaf-evaluation attempts:
+//
+//  - transient faults: TransientFault thrown for the first `flaky_attempts`
+//    attempts at a scheduled leaf, then that leaf succeeds — exercised
+//    against RetryPolicy, a sufficient budget must recover the exact value;
+//  - permanent faults: PermanentFault thrown on *every* attempt at a
+//    scheduled leaf — the search must degrade to an anytime bound, never
+//    hang and never report a wrong exact value;
+//  - latency spikes: a scheduled leaf sleeps `slow_ns` before evaluating;
+//  - injected cancellation: an external cancel flag trips after
+//    `cancel_after_evals` successful evaluations mid-search.
+//
+// Schedules are pure functions of (plan.seed, leaf key, fault stream), so
+// a run is reproducible bit-for-bit from the plan alone — shrinking and CI
+// replay work exactly as for fuzzer seeds. check_tree_under_faults() runs
+// every registry algorithm on one tree under a plan and verifies the
+// resilience contract against ground truth.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gtpar/check/registry.hpp"
+#include "gtpar/engine/resilience.hpp"
+#include "gtpar/expand/tree_source.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar::check {
+
+/// A retryable evaluator fault (network blip, cache miss storm, ...).
+class TransientFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A non-retryable evaluator fault (corrupt position, dead shard, ...).
+class PermanentFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Seeded description of what to inject and how to retry it. Rates are
+/// per-leaf probabilities in [0,1]; each fault class draws from its own
+/// hash stream, so plans compose (a leaf can be both slow and flaky).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Fraction of leaves that throw TransientFault on their first
+  /// `flaky_attempts` attempts, then succeed.
+  double transient_rate = 0.0;
+  unsigned flaky_attempts = 1;
+  /// Fraction of leaves that throw PermanentFault on every attempt.
+  double permanent_rate = 0.0;
+  /// Fraction of leaves that sleep slow_ns before evaluating.
+  double slow_rate = 0.0;
+  std::uint64_t slow_ns = 0;
+  /// Trip the plan's cancel flag after this many successful evaluations;
+  /// 0 = never.
+  std::uint64_t cancel_after_evals = 0;
+  /// Retry budget handed to the search (RunContext::retry). The default
+  /// retries TransientFault only, with enough attempts to clear
+  /// flaky_attempts <= 3.
+  unsigned retry_attempts = 4;
+  std::uint64_t retry_base_backoff_ns = 1000;
+  std::uint64_t retry_max_backoff_ns = 50000;
+
+  /// The RetryPolicy this plan prescribes: `retry_attempts` attempts,
+  /// retrying TransientFault but not PermanentFault.
+  RetryPolicy retry() const;
+};
+
+/// Mutable per-run state of a plan: attempt counters (flaky leaves must
+/// fail their first N attempts *per leaf*, deterministically across
+/// retries), the injected-cancellation flag, and fault accounting.
+/// Thread-safe; one instance per algorithm run.
+class FaultState {
+ public:
+  explicit FaultState(const FaultPlan& plan) : plan_(plan) {}
+
+  /// Apply the plan to one evaluation attempt at the leaf identified by
+  /// `key` (a TreeSource state key or a NodeId): maybe sleep, maybe throw.
+  /// Returns normally when the attempt should succeed, and counts it.
+  void on_attempt(std::uint64_t key);
+
+  /// The cancel flag tripped by cancel_after_evals (see RunContext).
+  const std::atomic<bool>& cancel() const noexcept { return cancel_; }
+
+  std::uint64_t injected() const noexcept {
+    return injected_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evals() const noexcept {
+    return evals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultPlan plan_;
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, unsigned> attempts_;
+  std::atomic<bool> cancel_{false};
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> evals_{0};
+};
+
+/// TreeSource wrapper routing every leaf_value() through a FaultState —
+/// the injection path for the node-expansion algorithms (and, via the
+/// façade's ResilientSource shield, the anytime recovery path).
+class FaultySource final : public TreeSource {
+ public:
+  FaultySource(const TreeSource& inner, FaultState& state)
+      : inner_(inner), state_(&state) {}
+
+  Node root() const override { return inner_.root(); }
+  unsigned num_children(const Node& v) const override {
+    return inner_.num_children(v);
+  }
+  Node child(const Node& v, unsigned i) const override {
+    return inner_.child(v, i);
+  }
+  std::uint64_t state_key(const Node& v) const override {
+    return inner_.state_key(v);
+  }
+  Value leaf_value(const Node& v) const override {
+    state_->on_attempt(inner_.state_key(v));
+    return inner_.leaf_value(v);
+  }
+
+ private:
+  const TreeSource& inner_;
+  FaultState* state_;
+};
+
+/// LeafHook routing the Mt cores' leaf evaluations through the same
+/// FaultState (keyed by NodeId).
+class FaultInjector final : public LeafHook {
+ public:
+  explicit FaultInjector(FaultState& state) : state_(&state) {}
+  void on_leaf(NodeId leaf, unsigned /*attempt*/) override {
+    state_->on_attempt(static_cast<std::uint64_t>(leaf));
+  }
+
+ private:
+  FaultState* state_;
+};
+
+/// Outcome of running every registry algorithm on one tree under a plan.
+struct FaultCheckReport {
+  Value expected = 0;   ///< ground-truth root value
+  std::uint64_t exact = 0;         ///< runs that recovered the exact value
+  std::uint64_t lower_bounds = 0;  ///< runs degraded to a lower bound
+  std::uint64_t upper_bounds = 0;  ///< runs degraded to an upper bound
+  std::uint64_t failed = 0;        ///< runs degraded to kFailed
+  std::uint64_t faults_injected = 0;
+  /// Contract violations: an escaped fault exception, a wrong "exact"
+  /// value, or a bound inconsistent with ground truth.
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string summary() const;
+};
+
+/// Run every applicable registry entry (NOR or minimax per `minimax`) on
+/// `t` under `plan` — fresh FaultState per entry, faults reaching the
+/// algorithm through FaultySource (source-based paths) and FaultInjector
+/// (Mt leaf hooks) simultaneously — and verify the resilience contract:
+/// no fault exception escapes gtpar::search, kExact results equal the
+/// ground-truth root value, kLowerBound results are <= it, kUpperBound
+/// results are >= it, and kFailed results carry no claim.
+FaultCheckReport check_tree_under_faults(const Tree& t, bool minimax,
+                                         const FaultPlan& plan);
+
+}  // namespace gtpar::check

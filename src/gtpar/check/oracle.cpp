@@ -25,6 +25,8 @@ void run_registry(const std::vector<Algorithm>& registry, const Tree& t,
                   Value expected, std::uint64_t certificate,
                   const OracleOptions& opt, OracleReport& report) {
   const ExplicitTreeSource src(t);
+  RunContext ctx;
+  ctx.seed = opt.seed;
   for (const Algorithm& algo : registry) {
     if (algo.applies && !algo.applies(t)) continue;
     const unsigned runs = algo.traits.threaded ? std::max(opt.determinism_runs, 1u) : 1;
@@ -32,7 +34,7 @@ void run_registry(const std::vector<Algorithm>& registry, const Tree& t,
     for (unsigned i = 0; i < runs; ++i) {
       RunOutcome out;
       try {
-        out = algo.run(t, src, opt.seed);
+        out = algo.run(t, src, ctx);
       } catch (const std::exception& e) {
         fail(report, algo.name, std::string("threw: ") + e.what());
         break;
@@ -43,6 +45,12 @@ void run_registry(const std::vector<Algorithm>& registry, const Tree& t,
           std::ostringstream os;
           os << "value " << out.value << " != expected " << expected;
           fail(report, algo.name, os.str());
+        }
+        if (out.completeness != Completeness::kExact) {
+          // Fault-free runs must never degrade to an anytime bound.
+          fail(report, algo.name,
+               std::string("fault-free run reported completeness ") +
+                   completeness_name(out.completeness));
         }
         switch (algo.traits.work_unit) {
           case WorkUnit::kDistinctLeaves:

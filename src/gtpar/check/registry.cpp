@@ -21,24 +21,40 @@ bool is_binary(const Tree& t) {
   return true;
 }
 
-SearchRequest make_request(SearchAlgorithm a, const Tree& t, const TreeSource& src) {
+SearchRequest make_request(SearchAlgorithm a, const Tree& t, const TreeSource& src,
+                           const RunContext& ctx) {
   SearchRequest req;
   req.algorithm = a;
   req.tree = &t;
   req.source = &src;
   req.leaf_cost_ns = 0;  // counters, not wall-clock, are under test
+  // Resilience knobs (no-ops in the default fault-free RunContext).
+  req.retry = ctx.retry;
+  req.leaf_hook = ctx.leaf_hook;
+  req.limits.cancel = ctx.cancel;
   return req;
 }
 
+RunOutcome from_search_result(const SearchResult& res) {
+  RunOutcome out;
+  out.value = res.value;
+  out.work = res.work;
+  out.completeness = res.completeness;
+  out.retries = res.retries;
+  return out;
+}
+
 RunOutcome run_facade(const SearchRequest& req) {
-  const SearchResult res = gtpar::search(req);
-  return RunOutcome{res.value, res.work};
+  return from_search_result(gtpar::search(req));
 }
 
 /// Engine-backed batch entry: submit `copies` identical requests to one
 /// shared work-stealing Engine so their scouts interleave, then require
-/// every copy to agree. On disagreement returns `sentinel`, a value no
-/// correct search can produce, which the oracle flags as a mismatch.
+/// every *exact* copy to agree. On disagreement returns `sentinel`, a
+/// value no correct search can produce, which the oracle flags as a
+/// mismatch. Copies degraded by an injected fault or cancellation (see
+/// RunContext) are tolerated: the entry reports the first exact copy, or
+/// the first copy's anytime outcome when none completed.
 RunOutcome run_engine_batch(const SearchRequest& req, unsigned copies,
                             Engine::Scheduler scheduler, Value sentinel) {
   Engine::Options eopt;
@@ -47,10 +63,14 @@ RunOutcome run_engine_batch(const SearchRequest& req, unsigned copies,
   Engine eng(eopt);
   std::vector<SearchRequest> reqs(copies, req);
   const std::vector<SearchResult> results = eng.run_all(reqs);
-  for (const SearchResult& res : results)
-    if (!res.complete || res.value != results.front().value)
-      return RunOutcome{sentinel, results.front().work};
-  return RunOutcome{results.front().value, results.front().work};
+  const SearchResult* pick = nullptr;
+  for (const SearchResult& res : results) {
+    if (!res.complete) continue;
+    if (pick != nullptr && res.value != pick->value)
+      return RunOutcome{sentinel, pick->work, Completeness::kExact, res.retries};
+    if (pick == nullptr) pick = &res;
+  }
+  return from_search_result(pick != nullptr ? *pick : results.front());
 }
 
 std::vector<Algorithm> build_nor_registry() {
@@ -59,17 +79,17 @@ std::vector<Algorithm> build_nor_registry() {
   r.push_back({"sequential-solve",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  return run_facade(
-                     make_request(SearchAlgorithm::kSequentialSolve, t, src));
+                     make_request(SearchAlgorithm::kSequentialSolve, t, src, ctx));
                }});
 
   for (unsigned w : {1u, 2u, 4u}) {
     r.push_back({"parallel-solve-w" + std::to_string(w),
                  {WorkUnit::kDistinctLeaves, false, false},
                  nullptr,
-                 [w](const Tree& t, const TreeSource& src, std::uint64_t) {
-                   auto req = make_request(SearchAlgorithm::kParallelSolve, t, src);
+                 [w](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                   auto req = make_request(SearchAlgorithm::kParallelSolve, t, src, ctx);
                    req.width = w;
                    return run_facade(req);
                  }});
@@ -79,8 +99,8 @@ std::vector<Algorithm> build_nor_registry() {
     r.push_back({"team-solve-p" + std::to_string(p),
                  {WorkUnit::kDistinctLeaves, false, false},
                  nullptr,
-                 [p](const Tree& t, const TreeSource& src, std::uint64_t) {
-                   auto req = make_request(SearchAlgorithm::kTeamSolve, t, src);
+                 [p](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                   auto req = make_request(SearchAlgorithm::kTeamSolve, t, src, ctx);
                    req.threads = p;
                    return run_facade(req);
                  }});
@@ -89,9 +109,9 @@ std::vector<Algorithm> build_nor_registry() {
   r.push_back({"parallel-solve-bounded-w2-p3",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  auto req =
-                     make_request(SearchAlgorithm::kParallelSolveBounded, t, src);
+                     make_request(SearchAlgorithm::kParallelSolveBounded, t, src, ctx);
                  req.width = 2;
                  req.threads = 3;
                  return run_facade(req);
@@ -100,59 +120,59 @@ std::vector<Algorithm> build_nor_registry() {
   r.push_back({"n-sequential-solve",
                {WorkUnit::kExpansions, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  return run_facade(
-                     make_request(SearchAlgorithm::kNSequentialSolve, t, src));
+                     make_request(SearchAlgorithm::kNSequentialSolve, t, src, ctx));
                }});
 
   r.push_back({"n-parallel-solve-w1",
                {WorkUnit::kExpansions, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  return run_facade(
-                     make_request(SearchAlgorithm::kNParallelSolve, t, src));
+                     make_request(SearchAlgorithm::kNParallelSolve, t, src, ctx));
                }});
 
   r.push_back({"r-sequential-solve",
                {WorkUnit::kExpansions, false, true},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t seed) {
-                 auto req = make_request(SearchAlgorithm::kRSequentialSolve, t, src);
-                 req.seed = seed;
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 auto req = make_request(SearchAlgorithm::kRSequentialSolve, t, src, ctx);
+                 req.seed = ctx.seed;
                  return run_facade(req);
                }});
 
   r.push_back({"r-parallel-solve-w1",
                {WorkUnit::kExpansions, false, true},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t seed) {
-                 auto req = make_request(SearchAlgorithm::kRParallelSolve, t, src);
-                 req.seed = seed;
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 auto req = make_request(SearchAlgorithm::kRParallelSolve, t, src, ctx);
+                 req.seed = ctx.seed;
                  return run_facade(req);
                }});
 
   r.push_back({"message-passing-solve",
                {WorkUnit::kExpansions, false, false},
                is_binary,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  return run_facade(
-                     make_request(SearchAlgorithm::kMessagePassingSolve, t, src));
+                     make_request(SearchAlgorithm::kMessagePassingSolve, t, src, ctx));
                }});
 
   r.push_back({"mt-sequential-solve",
                {WorkUnit::kDistinctLeaves, true, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  return run_facade(
-                     make_request(SearchAlgorithm::kMtSequentialSolve, t, src));
+                     make_request(SearchAlgorithm::kMtSequentialSolve, t, src, ctx));
                }});
 
   for (unsigned w : {1u, 3u}) {
     r.push_back({"mt-parallel-solve-w" + std::to_string(w),
                  {WorkUnit::kDistinctLeaves, true, false},
                  nullptr,
-                 [w](const Tree& t, const TreeSource& src, std::uint64_t) {
-                   auto req = make_request(SearchAlgorithm::kMtParallelSolve, t, src);
+                 [w](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                   auto req = make_request(SearchAlgorithm::kMtParallelSolve, t, src, ctx);
                    req.width = w;
                    req.threads = 4;
                    return run_facade(req);
@@ -165,8 +185,8 @@ std::vector<Algorithm> build_nor_registry() {
   r.push_back({"engine-mt-parallel-solve-x3",
                {WorkUnit::kDistinctLeaves, true, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
-                 auto req = make_request(SearchAlgorithm::kMtParallelSolve, t, src);
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 auto req = make_request(SearchAlgorithm::kMtParallelSolve, t, src, ctx);
                  return run_engine_batch(req, 3, Engine::Scheduler::kWorkStealing,
                                          /*sentinel=*/2);
                }});
@@ -174,8 +194,8 @@ std::vector<Algorithm> build_nor_registry() {
   r.push_back({"engine-globalqueue-mt-parallel-solve-x3",
                {WorkUnit::kDistinctLeaves, true, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
-                 auto req = make_request(SearchAlgorithm::kMtParallelSolve, t, src);
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 auto req = make_request(SearchAlgorithm::kMtParallelSolve, t, src, ctx);
                  return run_engine_batch(req, 3, Engine::Scheduler::kGlobalQueue,
                                          /*sentinel=*/2);
                }});
@@ -189,38 +209,38 @@ std::vector<Algorithm> build_minimax_registry() {
   r.push_back({"full-minimax",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
-                 return run_facade(make_request(SearchAlgorithm::kMinimax, t, src));
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 return run_facade(make_request(SearchAlgorithm::kMinimax, t, src, ctx));
                }});
 
   r.push_back({"alphabeta",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
-                 return run_facade(make_request(SearchAlgorithm::kAlphaBeta, t, src));
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 return run_facade(make_request(SearchAlgorithm::kAlphaBeta, t, src, ctx));
                }});
 
   r.push_back({"scout",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
-                 return run_facade(make_request(SearchAlgorithm::kScout, t, src));
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 return run_facade(make_request(SearchAlgorithm::kScout, t, src, ctx));
                }});
 
   r.push_back({"sequential-ab",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  return run_facade(
-                     make_request(SearchAlgorithm::kSequentialAb, t, src));
+                     make_request(SearchAlgorithm::kSequentialAb, t, src, ctx));
                }});
 
   for (unsigned w : {1u, 2u}) {
     r.push_back({"parallel-ab-w" + std::to_string(w),
                  {WorkUnit::kDistinctLeaves, false, false},
                  nullptr,
-                 [w](const Tree& t, const TreeSource& src, std::uint64_t) {
-                   auto req = make_request(SearchAlgorithm::kParallelAb, t, src);
+                 [w](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                   auto req = make_request(SearchAlgorithm::kParallelAb, t, src, ctx);
                    req.width = w;
                    return run_facade(req);
                  }});
@@ -229,8 +249,8 @@ std::vector<Algorithm> build_minimax_registry() {
   r.push_back({"parallel-ab-bounded-w2-p3",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
-                 auto req = make_request(SearchAlgorithm::kParallelAbBounded, t, src);
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 auto req = make_request(SearchAlgorithm::kParallelAbBounded, t, src, ctx);
                  req.width = 2;
                  req.threads = 3;
                  return run_facade(req);
@@ -239,15 +259,15 @@ std::vector<Algorithm> build_minimax_registry() {
   r.push_back({"sss-star",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
-                 return run_facade(make_request(SearchAlgorithm::kSss, t, src));
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 return run_facade(make_request(SearchAlgorithm::kSss, t, src, ctx));
                }});
 
   r.push_back({"parallel-sss-p4",
                {WorkUnit::kDistinctLeaves, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
-                 auto req = make_request(SearchAlgorithm::kParallelSss, t, src);
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 auto req = make_request(SearchAlgorithm::kParallelSss, t, src, ctx);
                  req.threads = 4;
                  return run_facade(req);
                }});
@@ -255,70 +275,70 @@ std::vector<Algorithm> build_minimax_registry() {
   r.push_back({"n-sequential-ab",
                {WorkUnit::kExpansions, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  return run_facade(
-                     make_request(SearchAlgorithm::kNSequentialAb, t, src));
+                     make_request(SearchAlgorithm::kNSequentialAb, t, src, ctx));
                }});
 
   r.push_back({"n-parallel-ab-w1",
                {WorkUnit::kExpansions, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  return run_facade(
-                     make_request(SearchAlgorithm::kNParallelAb, t, src));
+                     make_request(SearchAlgorithm::kNParallelAb, t, src, ctx));
                }});
 
   r.push_back({"r-sequential-ab",
                {WorkUnit::kExpansions, false, true},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t seed) {
-                 auto req = make_request(SearchAlgorithm::kRSequentialAb, t, src);
-                 req.seed = seed;
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 auto req = make_request(SearchAlgorithm::kRSequentialAb, t, src, ctx);
+                 req.seed = ctx.seed;
                  return run_facade(req);
                }});
 
   r.push_back({"r-parallel-ab-w1",
                {WorkUnit::kExpansions, false, true},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t seed) {
-                 auto req = make_request(SearchAlgorithm::kRParallelAb, t, src);
-                 req.seed = seed;
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 auto req = make_request(SearchAlgorithm::kRParallelAb, t, src, ctx);
+                 req.seed = ctx.seed;
                  return run_facade(req);
                }});
 
   r.push_back({"tt-alphabeta",
                {WorkUnit::kOther, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  return run_facade(
-                     make_request(SearchAlgorithm::kTtAlphaBeta, t, src));
+                     make_request(SearchAlgorithm::kTtAlphaBeta, t, src, ctx));
                }});
 
   r.push_back({"depth-limited-ab-full",
                {WorkUnit::kOther, false, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  // depth_limit 0 = horizon strictly below every leaf: the
                  // heuristic is never consulted, so the result must be the
                  // exact minimax value.
                  return run_facade(
-                     make_request(SearchAlgorithm::kDepthLimitedAb, t, src));
+                     make_request(SearchAlgorithm::kDepthLimitedAb, t, src, ctx));
                }});
 
   r.push_back({"mt-sequential-ab",
                {WorkUnit::kDistinctLeaves, true, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  return run_facade(
-                     make_request(SearchAlgorithm::kMtSequentialAb, t, src));
+                     make_request(SearchAlgorithm::kMtSequentialAb, t, src, ctx));
                }});
 
   for (const bool promotion : {true, false}) {
     r.push_back({promotion ? "mt-parallel-ab" : "mt-parallel-ab-nopromo",
                  {WorkUnit::kDistinctLeaves, true, false},
                  nullptr,
-                 [promotion](const Tree& t, const TreeSource& src, std::uint64_t) {
-                   auto req = make_request(SearchAlgorithm::kMtParallelAb, t, src);
+                 [promotion](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                   auto req = make_request(SearchAlgorithm::kMtParallelAb, t, src, ctx);
                    req.threads = 4;
                    req.promotion = promotion;
                    return run_facade(req);
@@ -330,8 +350,8 @@ std::vector<Algorithm> build_minimax_registry() {
   r.push_back({"engine-mt-parallel-ab-x3",
                {WorkUnit::kDistinctLeaves, true, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
-                 auto req = make_request(SearchAlgorithm::kMtParallelAb, t, src);
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 auto req = make_request(SearchAlgorithm::kMtParallelAb, t, src, ctx);
                  return run_engine_batch(req, 3, Engine::Scheduler::kWorkStealing,
                                          /*sentinel=*/kPlusInf);
                }});
@@ -339,8 +359,8 @@ std::vector<Algorithm> build_minimax_registry() {
   r.push_back({"engine-globalqueue-mt-parallel-ab-x3",
                {WorkUnit::kDistinctLeaves, true, false},
                nullptr,
-               [](const Tree& t, const TreeSource& src, std::uint64_t) {
-                 auto req = make_request(SearchAlgorithm::kMtParallelAb, t, src);
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 auto req = make_request(SearchAlgorithm::kMtParallelAb, t, src, ctx);
                  return run_engine_batch(req, 3, Engine::Scheduler::kGlobalQueue,
                                          /*sentinel=*/kPlusInf);
                }});

@@ -21,12 +21,14 @@
 // test_differential).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "gtpar/common.hpp"
+#include "gtpar/engine/resilience.hpp"
 #include "gtpar/expand/tree_source.hpp"
 #include "gtpar/tree/tree.hpp"
 
@@ -40,11 +42,28 @@ enum class WorkUnit : std::uint8_t {
   kOther,           ///< multiplicity counts etc.: certificate <= work only
 };
 
+/// How the harness runs a registry entry: the oracle seed plus the
+/// resilience knobs threaded through to the façade (retry budget, leaf
+/// hook for Mt fault injection, external cancellation). Default-constructed
+/// = the fault-free configuration every pre-existing caller used.
+struct RunContext {
+  std::uint64_t seed = 0;
+  RetryPolicy retry{};
+  LeafHook* leaf_hook = nullptr;
+  const std::atomic<bool>* cancel = nullptr;
+};
+
 /// What a registered algorithm reports back to the oracle.
 struct RunOutcome {
   Value value = 0;
   /// Total work in the unit declared by Traits::work_unit.
   std::uint64_t work = 0;
+  /// Anytime semantics of `value` (engine/resilience.hpp): kExact in
+  /// fault-free runs; a bound or kFailed when the run degraded under an
+  /// injected fault or cancellation.
+  Completeness completeness = Completeness::kExact;
+  /// Leaf-evaluation retries the run performed under RunContext::retry.
+  std::uint64_t retries = 0;
 };
 
 struct Traits {
@@ -62,9 +81,11 @@ struct Algorithm {
   /// Whether the algorithm can run on this tree (e.g. the Section 7
   /// message-passing simulator requires binary trees). Null = always.
   std::function<bool(const Tree&)> applies;
-  /// Run on `t`; `src` is an ExplicitTreeSource over `t`. Deterministic
-  /// algorithms ignore `seed`.
-  std::function<RunOutcome(const Tree& t, const TreeSource& src, std::uint64_t seed)> run;
+  /// Run on `t`; `src` is an ExplicitTreeSource over `t` (or a faulty
+  /// wrapper — see check/faults.hpp). Deterministic algorithms ignore
+  /// ctx.seed; lock-step simulators ignore the resilience knobs (their
+  /// leaf evaluation is an in-memory read with no failure surface).
+  std::function<RunOutcome(const Tree& t, const TreeSource& src, const RunContext& ctx)> run;
 };
 
 /// All registered NOR-tree (SOLVE-family) algorithms.

@@ -52,6 +52,30 @@ SearchResult from_value_run(const ValueRun& r) {
   return SearchResult{r.value, r.stats.work, r.stats.steps, 0, true, {}};
 }
 
+SearchResult from_mt_solve(const MtSolveResult& r) {
+  SearchResult out;
+  out.value = r.value ? 1 : 0;
+  out.work = r.leaf_evaluations;
+  out.wall_ns = r.wall_ns;
+  out.complete = r.complete;
+  out.completeness = r.completeness;
+  out.retries = r.retries;
+  out.faults = r.faults;
+  return out;
+}
+
+SearchResult from_mt_ab(const MtAbResult& r) {
+  SearchResult out;
+  out.value = r.value;
+  out.work = r.leaf_evaluations;
+  out.wall_ns = r.wall_ns;
+  out.complete = r.complete;
+  out.completeness = r.completeness;
+  out.retries = r.retries;
+  out.faults = r.faults;
+  return out;
+}
+
 /// Dispatch on the algorithm id. `exec` is non-null iff the caller
 /// supplied a scheduler for the Mt cascades.
 SearchResult dispatch(const SearchRequest& req, const Tree* t,
@@ -82,10 +106,12 @@ SearchResult dispatch(const SearchRequest& req, const Tree* t,
       return SearchResult{r.value ? 1 : 0, r.expansions, r.rounds, 0, true, {}};
     }
     case Algorithm::kMtSequentialSolve: {
-      const auto r =
-          mt_sequential_solve(*t, req.leaf_cost_ns, req.cost_model, req.limits);
-      return SearchResult{r.value ? 1 : 0, r.leaf_evaluations, 0,
-                          r.wall_ns,       r.complete,         {}};
+      MtSolveOptions opt;
+      opt.leaf_cost_ns = req.leaf_cost_ns;
+      opt.cost_model = req.cost_model;
+      opt.leaf_hook = req.leaf_hook;
+      opt.retry = req.retry;
+      return from_mt_solve(mt_sequential_solve(*t, opt, req.limits));
     }
     case Algorithm::kMtParallelSolve: {
       MtSolveOptions opt;
@@ -93,9 +119,9 @@ SearchResult dispatch(const SearchRequest& req, const Tree* t,
       opt.width = req.width;
       opt.leaf_cost_ns = req.leaf_cost_ns;
       opt.cost_model = req.cost_model;
-      const auto r = mt_parallel_solve(*t, opt, *exec, req.limits);
-      return SearchResult{r.value ? 1 : 0, r.leaf_evaluations, 0,
-                          r.wall_ns,       r.complete,         {}};
+      opt.leaf_hook = req.leaf_hook;
+      opt.retry = req.retry;
+      return from_mt_solve(mt_parallel_solve(*t, opt, *exec, req.limits));
     }
 
     // --- MIN/MAX family. -------------------------------------------------
@@ -151,9 +177,12 @@ SearchResult dispatch(const SearchRequest& req, const Tree* t,
       return SearchResult{r.value, r.leaf_evaluations, 0, 0, true, {}};
     }
     case Algorithm::kMtSequentialAb: {
-      const auto r =
-          mt_sequential_ab(*t, req.leaf_cost_ns, req.cost_model, req.limits);
-      return SearchResult{r.value, r.leaf_evaluations, 0, r.wall_ns, r.complete, {}};
+      MtAbOptions opt;
+      opt.leaf_cost_ns = req.leaf_cost_ns;
+      opt.cost_model = req.cost_model;
+      opt.leaf_hook = req.leaf_hook;
+      opt.retry = req.retry;
+      return from_mt_ab(mt_sequential_ab(*t, opt, req.limits));
     }
     case Algorithm::kMtParallelAb: {
       MtAbOptions opt;
@@ -162,8 +191,9 @@ SearchResult dispatch(const SearchRequest& req, const Tree* t,
       opt.leaf_cost_ns = req.leaf_cost_ns;
       opt.cost_model = req.cost_model;
       opt.promotion = req.promotion;
-      const auto r = mt_parallel_ab(*t, opt, *exec, req.limits);
-      return SearchResult{r.value, r.leaf_evaluations, 0, r.wall_ns, r.complete, {}};
+      opt.leaf_hook = req.leaf_hook;
+      opt.retry = req.retry;
+      return from_mt_ab(mt_parallel_ab(*t, opt, *exec, req.limits));
     }
   }
   throw std::invalid_argument("search: unknown algorithm id");
@@ -187,8 +217,43 @@ SearchResult search_impl(const SearchRequest& req, Executor* exec) {
   }
   // kDepthLimitedAb / kTtAlphaBeta consult the tree for pv/horizon only.
 
+  // Shield the evaluator of source-based algorithms: leaf reads retry per
+  // req.retry and every success is memoised, so a permanent fault can
+  // still be answered with a bound over the evaluated prefix.
+  std::optional<ResilientSource> shield;
+  const TreeSource* active_src = src;
+  if (needs_source(req.algorithm) && (req.anytime || req.retry.max_attempts > 1)) {
+    shield.emplace(*src, req.retry);
+    active_src = &*shield;
+  }
+
   const auto start = std::chrono::steady_clock::now();
-  SearchResult r = dispatch(req, t, src, exec);
+  SearchResult r;
+  try {
+    r = dispatch(req, t, active_src, exec);
+  } catch (const std::logic_error&) {
+    throw;  // malformed request, not an evaluator failure
+  } catch (const std::bad_alloc&) {
+    throw;
+  } catch (const std::exception&) {
+    if (!req.anytime || !shield) throw;
+    // Anytime degradation: the retry budget is spent (or the fault was
+    // permanent). Extract the sharpest root bound from the recorded
+    // prefix; NOR bounds are exact-or-failed, minimax bounds may be
+    // one-sided (monotonicity — see engine/resilience.hpp).
+    const AnytimeOutcome out = is_minimax_algorithm(req.algorithm)
+                                   ? anytime_minimax_bounds(*shield)
+                                   : anytime_nor_bounds(*shield);
+    r = SearchResult{};
+    r.value = out.value;
+    r.completeness = out.completeness;
+    r.complete = out.completeness == Completeness::kExact;
+    r.work = shield->evaluated();
+  }
+  if (shield) {
+    r.retries += shield->retries();
+    r.faults += shield->faults();
+  }
   const auto end = std::chrono::steady_clock::now();
   if (r.wall_ns == 0)
     r.wall_ns = static_cast<std::uint64_t>(

@@ -27,6 +27,7 @@
 
 #include "gtpar/common.hpp"
 #include "gtpar/engine/executor.hpp"
+#include "gtpar/engine/resilience.hpp"
 #include "gtpar/expand/tree_source.hpp"
 #include "gtpar/threads/mt_solve.hpp"  // LeafCostModel
 #include "gtpar/tree/tree.hpp"
@@ -112,6 +113,23 @@ struct SearchRequest {
   /// Cooperative cancellation and wall-clock budget (Mt algorithms; the
   /// lock-step simulators run to completion).
   SearchLimits limits;
+
+  /// Leaf-granularity retry budget for transient evaluator faults: the
+  /// TreeSource of node-expansion algorithms is wrapped in a retrying,
+  /// recording shield, and the Mt cores apply it to leaf_hook throws.
+  RetryPolicy retry;
+  /// Evaluator hook for the Mt cascades, run once per leaf-evaluation
+  /// attempt (fault injection, externalised evaluation). Must be
+  /// thread-safe; ignored by the lock-step simulators, whose evaluation is
+  /// an in-memory array read with no failure surface.
+  LeafHook* leaf_hook = nullptr;
+  /// Degrade instead of throw: when a source-based algorithm's evaluator
+  /// faults permanently, return an anytime SearchResult carrying the best
+  /// bound derivable from the evaluated prefix (see SearchResult::
+  /// completeness) rather than rethrowing. Malformed-request errors
+  /// (std::invalid_argument and other logic_errors) always propagate.
+  /// With false, evaluator exceptions rethrow as before.
+  bool anytime = true;
 };
 
 /// Uniform outcome of a search.
@@ -125,11 +143,20 @@ struct SearchResult {
   std::uint64_t steps = 0;
   /// Wall-clock duration of the search in nanoseconds.
   std::uint64_t wall_ns = 0;
-  /// False if the search stopped early on cancellation or budget; `value`
-  /// is then meaningless.
+  /// False if the search stopped early (cancellation, budget, or a
+  /// permanent evaluator fault) without determining the root; `value` then
+  /// carries the anytime bound described by `completeness`. Always equal
+  /// to (completeness == Completeness::kExact).
   bool complete = true;
   /// Principal variation (root to leaf) when requested via want_pv.
   std::vector<NodeId> pv;
+  /// Anytime semantics of `value`: exact, a one-sided root bound (minimax
+  /// only), or failed (no usable bound — `value` is meaningless).
+  Completeness completeness = Completeness::kExact;
+  /// Leaf-evaluation retries performed under SearchRequest::retry.
+  std::uint64_t retries = 0;
+  /// Evaluator faults observed (each retry or terminal failure counts 1).
+  std::uint64_t faults = 0;
 };
 
 /// Run one search synchronously. Mt algorithms run their scouts on a

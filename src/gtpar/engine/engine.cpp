@@ -1,9 +1,13 @@
 #include "gtpar/engine/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "gtpar/threads/thread_pool.hpp"
 
@@ -11,11 +15,29 @@ namespace gtpar {
 
 using Clock = std::chrono::steady_clock;
 
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 struct SearchJob::State {
   SearchRequest req;
   std::atomic<bool> cancel{false};
   std::atomic<bool> done{false};
+  /// Publication arbiter: exactly one of {worker completion, watchdog
+  /// failure, admission rejection} wins this CAS and writes result/error.
+  /// Losers still run their accounting but leave the outcome alone.
+  std::atomic<bool> published{false};
   std::atomic<std::uint64_t> dispatch_ns{0};
+  /// Steady-clock ns of the first instruction on a worker; 0 while still
+  /// queued. The watchdog measures stalls from here, not from submit, so
+  /// queue latency under load does not count against stall_timeout_ns.
+  std::atomic<std::int64_t> start_ns{0};
   Clock::time_point submit_time{};
   std::mutex mu;
   std::condition_variable cv;
@@ -50,8 +72,17 @@ struct Engine::Impl {
 
   mutable std::mutex mu;
   std::condition_variable idle_cv;
+  std::condition_variable admit_cv;
   std::uint64_t in_flight = 0;
   EngineStats agg;  // `scheduler` filled in on read
+  /// Jobs admitted and not yet finished; scanned by the watchdog. A
+  /// watchdog-failed job stays here (and in in_flight) until its worker
+  /// actually unwinds — drain() waits for real completion, not publication.
+  std::vector<std::shared_ptr<SearchJob::State>> active;
+
+  std::thread watchdog;
+  bool wd_stop = false;
+  std::condition_variable wd_cv;
 
   explicit Impl(const Options& o) : opt(o) {
     if (opt.scheduler == Scheduler::kWorkStealing) {
@@ -68,30 +99,132 @@ struct Engine::Impl {
       gq = std::make_unique<ThreadPool>(tpo);
       exec = gq.get();
     }
+    if (opt.stall_timeout_ns != 0)
+      watchdog = std::thread([this] { watchdog_loop(); });
   }
 
-  void finish_job(const std::shared_ptr<SearchJob::State>& st) {
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      wd_stop = true;
+    }
+    wd_cv.notify_all();
+    if (watchdog.joinable()) watchdog.join();
+    // Pool members are destroyed after this body; they join their workers.
+  }
+
+  /// Publish an admission rejection: the job never enters in_flight, its
+  /// wait() throws EngineOverloadedError. Caller must NOT hold `mu`.
+  static void publish_rejected(const std::shared_ptr<SearchJob::State>& st,
+                               const char* what) {
+    st->published.store(true, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(st->mu);
+      st->error = std::make_exception_ptr(EngineOverloadedError(what));
+      st->done.store(true, std::memory_order_release);
+    }
+    st->cv.notify_all();
+  }
+
+  /// Body of one admitted job, on a worker (or the caller under
+  /// kCallerRuns).
+  void execute_job(const std::shared_ptr<SearchJob::State>& st) {
+    const auto start = Clock::now();
+    st->start_ns.store(steady_now_ns(), std::memory_order_relaxed);
+    st->dispatch_ns.store(
+        static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                       start - st->submit_time)
+                                       .count()),
+        std::memory_order_relaxed);
+    SearchResult result;
+    std::exception_ptr error;
+    if (st->cancel.load(std::memory_order_acquire)) {
+      // Cancelled while still queued: deterministic failed result without
+      // starting the search (a cancel() racing dispatch must never hang or
+      // yield a half-run result).
+      result.complete = false;
+      result.completeness = Completeness::kFailed;
+    } else {
+      try {
+        result = search(st->req, *exec);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    finish_job(st, std::move(result), error);
+  }
+
+  void finish_job(const std::shared_ptr<SearchJob::State>& st,
+                  SearchResult&& result, std::exception_ptr error) {
+    const bool won = !st->published.exchange(true, std::memory_order_acq_rel);
     {
       std::lock_guard<std::mutex> lock(mu);
       agg.completed += 1;
-      if (!st->error) {
-        if (!st->result.complete) agg.incomplete += 1;
-        agg.total_work += st->result.work;
-        agg.total_wall_ns += st->result.wall_ns;
+      if (won && !error) {
+        if (!result.complete) agg.incomplete += 1;
+        agg.total_work += result.work;
+        agg.total_wall_ns += result.wall_ns;
+        agg.total_retries += result.retries;
+        agg.total_faults += result.faults;
       }
       const std::uint64_t d = st->dispatch_ns.load(std::memory_order_relaxed);
       agg.total_dispatch_ns += d;
       if (d > agg.max_dispatch_ns) agg.max_dispatch_ns = d;
+      active.erase(std::remove(active.begin(), active.end(), st), active.end());
       in_flight -= 1;
+      admit_cv.notify_one();
       if (in_flight == 0) idle_cv.notify_all();
     }
-    {
-      // Publish done under the job mutex so a concurrent wait() cannot miss
-      // the notification between its predicate check and the cv sleep.
-      std::lock_guard<std::mutex> lock(st->mu);
-      st->done.store(true, std::memory_order_release);
+    if (won) {
+      {
+        // Publish done under the job mutex so a concurrent wait() cannot
+        // miss the notification between its predicate check and the cv
+        // sleep.
+        std::lock_guard<std::mutex> lock(st->mu);
+        st->result = std::move(result);
+        st->error = error;
+        st->done.store(true, std::memory_order_release);
+      }
+      st->cv.notify_all();
     }
-    st->cv.notify_all();
+    // Lost the race: the watchdog already failed this job; keep the
+    // published outcome, the accounting above is all that remains.
+  }
+
+  void watchdog_loop() {
+    std::unique_lock<std::mutex> lock(mu);
+    const auto interval = std::chrono::nanoseconds(
+        std::max<std::uint64_t>(opt.stall_timeout_ns / 4, 1));
+    while (!wd_stop) {
+      wd_cv.wait_for(lock, interval);
+      if (wd_stop) break;
+      const std::int64_t now = steady_now_ns();
+      std::vector<std::shared_ptr<SearchJob::State>> expired;
+      for (const auto& st : active) {
+        const std::int64_t s = st->start_ns.load(std::memory_order_relaxed);
+        if (s == 0) continue;  // still queued
+        if (now - s < static_cast<std::int64_t>(opt.stall_timeout_ns)) continue;
+        if (st->published.exchange(true, std::memory_order_acq_rel))
+          continue;  // completion beat us
+        agg.watchdog_failed += 1;
+        expired.push_back(st);
+      }
+      if (expired.empty()) continue;
+      lock.unlock();
+      for (const auto& st : expired) {
+        // Fail the waiter now, and cancel cooperatively so the worker
+        // unwinds instead of wedging the pool.
+        st->cancel.store(true, std::memory_order_release);
+        {
+          std::lock_guard<std::mutex> jl(st->mu);
+          st->error = std::make_exception_ptr(EngineStalledError(
+              "engine watchdog: job exceeded stall_timeout_ns"));
+          st->done.store(true, std::memory_order_release);
+        }
+        st->cv.notify_all();
+      }
+      lock.lock();
+    }
   }
 };
 
@@ -101,36 +234,65 @@ Engine::Engine(const Options& opt) : impl_(std::make_unique<Impl>(opt)) {}
 
 Engine::~Engine() {
   drain();
-  // Pool destructors join the workers (work-stealing drains its deques).
+  // Impl dtor joins the watchdog; pool destructors join the workers
+  // (work-stealing drains its deques).
 }
 
 SearchJob Engine::submit(SearchRequest req) {
   auto st = std::make_shared<SearchJob::State>();
-  st->req = req;
+  st->req = std::move(req);
   st->req.limits.cancel = &st->cancel;
   st->submit_time = Clock::now();
-  {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->agg.submitted += 1;
-    impl_->in_flight += 1;
-  }
-  Impl* impl = impl_.get();
-  impl->exec->submit([impl, st] {
-    const auto start = Clock::now();
-    st->dispatch_ns.store(
-        static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                       start - st->submit_time)
-                                       .count()),
-        std::memory_order_relaxed);
-    try {
-      st->result = search(st->req, *impl->exec);
-    } catch (...) {
-      st->error = std::current_exception();
-    }
-    impl->finish_job(st);
-  });
   SearchJob job;
-  job.st_ = std::move(st);
+  job.st_ = st;
+
+  Impl* impl = impl_.get();
+  bool caller_runs = false;
+  {
+    std::unique_lock<std::mutex> lock(impl->mu);
+    impl->agg.submitted += 1;
+    if (impl->opt.max_in_flight != 0 &&
+        impl->in_flight >= impl->opt.max_in_flight) {
+      switch (impl->opt.shed) {
+        case ShedPolicy::kRejectNew:
+          impl->agg.rejected += 1;
+          lock.unlock();
+          Impl::publish_rejected(st, "engine overloaded: max_in_flight reached");
+          return job;
+        case ShedPolicy::kCallerRuns:
+          caller_runs = true;
+          break;
+        case ShedPolicy::kBlockWithDeadline: {
+          const auto fits = [impl] {
+            return impl->in_flight < impl->opt.max_in_flight;
+          };
+          if (impl->opt.admission_timeout_ns == 0) {
+            impl->admit_cv.wait(lock, fits);
+          } else if (!impl->admit_cv.wait_for(
+                         lock,
+                         std::chrono::nanoseconds(impl->opt.admission_timeout_ns),
+                         fits)) {
+            impl->agg.rejected += 1;
+            lock.unlock();
+            Impl::publish_rejected(
+                st, "engine overloaded: admission deadline expired");
+            return job;
+          }
+          break;
+        }
+      }
+    }
+    impl->in_flight += 1;
+    if (caller_runs) impl->agg.shed_caller_runs += 1;
+    impl->active.push_back(st);
+  }
+  if (caller_runs) {
+    // Backpressure: the producer pays for its own overload; the search
+    // still spawns scouts on the shared scheduler.
+    impl->execute_job(st);
+    return job;
+  }
+  impl->exec->submit([impl, st] { impl->execute_job(st); });
   return job;
 }
 

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "gtpar/engine/api.hpp"
@@ -29,6 +30,36 @@
 namespace gtpar {
 
 class Engine;
+
+/// Thrown from SearchJob::wait() when admission control rejected the
+/// request (Options::max_in_flight reached under ShedPolicy::kRejectNew,
+/// or the admission deadline expired under kBlockWithDeadline).
+class EngineOverloadedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown from SearchJob::wait() when the watchdog failed a job that
+/// exceeded Options::stall_timeout_ns without finishing. The job is also
+/// cancelled cooperatively so its workers unwind.
+class EngineStalledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// What submit() does when Options::max_in_flight jobs are already in
+/// flight.
+enum class ShedPolicy : std::uint8_t {
+  /// Fail fast: the returned job is already done and wait() throws
+  /// EngineOverloadedError. Load-shedding default.
+  kRejectNew,
+  /// Run the search synchronously on the calling thread (backpressure by
+  /// making the producer pay), still on the shared scheduler for scouts.
+  kCallerRuns,
+  /// Block submit() until a slot frees or Options::admission_timeout_ns
+  /// expires (then reject as kRejectNew). 0 = block indefinitely.
+  kBlockWithDeadline,
+};
 
 /// Handle to one submitted request. Cheap to copy (shared state); valid
 /// after the Engine is destroyed (the Engine drains in-flight jobs first).
@@ -69,6 +100,15 @@ struct EngineStats {
   std::uint64_t total_wall_ns = 0;
   std::uint64_t total_dispatch_ns = 0;
   std::uint64_t max_dispatch_ns = 0;
+  /// Admissions refused (kRejectNew, or kBlockWithDeadline timeout).
+  std::uint64_t rejected = 0;
+  /// Submissions executed inline on the caller under kCallerRuns.
+  std::uint64_t shed_caller_runs = 0;
+  /// Jobs the watchdog failed for exceeding stall_timeout_ns.
+  std::uint64_t watchdog_failed = 0;
+  /// Leaf-evaluation retries / evaluator faults summed over finished jobs.
+  std::uint64_t total_retries = 0;
+  std::uint64_t total_faults = 0;
   /// Scheduler counters; all zero under Scheduler::kGlobalQueue.
   WorkStealingStats scheduler{};
 };
@@ -88,6 +128,17 @@ class Engine {
     /// Bound on the external submission queue (injection queue for
     /// work-stealing, the global queue for kGlobalQueue); 0 = unbounded.
     std::size_t queue_bound = 0;
+    /// Overload control: maximum jobs in flight before submit() applies
+    /// `shed`; 0 = unbounded admission (no shedding).
+    std::uint64_t max_in_flight = 0;
+    ShedPolicy shed = ShedPolicy::kRejectNew;
+    /// kBlockWithDeadline: how long submit() may wait for a slot before
+    /// rejecting; 0 = wait indefinitely.
+    std::uint64_t admission_timeout_ns = 0;
+    /// Watchdog: fail (cancel + EngineStalledError) any job still running
+    /// this long after it started on a worker; 0 = no watchdog. Guards
+    /// wait() against hanging on a wedged evaluator.
+    std::uint64_t stall_timeout_ns = 0;
   };
 
   Engine();  // all-default Options
@@ -98,7 +149,9 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Enqueue one request; returns immediately. The job handle owns the
+  /// Enqueue one request; returns immediately (unless admission control
+  /// blocks or sheds per Options::max_in_flight/shed — a rejected job's
+  /// wait() throws EngineOverloadedError). The job handle owns the
   /// cancellation flag: the engine points req.limits.cancel at it, so
   /// cancel through the handle (a caller-supplied cancel pointer is
   /// replaced — use plain search() for externally-owned flags).

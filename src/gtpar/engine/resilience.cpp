@@ -1,0 +1,217 @@
+#include "gtpar/engine/resilience.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "gtpar/ab/depth_limited.hpp"
+
+namespace gtpar {
+
+std::uint64_t retry_backoff_ns(const RetryPolicy& policy, unsigned attempt) noexcept {
+  if (policy.base_backoff_ns == 0) return 0;
+  // base << attempt, saturating well before the shift overflows.
+  const unsigned shift = std::min(attempt, 40u);
+  std::uint64_t ns = policy.base_backoff_ns;
+  if (shift < 64 && ns <= (std::numeric_limits<std::uint64_t>::max() >> shift))
+    ns <<= shift;
+  else
+    ns = std::numeric_limits<std::uint64_t>::max();
+  if (policy.max_backoff_ns != 0) ns = std::min(ns, policy.max_backoff_ns);
+  return ns;
+}
+
+void retry_backoff(const RetryPolicy& policy, unsigned attempt) {
+  const std::uint64_t ns = retry_backoff_ns(policy, attempt);
+  if (ns != 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+const char* completeness_name(Completeness c) noexcept {
+  switch (c) {
+    case Completeness::kExact: return "exact";
+    case Completeness::kLowerBound: return "lower-bound";
+    case Completeness::kUpperBound: return "upper-bound";
+    case Completeness::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+Value ResilientSource::leaf_value(const Node& v) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = record_.find(v);
+    if (it != record_.end()) return it->second;
+  }
+  const unsigned attempts = std::max(retry_.max_attempts, 1u);
+  for (unsigned attempt = 0;; ++attempt) {
+    try {
+      const Value val = inner_.leaf_value(v);
+      std::lock_guard<std::mutex> lock(mu_);
+      record_.emplace(v, val);
+      return val;
+    } catch (const std::exception& e) {
+      faults_.fetch_add(1, std::memory_order_relaxed);
+      if (attempt + 1 >= attempts || (retry_.retry_on && !retry_.retry_on(e)))
+        throw;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      retry_backoff(retry_, attempt);
+    } catch (...) {
+      faults_.fetch_add(1, std::memory_order_relaxed);
+      throw;  // non-std exceptions are never retried
+    }
+  }
+}
+
+std::uint64_t ResilientSource::evaluated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return record_.size();
+}
+
+bool ResilientSource::recorded(const Node& v, Value& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = record_.find(v);
+  if (it == record_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+namespace {
+
+/// The evaluated prefix of `rec` with every unknown leaf pinned to `fill`.
+/// Structure forwards to the (recorded) wrapper; leaf_value never reaches
+/// the faulty inner evaluator.
+class PinnedPrefixSource final : public TreeSource {
+ public:
+  PinnedPrefixSource(const ResilientSource& rec, Value fill)
+      : rec_(rec), fill_(fill) {}
+
+  Node root() const override { return rec_.root(); }
+  unsigned num_children(const Node& v) const override {
+    return rec_.num_children(v);
+  }
+  Node child(const Node& v, unsigned i) const override {
+    return rec_.child(v, i);
+  }
+  std::uint64_t state_key(const Node& v) const override {
+    return rec_.state_key(v);
+  }
+  Value leaf_value(const Node& v) const override {
+    Value val;
+    return rec_.recorded(v, val) ? val : fill_;
+  }
+
+ private:
+  const ResilientSource& rec_;
+  Value fill_;
+};
+
+AnytimeOutcome classify_minimax(Value lo, Value hi) {
+  if (lo == hi) return {lo, Completeness::kExact};
+  if (lo != kMinusInf) return {lo, Completeness::kLowerBound};
+  if (hi != kPlusInf) return {hi, Completeness::kUpperBound};
+  return {0, Completeness::kFailed};
+}
+
+/// Kleene evaluation of a NOR subtree: 0/1 when the recorded leaves
+/// determine the value, -1 otherwise. A determined 1-child settles the
+/// node (short-circuit), exactly like the searchers themselves.
+int nor_three_valued(const TreeSource& src, const TreeSource::Node& v,
+                     const ResilientSource& rec) {
+  const unsigned d = src.num_children(v);
+  if (d == 0) {
+    Value val;
+    if (!rec.recorded(v, val)) return -1;
+    return val != 0 ? 1 : 0;
+  }
+  bool any_unknown = false;
+  for (unsigned i = 0; i < d; ++i) {
+    const int c = nor_three_valued(src, src.child(v, i), rec);
+    if (c == 1) return 0;
+    if (c < 0) any_unknown = true;
+  }
+  return any_unknown ? -1 : 1;
+}
+
+}  // namespace
+
+AnytimeOutcome anytime_minimax_bounds(const ResilientSource& rec) {
+  // The horizon never triggers: real game trees are far shallower than
+  // UINT_MAX levels, so the heuristic below is dead code by construction.
+  constexpr unsigned kNoHorizon = std::numeric_limits<unsigned>::max();
+  const auto heuristic = [](const TreeSource::Node&) { return Value{0}; };
+  const PinnedPrefixSource low(rec, kMinusInf);
+  const PinnedPrefixSource high(rec, kPlusInf);
+  const Value lo = depth_limited_ab(low, kNoHorizon, heuristic).value;
+  const Value hi = depth_limited_ab(high, kNoHorizon, heuristic).value;
+  return classify_minimax(lo, hi);
+}
+
+AnytimeOutcome anytime_nor_bounds(const ResilientSource& rec) {
+  const int v = nor_three_valued(rec, rec.root(), rec);
+  if (v < 0) return {0, Completeness::kFailed};
+  return {v, Completeness::kExact};
+}
+
+namespace {
+
+/// {can the node be 0, can the node be 1} under every completion of the
+/// unknown leaves. NOR: a node is 1 iff all children are 0.
+std::pair<bool, bool> nor_tree_possible(const Tree& t, NodeId v,
+                                        const std::function<int(NodeId)>& known) {
+  const int k = known(v);
+  if (k == 0) return {true, false};
+  if (k > 0) return {false, true};
+  if (t.is_leaf(v)) return {true, true};
+  bool can_zero = false;  // some child can be 1
+  bool can_one = true;    // every child can be 0
+  for (NodeId c : t.children(v)) {
+    const auto [czero, cone] = nor_tree_possible(t, c, known);
+    if (cone) can_zero = true;
+    if (!czero) can_one = false;
+  }
+  return {can_zero, can_one};
+}
+
+std::pair<Value, Value> minimax_tree_interval(
+    const Tree& t, NodeId v, const std::function<bool(NodeId, Value&)>& known) {
+  Value kv;
+  if (known(v, kv)) return {kv, kv};
+  if (t.is_leaf(v)) return {kMinusInf, kPlusInf};
+  const bool maxing = node_kind(t, v) == NodeKind::Max;
+  Value lo = 0, hi = 0;
+  bool first = true;
+  for (NodeId c : t.children(v)) {
+    const auto [clo, chi] = minimax_tree_interval(t, c, known);
+    if (first) {
+      lo = clo;
+      hi = chi;
+      first = false;
+    } else if (maxing) {
+      lo = std::max(lo, clo);
+      hi = std::max(hi, chi);
+    } else {
+      lo = std::min(lo, clo);
+      hi = std::min(hi, chi);
+    }
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+AnytimeOutcome anytime_nor_tree_bounds(const Tree& t,
+                                       const std::function<int(NodeId)>& known) {
+  const auto [can_zero, can_one] = nor_tree_possible(t, t.root(), known);
+  if (can_zero && can_one) return {0, Completeness::kFailed};
+  return {can_one ? 1 : 0, Completeness::kExact};
+}
+
+AnytimeOutcome anytime_minimax_tree_bounds(
+    const Tree& t, const std::function<bool(NodeId, Value&)>& known) {
+  const auto [lo, hi] = minimax_tree_interval(t, t.root(), known);
+  return classify_minimax(lo, hi);
+}
+
+}  // namespace gtpar

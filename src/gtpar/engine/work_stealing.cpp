@@ -106,8 +106,15 @@ WorkStealingPool::~WorkStealingPool() {
   for (auto& t : threads_) t.join();
 }
 
-void WorkStealingPool::run_and_delete(Task* t) {
-  (*t)();
+void WorkStealingPool::run_and_delete(Task* t) noexcept {
+  try {
+    (*t)();
+  } catch (...) {
+    // Containment: a task that throws must not take the worker thread (or
+    // a caller-runs submitter) down with it. Tasks are expected to carry
+    // their own error channel; count the escape so it is observable.
+    task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+  }
   delete t;
 }
 
@@ -241,6 +248,7 @@ WorkStealingStats WorkStealingPool::stats() const {
   s.inline_runs = inline_runs_.load(std::memory_order_relaxed);
   s.injected = injected_.load(std::memory_order_relaxed);
   s.parks = parks_.load(std::memory_order_relaxed);
+  s.task_exceptions = task_exceptions_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -51,6 +51,11 @@ struct WorkStealingStats {
   std::uint64_t inline_runs = 0;  ///< caller-runs executions (overflow policy)
   std::uint64_t injected = 0;     ///< tasks that went through the injection queue
   std::uint64_t parks = 0;        ///< times a worker went to sleep
+  /// Tasks that exited by exception. The pool swallows the exception and
+  /// keeps the worker alive (tasks report failures through captured state,
+  /// as the Mt cascades' scout wrappers do); a non-zero count means some
+  /// task lacked its own catch.
+  std::uint64_t task_exceptions = 0;
 };
 
 /// Fixed-size work-stealing pool implementing Executor.
@@ -117,7 +122,10 @@ class WorkStealingPool final : public Executor {
   Task* next_task(unsigned self);  ///< one sweep: local, steals, injection
   Task* pop_injected();
   void maybe_wake();
-  static void run_and_delete(Task* t);
+  /// Run the task inside a catch-all (see WorkStealingStats::
+  /// task_exceptions): a throwing task must never kill a worker thread or
+  /// propagate into a caller-runs submit().
+  void run_and_delete(Task* t) noexcept;
 
   Options opt_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -138,6 +146,7 @@ class WorkStealingPool final : public Executor {
   std::atomic<std::uint64_t> inline_runs_{0};
   std::atomic<std::uint64_t> injected_{0};
   std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> task_exceptions_{0};
 };
 
 }  // namespace gtpar

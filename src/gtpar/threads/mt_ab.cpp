@@ -29,7 +29,10 @@ struct AbShared {
   Executor& exec;
   SearchLimits limits;
   std::atomic<std::uint64_t> leaf_evals{0};
-  /// Latched stop: set once cancellation or the deadline is observed.
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> faults{0};
+  /// Latched stop: set once cancellation, the deadline, or a permanent
+  /// leaf fault is observed.
   std::atomic<bool> stop_flag{false};
   std::chrono::steady_clock::time_point deadline{};
   /// Exact-value memo, one slot per node: bit 40 marks presence, the low
@@ -75,6 +78,31 @@ struct AbShared {
                   std::memory_order_release);
   }
 
+  /// Run the evaluator hook with the retry budget; false latches a stop
+  /// (permanent fault) and the search degrades to an anytime bound. See
+  /// Shared::run_leaf_hook in mt_solve.cpp.
+  bool run_leaf_hook(NodeId leaf) {
+    const unsigned attempts = std::max(opt.retry.max_attempts, 1u);
+    for (unsigned attempt = 0;; ++attempt) {
+      try {
+        opt.leaf_hook->on_leaf(leaf, attempt);
+        return true;
+      } catch (const std::exception& e) {
+        faults.fetch_add(1, std::memory_order_relaxed);
+        if (attempt + 1 < attempts &&
+            (!opt.retry.retry_on || opt.retry.retry_on(e))) {
+          retries.fetch_add(1, std::memory_order_relaxed);
+          retry_backoff(opt.retry, attempt);
+          continue;
+        }
+      } catch (...) {
+        faults.fetch_add(1, std::memory_order_relaxed);
+      }
+      stop_flag.store(true, std::memory_order_relaxed);
+      return false;
+    }
+  }
+
   /// Evaluate a leaf through the memo: concurrent threads may both pay the
   /// cost (racing on the same leaf is rare), but the count is per distinct
   /// leaf and promotions re-read it for free.
@@ -82,6 +110,7 @@ struct AbShared {
     Value cached;
     if (memo_lookup(leaf, cached)) return cached;
     if (poll_stop()) return 0;
+    if (opt.leaf_hook != nullptr && !run_leaf_hook(leaf)) return 0;
     pay_leaf_cost(opt.leaf_cost_ns, opt.cost_model);
     const Value v = t.leaf_value(leaf);
     std::int64_t expected = 0;
@@ -216,12 +245,19 @@ Value pab(AbShared& sh, NodeId v, Value alpha, Value beta, bool& exact) {
     const bool dia = maxing;
     sh.exec.submit([shp, scout, sc, a0, b0, dynp, dia] {
       if (!scout->claim()) return;
-      bool ex = false;
-      const Value r = seq_ab(*shp, sc, a0, b0, dynp, dia, scout->cancel, ex);
-      if (!scout->cancel.load(std::memory_order_relaxed)) {
-        scout->result = r;
-        scout->valid = true;
-        scout->exact = ex;
+      try {
+        bool ex = false;
+        const Value r = seq_ab(*shp, sc, a0, b0, dynp, dia, scout->cancel, ex);
+        if (!scout->cancel.load(std::memory_order_relaxed)) {
+          scout->result = r;
+          scout->valid = true;
+          scout->exact = ex;
+        }
+      } catch (...) {
+        // A throwing evaluator must not leave the latch open: the spine's
+        // join() would spin forever and the pool worker would die. The
+        // scout stays invalid; latch a stop so the run degrades cleanly.
+        shp->stop_flag.store(true, std::memory_order_relaxed);
       }
       scout->finish();
     });
@@ -302,9 +338,23 @@ MtAbResult finish_result(AbShared& sh, Value v,
   MtAbResult r;
   r.value = v;
   r.leaf_evaluations = sh.leaf_evals.load();
+  r.retries = sh.retries.load();
+  r.faults = sh.faults.load();
   r.wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
-  r.complete = !sh.stopped();
+  if (!sh.stopped()) {
+    r.complete = true;
+    r.completeness = Completeness::kExact;
+    return r;
+  }
+  // Anytime recovery: the memo holds only exact subtree values, so
+  // interval propagation over it gives a sound root bound; if the interval
+  // collapses, the stopped search still reports the exact value.
+  const AnytimeOutcome out = anytime_minimax_tree_bounds(
+      sh.t, [&sh](NodeId n, Value& val) { return sh.memo_lookup(n, val); });
+  r.value = out.value;
+  r.completeness = out.completeness;
+  r.complete = out.completeness == Completeness::kExact;
   return r;
 }
 
@@ -319,11 +369,8 @@ MtAbResult mt_parallel_ab(const Tree& t, const MtAbOptions& opt, Executor& exec,
   return finish_result(sh, v, start);
 }
 
-MtAbResult mt_sequential_ab(const Tree& t, std::uint64_t leaf_cost_ns,
-                            LeafCostModel cost_model, const SearchLimits& limits) {
-  MtAbOptions opt;
-  opt.leaf_cost_ns = leaf_cost_ns;
-  opt.cost_model = cost_model;
+MtAbResult mt_sequential_ab(const Tree& t, const MtAbOptions& opt,
+                            const SearchLimits& limits) {
   class NullExecutor final : public Executor {
    public:
     void submit(std::function<void()> task) override { task(); }
@@ -338,7 +385,31 @@ MtAbResult mt_sequential_ab(const Tree& t, std::uint64_t leaf_cost_ns,
   return finish_result(sh, v, start);
 }
 
+MtAbResult mt_sequential_ab(const Tree& t, std::uint64_t leaf_cost_ns,
+                            LeafCostModel cost_model, const SearchLimits& limits) {
+  MtAbOptions opt;
+  opt.leaf_cost_ns = leaf_cost_ns;
+  opt.cost_model = cost_model;
+  return mt_sequential_ab(t, opt, limits);
+}
+
 // --- Deprecated self-scheduling wrappers (façade-backed). -------------------
+
+namespace {
+
+MtAbResult ab_from_search_result(const SearchResult& r) {
+  MtAbResult out;
+  out.value = r.value;
+  out.leaf_evaluations = r.work;
+  out.wall_ns = r.wall_ns;
+  out.complete = r.complete;
+  out.completeness = r.completeness;
+  out.retries = r.retries;
+  out.faults = r.faults;
+  return out;
+}
+
+}  // namespace
 
 MtAbResult mt_parallel_ab(const Tree& t, const MtAbOptions& opt) {
   SearchRequest req;
@@ -349,8 +420,9 @@ MtAbResult mt_parallel_ab(const Tree& t, const MtAbOptions& opt) {
   req.leaf_cost_ns = opt.leaf_cost_ns;
   req.cost_model = opt.cost_model;
   req.promotion = opt.promotion;
-  const SearchResult r = search(req);
-  return MtAbResult{r.value, r.work, r.wall_ns, r.complete};
+  req.leaf_hook = opt.leaf_hook;
+  req.retry = opt.retry;
+  return ab_from_search_result(search(req));
 }
 
 MtAbResult mt_sequential_ab(const Tree& t, std::uint64_t leaf_cost_ns,
@@ -360,8 +432,7 @@ MtAbResult mt_sequential_ab(const Tree& t, std::uint64_t leaf_cost_ns,
   req.algorithm = Algorithm::kMtSequentialAb;
   req.leaf_cost_ns = leaf_cost_ns;
   req.cost_model = cost_model;
-  const SearchResult r = search(req);
-  return MtAbResult{r.value, r.work, r.wall_ns, r.complete};
+  return ab_from_search_result(search(req));
 }
 
 }  // namespace gtpar

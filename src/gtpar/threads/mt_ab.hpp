@@ -43,6 +43,12 @@ struct MtAbOptions {
   bool promotion = true;
   /// Scouts launched per level (1 = the paper's width-1 cascade).
   unsigned width = 1;
+  /// Evaluator hook run once per leaf-evaluation attempt (fault injection,
+  /// externalised evaluation); a throw is retried per `retry`, then
+  /// latches a stop and the result degrades to an anytime bound.
+  LeafHook* leaf_hook = nullptr;
+  /// Retry budget for leaf_hook faults.
+  RetryPolicy retry{};
 };
 
 struct MtAbResult {
@@ -51,8 +57,16 @@ struct MtAbResult {
   /// scout's work that the spine redoes counts twice — real cost).
   std::uint64_t leaf_evaluations = 0;
   std::uint64_t wall_ns = 0;
-  /// False if the search stopped early (cancelled or budget exhausted).
+  /// False if the search stopped early (cancelled, budget exhausted, or a
+  /// permanent leaf fault) without the memo determining the root. When
+  /// false, `value` carries the anytime bound described by `completeness`.
   bool complete = true;
+  /// Anytime semantics of `value`: interval propagation over the exact
+  /// memo yields a lower/upper root bound (or the exact value) on stop.
+  Completeness completeness = Completeness::kExact;
+  /// Leaf-evaluation retries performed / faults observed via leaf_hook.
+  std::uint64_t retries = 0;
+  std::uint64_t faults = 0;
 };
 
 /// Core: cascading parallel alpha-beta with scouts on `exec`. Safe to run
@@ -64,6 +78,12 @@ MtAbResult mt_parallel_ab(const Tree& t, const MtAbOptions& opt, Executor& exec,
 /// limits.
 MtAbResult mt_sequential_ab(const Tree& t, std::uint64_t leaf_cost_ns,
                             LeafCostModel cost_model, const SearchLimits& limits);
+
+/// Core: as above with the full option set (leaf hook, retry policy) —
+/// what the façade's kMtSequentialAb entry dispatches to. threads, width,
+/// and promotion are ignored.
+MtAbResult mt_sequential_ab(const Tree& t, const MtAbOptions& opt,
+                            const SearchLimits& limits);
 
 /// DEPRECATED self-scheduling entrypoint: thin wrapper over gtpar::search
 /// with Algorithm::kMtParallelAb (work-stealing scheduler of opt.threads

@@ -1,5 +1,6 @@
 #include "gtpar/threads/mt_solve.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -34,7 +35,10 @@ struct Shared {
   SearchLimits limits;
   std::vector<std::atomic<std::int8_t>> val;
   std::atomic<std::uint64_t> leaf_evals{0};
-  /// Latched stop: set once cancellation or the deadline is observed.
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> faults{0};
+  /// Latched stop: set once cancellation, the deadline, or a permanent
+  /// leaf fault is observed.
   std::atomic<bool> stop{false};
   std::chrono::steady_clock::time_point deadline{};
 
@@ -61,11 +65,38 @@ struct Shared {
     return false;
   }
 
+  /// Run the evaluator hook with the retry budget. Returns false once the
+  /// budget is exhausted (or retry_on rejects the exception): the fault
+  /// latches a stop like a cancellation, and finish() extracts an anytime
+  /// bound from the memo instead of unwinding through the cascade.
+  bool run_leaf_hook(NodeId leaf) {
+    const unsigned attempts = std::max(opt.retry.max_attempts, 1u);
+    for (unsigned attempt = 0;; ++attempt) {
+      try {
+        opt.leaf_hook->on_leaf(leaf, attempt);
+        return true;
+      } catch (const std::exception& e) {
+        faults.fetch_add(1, std::memory_order_relaxed);
+        if (attempt + 1 < attempts &&
+            (!opt.retry.retry_on || opt.retry.retry_on(e))) {
+          retries.fetch_add(1, std::memory_order_relaxed);
+          retry_backoff(opt.retry, attempt);
+          continue;
+        }
+      } catch (...) {
+        faults.fetch_add(1, std::memory_order_relaxed);
+      }
+      stop.store(true, std::memory_order_relaxed);
+      return false;
+    }
+  }
+
   /// Evaluate a leaf (cache-aware; the spin models the evaluation cost).
   bool eval_leaf(NodeId leaf) {
     const std::int8_t cached = val[leaf].load(std::memory_order_acquire);
     if (cached != kUnknown) return cached != 0;
     if (poll_stop()) return false;
+    if (opt.leaf_hook != nullptr && !run_leaf_hook(leaf)) return false;
     pay_leaf_cost(opt.leaf_cost_ns, opt.cost_model);
     const bool b = t.leaf_value(leaf) != 0;
     std::int8_t expected = kUnknown;
@@ -185,7 +216,14 @@ bool psolve(Shared& sh, NodeId v) {
       auto scout = std::make_shared<Scout>();
       sh.exec.submit([&sh, scout, scout_child] {
         if (!scout->claim()) return;  // stolen by the joining spine
-        sh.ssolve(scout_child, scout->cancel);
+        try {
+          sh.ssolve(scout_child, scout->cancel);
+        } catch (...) {
+          // A throwing evaluator must not leave the latch open: the spine's
+          // wait() would spin forever and the pool worker would die. Latch
+          // a stop; finish() degrades the result to an anytime bound.
+          sh.stop.store(true, std::memory_order_relaxed);
+        }
         scout->finish();
       });
       scouts.push_back(std::move(scout));
@@ -215,9 +253,24 @@ MtSolveResult finish(Shared& sh, bool value,
   MtSolveResult r;
   r.value = value;
   r.leaf_evaluations = sh.leaf_evals.load();
+  r.retries = sh.retries.load();
+  r.faults = sh.faults.load();
   r.wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
-  r.complete = !sh.stopped();
+  if (!sh.stopped()) {
+    r.complete = true;
+    r.completeness = Completeness::kExact;
+    return r;
+  }
+  // Anytime recovery: the memo holds only completed subtree values, so a
+  // three-valued walk over it is sound. If the evaluated prefix already
+  // determines the root (common when a stop lands during the last
+  // subtree), the stopped search still reports the exact value.
+  const AnytimeOutcome out = anytime_nor_tree_bounds(
+      sh.t, [&sh](NodeId v) { return static_cast<int>(sh.lookup(v)); });
+  r.value = out.value != 0;
+  r.completeness = out.completeness;
+  r.complete = out.completeness == Completeness::kExact;
   return r;
 }
 
@@ -231,12 +284,8 @@ MtSolveResult mt_parallel_solve(const Tree& t, const MtSolveOptions& opt,
   return finish(sh, value, start);
 }
 
-MtSolveResult mt_sequential_solve(const Tree& t, std::uint64_t leaf_cost_ns,
-                                  LeafCostModel cost_model,
+MtSolveResult mt_sequential_solve(const Tree& t, const MtSolveOptions& opt,
                                   const SearchLimits& limits) {
-  MtSolveOptions opt;
-  opt.leaf_cost_ns = leaf_cost_ns;
-  opt.cost_model = cost_model;
   // The sequential baseline spawns no scouts, so any executor satisfies
   // it; use a null one to keep the run strictly single-threaded.
   class NullExecutor final : public Executor {
@@ -251,7 +300,32 @@ MtSolveResult mt_sequential_solve(const Tree& t, std::uint64_t leaf_cost_ns,
   return finish(sh, value, start);
 }
 
+MtSolveResult mt_sequential_solve(const Tree& t, std::uint64_t leaf_cost_ns,
+                                  LeafCostModel cost_model,
+                                  const SearchLimits& limits) {
+  MtSolveOptions opt;
+  opt.leaf_cost_ns = leaf_cost_ns;
+  opt.cost_model = cost_model;
+  return mt_sequential_solve(t, opt, limits);
+}
+
 // --- Deprecated self-scheduling wrappers (façade-backed). -------------------
+
+namespace {
+
+MtSolveResult from_search_result(const SearchResult& r) {
+  MtSolveResult out;
+  out.value = r.value != 0;
+  out.leaf_evaluations = r.work;
+  out.wall_ns = r.wall_ns;
+  out.complete = r.complete;
+  out.completeness = r.completeness;
+  out.retries = r.retries;
+  out.faults = r.faults;
+  return out;
+}
+
+}  // namespace
 
 MtSolveResult mt_parallel_solve(const Tree& t, const MtSolveOptions& opt) {
   SearchRequest req;
@@ -261,8 +335,9 @@ MtSolveResult mt_parallel_solve(const Tree& t, const MtSolveOptions& opt) {
   req.width = opt.width;
   req.leaf_cost_ns = opt.leaf_cost_ns;
   req.cost_model = opt.cost_model;
-  const SearchResult r = search(req);
-  return MtSolveResult{r.value != 0, r.work, r.wall_ns, r.complete};
+  req.leaf_hook = opt.leaf_hook;
+  req.retry = opt.retry;
+  return from_search_result(search(req));
 }
 
 MtSolveResult mt_sequential_solve(const Tree& t, std::uint64_t leaf_cost_ns,
@@ -272,8 +347,7 @@ MtSolveResult mt_sequential_solve(const Tree& t, std::uint64_t leaf_cost_ns,
   req.algorithm = Algorithm::kMtSequentialSolve;
   req.leaf_cost_ns = leaf_cost_ns;
   req.cost_model = cost_model;
-  const SearchResult r = search(req);
-  return MtSolveResult{r.value != 0, r.work, r.wall_ns, r.complete};
+  return from_search_result(search(req));
 }
 
 }  // namespace gtpar

@@ -39,6 +39,7 @@
 
 #include "gtpar/common.hpp"
 #include "gtpar/engine/executor.hpp"
+#include "gtpar/engine/resilience.hpp"
 #include "gtpar/tree/tree.hpp"
 
 namespace gtpar {
@@ -63,6 +64,13 @@ struct MtSolveOptions {
   /// engineering approximation of higher widths -- the lock-step
   /// simulators implement the exact pruning-number semantics).
   unsigned width = 1;
+  /// Evaluator hook run once per leaf-evaluation attempt (fault injection,
+  /// externalised evaluation). A throw is retried per `retry`; once the
+  /// budget is exhausted the fault latches a stop and the result degrades
+  /// to an anytime bound instead of unwinding through the cascade.
+  LeafHook* leaf_hook = nullptr;
+  /// Retry budget for leaf_hook faults.
+  RetryPolicy retry{};
 };
 
 struct MtSolveResult {
@@ -71,9 +79,16 @@ struct MtSolveResult {
   std::uint64_t leaf_evaluations = 0;
   /// Wall-clock duration of the solve in nanoseconds.
   std::uint64_t wall_ns = 0;
-  /// False if the search stopped early (cancelled or budget exhausted);
-  /// `value` is then meaningless.
+  /// False if the search stopped early (cancelled, budget exhausted, or a
+  /// permanent leaf fault) without the memo determining the root. When
+  /// false, `value` carries the anytime bound described by `completeness`.
   bool complete = true;
+  /// Anytime semantics of `value`. A stopped search whose memoised
+  /// progress still determines the root reports kExact (complete == true).
+  Completeness completeness = Completeness::kExact;
+  /// Leaf-evaluation retries performed / faults observed via leaf_hook.
+  std::uint64_t retries = 0;
+  std::uint64_t faults = 0;
 };
 
 /// Core: width-w Parallel SOLVE with scouts on `exec`. Safe to run many
@@ -85,6 +100,12 @@ MtSolveResult mt_parallel_solve(const Tree& t, const MtSolveOptions& opt,
 /// and limits, for apples-to-apples wall-clock baselines.
 MtSolveResult mt_sequential_solve(const Tree& t, std::uint64_t leaf_cost_ns,
                                   LeafCostModel cost_model,
+                                  const SearchLimits& limits);
+
+/// Core: as above with the full option set (leaf hook, retry policy) —
+/// what the façade's kMtSequentialSolve entry dispatches to. threads and
+/// width are ignored.
+MtSolveResult mt_sequential_solve(const Tree& t, const MtSolveOptions& opt,
                                   const SearchLimits& limits);
 
 /// DEPRECATED self-scheduling entrypoint: thin wrapper over the unified

@@ -34,10 +34,25 @@ void ThreadPool::submit(std::function<void()> task) {
     // Correct for self-contained tasks (all of ours are: scouts signal
     // completion through captured state), and it means a burst of requests
     // can never grow the queue without bound.
-    task();
+    run_task(task);
     return;
   }
   cv_.notify_one();
+}
+
+void ThreadPool::run_task(std::function<void()>& task) noexcept {
+  try {
+    task();
+  } catch (...) {
+    // Containment: a throwing task must not kill the worker (or propagate
+    // out of a caller-runs submit()). Tasks carry their own error channel;
+    // count the escape so it is observable.
+    task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t ThreadPool::task_exceptions() const {
+  return task_exceptions_.load(std::memory_order_relaxed);
 }
 
 std::size_t ThreadPool::pending() const {
@@ -60,7 +75,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    run_task(task);
   }
 }
 

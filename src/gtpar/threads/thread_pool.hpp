@@ -12,8 +12,10 @@
 // flags), so the pool itself stays minimal.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -65,8 +67,14 @@ class ThreadPool final : public Executor {
   /// overflow policy.
   std::uint64_t caller_runs() const;
 
+  /// Tasks that exited by exception. The pool swallows the exception and
+  /// keeps the worker alive (tasks signal failures through captured
+  /// state); non-zero means some task lacked its own catch.
+  std::uint64_t task_exceptions() const;
+
  private:
   void worker_loop();
+  void run_task(std::function<void()>& task) noexcept;
 
   Options opt_;
   mutable std::mutex mu_;
@@ -75,6 +83,7 @@ class ThreadPool final : public Executor {
   std::uint64_t caller_runs_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> task_exceptions_{0};
 };
 
 }  // namespace gtpar

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -320,6 +321,187 @@ TEST(Engine, MixedFamiliesInOneBatch) {
   SearchJob jb = eng.submit(b);
   EXPECT_EQ(ja.wait().value, nor_value(t) ? 1 : 0);
   EXPECT_EQ(jb.wait().value, minimax_value(m));
+}
+
+// --- Overload control, cancel races, watchdog. ------------------------------
+
+TEST(Engine, CancelRacingDispatchIsDeterministic) {
+  // Tight loop: submit + immediate cancel. Whichever side wins the race,
+  // wait() must return promptly (never hang) and the result must be
+  // internally consistent: complete iff completeness == kExact.
+  const Tree t = make_uniform_iid_nor(2, 9, golden_bias(), 77);
+  Engine eng;
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtParallelSolve;
+  req.leaf_cost_ns = 0;
+  for (int i = 0; i < 200; ++i) {
+    SearchJob job = eng.submit(req);
+    job.cancel();
+    const SearchResult& r = job.wait();
+    EXPECT_EQ(r.complete, r.completeness == Completeness::kExact) << "i=" << i;
+    if (r.complete) EXPECT_EQ(r.value, nor_value(t) ? 1 : 0) << "i=" << i;
+  }
+}
+
+TEST(Engine, RejectNewShedsAboveMaxInFlight) {
+  const Tree t = make_worst_case_nor(2, 8, false);
+  Engine::Options eopt;
+  eopt.workers = 2;
+  eopt.max_in_flight = 2;
+  eopt.shed = ShedPolicy::kRejectNew;
+  Engine eng(eopt);
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtParallelSolve;
+  req.leaf_cost_ns = 400'000;
+  req.cost_model = LeafCostModel::kSleep;
+  std::vector<SearchJob> jobs;
+  for (int i = 0; i < 10; ++i) jobs.push_back(eng.submit(req));
+  unsigned rejected = 0;
+  for (auto& j : jobs) {
+    try {
+      j.wait();
+    } catch (const EngineOverloadedError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, 8u);  // 10 submitted, at most 2 admitted
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.rejected, rejected);
+  EXPECT_EQ(s.submitted, 10u);
+  EXPECT_EQ(s.completed, 10u - rejected);
+}
+
+TEST(Engine, CallerRunsShedsInline) {
+  const Tree t = make_worst_case_nor(2, 7, false);
+  Engine::Options eopt;
+  eopt.workers = 2;
+  eopt.max_in_flight = 1;
+  eopt.shed = ShedPolicy::kCallerRuns;
+  Engine eng(eopt);
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtParallelSolve;
+  // Slow enough (~128 leaves x 50us) that the first, asynchronous job is
+  // still in flight when the later submissions arrive — they must shed to
+  // the calling thread.
+  req.leaf_cost_ns = 50'000;
+  req.cost_model = LeafCostModel::kSleep;
+  std::vector<SearchJob> jobs;
+  for (int i = 0; i < 8; ++i) jobs.push_back(eng.submit(req));
+  for (auto& j : jobs) {
+    const SearchResult& r = j.wait();
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.value, nor_value(t) ? 1 : 0);
+  }
+  const EngineStats s = eng.stats();
+  EXPECT_GT(s.shed_caller_runs, 0u);
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_EQ(s.completed, 8u);
+}
+
+TEST(Engine, BlockWithDeadlineAdmitsWhenSlotsFree) {
+  const Tree t = make_uniform_iid_nor(2, 8, golden_bias(), 6);
+  Engine::Options eopt;
+  eopt.workers = 2;
+  eopt.max_in_flight = 1;
+  eopt.shed = ShedPolicy::kBlockWithDeadline;
+  eopt.admission_timeout_ns = 2'000'000'000;  // generous: must admit
+  Engine eng(eopt);
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtParallelSolve;
+  req.leaf_cost_ns = 0;
+  for (int i = 0; i < 6; ++i) {
+    const SearchResult r = eng.run(req);
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.value, nor_value(t) ? 1 : 0);
+  }
+  EXPECT_EQ(eng.stats().rejected, 0u);
+}
+
+TEST(Engine, BlockWithDeadlineRejectsOnTimeout) {
+  const Tree t = make_worst_case_nor(2, 9, false);
+  Engine::Options eopt;
+  eopt.workers = 2;
+  eopt.max_in_flight = 1;
+  eopt.shed = ShedPolicy::kBlockWithDeadline;
+  eopt.admission_timeout_ns = 1'000'000;  // 1ms: the slow job outlives it
+  Engine eng(eopt);
+  SearchRequest slow;
+  slow.tree = &t;
+  slow.algorithm = Algorithm::kMtParallelSolve;
+  slow.leaf_cost_ns = 1'000'000;
+  slow.cost_model = LeafCostModel::kSleep;
+  SearchJob first = eng.submit(slow);
+  SearchJob second = eng.submit(slow);  // blocks ~1ms, then rejected
+  EXPECT_THROW(second.wait(), EngineOverloadedError);
+  first.cancel();
+  EXPECT_NO_THROW(first.wait());
+  EXPECT_EQ(eng.stats().rejected, 1u);
+}
+
+/// Leaf hook that blocks until released — a wedged external evaluator.
+class BlockingHook final : public LeafHook {
+ public:
+  void on_leaf(NodeId, unsigned) override {
+    while (!release.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::atomic<bool> release{false};
+};
+
+TEST(Engine, WatchdogFailsStalledJobInsteadOfHangingWait) {
+  const Tree t = make_uniform_iid_nor(2, 6, golden_bias(), 9);
+  Engine::Options eopt;
+  eopt.workers = 2;
+  eopt.stall_timeout_ns = 50'000'000;  // 50ms
+  Engine eng(eopt);
+  BlockingHook hook;
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtSequentialSolve;
+  req.leaf_cost_ns = 0;
+  req.leaf_hook = &hook;
+  SearchJob job = eng.submit(req);
+  // Without the watchdog this wait() would hang forever on the wedged
+  // evaluator; with it, the job fails with EngineStalledError.
+  EXPECT_THROW(job.wait(), EngineStalledError);
+  EXPECT_TRUE(job.done());
+  // Release the evaluator so the worker can unwind, then drain.
+  hook.release.store(true, std::memory_order_release);
+  eng.drain();
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.watchdog_failed, 1u);
+  EXPECT_EQ(s.completed, 1u);
+}
+
+TEST(Engine, StatsAggregateRetriesAndFaults) {
+  // One transient fault per leaf, recovered by a 2-attempt budget: the
+  // engine's aggregate counters must see the retries.
+  class FailOnceHook final : public LeafHook {
+   public:
+    void on_leaf(NodeId, unsigned attempt) override {
+      if (attempt == 0) throw std::runtime_error("blip");
+    }
+  };
+  const Tree t = make_uniform_iid_nor(2, 7, golden_bias(), 12);
+  Engine eng;
+  FailOnceHook hook;
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtParallelSolve;
+  req.leaf_cost_ns = 0;
+  req.leaf_hook = &hook;
+  req.retry.max_attempts = 2;
+  const SearchResult r = eng.run(req);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.value, nor_value(t) ? 1 : 0);
+  EXPECT_GT(r.retries, 0u);
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.total_retries, r.retries);
+  EXPECT_EQ(s.total_faults, r.faults);
 }
 
 }  // namespace

@@ -1,11 +1,17 @@
 // Failure injection: the library must fail loudly and leave no corrupted
 // state when its inputs misbehave — throwing tree sources, invalid
-// batches, model violations.
+// batches, model violations — and the resilience layer (engine/
+// resilience.hpp, check/faults.hpp) must turn injected evaluator faults
+// into retried-exact or honestly-degraded anytime results across every
+// registry algorithm.
 #include <gtest/gtest.h>
 
 #include <stdexcept>
 
 #include "gtpar/ab/minimax_simulator.hpp"
+#include "gtpar/check/faults.hpp"
+#include "gtpar/check/registry.hpp"
+#include "gtpar/engine/api.hpp"
 #include "gtpar/expand/nor_expansion.hpp"
 #include "gtpar/expand/tree_source.hpp"
 #include "gtpar/solve/nor_simulator.hpp"
@@ -114,6 +120,221 @@ TEST(FailureInjection, MinimaxSimulatorRejectsPrunedLeaves) {
 TEST(FailureInjection, MaterializeEnforcesNodeCap) {
   const auto src = make_iid_nor_source(2, 20, 0.5, 1);
   EXPECT_THROW(materialize(src, /*max_nodes=*/1000), std::length_error);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos harness: every registry algorithm under a seeded FaultPlan
+// (check/faults.hpp). Faults reach source-based algorithms through
+// FaultySource and the Mt cascades through the leaf hook; lock-step
+// simulators read leaf values from memory and are trivially exact.
+// ---------------------------------------------------------------------------
+
+class ChaosRegistry : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ChaosRegistry, TransientFaultsRecoverExactValueEverywhere) {
+  const bool minimax = GetParam();
+  const Tree t = minimax ? make_uniform_iid_minimax(2, 5, -8, 8, 11)
+                         : make_uniform_iid_nor(2, 6, 0.618, 11);
+  check::FaultPlan plan;
+  plan.seed = 42;
+  plan.transient_rate = 0.35;
+  plan.flaky_attempts = 2;  // retry budget (4 attempts) clears this
+  const auto report = check::check_tree_under_faults(t, minimax, plan);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  // Under purely transient faults with a sufficient retry budget, every
+  // algorithm must recover the exact root value — no degraded results.
+  EXPECT_EQ(report.lower_bounds + report.upper_bounds + report.failed, 0u)
+      << report.summary();
+  EXPECT_GT(report.faults_injected, 0u) << "plan injected nothing";
+}
+
+TEST_P(ChaosRegistry, PermanentFaultsDegradeConsistentlyEverywhere) {
+  const bool minimax = GetParam();
+  const Tree t = minimax ? make_uniform_iid_minimax(2, 5, -8, 8, 23)
+                         : make_uniform_iid_nor(2, 6, 0.618, 23);
+  check::FaultPlan plan;
+  plan.seed = 7;
+  plan.permanent_rate = 0.15;
+  // check_tree_under_faults fails on any escaped exception, any wrong
+  // "exact" claim, and any bound inconsistent with ground truth.
+  const auto report = check::check_tree_under_faults(t, minimax, plan);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.faults_injected, 0u) << "plan injected nothing";
+}
+
+TEST_P(ChaosRegistry, MixedFaultsWithLatencySpikesStayConsistent) {
+  const bool minimax = GetParam();
+  const Tree t = minimax ? make_uniform_iid_minimax(2, 4, -4, 4, 31)
+                         : make_uniform_iid_nor(2, 5, 0.618, 31);
+  check::FaultPlan plan;
+  plan.seed = 99;
+  plan.transient_rate = 0.2;
+  plan.flaky_attempts = 1;
+  plan.permanent_rate = 0.05;
+  plan.slow_rate = 0.1;
+  plan.slow_ns = 20'000;
+  const auto report = check::check_tree_under_faults(t, minimax, plan);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST_P(ChaosRegistry, InjectedCancellationNeverYieldsWrongExactValue) {
+  const bool minimax = GetParam();
+  const Tree t = minimax ? make_uniform_iid_minimax(2, 6, -8, 8, 47)
+                         : make_uniform_iid_nor(2, 7, 0.618, 47);
+  check::FaultPlan plan;
+  plan.seed = 5;
+  plan.cancel_after_evals = 10;  // trip the cancel flag early in each run
+  const auto report = check::check_tree_under_faults(t, minimax, plan);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFamilies, ChaosRegistry, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "minimax" : "nor";
+                         });
+
+TEST(ChaosRegistry, FaultSchedulesAreDeterministic) {
+  // Determinism lives in the *schedule*, not the sweep: which leaves a
+  // stopped parallel search touches before the stop latches is
+  // timing-dependent, but every per-leaf fault decision is a pure
+  // function of (seed, stream, key, attempt). Drive two independent
+  // FaultStates over the same key/attempt sequence and require
+  // identical classifications at every step.
+  check::FaultPlan plan;
+  plan.seed = 1234;
+  plan.transient_rate = 0.3;
+  plan.flaky_attempts = 2;
+  plan.permanent_rate = 0.1;
+  check::FaultState a(plan);
+  check::FaultState b(plan);
+  const auto classify = [](check::FaultState& s, std::uint64_t key) -> int {
+    try {
+      s.on_attempt(key);
+      return 0;
+    } catch (const check::TransientFault&) {
+      return 1;
+    } catch (const check::PermanentFault&) {
+      return 2;
+    }
+  };
+  unsigned transients = 0, permanents = 0;
+  for (std::uint64_t key = 0; key < 2048; ++key) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const int ca = classify(a, key);
+      const int cb = classify(b, key);
+      ASSERT_EQ(ca, cb) << "key " << key << " attempt " << attempt;
+      transients += ca == 1;
+      permanents += ca == 2;
+    }
+  }
+  // The rates are high enough that a silent all-clear schedule would
+  // mean the streams are broken, not lucky.
+  EXPECT_GT(transients, 0u);
+  EXPECT_GT(permanents, 0u);
+}
+
+TEST(ChaosFacade, PermanentFaultYieldsAnytimeBoundNotThrow) {
+  // Direct façade check of the anytime path: a source whose every leaf
+  // evaluation fails must produce completeness != kExact with complete ==
+  // false — and must NOT throw with the default anytime policy.
+  const Tree t = make_uniform_iid_nor(2, 5, 0.618, 9);
+  const ExplicitTreeSource clean(t);
+  check::FaultPlan plan;
+  plan.permanent_rate = 1.0;
+  check::FaultState state(plan);
+  const check::FaultySource src(clean, state);
+
+  SearchRequest req;
+  req.algorithm = Algorithm::kNSequentialSolve;
+  req.tree = &t;
+  req.source = &src;
+  const SearchResult r = search(req);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.completeness, Completeness::kFailed);
+  EXPECT_GT(r.faults, 0u);
+}
+
+TEST(ChaosFacade, AnytimeFalseRestoresThrowingBehaviour) {
+  const Tree t = make_uniform_iid_nor(2, 5, 0.618, 9);
+  const ExplicitTreeSource clean(t);
+  check::FaultPlan plan;
+  plan.permanent_rate = 1.0;
+  check::FaultState state(plan);
+  const check::FaultySource src(clean, state);
+
+  SearchRequest req;
+  req.algorithm = Algorithm::kNSequentialSolve;
+  req.tree = &t;
+  req.source = &src;
+  req.anytime = false;
+  EXPECT_THROW(search(req), check::PermanentFault);
+}
+
+TEST(ChaosFacade, MalformedRequestStillThrowsUnderAnytime) {
+  // logic_errors are caller bugs, not evaluator faults: the anytime shield
+  // must not swallow them.
+  SearchRequest req;
+  req.algorithm = Algorithm::kNSequentialSolve;  // needs a source or a tree
+  EXPECT_THROW(search(req), std::invalid_argument);
+}
+
+TEST(ChaosFacade, RetriesRecoverExactMinimaxValueAndAreCounted) {
+  const Tree t = make_uniform_iid_minimax(2, 5, -8, 8, 13);
+  const ExplicitTreeSource clean(t);
+  check::FaultPlan plan;
+  plan.seed = 77;
+  plan.transient_rate = 0.4;
+  plan.flaky_attempts = 2;
+  check::FaultState state(plan);
+  const check::FaultySource src(clean, state);
+
+  SearchRequest req;
+  req.algorithm = Algorithm::kNSequentialAb;
+  req.tree = &t;
+  req.source = &src;
+  req.retry = plan.retry();
+  const SearchResult r = search(req);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.completeness, Completeness::kExact);
+  EXPECT_EQ(r.value, minimax_value(t));
+  EXPECT_GT(r.retries, 0u);
+  EXPECT_GT(r.faults, 0u);
+}
+
+TEST(ChaosFacade, MinimaxPartialPrefixGivesConsistentBound) {
+  // A permanently faulty minimax evaluator: whatever bound comes back must
+  // bracket the ground truth.
+  const Tree t = make_uniform_iid_minimax(2, 6, -16, 16, 21);
+  const ExplicitTreeSource clean(t);
+  check::FaultPlan plan;
+  plan.seed = 3;
+  plan.permanent_rate = 0.1;
+  check::FaultState state(plan);
+  const check::FaultySource src(clean, state);
+
+  SearchRequest req;
+  req.algorithm = Algorithm::kDepthLimitedAb;
+  req.tree = &t;
+  req.source = &src;
+  const SearchResult r = search(req);
+  const Value truth = minimax_value(t);
+  switch (r.completeness) {
+    case Completeness::kExact:
+      EXPECT_EQ(r.value, truth);
+      EXPECT_TRUE(r.complete);
+      break;
+    case Completeness::kLowerBound:
+      EXPECT_LE(r.value, truth);
+      EXPECT_FALSE(r.complete);
+      break;
+    case Completeness::kUpperBound:
+      EXPECT_GE(r.value, truth);
+      EXPECT_FALSE(r.complete);
+      break;
+    case Completeness::kFailed:
+      EXPECT_FALSE(r.complete);
+      break;
+  }
 }
 
 }  // namespace

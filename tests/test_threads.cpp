@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <tuple>
 
+#include "gtpar/engine/work_stealing.hpp"
 #include "gtpar/solve/sequential_solve.hpp"
 #include "gtpar/threads/mt_ab.hpp"
 #include "gtpar/threads/mt_solve.hpp"
@@ -288,6 +290,113 @@ TEST(MtAb, RaggedTrees) {
     const Tree t = make_random_shape_minimax(p, -50, 50, seed);
     EXPECT_EQ(mt_parallel_ab(t, opt).value, minimax_value(t)) << "seed " << seed;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Exception-propagation hardening: a throwing leaf evaluator must degrade
+// the *search*, never the *scheduler*. A scout that throws may not
+// deadlock the pool, kill its worker, or corrupt sibling searches.
+// ---------------------------------------------------------------------------
+
+/// Leaf hook that throws on every attempt — a permanently dead evaluator.
+class AlwaysThrowHook final : public LeafHook {
+ public:
+  void on_leaf(NodeId, unsigned) override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    throw std::runtime_error("evaluator down");
+  }
+  std::atomic<std::uint64_t> calls{0};
+};
+
+TEST(Resilience, PoolSurvivesThrowingScoutAndStaysUsable) {
+  WorkStealingPool pool(4);
+  const Tree t = make_uniform_iid_nor(2, 7, 0.618, 17);
+
+  // First search: every leaf evaluation throws; the search must return
+  // (degraded, not hung) instead of unwinding through the cascade.
+  AlwaysThrowHook hook;
+  MtSolveOptions bad;
+  bad.leaf_cost_ns = 0;
+  bad.width = 2;
+  bad.leaf_hook = &hook;
+  const auto failed = mt_parallel_solve(t, bad, pool, {});
+  EXPECT_FALSE(failed.complete);
+  EXPECT_NE(failed.completeness, Completeness::kExact);
+  EXPECT_GT(failed.faults, 0u);
+  EXPECT_GT(hook.calls.load(), 0u);
+
+  // Same pool, clean searches: every worker must still be alive and the
+  // results exact. Run both cascade families to touch all task shapes.
+  MtSolveOptions good;
+  good.leaf_cost_ns = 0;
+  good.width = 2;
+  for (int round = 0; round < 5; ++round) {
+    const auto r = mt_parallel_solve(t, good, pool, {});
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.value, nor_value(t)) << "round " << round;
+  }
+  const Tree m = make_uniform_iid_minimax(2, 6, -9, 9, 17);
+  MtAbOptions mab;
+  mab.leaf_cost_ns = 0;
+  const auto ra = mt_parallel_ab(m, mab, pool, {});
+  EXPECT_TRUE(ra.complete);
+  EXPECT_EQ(ra.value, minimax_value(m));
+}
+
+TEST(Resilience, RawPoolSurvivesThrowingTask) {
+  // Containment at the scheduler layer itself: a raw task that throws is
+  // swallowed (and counted), and later tasks still run on every pool kind.
+  {
+    WorkStealingPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+    while (count.load() < 100) std::this_thread::yield();
+    EXPECT_GE(pool.stats().task_exceptions, 1u);
+  }
+  {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+    while (count.load() < 100) std::this_thread::yield();
+    EXPECT_GE(pool.task_exceptions(), 1u);
+  }
+}
+
+TEST(Resilience, TransientLeafFaultsAreRetriedToExactness) {
+  // A hook that fails the first attempt at every leaf: with a 2-attempt
+  // retry budget the search must recover the exact value and count the
+  // retries.
+  class FailOnceHook final : public LeafHook {
+   public:
+    void on_leaf(NodeId, unsigned attempt) override {
+      if (attempt == 0) throw std::runtime_error("first attempt blip");
+    }
+  };
+  const Tree t = make_uniform_iid_nor(2, 7, 0.618, 29);
+  FailOnceHook hook;
+  WorkStealingPool pool(4);
+  MtSolveOptions opt;
+  opt.leaf_cost_ns = 0;
+  opt.leaf_hook = &hook;
+  opt.retry.max_attempts = 2;
+  const auto r = mt_parallel_solve(t, opt, pool, {});
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.completeness, Completeness::kExact);
+  EXPECT_EQ(r.value != 0, nor_value(t));
+  EXPECT_GT(r.retries, 0u);
+  EXPECT_EQ(r.retries, r.faults);  // every fault was recovered
+
+  const Tree m = make_uniform_iid_minimax(2, 6, -9, 9, 29);
+  MtAbOptions mopt;
+  mopt.leaf_cost_ns = 0;
+  mopt.leaf_hook = &hook;
+  mopt.retry.max_attempts = 2;
+  const auto ra = mt_parallel_ab(m, mopt, pool, {});
+  EXPECT_TRUE(ra.complete);
+  EXPECT_EQ(ra.value, minimax_value(m));
+  EXPECT_GT(ra.retries, 0u);
 }
 
 }  // namespace

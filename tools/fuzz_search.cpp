@@ -8,17 +8,22 @@
 //
 // Usage:
 //   fuzz_search [--trees N] [--seed S] [--corpus DIR] [--dump DIR]
-//               [--nor-only | --minimax-only] [--quiet]
+//               [--nor-only | --minimax-only] [--faults] [--quiet]
 //
 //   --trees N    number of generated trees per semantics (default 500)
 //   --seed S     first seed of the sweep (default 1); tree i uses seed S+i
 //   --corpus DIR replay every *.tree file in DIR before sweeping
 //   --dump DIR   where counterexamples are written (default "fuzz-artifacts")
+//   --faults     chaos mode: additionally run every generated tree through
+//                the fault-injection harness (check/faults.hpp) under a
+//                seeded transient+permanent FaultPlan and verify the
+//                resilience contract (retried-exact or consistent anytime
+//                bounds, no escaped fault exceptions)
 //   --quiet      suppress per-chunk progress lines
 //
 // Exit status: 0 if every corpus case and every generated tree passed the
-// oracle, 1 otherwise (counterexamples are on disk by then), 2 on usage or
-// I/O errors.
+// oracle (and, with --faults, the chaos harness), 1 otherwise
+// (counterexamples are on disk by then), 2 on usage or I/O errors.
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -27,6 +32,7 @@
 #include <exception>
 #include <string>
 
+#include "gtpar/check/faults.hpp"
 #include "gtpar/check/fuzz.hpp"
 #include "gtpar/check/oracle.hpp"
 #include "gtpar/check/shrink.hpp"
@@ -44,13 +50,14 @@ struct Options {
   std::string dump = "fuzz-artifacts";
   bool nor = true;
   bool minimax = true;
+  bool faults = false;
   bool quiet = false;
 };
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--trees N] [--seed S] [--corpus DIR] [--dump DIR]\n"
-               "          [--nor-only | --minimax-only] [--quiet]\n",
+               "          [--nor-only | --minimax-only] [--faults] [--quiet]\n",
                argv0);
 }
 
@@ -86,6 +93,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.minimax = false;
     } else if (a == "--minimax-only") {
       opt.nor = false;
+    } else if (a == "--faults") {
+      opt.faults = true;
     } else if (a == "--quiet") {
       opt.quiet = true;
     } else {
@@ -155,6 +164,35 @@ int run(const Options& opt) {
         report_failure(opt, t, minimax,
                        "seed_" + std::to_string(seed) + "_" + family.substr(0, family.find(' ')),
                        report);
+      }
+      if (opt.faults) {
+        // Chaos sweep on the same tree: seeded transient faults a
+        // 4-attempt retry budget must clear, plus a sprinkling of
+        // permanent faults that must degrade to consistent anytime
+        // bounds — never escape, never lie.
+        FaultPlan plan;
+        plan.seed = seed;
+        plan.transient_rate = 0.25;
+        plan.flaky_attempts = 2;
+        plan.permanent_rate = 0.05;
+        const auto chaos = check_tree_under_faults(t, minimax, plan);
+        if (!chaos.ok()) {
+          ++failures;
+          std::fprintf(stderr, "FAIL chaos seed_%llu (%s semantics)\n%s\n",
+                       static_cast<unsigned long long>(seed),
+                       minimax ? "minimax" : "nor", chaos.summary().c_str());
+          const std::string prefix =
+              (minimax ? std::string("mm_") : std::string("nor_")) + "chaos_seed_" +
+              std::to_string(seed);
+          try {
+            const auto path = dump_corpus_tree(opt.dump, prefix + ".tree", t);
+            std::fprintf(stderr, "  tree (%zu nodes) -> %s\n", t.size(),
+                         path.c_str());
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "  (failed to dump counterexample: %s)\n",
+                         e.what());
+          }
+        }
       }
       if (!opt.quiet && (i + 1) % 100 == 0)
         std::printf("%s: %llu/%llu trees checked (last family: %s)\n",
