@@ -7,24 +7,42 @@
 //                 regression guard for the implementation, not an
 //                 experiment.
 //
-//  --throughput   multi-tree requests/sec of the batched engine: a mixed
-//                 stream of Mt search requests (NOR + MIN/MAX trees,
-//                 widths 1-3, zero leaf cost so the scheduler itself is
-//                 the bottleneck) is timed three ways per worker count —
-//                 the work-stealing engine, the same engine on the legacy
-//                 global-queue pool (scheduler ablation), and the
-//                 pre-engine architecture (one fresh ThreadPool per
-//                 request, requests served one at a time, as the old
-//                 self-scheduling mt_* entrypoints worked). Reports
-//                 sustained requests/sec plus request-dispatch latency.
-//                 Options:
-//                    --quick        smaller stream, fewer repetitions
+//  --throughput   multi-tree requests/sec of the batched engine, in two
+//                 leaf-cost regimes:
+//
+//                 * zero leaf cost (spin): the scheduler itself is the
+//                   bottleneck. Timed three ways per worker count — the
+//                   work-stealing engine, the same engine on the legacy
+//                   global-queue pool (scheduler ablation), and the
+//                   pre-engine architecture (one fresh ThreadPool per
+//                   request, one request at a time). Shared TT off so the
+//                   comparison against the TT-less legacy path is
+//                   apples-to-apples.
+//
+//                 * HEADLINE: nonzero leaf cost (200 / 2000 ns nominal,
+//                   LeafCostModel::kSleep — latency-bound evaluation, so
+//                   concurrency overlaps the waits even on few cores; a
+//                   spin model would measure core count, not the engine).
+//                   Work-stealing engine only, workers 1/2/4/8, shared TT
+//                   off and grain auto; the 8-vs-1-worker ratio at 2000 ns
+//                   is the scaling headline. Ablation cells at 8 workers:
+//                   grain pinned to always-spawn (task-granularity cost)
+//                   and shared TT on (cross-request value reuse uplift).
+//
+//                 Reports sustained requests/sec, request-dispatch
+//                 latency, and scheduler task counts. Options:
+//                    --quick        smaller zero-cost stream, fewer reps
 //                    --json PATH    write results as JSON (default
 //                                   BENCH_throughput.json)
-//                    --check        exit non-zero if the work-stealing
+//                    --check        exit non-zero if (a) the work-stealing
 //                                   engine is slower than the legacy
 //                                   per-call pool path at the 4-worker
-//                                   mixed workload (the CI gate)
+//                                   zero-cost workload, (b) 8-worker req/s
+//                                   on the 2000 ns sleep workload is below
+//                                   1.2x the 1-worker number, or (c)
+//                                   adaptive granularity cuts scheduler
+//                                   tasks by less than 10x on the
+//                                   zero-cost workload (the CI gates)
 //                    --faults       also measure the resilience layer: the
 //                                   4-worker workload re-run with the leaf
 //                                   hook + retry plumbing engaged at ZERO
@@ -113,11 +131,13 @@ struct CellResult {
   unsigned workers = 0;
   const char* scheduler = "";
   std::size_t requests = 0;
+  std::uint64_t leaf_cost_ns = 0;  // nominal per-leaf cost of the workload
   std::uint64_t wall_ns = 0;       // best repetition
   double rps = 0.0;                // requests/sec at the best repetition
   std::uint64_t avg_dispatch_ns = 0;
   std::uint64_t max_dispatch_ns = 0;
-  WorkStealingStats sched_stats{};  // zeros for the global queue
+  WorkStealingStats sched_stats{};     // zeros for the global queue
+  TranspositionTable::Stats tt{};      // zeros when the shared TT is off
 };
 
 /// A tree plus which value domain it carries (NOR trees hold {0,1} leaves,
@@ -127,17 +147,24 @@ struct TaggedTree {
   bool minimax = false;
 };
 
-/// Mixed scheduler-bound workload: many small searches with zero leaf
-/// cost, so scheduling overhead (submit, wake, steal) dominates.
-std::vector<SearchRequest> build_workload(const std::vector<TaggedTree>& trees,
-                                          std::size_t count) {
+/// Mixed workload over the tree set. With zero leaf cost the stream is
+/// scheduler-bound (submit, wake, steal dominate); with a nonzero cost and
+/// LeafCostModel::kSleep it is latency-bound and measures how well the
+/// engine overlaps in-flight requests. `grain` is the per-request task
+/// granularity (0 = auto-calibrated, 1 = always spawn).
+std::vector<SearchRequest> build_workload(
+    const std::vector<TaggedTree>& trees, std::size_t count,
+    std::uint64_t leaf_cost_ns = 0,
+    LeafCostModel cost_model = LeafCostModel::kSpin, std::uint64_t grain = 0) {
   std::vector<SearchRequest> reqs;
   reqs.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     const TaggedTree& t = trees[i % trees.size()];
     SearchRequest req;
     req.tree = &t.tree;
-    req.leaf_cost_ns = 0;
+    req.leaf_cost_ns = leaf_cost_ns;
+    req.cost_model = cost_model;
+    req.grain = grain;
     req.width = 1 + unsigned(i % 3);
     req.algorithm =
         t.minimax ? Algorithm::kMtParallelAb : Algorithm::kMtParallelSolve;
@@ -156,6 +183,7 @@ CellResult run_legacy_cell(unsigned workers, const std::vector<SearchRequest>& r
   cell.workers = workers;
   cell.scheduler = "legacy-threadpool";
   cell.requests = reqs.size();
+  if (!reqs.empty()) cell.leaf_cost_ns = reqs.front().leaf_cost_ns;
   cell.wall_ns = UINT64_MAX;
   for (int rep = 0; rep < reps; ++rep) {
     const auto start = std::chrono::steady_clock::now();
@@ -166,6 +194,7 @@ CellResult run_legacy_cell(unsigned workers, const std::vector<SearchRequest>& r
         opt.leaf_cost_ns = req.leaf_cost_ns;
         opt.cost_model = req.cost_model;
         opt.width = req.width;
+        opt.grain_ns = 1;  // pre-grain behaviour: every scout is a task
         const auto r = mt_parallel_solve(*req.tree, opt, pool);
         if (!r.complete) std::fprintf(stderr, "warning: incomplete search\n");
       } else {
@@ -173,6 +202,7 @@ CellResult run_legacy_cell(unsigned workers, const std::vector<SearchRequest>& r
         opt.leaf_cost_ns = req.leaf_cost_ns;
         opt.cost_model = req.cost_model;
         opt.width = req.width;
+        opt.grain_ns = 1;  // pre-grain behaviour: every scout is a task
         const auto r = mt_parallel_ab(*req.tree, opt, pool);
         if (!r.complete) std::fprintf(stderr, "warning: incomplete search\n");
       }
@@ -186,9 +216,12 @@ CellResult run_legacy_cell(unsigned workers, const std::vector<SearchRequest>& r
   return cell;
 }
 
+/// One engine cell: a fresh Engine per repetition (stats are per-rep),
+/// best-of-reps wall time. `tt_entries` = 0 keeps the shared TT off, so
+/// cells are comparable against TT-less baselines unless a cell opts in.
 CellResult run_cell(Engine::Scheduler scheduler, unsigned workers,
                     const std::vector<SearchRequest>& reqs, int reps,
-                    const char* label = nullptr) {
+                    const char* label = nullptr, std::size_t tt_entries = 0) {
   CellResult cell;
   cell.workers = workers;
   cell.scheduler =
@@ -196,11 +229,13 @@ CellResult run_cell(Engine::Scheduler scheduler, unsigned workers,
       : scheduler == Engine::Scheduler::kWorkStealing ? "work-stealing"
                                                       : "global-queue";
   cell.requests = reqs.size();
+  if (!reqs.empty()) cell.leaf_cost_ns = reqs.front().leaf_cost_ns;
   cell.wall_ns = UINT64_MAX;
   for (int rep = 0; rep < reps; ++rep) {
     Engine::Options opt;
     opt.workers = workers;
     opt.scheduler = scheduler;
+    opt.tt_entries = tt_entries;
     Engine eng(opt);
     const auto start = std::chrono::steady_clock::now();
     const std::vector<SearchResult> results = eng.run_all(reqs);
@@ -215,6 +250,7 @@ CellResult run_cell(Engine::Scheduler scheduler, unsigned workers,
       cell.avg_dispatch_ns = s.completed ? s.total_dispatch_ns / s.completed : 0;
       cell.max_dispatch_ns = s.max_dispatch_ns;
       cell.sched_stats = s.scheduler;
+      cell.tt = s.tt;
     }
   }
   cell.rps = double(cell.requests) / (double(cell.wall_ns) / 1e9);
@@ -266,8 +302,16 @@ std::vector<SearchRequest> with_resilience(std::vector<SearchRequest> reqs,
   return reqs;
 }
 
+/// Headline ratios reported at the top of the JSON (and gated by --check).
+struct Headlines {
+  double ws_over_legacy_at_4 = 0.0;        // zero-cost grid
+  double scaling_8v1_at_2000ns = 0.0;      // sleep sweep (the headline)
+  double task_reduction_auto_grain = 0.0;  // always-spawn tasks / auto tasks
+  double tt_uplift_at_2000ns = 0.0;        // shared-TT rps / TT-off rps, 8 workers
+};
+
 void write_json(const char* path, const std::vector<CellResult>& cells,
-                std::size_t requests, int reps, double speedup_at_4,
+                std::size_t requests, int reps, const Headlines& h,
                 bool faults, double zero_fault_overhead, double storm_rps_ratio) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
@@ -276,10 +320,19 @@ void write_json(const char* path, const std::vector<CellResult>& cells,
   }
   std::fprintf(f, "{\n  \"benchmark\": \"engine_throughput\",\n");
   std::fprintf(f, "  \"workload\": {\"requests\": %zu, \"repetitions\": %d, "
-                  "\"leaf_cost_ns\": 0, \"widths\": [1, 2, 3]},\n",
+                  "\"widths\": [1, 2, 3], \"leaf_cost_sweep_ns\": [0, 200, 2000], "
+                  "\"nonzero_cost_model\": \"sleep\"},\n",
                requests, reps);
-  std::fprintf(f, "  \"ws_engine_over_legacy_rps_at_4_workers\": %.3f,\n",
-               speedup_at_4);
+  std::fprintf(f, "  \"headline\": {\n");
+  std::fprintf(f, "    \"scaling_8v1_rps_at_2000ns_sleep\": %.3f,\n",
+               h.scaling_8v1_at_2000ns);
+  std::fprintf(f, "    \"task_reduction_auto_grain_vs_always_spawn\": %.1f,\n",
+               h.task_reduction_auto_grain);
+  std::fprintf(f, "    \"shared_tt_rps_uplift_at_2000ns_8_workers\": %.3f,\n",
+               h.tt_uplift_at_2000ns);
+  std::fprintf(f, "    \"ws_engine_over_legacy_rps_at_4_workers\": %.3f\n",
+               h.ws_over_legacy_at_4);
+  std::fprintf(f, "  },\n");
   if (faults) {
     std::fprintf(f, "  \"resilience_overhead_at_zero_faults\": %.4f,\n",
                  zero_fault_overhead);
@@ -291,11 +344,13 @@ void write_json(const char* path, const std::vector<CellResult>& cells,
     std::fprintf(
         f,
         "    {\"workers\": %u, \"scheduler\": \"%s\", \"requests\": %zu, "
+        "\"leaf_cost_ns\": %llu, "
         "\"wall_ns\": %llu, \"requests_per_sec\": %.1f, "
         "\"avg_dispatch_ns\": %llu, \"max_dispatch_ns\": %llu, "
         "\"tasks_executed\": %llu, \"steals\": %llu, \"inline_runs\": %llu, "
-        "\"parks\": %llu}%s\n",
+        "\"parks\": %llu, \"tt_probes\": %llu, \"tt_hits\": %llu}%s\n",
         c.workers, c.scheduler, c.requests,
+        static_cast<unsigned long long>(c.leaf_cost_ns),
         static_cast<unsigned long long>(c.wall_ns), c.rps,
         static_cast<unsigned long long>(c.avg_dispatch_ns),
         static_cast<unsigned long long>(c.max_dispatch_ns),
@@ -303,6 +358,8 @@ void write_json(const char* path, const std::vector<CellResult>& cells,
         static_cast<unsigned long long>(c.sched_stats.steals),
         static_cast<unsigned long long>(c.sched_stats.inline_runs),
         static_cast<unsigned long long>(c.sched_stats.parks),
+        static_cast<unsigned long long>(c.tt.probes),
+        static_cast<unsigned long long>(c.tt.hits),
         i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -323,25 +380,34 @@ int run_throughput(bool quick, const char* json_path, bool check, bool faults) {
 
   const std::size_t count = quick ? 64 : 256;
   const int reps = quick ? 3 : 5;
+  // The sleep sweep pays real wall time per leaf (a nominal 200-2000 ns
+  // sleep costs ~70 us on a stock Linux timer slack), so it runs a fixed
+  // modest stream with few reps regardless of --quick.
+  const std::size_t sweep_count = 64;
+  const int sweep_reps = 2;
   const std::vector<SearchRequest> reqs = build_workload(trees, count);
 
   std::printf("engine throughput: %zu mixed requests, best of %d reps\n\n", count,
               reps);
-  std::printf("| workers | scheduler         | req/s    | avg dispatch | max dispatch | steals | parks |\n");
-  std::printf("|---------|-------------------|----------|--------------|--------------|--------|-------|\n");
+  std::printf("| workers | scheduler         | leaf ns | req/s    | avg dispatch | max dispatch | tasks  | steals |\n");
+  std::printf("|---------|-------------------|---------|----------|--------------|--------------|--------|--------|\n");
 
   std::vector<CellResult> cells;
   double ws4 = 0.0, legacy4 = 0.0;
+  std::uint64_t tasks_auto_8 = 0;
   const auto emit = [&](const CellResult& c) {
     std::printf(
-        "| %-7u | %-17s | %-8.0f | %9llu ns | %9llu ns | %-6llu | %-5llu |\n",
-        c.workers, c.scheduler, c.rps,
+        "| %-7u | %-17s | %-7llu | %-8.0f | %9llu ns | %9llu ns | %-6llu | %-6llu |\n",
+        c.workers, c.scheduler, static_cast<unsigned long long>(c.leaf_cost_ns),
+        c.rps,
         static_cast<unsigned long long>(c.avg_dispatch_ns),
         static_cast<unsigned long long>(c.max_dispatch_ns),
-        static_cast<unsigned long long>(c.sched_stats.steals),
-        static_cast<unsigned long long>(c.sched_stats.parks));
+        static_cast<unsigned long long>(c.sched_stats.executed),
+        static_cast<unsigned long long>(c.sched_stats.steals));
     cells.push_back(c);
   };
+
+  // Zero-cost grid: scheduler-bound, all three architectures.
   for (unsigned workers : {1u, 2u, 4u, 8u}) {
     const CellResult ws =
         run_cell(Engine::Scheduler::kWorkStealing, workers, reqs, reps);
@@ -355,7 +421,57 @@ int run_throughput(bool quick, const char* json_path, bool check, bool faults) {
       ws4 = ws.rps;
       legacy4 = legacy.rps;
     }
+    if (workers == 8) tasks_auto_8 = ws.sched_stats.executed;
   }
+
+  // Granularity ablation at zero cost: the same stream with grain pinned
+  // to always-spawn reproduces the pre-grain task flood; the ratio against
+  // the auto-grain cell is the task-reduction headline.
+  const CellResult grain_off_c0 =
+      run_cell(Engine::Scheduler::kWorkStealing, 8,
+               build_workload(trees, count, 0, LeafCostModel::kSpin, 1), reps,
+               "ws-grain-off");
+  emit(grain_off_c0);
+  const double task_reduction =
+      tasks_auto_8 > 0
+          ? double(grain_off_c0.sched_stats.executed) / double(tasks_auto_8)
+          : 0.0;
+
+  // HEADLINE sweep: latency-bound leaves (kSleep), work-stealing engine,
+  // TT off, auto grain. Scaling here comes from overlapping in-flight
+  // requests' leaf waits, so it holds even on a single-core runner.
+  double sleep1_2000 = 0.0, sleep8_2000 = 0.0;
+  std::vector<SearchRequest> sweep_2000;
+  for (const std::uint64_t cost : {std::uint64_t{200}, std::uint64_t{2000}}) {
+    const std::vector<SearchRequest> sreqs =
+        build_workload(trees, sweep_count, cost, LeafCostModel::kSleep, 0);
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+      const CellResult c = run_cell(Engine::Scheduler::kWorkStealing, workers,
+                                    sreqs, sweep_reps);
+      emit(c);
+      if (cost == 2000) {
+        if (workers == 1) sleep1_2000 = c.rps;
+        if (workers == 8) sleep8_2000 = c.rps;
+      }
+    }
+    if (cost == 2000) sweep_2000 = sreqs;
+  }
+  const double scaling_8v1 =
+      sleep1_2000 > 0.0 ? sleep8_2000 / sleep1_2000 : 0.0;
+
+  // Ablations at 8 workers / 2000 ns: grain pinned to always-spawn (what
+  // adaptive granularity buys under real leaf cost), and the shared TT
+  // switched on (cross-request value reuse on the repeating tree mix).
+  const CellResult grain_off_sleep =
+      run_cell(Engine::Scheduler::kWorkStealing, 8,
+               build_workload(trees, sweep_count, 2000, LeafCostModel::kSleep, 1),
+               sweep_reps, "ws-grain-off");
+  emit(grain_off_sleep);
+  const CellResult tt_on =
+      run_cell(Engine::Scheduler::kWorkStealing, 8, sweep_2000, sweep_reps,
+               "ws+shared-tt", std::size_t{1} << 16);
+  emit(tt_on);
+  const double tt_uplift = sleep8_2000 > 0.0 ? tt_on.rps / sleep8_2000 : 0.0;
 
   // Resilience overhead: re-run the 4-worker work-stealing cell with the
   // leaf hook + retry plumbing armed but inert (zero faults actually
@@ -378,9 +494,25 @@ int run_throughput(bool quick, const char* json_path, bool check, bool faults) {
     storm_faults = flaky.faults();
   }
 
-  const double speedup = legacy4 > 0 ? ws4 / legacy4 : 0.0;
-  std::printf("\nwork-stealing engine vs legacy per-call pools at 4 workers: %.2fx\n",
-              speedup);
+  Headlines h;
+  h.ws_over_legacy_at_4 = legacy4 > 0 ? ws4 / legacy4 : 0.0;
+  h.scaling_8v1_at_2000ns = scaling_8v1;
+  h.task_reduction_auto_grain = task_reduction;
+  h.tt_uplift_at_2000ns = tt_uplift;
+
+  std::printf("\nHEADLINE: 8-vs-1-worker scaling on the 2000 ns sleep workload: %.2fx\n",
+              scaling_8v1);
+  std::printf("adaptive granularity task reduction (always-spawn / auto, 8 workers): "
+              "%.0fx (%llu -> %llu tasks)\n",
+              task_reduction,
+              static_cast<unsigned long long>(grain_off_c0.sched_stats.executed),
+              static_cast<unsigned long long>(tasks_auto_8));
+  std::printf("shared-TT uplift at 2000 ns / 8 workers: %.2fx "
+              "(%llu probes, %llu hits)\n",
+              tt_uplift, static_cast<unsigned long long>(tt_on.tt.probes),
+              static_cast<unsigned long long>(tt_on.tt.hits));
+  std::printf("work-stealing engine vs legacy per-call pools at 4 workers: %.2fx\n",
+              h.ws_over_legacy_at_4);
   if (faults) {
     std::printf(
         "\nresilience overhead at zero fault rate (4 workers): %+.2f%% "
@@ -392,14 +524,29 @@ int run_throughput(bool quick, const char* json_path, bool check, bool faults) {
         storm_ratio, static_cast<unsigned long long>(storm_faults));
   }
 
-  write_json(json_path, cells, count, reps, speedup, faults,
-             zero_fault_overhead, storm_ratio);
+  write_json(json_path, cells, count, reps, h, faults, zero_fault_overhead,
+             storm_ratio);
 
-  if (check && speedup < 1.0) {
+  if (check && h.ws_over_legacy_at_4 < 1.0) {
     std::fprintf(stderr,
                  "FAIL: work-stealing engine slower than the legacy per-call "
                  "ThreadPool path at the 4-worker mixed workload (%.2fx)\n",
-                 speedup);
+                 h.ws_over_legacy_at_4);
+    return 1;
+  }
+  if (check && scaling_8v1 < 1.2) {
+    std::fprintf(stderr,
+                 "FAIL: 8-worker work-stealing throughput on the 2000 ns "
+                 "sleep workload is only %.2fx the 1-worker number "
+                 "(gate: 1.2x)\n",
+                 scaling_8v1);
+    return 1;
+  }
+  if (check && task_reduction < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: adaptive granularity cut scheduler tasks by only "
+                 "%.1fx on the zero-cost workload (gate: 10x)\n",
+                 task_reduction);
     return 1;
   }
   if (check && faults && zero_fault_overhead > 0.10) {

@@ -52,6 +52,7 @@ void run_registry(const std::vector<Algorithm>& registry, const Tree& t,
                std::string("fault-free run reported completeness ") +
                    completeness_name(out.completeness));
         }
+        if (algo.traits.shared_cache) continue;  // work bounds don't apply
         switch (algo.traits.work_unit) {
           case WorkUnit::kDistinctLeaves:
             if (out.work < certificate || out.work > t.num_leaves()) {

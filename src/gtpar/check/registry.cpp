@@ -56,10 +56,15 @@ RunOutcome run_facade(const SearchRequest& req) {
 /// RunContext) are tolerated: the entry reports the first exact copy, or
 /// the first copy's anytime outcome when none completed.
 RunOutcome run_engine_batch(const SearchRequest& req, unsigned copies,
-                            Engine::Scheduler scheduler, Value sentinel) {
+                            Engine::Scheduler scheduler, Value sentinel,
+                            std::size_t tt_entries = 0) {
   Engine::Options eopt;
   eopt.workers = 4;
   eopt.scheduler = scheduler;
+  // Entries declaring per-search work units run with the shared TT off
+  // (tt_entries 0) so their distinct-leaf counters keep their meaning; the
+  // dedicated tt entry opts in and declares Traits::shared_cache.
+  eopt.tt_entries = tt_entries;
   Engine eng(eopt);
   std::vector<SearchRequest> reqs(copies, req);
   const std::vector<SearchResult> results = eng.run_all(reqs);
@@ -175,9 +180,31 @@ std::vector<Algorithm> build_nor_registry() {
                    auto req = make_request(SearchAlgorithm::kMtParallelSolve, t, src, ctx);
                    req.width = w;
                    req.threads = 4;
+                   req.grain = 1;  // always spawn: keep the cascade machinery under test
                    return run_facade(req);
                  }});
   }
+
+  // Auto grain: the fuzz corpus trees sit below the default ~100us cutoff,
+  // so this entry pins the inline flat-kernel fallthrough of the cascade.
+  r.push_back({"mt-parallel-solve-autograin",
+               {WorkUnit::kDistinctLeaves, true, false},
+               nullptr,
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 auto req = make_request(SearchAlgorithm::kMtParallelSolve, t, src, ctx);
+                 req.threads = 4;
+                 return run_facade(req);
+               }});
+
+  // The flat iterative kernel standalone: must match the recursive
+  // Sequential SOLVE leaf-for-leaf on every tree.
+  r.push_back({"flat-solve",
+               {WorkUnit::kDistinctLeaves, false, false},
+               nullptr,
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 return run_facade(
+                     make_request(SearchAlgorithm::kFlatSolve, t, src, ctx));
+               }});
 
   // Engine-backed variants: the same Mt cascade, but dispatched as batched
   // requests on a shared scheduler. The sentinel 2 is outside the NOR value
@@ -187,6 +214,7 @@ std::vector<Algorithm> build_nor_registry() {
                nullptr,
                [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  auto req = make_request(SearchAlgorithm::kMtParallelSolve, t, src, ctx);
+                 req.grain = 1;
                  return run_engine_batch(req, 3, Engine::Scheduler::kWorkStealing,
                                          /*sentinel=*/2);
                }});
@@ -196,6 +224,7 @@ std::vector<Algorithm> build_nor_registry() {
                nullptr,
                [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  auto req = make_request(SearchAlgorithm::kMtParallelSolve, t, src, ctx);
+                 req.grain = 1;
                  return run_engine_batch(req, 3, Engine::Scheduler::kGlobalQueue,
                                          /*sentinel=*/2);
                }});
@@ -341,9 +370,29 @@ std::vector<Algorithm> build_minimax_registry() {
                    auto req = make_request(SearchAlgorithm::kMtParallelAb, t, src, ctx);
                    req.threads = 4;
                    req.promotion = promotion;
+                   req.grain = 1;  // always spawn: keep the cascade machinery under test
                    return run_facade(req);
                  }});
   }
+
+  // Auto grain: pins the cascade's inline flat-kernel fallthrough.
+  r.push_back({"mt-parallel-ab-autograin",
+               {WorkUnit::kDistinctLeaves, true, false},
+               nullptr,
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 auto req = make_request(SearchAlgorithm::kMtParallelAb, t, src, ctx);
+                 req.threads = 4;
+                 return run_facade(req);
+               }});
+
+  // The flat iterative kernel standalone: must match the recursive
+  // alpha-beta value (and visit a pruning-valid leaf set) on every tree.
+  r.push_back({"flat-ab",
+               {WorkUnit::kDistinctLeaves, false, false},
+               nullptr,
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 return run_facade(make_request(SearchAlgorithm::kFlatAb, t, src, ctx));
+               }});
 
   // Engine-backed variants; kPlusInf is unreachable for tree values, so a
   // cross-copy disagreement fails value checking.
@@ -352,6 +401,7 @@ std::vector<Algorithm> build_minimax_registry() {
                nullptr,
                [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  auto req = make_request(SearchAlgorithm::kMtParallelAb, t, src, ctx);
+                 req.grain = 1;
                  return run_engine_batch(req, 3, Engine::Scheduler::kWorkStealing,
                                          /*sentinel=*/kPlusInf);
                }});
@@ -361,8 +411,24 @@ std::vector<Algorithm> build_minimax_registry() {
                nullptr,
                [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  auto req = make_request(SearchAlgorithm::kMtParallelAb, t, src, ctx);
+                 req.grain = 1;
                  return run_engine_batch(req, 3, Engine::Scheduler::kGlobalQueue,
                                          /*sentinel=*/kPlusInf);
+               }});
+
+  // Shared transposition table across the three concurrent copies: the
+  // copies race probe/store on one table and reuse each other's exact
+  // subtree values. Work bounds don't apply (Traits::shared_cache); the
+  // value must still be exact on every copy.
+  r.push_back({"engine-mt-parallel-ab-tt-x3",
+               {WorkUnit::kOther, true, false, /*shared_cache=*/true},
+               nullptr,
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 auto req = make_request(SearchAlgorithm::kMtParallelAb, t, src, ctx);
+                 req.grain = 1;
+                 return run_engine_batch(req, 3, Engine::Scheduler::kWorkStealing,
+                                         /*sentinel=*/kPlusInf,
+                                         /*tt_entries=*/std::size_t{1} << 14);
                }});
 
   return r;

@@ -72,6 +72,11 @@ struct Traits {
   bool threaded = false;
   /// Consumes the oracle seed (expected value must still match).
   bool randomized = false;
+  /// Runs over a transposition table shared across searches: work bounds do
+  /// not apply (a cross-search hit makes work fall below the certificate;
+  /// replacement-evicted dedup records make it exceed the leaf count). The
+  /// oracle still checks the value and determinism.
+  bool shared_cache = false;
 };
 
 /// One entry of the differential registry.

@@ -10,11 +10,13 @@
 #include "gtpar/ab/minimax_simulator.hpp"
 #include "gtpar/ab/sss.hpp"
 #include "gtpar/ab/tt_search.hpp"
+#include "gtpar/engine/granularity.hpp"
 #include "gtpar/engine/work_stealing.hpp"
 #include "gtpar/expand/minimax_expansion.hpp"
 #include "gtpar/expand/nor_expansion.hpp"
 #include "gtpar/mp/message_passing.hpp"
 #include "gtpar/rand/randomized.hpp"
+#include "gtpar/solve/flat_kernels.hpp"
 #include "gtpar/solve/nor_simulator.hpp"
 #include "gtpar/solve/sequential_solve.hpp"
 #include "gtpar/threads/mt_ab.hpp"
@@ -119,9 +121,15 @@ SearchResult dispatch(const SearchRequest& req, const Tree* t,
       opt.width = req.width;
       opt.leaf_cost_ns = req.leaf_cost_ns;
       opt.cost_model = req.cost_model;
+      opt.grain_ns = req.grain;
       opt.leaf_hook = req.leaf_hook;
       opt.retry = req.retry;
       return from_mt_solve(mt_parallel_solve(*t, opt, *exec, req.limits));
+    }
+    case Algorithm::kFlatSolve: {
+      const FlatSolveRun r = flat_solve(*t);
+      return SearchResult{r.value ? 1 : 0, r.leaves_evaluated,
+                          r.leaves_evaluated, 0, true, {}};
     }
 
     // --- MIN/MAX family. -------------------------------------------------
@@ -180,6 +188,7 @@ SearchResult dispatch(const SearchRequest& req, const Tree* t,
       MtAbOptions opt;
       opt.leaf_cost_ns = req.leaf_cost_ns;
       opt.cost_model = req.cost_model;
+      opt.tt = req.tt;
       opt.leaf_hook = req.leaf_hook;
       opt.retry = req.retry;
       return from_mt_ab(mt_sequential_ab(*t, opt, req.limits));
@@ -191,9 +200,15 @@ SearchResult dispatch(const SearchRequest& req, const Tree* t,
       opt.leaf_cost_ns = req.leaf_cost_ns;
       opt.cost_model = req.cost_model;
       opt.promotion = req.promotion;
+      opt.grain_ns = req.grain;
+      opt.tt = req.tt;
       opt.leaf_hook = req.leaf_hook;
       opt.retry = req.retry;
       return from_mt_ab(mt_parallel_ab(*t, opt, *exec, req.limits));
+    }
+    case Algorithm::kFlatAb: {
+      const FlatAbRun r = flat_alphabeta(*t);
+      return SearchResult{r.value, r.leaves_evaluated, 0, 0, true, {}};
     }
   }
   throw std::invalid_argument("search: unknown algorithm id");
@@ -284,6 +299,7 @@ const char* algorithm_name(Algorithm a) noexcept {
     case Algorithm::kMessagePassingSolve: return "message-passing-solve";
     case Algorithm::kMtSequentialSolve: return "mt-sequential-solve";
     case Algorithm::kMtParallelSolve: return "mt-parallel-solve";
+    case Algorithm::kFlatSolve: return "flat-solve";
     case Algorithm::kMinimax: return "full-minimax";
     case Algorithm::kAlphaBeta: return "alphabeta";
     case Algorithm::kScout: return "scout";
@@ -300,6 +316,7 @@ const char* algorithm_name(Algorithm a) noexcept {
     case Algorithm::kDepthLimitedAb: return "depth-limited-ab";
     case Algorithm::kMtSequentialAb: return "mt-sequential-ab";
     case Algorithm::kMtParallelAb: return "mt-parallel-ab";
+    case Algorithm::kFlatAb: return "flat-ab";
   }
   return "unknown";
 }
@@ -308,6 +325,22 @@ SearchResult search(const SearchRequest& req) {
   const bool needs_exec = req.algorithm == Algorithm::kMtParallelSolve ||
                           req.algorithm == Algorithm::kMtParallelAb;
   if (!needs_exec) return search_impl(req, nullptr);
+  // Whole-workload grain check: when the entire tree is below the spawn
+  // cutoff the cascade runs inline through the flat kernels and never
+  // submits a task — don't pay for spinning up a private scheduler that
+  // would sit idle.
+  if (req.tree != nullptr) {
+    const std::uint32_t cutoff = min_spawn_leaves(
+        default_grain_policy(), req.grain, req.leaf_cost_ns);
+    if (req.tree->num_leaves() < cutoff) {
+      class NullExecutor final : public Executor {
+       public:
+        void submit(std::function<void()> task) override { task(); }
+        unsigned workers() const noexcept override { return 0; }
+      } null_exec;
+      return search_impl(req, &null_exec);
+    }
+  }
   WorkStealingPool pool(std::max(req.threads, 1u));
   return search_impl(req, &pool);
 }

@@ -34,6 +34,8 @@
 
 namespace gtpar {
 
+class TranspositionTable;  // engine/tt.hpp
+
 /// Every search algorithm in the library, NOR/SOLVE family first, then
 /// MIN/MAX. Prefixes follow the paper's naming: plain = leaf-evaluation
 /// lock-step simulators, N- = node-expansion model, R- = randomized,
@@ -51,6 +53,7 @@ enum class Algorithm : std::uint8_t {
   kMessagePassingSolve,   ///< Section 7 processor-per-level (binary trees)
   kMtSequentialSolve,     ///< real-thread sequential baseline
   kMtParallelSolve,       ///< real-thread width-`width` cascade
+  kFlatSolve,             ///< iterative explicit-stack sequential SOLVE
   // MIN/MAX family.
   kMinimax,           ///< full minimax, no pruning
   kAlphaBeta,         ///< sequential alpha-beta
@@ -68,6 +71,7 @@ enum class Algorithm : std::uint8_t {
   kDepthLimitedAb,    ///< depth-limited alpha-beta (`depth_limit`)
   kMtSequentialAb,    ///< real-thread sequential alpha-beta
   kMtParallelAb,      ///< real-thread cascading parallel alpha-beta
+  kFlatAb,            ///< iterative explicit-stack fail-soft alpha-beta
 };
 
 /// True for the MIN/MAX family, false for the NOR/SOLVE family.
@@ -100,6 +104,20 @@ struct SearchRequest {
   /// Simulated leaf-evaluation cost (Mt algorithms).
   std::uint64_t leaf_cost_ns = 0;
   LeafCostModel cost_model = LeafCostModel::kSpin;
+  /// Task granularity for the Mt cascades, in estimated nanoseconds of
+  /// sequential work: a subtree is spawned as a scheduler task only when
+  /// its estimated sequential evaluation time — subtree leaves times
+  /// (calibrated per-leaf kernel cost + leaf_cost_ns) — reaches this
+  /// value; smaller subtrees run inline through the flat kernels.
+  /// 0 = auto (GrainPolicy::min_task_ns, ~100 us); 1 = always spawn
+  /// (scheduler-stress tests and ablations). See engine/granularity.hpp.
+  std::uint64_t grain = 0;
+  /// Shared transposition table for the Mt alpha-beta cores (exact subtree
+  /// values keyed by tree fingerprint + node). Null = the per-search
+  /// private memo. The Engine arms this with its own table so concurrent
+  /// requests share each other's results; the table must outlive the
+  /// search. See engine/tt.hpp.
+  TranspositionTable* tt = nullptr;
   /// Promotion ablation knob (kMtParallelAb).
   bool promotion = true;
   /// Seed for the randomized algorithms.

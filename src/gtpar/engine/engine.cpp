@@ -69,6 +69,9 @@ struct Engine::Impl {
   std::unique_ptr<WorkStealingPool> ws;
   std::unique_ptr<ThreadPool> gq;
   Executor* exec = nullptr;
+  /// Shared transposition table, armed into every Mt alpha-beta request
+  /// whose own tt pointer is null; null when Options::tt_entries == 0.
+  std::unique_ptr<TranspositionTable> tt;
 
   mutable std::mutex mu;
   std::condition_variable idle_cv;
@@ -85,6 +88,8 @@ struct Engine::Impl {
   std::condition_variable wd_cv;
 
   explicit Impl(const Options& o) : opt(o) {
+    if (opt.tt_entries != 0)
+      tt = std::make_unique<TranspositionTable>(opt.tt_entries);
     if (opt.scheduler == Scheduler::kWorkStealing) {
       WorkStealingPool::Options wso;
       wso.threads = opt.workers;
@@ -242,6 +247,12 @@ SearchJob Engine::submit(SearchRequest req) {
   auto st = std::make_shared<SearchJob::State>();
   st->req = std::move(req);
   st->req.limits.cancel = &st->cancel;
+  if (impl_->tt && st->req.tt == nullptr) {
+    // Arm the shared table (ignored by algorithms that don't consume it)
+    // and age the replacement priority of previous submissions' entries.
+    st->req.tt = impl_->tt.get();
+    impl_->tt->new_generation();
+  }
   st->submit_time = Clock::now();
   SearchJob job;
   job.st_ = st;
@@ -320,6 +331,7 @@ EngineStats Engine::stats() const {
     s = impl_->agg;
   }
   if (impl_->ws) s.scheduler = impl_->ws->stats();
+  if (impl_->tt) s.tt = impl_->tt->stats();
   return s;
 }
 

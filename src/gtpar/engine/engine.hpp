@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "gtpar/engine/api.hpp"
+#include "gtpar/engine/tt.hpp"
 #include "gtpar/engine/work_stealing.hpp"
 
 namespace gtpar {
@@ -111,6 +112,9 @@ struct EngineStats {
   std::uint64_t total_faults = 0;
   /// Scheduler counters; all zero under Scheduler::kGlobalQueue.
   WorkStealingStats scheduler{};
+  /// Shared transposition-table counters; all zero when Options::tt_entries
+  /// is 0 (table disabled).
+  TranspositionTable::Stats tt{};
 };
 
 class Engine {
@@ -139,6 +143,12 @@ class Engine {
     /// this long after it started on a worker; 0 = no watchdog. Guards
     /// wait() against hanging on a wedged evaluator.
     std::uint64_t stall_timeout_ns = 0;
+    /// Shared transposition table size (entries, rounded up to a power of
+    /// two; 16 bytes each). Every Mt alpha-beta request whose
+    /// SearchRequest::tt is null is armed with this table, so concurrent
+    /// and repeat searches reuse each other's exact subtree values. 0
+    /// disables the table (per-search private memos, the old behaviour).
+    std::size_t tt_entries = std::size_t{1} << 16;
   };
 
   Engine();  // all-default Options

@@ -1,0 +1,62 @@
+#include "gtpar/engine/granularity.hpp"
+
+#include <chrono>
+
+#include "gtpar/solve/flat_kernels.hpp"
+#include "gtpar/tree/generators.hpp"
+
+namespace gtpar {
+
+namespace {
+
+/// Time the flat SOLVE kernel over a worst-case NOR tree (every leaf is
+/// visited: S(T) = number of leaves). Best-of-3: scheduler noise can only
+/// inflate a rep, so the minimum is the cleanest estimate; a low
+/// base_leaf_ns errs toward spawning slightly more, the safe direction
+/// for utilisation.
+double measure_base_leaf_ns() {
+  const Tree t = make_worst_case_nor(2, 12, /*root_value=*/false);  // 4096 leaves
+  // Warm up the thread-local scratch and the cache.
+  (void)flat_solve(t);
+  double best = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const FlatSolveRun run = flat_solve(t);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) /
+        static_cast<double>(run.leaves_evaluated ? run.leaves_evaluated : 1);
+    if (ns < best) best = ns;
+  }
+  // Clamp to a sane band: sub-ns would mean the timer lied, >1us means the
+  // machine is badly oversubscribed — neither should poison the policy.
+  if (best < 1.0) best = 1.0;
+  if (best > 1000.0) best = 1000.0;
+  return best;
+}
+
+}  // namespace
+
+const GrainPolicy& default_grain_policy() {
+  static const GrainPolicy policy = [] {
+    GrainPolicy p;
+    p.base_leaf_ns = measure_base_leaf_ns();
+    return p;
+  }();
+  return policy;
+}
+
+std::uint32_t min_spawn_leaves(const GrainPolicy& policy, std::uint64_t grain_ns,
+                               std::uint64_t leaf_cost_ns) noexcept {
+  const std::uint64_t target = grain_ns == 0 ? policy.min_task_ns : grain_ns;
+  const double per_leaf =
+      policy.base_leaf_ns + static_cast<double>(leaf_cost_ns);
+  const double leaves = static_cast<double>(target) / per_leaf;
+  if (leaves <= 1.0) return 1;
+  if (leaves >= 4294967295.0) return 4294967295u;
+  return static_cast<std::uint32_t>(leaves + 0.999999);
+}
+
+}  // namespace gtpar

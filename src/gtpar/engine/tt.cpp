@@ -1,0 +1,82 @@
+#include "gtpar/engine/tt.hpp"
+
+namespace gtpar {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TranspositionTable::TranspositionTable(std::size_t entries) {
+  const std::size_t cap = round_up_pow2(entries);
+  slots_ = std::make_unique<Entry[]>(cap);
+  mask_ = cap - 1;
+}
+
+bool TranspositionTable::probe(std::uint64_t key, Value& out) noexcept {
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  const Entry& e = slots_[key & mask_];
+  // Read order doesn't matter: any torn / mismatched pair fails the
+  // checksum. Relaxed is sufficient — the value is validated by content,
+  // not by happens-before (a stale-but-consistent pair is a correct hit,
+  // since only exact values are ever stored).
+  const std::uint64_t check = e.check.load(std::memory_order_relaxed);
+  const std::uint64_t data = e.data.load(std::memory_order_relaxed);
+  if ((data & kPresent) == 0) return false;
+  if ((check ^ data) != key) {
+    collisions_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  out = unpack_value(data);
+  return true;
+}
+
+void TranspositionTable::store(std::uint64_t key, Value value,
+                               std::uint32_t weight) noexcept {
+  Entry& e = slots_[key & mask_];
+  const std::uint8_t gen = gen_.load(std::memory_order_relaxed);
+  const std::uint64_t data = pack(value, weight, gen);
+
+  const std::uint64_t old_data = e.data.load(std::memory_order_relaxed);
+  if ((old_data & kPresent) != 0 && unpack_gen(old_data) == gen &&
+      unpack_weight(old_data) > unpack_weight(data)) {
+    // Depth-preferred: a heavier same-generation incumbent survives. The
+    // incumbent may be a different key — that's the policy working, not a
+    // bug: the heavier subtree costs more to recompute.
+    kept_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Two plain stores; a concurrent probe of a half-written pair fails the
+  // checksum and misses. Concurrent stores to the same slot can interleave
+  // into a mismatched pair, which likewise reads as a miss until the next
+  // store — safe, merely a lost entry.
+  e.check.store(key ^ data, std::memory_order_relaxed);
+  e.data.store(data, std::memory_order_relaxed);
+  stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TranspositionTable::clear() noexcept {
+  const std::size_t cap = mask_ + 1;
+  for (std::size_t i = 0; i < cap; ++i) {
+    slots_[i].check.store(0, std::memory_order_relaxed);
+    slots_[i].data.store(0, std::memory_order_relaxed);
+  }
+}
+
+TranspositionTable::Stats TranspositionTable::stats() const noexcept {
+  Stats s;
+  s.probes = probes_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  s.collisions = collisions_.load(std::memory_order_relaxed);
+  s.kept = kept_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace gtpar

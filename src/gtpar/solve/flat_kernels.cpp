@@ -1,0 +1,66 @@
+#include "gtpar/solve/flat_kernels.hpp"
+
+namespace gtpar {
+
+namespace detail {
+
+FlatScratch& flat_scratch() noexcept {
+  thread_local FlatScratch scratch;
+  return scratch;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Trivial context for the standalone kernels: no memo, no cancellation,
+/// count leaves. Left-to-right short-circuit evaluation means the SOLVE
+/// leaf count equals S(T) and the alpha-beta leaf set equals the recursive
+/// sequential alpha-beta's.
+struct CountingSolveCtx {
+  const Tree& t;
+  std::uint64_t leaves = 0;
+  int lookup(NodeId) const noexcept { return -1; }
+  void store(NodeId, bool) const noexcept {}
+  bool leaf(NodeId v, bool& out) noexcept {
+    ++leaves;
+    out = t.leaf_value(v) != 0;
+    return true;
+  }
+  bool stop() const noexcept { return false; }
+};
+
+struct CountingAbCtx {
+  const Tree& t;
+  std::uint64_t leaves = 0;
+  bool probe(NodeId, Value&) const noexcept { return false; }
+  void store(NodeId, Value) const noexcept {}
+  bool leaf(NodeId v, Value& out) noexcept {
+    ++leaves;
+    out = t.leaf_value(v);
+    return true;
+  }
+  bool stop() const noexcept { return false; }
+};
+
+}  // namespace
+
+FlatSolveRun flat_solve(const Tree& t) {
+  CountingSolveCtx ctx{t};
+  bool ok = true;
+  FlatSolveRun run;
+  run.value = flat_solve_core(t, t.root(), ctx, ok);
+  run.leaves_evaluated = ctx.leaves;
+  return run;
+}
+
+FlatAbRun flat_alphabeta(const Tree& t, Value alpha, Value beta) {
+  CountingAbCtx ctx{t};
+  bool exact = false;
+  FlatAbRun run;
+  run.value = flat_ab_core(t, t.root(), alpha, beta, nullptr, true, ctx, exact);
+  run.leaves_evaluated = ctx.leaves;
+  return run;
+}
+
+}  // namespace gtpar

@@ -1,0 +1,323 @@
+// gtpar/solve/flat_kernels.hpp
+//
+// Flat iterative sequential kernels: explicit-stack, allocation-free (the
+// frame stack is reused thread-locally) left-to-right SOLVE and fail-soft
+// alpha-beta over the Tree arena. The inner loops are plain index
+// arithmetic on the arena's hot arrays (Tree::HotView) — no recursion, no
+// std::function, no per-node span construction.
+//
+// These kernels are the *sequential floor* of the real-thread cascades
+// (threads/mt_solve.cpp, threads/mt_ab.cpp): every scout task and every
+// below-grain-cutoff subtree (engine/granularity.hpp) runs one of them.
+// They are templated on a small context so the mt cores can plug in their
+// shared memo / transposition table, leaf-cost model and cancellation
+// without paying an indirect call per node:
+//
+//   NOR SOLVE context                     alpha-beta context
+//   -----------------                     ------------------
+//   int  lookup(NodeId)  // -1/0/1        bool probe(NodeId, Value&)
+//   void store(NodeId, bool)              void store(NodeId, Value)  // exact only
+//   bool leaf(NodeId, bool&)              bool leaf(NodeId, Value&)
+//   bool stop()                           bool stop()
+//
+// leaf() returns false when the search must stop (cancellation, budget,
+// permanent fault) — the kernel unwinds immediately and reports !ok, and
+// no truncated value is ever stored. stop() is polled at node granularity.
+//
+// The standalone entry points flat_solve / flat_alphabeta (flat_kernels.cpp)
+// run the same cores with a trivial counting context; they are registered
+// in the differential registry so the oracle and fuzzer cross-check the
+// iterative kernels against the recursive references on every tree.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "gtpar/common.hpp"
+#include "gtpar/tree/tree.hpp"
+
+namespace gtpar {
+
+namespace detail {
+
+/// Reusable frame stacks. One pair per thread: kernels never run nested on
+/// one thread (a scout is a leaf task; the spine calls the kernel only as
+/// its sequential floor), so a thread-local scratch is safe and keeps the
+/// steady state allocation-free.
+struct FlatScratch {
+  struct SolveFrame {
+    NodeId v;
+    std::uint32_t next;
+  };
+  struct AbFrame {
+    NodeId v;
+    std::uint32_t next;
+    Value alpha;
+    Value beta;
+    Value best;
+    bool maxing;
+    bool all_exact;
+  };
+  std::vector<SolveFrame> solve;
+  std::vector<AbFrame> ab;
+  /// Re-entrancy sentinel: the kernels never nest on one thread (scouts
+  /// are leaf tasks and the spines call a kernel only as their sequential
+  /// floor, never from inside one), so the thread-local stacks are safe to
+  /// reuse. Asserted in debug builds.
+  bool in_use = false;
+};
+
+FlatScratch& flat_scratch() noexcept;
+
+/// Debug-only nesting guard (no-op members in release builds).
+struct ScratchGuard {
+  explicit ScratchGuard(FlatScratch& s) noexcept : s_(s) {
+    assert(!s_.in_use && "flat kernel re-entered on one thread");
+    s_.in_use = true;
+  }
+  ~ScratchGuard() { s_.in_use = false; }
+  ScratchGuard(const ScratchGuard&) = delete;
+  ScratchGuard& operator=(const ScratchGuard&) = delete;
+
+ private:
+  FlatScratch& s_;
+};
+
+}  // namespace detail
+
+/// Iterative left-to-right SOLVE of the subtree rooted at `root`.
+/// Semantics are identical to the recursive memoising solver: a node is 1
+/// iff all children are 0 (NOR), children are visited left to right with
+/// short-circuit on the first 1-child, and every *completed* subtree value
+/// is stored through the context. Returns the subtree value; `ok` is false
+/// if the run was stopped mid-way (the value is then meaningless and
+/// nothing truncated was stored).
+template <class Ctx>
+bool flat_solve_core(const Tree& t, NodeId root, Ctx& ctx, bool& ok) {
+  const Tree::HotView h = t.hot_view();
+  detail::FlatScratch& scratch = detail::flat_scratch();
+  const detail::ScratchGuard guard(scratch);
+  auto& stack = scratch.solve;
+  stack.clear();
+  ok = true;
+
+  // `ret` carries the value of the last completed subtree up the stack.
+  bool ret = false;
+  {
+    const int cached = ctx.lookup(root);
+    if (cached >= 0) return cached != 0;
+  }
+  stack.push_back({root, 0});
+  while (!stack.empty()) {
+    auto& f = stack.back();
+    if (f.next == 0) {
+      // First entry of f.v (cache already consulted before pushing).
+      if (ctx.stop()) {
+        ok = false;
+        return false;
+      }
+      if (h.child_count[f.v] == 0) {
+        bool out = false;
+        if (!ctx.leaf(f.v, out)) {
+          ok = false;
+          return false;
+        }
+        ret = out;
+        stack.pop_back();
+        continue;
+      }
+    } else {
+      // Returning from child f.next - 1.
+      if (ctx.stop()) {
+        ok = false;
+        return false;
+      }
+      if (ret) {
+        // A 1-child settles the NOR node to 0 (short-circuit).
+        ctx.store(f.v, false);
+        ret = false;
+        stack.pop_back();
+        continue;
+      }
+    }
+    if (f.next == h.child_count[f.v]) {
+      // All children 0: the NOR node is 1.
+      ctx.store(f.v, true);
+      ret = true;
+      stack.pop_back();
+      continue;
+    }
+    const NodeId c = h.children[h.child_begin[f.v] + f.next];
+    ++f.next;
+    const int cached = ctx.lookup(c);
+    if (cached >= 0) {
+      ret = cached != 0;
+      // Feed the memoised value through the merge path on the next spin:
+      // emulate "returned from child" by leaving f on top. The merge code
+      // runs because f.next > 0 now.
+      if (ret) {
+        ctx.store(f.v, false);
+        ret = false;
+        stack.pop_back();
+      } else if (f.next == h.child_count[f.v]) {
+        ctx.store(f.v, true);
+        ret = true;
+        stack.pop_back();
+      }
+      continue;
+    }
+    stack.push_back({c, 0});
+  }
+  return ret;
+}
+
+/// Iterative fail-soft alpha-beta of the subtree rooted at `root` under
+/// window (alpha, beta). Mirrors the recursive mt_ab sequential scout
+/// exactly: an optional dynamic bound published by a spawning spine is
+/// re-read at every node entry (`dyn`/`dyn_is_alpha`), exact subtree
+/// values are probed/stored through the context, and a stop unwinds
+/// without storing. On return `exact` is true iff the value is the true
+/// minimax value of the subtree (no cutoff at or below it, and no stop).
+template <class Ctx>
+Value flat_ab_core(const Tree& t, NodeId root, Value alpha0, Value beta0,
+                   const std::atomic<Value>* dyn, bool dyn_is_alpha, Ctx& ctx,
+                   bool& exact) {
+  const Tree::HotView h = t.hot_view();
+  detail::FlatScratch& scratch = detail::flat_scratch();
+  const detail::ScratchGuard guard(scratch);
+  auto& stack = scratch.ab;
+  stack.clear();
+  exact = false;
+
+  Value ret = 0;       // value of the last completed child
+  bool ret_exact = false;
+
+  // Entering a node: probe / clamp / descend-or-evaluate. Returns true if
+  // the node resolved immediately (ret/ret_exact set), false if a frame
+  // was pushed. Sets `stopped` when the search must unwind.
+  // (Hand-inlined below twice — root entry and child descent — to keep the
+  // loop allocation- and lambda-free.)
+
+  // Root entry.
+  {
+    if (ctx.stop()) return 0;
+    Value cached;
+    if (ctx.probe(root, cached)) {
+      exact = true;
+      return cached;
+    }
+    Value a = alpha0, b = beta0;
+    if (dyn != nullptr) {
+      const Value d = dyn->load(std::memory_order_relaxed);
+      if (dyn_is_alpha)
+        a = a > d ? a : d;
+      else
+        b = b < d ? b : d;
+      if (a >= b) return dyn_is_alpha ? a : b;  // dead window
+    }
+    if (h.child_count[root] == 0) {
+      Value out;
+      if (!ctx.leaf(root, out)) return 0;
+      exact = true;
+      return out;
+    }
+    const bool maxing = (h.depth[root] % 2) == 0;
+    stack.push_back({root, 0, a, b, maxing ? kMinusInf : kPlusInf, maxing, true});
+  }
+
+  while (!stack.empty()) {
+    auto& f = stack.back();
+    if (f.next > 0) {
+      // Merge the completed child into f.
+      if (ctx.stop()) {
+        exact = false;
+        return 0;
+      }
+      f.all_exact = f.all_exact && ret_exact;
+      if (f.maxing) {
+        if (ret > f.best) f.best = ret;
+        if (f.best > f.alpha) f.alpha = f.best;
+      } else {
+        if (ret < f.best) f.best = ret;
+        if (f.best < f.beta) f.beta = f.best;
+      }
+      if (f.alpha >= f.beta) {
+        // Cutoff: fail-soft return, not exact, never stored.
+        ret = f.best;
+        ret_exact = false;
+        stack.pop_back();
+        continue;
+      }
+    }
+    if (f.next == h.child_count[f.v]) {
+      ret = f.best;
+      ret_exact = f.all_exact;
+      if (f.all_exact) ctx.store(f.v, f.best);
+      stack.pop_back();
+      continue;
+    }
+    const NodeId c = h.children[h.child_begin[f.v] + f.next];
+    ++f.next;
+
+    // Child entry (mirrors the root entry above).
+    if (ctx.stop()) {
+      exact = false;
+      return 0;
+    }
+    Value cached;
+    if (ctx.probe(c, cached)) {
+      ret = cached;
+      ret_exact = true;
+      continue;
+    }
+    Value a = f.alpha, b = f.beta;
+    if (dyn != nullptr) {
+      const Value d = dyn->load(std::memory_order_relaxed);
+      if (dyn_is_alpha)
+        a = a > d ? a : d;
+      else
+        b = b < d ? b : d;
+      if (a >= b) {
+        ret = dyn_is_alpha ? a : b;
+        ret_exact = false;
+        continue;
+      }
+    }
+    if (h.child_count[c] == 0) {
+      Value out;
+      if (!ctx.leaf(c, out)) {
+        exact = false;
+        return 0;
+      }
+      ret = out;
+      ret_exact = true;
+      continue;
+    }
+    const bool maxing = (h.depth[c] % 2) == 0;
+    stack.push_back({c, 0, a, b, maxing ? kMinusInf : kPlusInf, maxing, true});
+  }
+  exact = ret_exact;
+  return ret;
+}
+
+/// Standalone flat SOLVE: value + leaves evaluated. Evaluates exactly the
+/// leaf sequence of Sequential SOLVE (S-SOLVE), so its work equals S(T).
+struct FlatSolveRun {
+  bool value = false;
+  std::uint64_t leaves_evaluated = 0;
+};
+FlatSolveRun flat_solve(const Tree& t);
+
+/// Standalone flat fail-soft alpha-beta over the full window: exact root
+/// value + distinct leaves evaluated (identical to the recursive
+/// sequential alpha-beta's leaf set).
+struct FlatAbRun {
+  Value value = 0;
+  std::uint64_t leaves_evaluated = 0;
+};
+FlatAbRun flat_alphabeta(const Tree& t, Value alpha = kMinusInf,
+                         Value beta = kPlusInf);
+
+}  // namespace gtpar

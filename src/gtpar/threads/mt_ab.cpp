@@ -8,6 +8,9 @@
 #include <vector>
 
 #include "gtpar/engine/api.hpp"
+#include "gtpar/engine/granularity.hpp"
+#include "gtpar/engine/tt.hpp"
+#include "gtpar/solve/flat_kernels.hpp"
 
 namespace gtpar {
 namespace {
@@ -35,20 +38,34 @@ struct AbShared {
   /// leaf fault is observed.
   std::atomic<bool> stop_flag{false};
   std::chrono::steady_clock::time_point deadline{};
-  /// Exact-value memo, one slot per node: bit 40 marks presence, the low
-  /// 32 bits hold the value. Only *exact* minimax values are stored (a
-  /// value computed without any cutoff below it), so a hit is usable under
-  /// any window. This is what makes promotion (abort scout, re-search in
-  /// parallel) cheap: the re-search walks the scout's completed subtrees
-  /// out of the cache instead of re-paying their leaves.
+  /// Private exact-value memo, one slot per node: bit 40 marks presence,
+  /// the low 32 bits hold the value. Only *exact* minimax values are
+  /// stored (a value computed without any cutoff below it), so a hit is
+  /// usable under any window. This is what makes promotion (abort scout,
+  /// re-search in parallel) cheap: the re-search walks the scout's
+  /// completed subtrees out of the cache instead of re-paying their
+  /// leaves. Empty when a shared TranspositionTable is supplied — the TT
+  /// then plays the memo's role across every search sharing it.
   std::vector<std::atomic<std::int64_t>> memo;
+  /// Shared TT (null = private memo) and the tree's content fingerprint
+  /// for its keys.
+  TranspositionTable* tt;
+  std::uint64_t fp = 0;
+  /// Grain cutoff: sibling subtrees with fewer leaves are never scouted.
+  std::uint32_t min_spawn;
+  /// Never-set cancel flag for inline flat runs on the spine.
+  std::atomic<bool> never{false};
 
   static constexpr std::int64_t kHasBit = std::int64_t{1} << 40;
 
   AbShared(const Tree& tree, const MtAbOptions& options, Executor& executor,
            const SearchLimits& lim)
-      : t(tree), opt(options), exec(executor), limits(lim), memo(tree.size()) {
+      : t(tree), opt(options), exec(executor), limits(lim),
+        memo(options.tt == nullptr ? tree.size() : 0), tt(options.tt),
+        min_spawn(min_spawn_leaves(default_grain_policy(), options.grain_ns,
+                                   options.leaf_cost_ns)) {
     for (auto& m : memo) m.store(0, std::memory_order_relaxed);
+    if (tt != nullptr) fp = tree.fingerprint();
     if (limits.budget_ns != 0)
       deadline = std::chrono::steady_clock::now() +
                  std::chrono::nanoseconds(limits.budget_ns);
@@ -67,6 +84,7 @@ struct AbShared {
   }
 
   bool memo_lookup(NodeId v, Value& out) const {
+    if (tt != nullptr) return tt->probe(TranspositionTable::node_key(fp, v), out);
     const std::int64_t e = memo[v].load(std::memory_order_acquire);
     if (!(e & kHasBit)) return false;
     out = static_cast<Value>(static_cast<std::uint32_t>(e & 0xFFFFFFFFll));
@@ -74,6 +92,10 @@ struct AbShared {
   }
 
   void memo_store(NodeId v, Value val) {
+    if (tt != nullptr) {
+      tt->store(TranspositionTable::node_key(fp, v), val, t.subtree_leaves(v));
+      return;
+    }
     memo[v].store(kHasBit | static_cast<std::uint32_t>(val),
                   std::memory_order_release);
   }
@@ -103,80 +125,56 @@ struct AbShared {
     }
   }
 
-  /// Evaluate a leaf through the memo: concurrent threads may both pay the
-  /// cost (racing on the same leaf is rare), but the count is per distinct
-  /// leaf and promotions re-read it for free.
-  Value eval_leaf(NodeId leaf) {
-    Value cached;
-    if (memo_lookup(leaf, cached)) return cached;
-    if (poll_stop()) return 0;
-    if (opt.leaf_hook != nullptr && !run_leaf_hook(leaf)) return 0;
+  /// Evaluate a leaf through the memo. Returns false on stop; `out`
+  /// carries the value on success. With the private memo the CAS dedups
+  /// the count (distinct leaves); with a shared TT, replacement may evict
+  /// the record, so every paid evaluation counts — multiplicity, the real
+  /// cost.
+  bool eval_leaf(NodeId leaf, Value& out) {
+    if (memo_lookup(leaf, out)) return true;
+    if (poll_stop()) return false;
+    if (opt.leaf_hook != nullptr && !run_leaf_hook(leaf)) return false;
     pay_leaf_cost(opt.leaf_cost_ns, opt.cost_model);
     const Value v = t.leaf_value(leaf);
-    std::int64_t expected = 0;
-    if (memo[leaf].compare_exchange_strong(
-            expected, kHasBit | static_cast<std::uint32_t>(v),
-            std::memory_order_release, std::memory_order_acquire)) {
+    if (tt != nullptr) {
+      tt->store(TranspositionTable::node_key(fp, leaf), v, 1);
       leaf_evals.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::int64_t expected = 0;
+      if (memo[leaf].compare_exchange_strong(
+              expected, kHasBit | static_cast<std::uint32_t>(v),
+              std::memory_order_release, std::memory_order_acquire)) {
+        leaf_evals.fetch_add(1, std::memory_order_relaxed);
+      }
     }
-    return v;
+    out = v;
+    return true;
+  }
+};
+
+/// Adapts the shared memo/TT, cost model and cancellation to the flat
+/// alpha-beta kernel's context interface (solve/flat_kernels.hpp).
+struct AbCtx {
+  AbShared& sh;
+  const std::atomic<bool>& cancel;
+  bool probe(NodeId v, Value& out) const { return sh.memo_lookup(v, out); }
+  void store(NodeId v, Value val) const { sh.memo_store(v, val); }
+  bool leaf(NodeId v, Value& out) const { return sh.eval_leaf(v, out); }
+  bool stop() const {
+    return cancel.load(std::memory_order_relaxed) || sh.stopped();
   }
 };
 
 /// Sequential fail-soft alpha-beta with a dynamic bound published by the
 /// spawning spine (re-read at every node entry), cancellation, and exact
-/// memoisation. `exact` is set iff the returned value is the true minimax
-/// value of the subtree (no cutoff occurred at or below v).
+/// memoisation: the flat iterative kernel plugged into the shared state.
+/// `exact` is set iff the returned value is the true minimax value of the
+/// subtree (no cutoff occurred at or below v).
 Value seq_ab(AbShared& sh, NodeId v, Value alpha, Value beta,
              const std::atomic<Value>* dyn, bool dyn_is_alpha,
              const std::atomic<bool>& cancel, bool& exact) {
-  exact = false;
-  if (cancel.load(std::memory_order_relaxed) || sh.stopped()) return 0;
-  {
-    Value cached;
-    if (sh.memo_lookup(v, cached)) {
-      exact = true;
-      return cached;
-    }
-  }
-  if (dyn) {
-    const Value b = dyn->load(std::memory_order_relaxed);
-    if (dyn_is_alpha)
-      alpha = std::max(alpha, b);
-    else
-      beta = std::min(beta, b);
-    if (alpha >= beta) return dyn_is_alpha ? alpha : beta;  // dead window
-  }
-  if (sh.t.is_leaf(v)) {
-    exact = true;
-    return sh.eval_leaf(v);
-  }
-  const bool maxing = node_kind(sh.t, v) == NodeKind::Max;
-  Value best = maxing ? kMinusInf : kPlusInf;
-  bool all_exact = true;
-  bool cut = false;
-  for (NodeId c : sh.t.children(v)) {
-    bool child_exact = false;
-    const Value x = seq_ab(sh, c, alpha, beta, dyn, dyn_is_alpha, cancel, child_exact);
-    if (cancel.load(std::memory_order_relaxed) || sh.stopped()) return 0;
-    all_exact = all_exact && child_exact;
-    if (maxing) {
-      best = std::max(best, x);
-      alpha = std::max(alpha, best);
-    } else {
-      best = std::min(best, x);
-      beta = std::min(beta, best);
-    }
-    if (alpha >= beta) {
-      cut = true;
-      break;
-    }
-  }
-  if (!cut && all_exact) {
-    exact = true;
-    sh.memo_store(v, best);
-  }
-  return best;
+  AbCtx ctx{sh, cancel};
+  return flat_ab_core(sh.t, v, alpha, beta, dyn, dyn_is_alpha, ctx, exact);
 }
 
 /// Completion latch with queue-steal, as in mt_solve.cpp.
@@ -215,9 +213,16 @@ Value pab(AbShared& sh, NodeId v, Value alpha, Value beta, bool& exact) {
       return cached;
     }
   }
+  // Adaptive granularity: a subtree too small to repay a scheduler round
+  // trip runs inline through the flat iterative kernel (this also covers
+  // leaves under any cutoff > 1).
+  if (sh.t.subtree_leaves(v) < sh.min_spawn)
+    return seq_ab(sh, v, alpha, beta, nullptr, true, sh.never, exact);
   if (sh.t.is_leaf(v)) {
+    Value out = 0;
+    if (!sh.eval_leaf(v, out)) return 0;
     exact = true;
-    return sh.eval_leaf(v);
+    return out;
   }
   const bool maxing = node_kind(sh.t, v) == NodeKind::Max;
   const auto children = sh.t.children(v);
@@ -271,9 +276,20 @@ Value pab(AbShared& sh, NodeId v, Value alpha, Value beta, bool& exact) {
     // `exact` stays false, so no ancestor memoises a truncated value.
     if (sh.stopped()) return best;
     // Scouts on the next `width` siblings; the spine joins them in order.
+    // Grain gating: scouts[0] must be children[i+1] (the promotion target),
+    // so when that sibling is below the cutoff no scouts launch this round
+    // and the spine folds it in sequentially; further-right below-cutoff
+    // siblings are merely skipped (extra scouts only warm the memo).
     std::vector<std::shared_ptr<AbScout>> scouts;
-    for (std::size_t j = i + 1; j < children.size() && scouts.size() < width; ++j)
-      scouts.push_back(launch_scout(children[j], alpha, beta));
+    if (i + 1 < children.size() &&
+        sh.t.subtree_leaves(children[i + 1]) >= sh.min_spawn) {
+      for (std::size_t j = i + 1; j < children.size() && scouts.size() < width;
+           ++j) {
+        if (j > i + 1 && sh.t.subtree_leaves(children[j]) < sh.min_spawn)
+          continue;
+        scouts.push_back(launch_scout(children[j], alpha, beta));
+      }
+    }
     const bool have_scout = !scouts.empty();
     const std::shared_ptr<AbScout> scout = have_scout ? scouts[0] : nullptr;
     auto cancel_extra_scouts = [&](std::size_t from) {
@@ -420,6 +436,8 @@ MtAbResult mt_parallel_ab(const Tree& t, const MtAbOptions& opt) {
   req.leaf_cost_ns = opt.leaf_cost_ns;
   req.cost_model = opt.cost_model;
   req.promotion = opt.promotion;
+  req.grain = opt.grain_ns;
+  req.tt = opt.tt;
   req.leaf_hook = opt.leaf_hook;
   req.retry = opt.retry;
   return ab_from_search_result(search(req));

@@ -29,6 +29,8 @@
 
 namespace gtpar {
 
+class TranspositionTable;  // engine/tt.hpp
+
 struct MtAbOptions {
   /// Ignored by the Executor-taking core (the scheduler's size rules).
   unsigned threads = 4;
@@ -43,6 +45,18 @@ struct MtAbOptions {
   bool promotion = true;
   /// Scouts launched per level (1 = the paper's width-1 cascade).
   unsigned width = 1;
+  /// Adaptive task granularity: minimum estimated sequential work (ns) for
+  /// a sibling subtree to be scouted as a scheduler task; smaller subtrees
+  /// are folded into the spine and run inline through the flat iterative
+  /// kernel. 0 = auto-calibrated (engine/granularity.hpp); 1 = always
+  /// spawn.
+  std::uint64_t grain_ns = 0;
+  /// Shared transposition table (engine/tt.hpp) replacing the per-search
+  /// exact-value memo: concurrent and subsequent searches reuse each
+  /// other's completed subtrees, keyed by tree fingerprint + node. Null =
+  /// private memo. With a TT, leaf_evaluations counts evaluations with
+  /// multiplicity (replacement may evict the dedup record).
+  TranspositionTable* tt = nullptr;
   /// Evaluator hook run once per leaf-evaluation attempt (fault injection,
   /// externalised evaluation); a throw is retried per `retry`, then
   /// latches a stop and the result degrades to an anytime bound.

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "gtpar/engine/api.hpp"
+#include "gtpar/engine/granularity.hpp"
+#include "gtpar/solve/flat_kernels.hpp"
 
 namespace gtpar {
 namespace {
@@ -41,10 +43,17 @@ struct Shared {
   /// leaf fault is observed.
   std::atomic<bool> stop{false};
   std::chrono::steady_clock::time_point deadline{};
+  /// Grain cutoff: subtrees with fewer leaves run inline (never scouted).
+  std::uint32_t min_spawn;
+  /// The spine's never-set cancel flag (inline flat runs are uncancellable
+  /// below scout granularity; the latched stop still applies).
+  std::atomic<bool> never{false};
 
   Shared(const Tree& tree, const MtSolveOptions& options, Executor& executor,
          const SearchLimits& lim)
-      : t(tree), opt(options), exec(executor), limits(lim), val(tree.size()) {
+      : t(tree), opt(options), exec(executor), limits(lim), val(tree.size()),
+        min_spawn(min_spawn_leaves(default_grain_policy(), options.grain_ns,
+                                   options.leaf_cost_ns)) {
     for (auto& v : val) v.store(kUnknown, std::memory_order_relaxed);
     if (limits.budget_ns != 0)
       deadline = std::chrono::steady_clock::now() +
@@ -92,9 +101,14 @@ struct Shared {
   }
 
   /// Evaluate a leaf (cache-aware; the spin models the evaluation cost).
-  bool eval_leaf(NodeId leaf) {
+  /// Returns false on stop (cancellation/deadline/permanent fault); `out`
+  /// carries the leaf value on success.
+  bool eval_leaf(NodeId leaf, bool& out) {
     const std::int8_t cached = val[leaf].load(std::memory_order_acquire);
-    if (cached != kUnknown) return cached != 0;
+    if (cached != kUnknown) {
+      out = cached != 0;
+      return true;
+    }
     if (poll_stop()) return false;
     if (opt.leaf_hook != nullptr && !run_leaf_hook(leaf)) return false;
     pay_leaf_cost(opt.leaf_cost_ns, opt.cost_model);
@@ -104,9 +118,11 @@ struct Shared {
                                           std::memory_order_release,
                                           std::memory_order_acquire)) {
       leaf_evals.fetch_add(1, std::memory_order_relaxed);
-      return b;
+      out = b;
+    } else {
+      out = expected != 0;  // another thread beat us to it
     }
-    return expected != 0;  // another thread beat us to it
+    return true;
   }
 
   void store(NodeId v, bool b) {
@@ -117,26 +133,32 @@ struct Shared {
 
   std::int8_t lookup(NodeId v) const { return val[v].load(std::memory_order_acquire); }
 
-  /// Sequential left-to-right SOLVE with memoisation and cancellation.
-  /// Returns the subtree value; meaningless if cancelled mid-way (callers
-  /// check the flag). Completed subtree values are always memoised.
-  bool ssolve(NodeId v, const std::atomic<bool>& cancel) {
-    const std::int8_t cached = lookup(v);
-    if (cached != kUnknown) return cached != 0;
-    if (cancel.load(std::memory_order_relaxed) || stopped()) return false;
-    if (t.is_leaf(v)) return eval_leaf(v);
-    for (NodeId c : t.children(v)) {
-      const bool r = ssolve(c, cancel);
-      if (cancel.load(std::memory_order_relaxed) || stopped()) return false;
-      if (r) {
-        store(v, false);
-        return false;
-      }
-    }
-    store(v, true);
-    return true;
+  /// Sequential left-to-right SOLVE with memoisation and cancellation:
+  /// the flat iterative kernel plugged into the shared memo. Returns the
+  /// subtree value; meaningless if cancelled mid-way (callers check the
+  /// flag). Completed subtree values are always memoised.
+  bool ssolve(NodeId v, const std::atomic<bool>& cancel);
+};
+
+/// Adapts the Shared memo / cost model / cancellation to the flat kernel's
+/// context interface (solve/flat_kernels.hpp). All calls inline; the hot
+/// loop stays free of indirect calls.
+struct SolveCtx {
+  Shared& sh;
+  const std::atomic<bool>& cancel;
+  int lookup(NodeId v) const { return sh.lookup(v); }  // kUnknown == -1
+  void store(NodeId v, bool b) const { sh.store(v, b); }
+  bool leaf(NodeId v, bool& out) const { return sh.eval_leaf(v, out); }
+  bool stop() const {
+    return cancel.load(std::memory_order_relaxed) || sh.stopped();
   }
 };
+
+bool Shared::ssolve(NodeId v, const std::atomic<bool>& cancel) {
+  SolveCtx ctx{*this, cancel};
+  bool ok = true;
+  return flat_solve_core(t, v, ctx, ok);
+}
 
 /// A scout running on the scheduler: sequential SOLVE of one sibling
 /// subtree with its own abort flag and a claim/completion latch. The claim
@@ -175,7 +197,15 @@ bool psolve(Shared& sh, NodeId v) {
     const std::int8_t cached = sh.lookup(v);
     if (cached != kUnknown) return cached != 0;
   }
-  if (sh.t.is_leaf(v)) return sh.eval_leaf(v);
+  // Adaptive granularity: a subtree too small to repay a scheduler round
+  // trip runs inline through the flat iterative kernel — the cascade's
+  // sequential floor.
+  if (sh.t.subtree_leaves(v) < sh.min_spawn) return sh.ssolve(v, sh.never);
+  if (sh.t.is_leaf(v)) {
+    bool out = false;
+    sh.eval_leaf(v, out);
+    return out;
+  }
 
   const auto children = sh.t.children(v);
   while (true) {
@@ -213,6 +243,9 @@ bool psolve(Shared& sh, NodeId v) {
          i < children.size() && scouts.size() < sh.opt.width; ++i) {
       const NodeId scout_child = children[i];
       if (sh.lookup(scout_child) != kUnknown) continue;
+      // Below-grain siblings are not worth a task: the spine will fold
+      // them into its own flat run when it reaches them.
+      if (sh.t.subtree_leaves(scout_child) < sh.min_spawn) continue;
       auto scout = std::make_shared<Scout>();
       sh.exec.submit([&sh, scout, scout_child] {
         if (!scout->claim()) return;  // stolen by the joining spine
@@ -335,6 +368,7 @@ MtSolveResult mt_parallel_solve(const Tree& t, const MtSolveOptions& opt) {
   req.width = opt.width;
   req.leaf_cost_ns = opt.leaf_cost_ns;
   req.cost_model = opt.cost_model;
+  req.grain = opt.grain_ns;
   req.leaf_hook = opt.leaf_hook;
   req.retry = opt.retry;
   return from_search_result(search(req));

@@ -64,6 +64,11 @@ struct MtSolveOptions {
   /// engineering approximation of higher widths -- the lock-step
   /// simulators implement the exact pruning-number semantics).
   unsigned width = 1;
+  /// Adaptive task granularity: minimum estimated sequential work (ns) for
+  /// a subtree to be scouted as a scheduler task; smaller subtrees run
+  /// inline through the flat iterative kernel. 0 = auto-calibrated
+  /// (engine/granularity.hpp); 1 = always spawn.
+  std::uint64_t grain_ns = 0;
   /// Evaluator hook run once per leaf-evaluation attempt (fault injection,
   /// externalised evaluation). A throw is retried per `retry`; once the
   /// budget is exhausted the fault latches a stop and the result degrades

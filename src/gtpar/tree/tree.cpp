@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace gtpar {
 
@@ -112,6 +113,47 @@ Tree TreeBuilder::build() {
       ++t.num_leaves_;
     }
     if (v != 0) t.subtree_leaves_[t.parent_[v]] += t.subtree_leaves_[v];
+  }
+
+  // Preorder in/out intervals for the O(1) is_ancestor test. Arena ids are
+  // only guaranteed parent-before-child (siblings may interleave with other
+  // subtrees when a builder adds children breadth-first), so an explicit
+  // DFS assigns the ranks. pre_out_[v] is the largest rank in v's subtree:
+  // every node of the subtree lands in [pre_in_[v], pre_out_[v]].
+  t.pre_in_.resize(m);
+  t.pre_out_.resize(m);
+  {
+    std::uint32_t counter = 0;
+    // (node, next child index) frames; depth-bounded.
+    std::vector<std::pair<NodeId, std::uint32_t>> stack;
+    stack.reserve(t.height_ + 1);
+    stack.emplace_back(0, 0);
+    t.pre_in_[0] = counter++;
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (next < t.child_count_[v]) {
+        const NodeId c = t.children_[t.child_begin_[v] + next++];
+        t.pre_in_[c] = counter++;
+        stack.emplace_back(c, 0);
+      } else {
+        t.pre_out_[v] = counter - 1;
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Content fingerprint: shape (child counts in preorder interleaved with
+  // arena parents) and leaf values, folded through the splittable hash.
+  {
+    std::uint64_t h = mix64(0x67747061725f7470ull ^ m);
+    for (NodeId v = 0; v < m; ++v) {
+      h = hash_combine(h, (static_cast<std::uint64_t>(t.child_count_[v]) << 32) |
+                              t.pre_in_[v]);
+      if (t.child_count_[v] == 0)
+        h = hash_combine(h, static_cast<std::uint64_t>(
+                                static_cast<std::uint32_t>(t.value_[v])));
+    }
+    t.fingerprint_ = h;
   }
 
   kids_.clear();

@@ -82,13 +82,52 @@ class Tree {
   std::size_t subtree_leaves(NodeId v) const noexcept { return subtree_leaves_[v]; }
 
   /// True iff `a` is an ancestor of `v` (a node is an ancestor of itself,
-  /// matching the paper's convention). O(depth).
+  /// matching the paper's convention). O(1): `a`'s subtree is exactly the
+  /// nodes whose preorder rank falls inside [pre_in_[a], pre_out_[a]].
   bool is_ancestor(NodeId a, NodeId v) const noexcept {
+    const bool fast = pre_in_[a] <= pre_in_[v] && pre_in_[v] <= pre_out_[a];
+    assert(fast == is_ancestor_walk(a, v));
+    return fast;
+  }
+
+  /// Reference implementation of is_ancestor: walk the parent chain,
+  /// O(depth). Kept as the debug cross-check oracle (asserted against the
+  /// interval test above in !NDEBUG builds, and directly by test_tree).
+  bool is_ancestor_walk(NodeId a, NodeId v) const noexcept {
     while (v != kNoNode) {
       if (v == a) return true;
       v = parent_[v];
     }
     return false;
+  }
+
+  /// Preorder rank of v (root is 0; a subtree occupies a contiguous rank
+  /// interval — see is_ancestor).
+  std::uint32_t preorder_rank(NodeId v) const noexcept { return pre_in_[v]; }
+
+  /// Content fingerprint: a 64-bit hash of the tree's shape and leaf
+  /// values, computed once at build time. Two structurally identical trees
+  /// with identical leaf values share a fingerprint, which is what lets a
+  /// shared transposition table (engine/tt.hpp) reuse exact subtree values
+  /// across concurrent searches of the same position.
+  std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
+  /// Raw arena arrays for allocation-free hot loops (solve/flat_kernels.hpp):
+  /// plain index arithmetic, no span construction, no virtual calls. The
+  /// pointers alias the Tree's internal storage and share its lifetime.
+  struct HotView {
+    const NodeId* parent;
+    const std::uint32_t* child_begin;
+    const std::uint32_t* child_count;
+    const NodeId* children;
+    const Value* value;
+    const std::uint32_t* subtree_leaves;
+    const unsigned* depth;
+  };
+  HotView hot_view() const noexcept {
+    return {parent_.data(),   child_begin_.data(),    child_count_.data(),
+            children_.data(), value_.data(),          subtree_leaves_.data(),
+            depth_.data()};
   }
 
   /// True iff every internal node has exactly d children and every leaf has
@@ -110,8 +149,11 @@ class Tree {
   std::vector<unsigned> depth_;
   std::vector<std::uint32_t> child_index_;
   std::vector<std::uint32_t> subtree_leaves_;
+  std::vector<std::uint32_t> pre_in_;   // preorder entry rank
+  std::vector<std::uint32_t> pre_out_;  // max preorder rank in the subtree
   unsigned height_ = 0;
   std::size_t num_leaves_ = 0;
+  std::uint64_t fingerprint_ = 0;
 };
 
 /// Incremental construction of a Tree.

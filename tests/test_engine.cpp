@@ -208,6 +208,7 @@ TEST(Engine, ManyConcurrentRequestsAllCorrect) {
     req.tree = &t;
     req.algorithm = Algorithm::kMtParallelSolve;
     req.leaf_cost_ns = 0;
+    req.grain = 1;  // always spawn: the point is concurrent scout traffic
     reqs.push_back(req);
   }
   const std::vector<SearchResult> results = eng.run_all(reqs);
@@ -231,6 +232,7 @@ TEST(Engine, DeterministicValueUnderStealing) {
   req.tree = &m;
   req.algorithm = Algorithm::kMtParallelAb;
   req.leaf_cost_ns = 0;
+  req.grain = 1;  // always spawn so steals actually happen
   // Whatever the interleaving of steals, the value is the tree's value.
   for (int round = 0; round < 20; ++round) {
     const SearchResult r = eng.run(req);

@@ -1,0 +1,138 @@
+// Flat iterative kernels (solve/flat_kernels.hpp): the explicit-stack
+// SOLVE and fail-soft alpha-beta must be leaf-for-leaf equivalent to the
+// recursive references — they are the sequential floor every scout and
+// below-grain subtree runs, so a divergence here corrupts every cascade.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "gtpar/ab/alphabeta.hpp"
+#include "gtpar/solve/flat_kernels.hpp"
+#include "gtpar/solve/sequential_solve.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/tree.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(FlatSolve, MatchesSequentialSolveLeafForLeaf) {
+  // S-SOLVE equivalence: same value AND the same evaluated-leaf count on
+  // every tree (the flat kernel visits the identical leaf sequence).
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Tree t = make_uniform_iid_nor(2, 10, golden_bias(), seed);
+    const FlatSolveRun r = flat_solve(t);
+    EXPECT_EQ(r.value, nor_value(t)) << "seed " << seed;
+    EXPECT_EQ(r.leaves_evaluated, sequential_solve_work(t)) << "seed " << seed;
+  }
+}
+
+TEST(FlatSolve, WorstCaseEvaluatesEveryLeaf) {
+  for (unsigned n : {4u, 8u, 12u}) {
+    const Tree t = make_worst_case_nor(2, n, false);
+    const FlatSolveRun r = flat_solve(t);
+    EXPECT_EQ(r.value, nor_value(t)) << "n=" << n;
+    EXPECT_EQ(r.leaves_evaluated, t.num_leaves()) << "n=" << n;
+  }
+}
+
+TEST(FlatSolve, RaggedShapes) {
+  RandomShapeParams p;
+  p.d_min = 1;
+  p.d_max = 5;
+  p.n_min = 2;
+  p.n_max = 7;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const Tree t = make_random_shape_nor(p, 0.55, seed);
+    const FlatSolveRun r = flat_solve(t);
+    EXPECT_EQ(r.value, nor_value(t)) << "seed " << seed;
+    EXPECT_EQ(r.leaves_evaluated, sequential_solve_work(t)) << "seed " << seed;
+  }
+}
+
+TEST(FlatSolve, SingleLeafTree) {
+  for (const bool bit : {false, true}) {
+    TreeBuilder b;
+    const NodeId root = b.add_root();
+    b.set_leaf_value(root, bit ? 1 : 0);
+    const Tree t = b.build();
+    const FlatSolveRun r = flat_solve(t);
+    EXPECT_EQ(r.value, bit);
+    EXPECT_EQ(r.leaves_evaluated, 1u);
+  }
+}
+
+TEST(FlatAb, MatchesClassicAlphaBetaAndMinimax) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Tree t = make_uniform_iid_minimax(2, 9, -100, 100, seed);
+    const FlatAbRun r = flat_alphabeta(t);
+    EXPECT_EQ(r.value, minimax_value(t)) << "seed " << seed;
+    const AbResult classic = alphabeta(t);
+    EXPECT_EQ(r.leaves_evaluated, classic.distinct_leaves) << "seed " << seed;
+  }
+}
+
+TEST(FlatAb, OrderedInstances) {
+  for (unsigned n = 2; n <= 9; ++n) {
+    const Tree best = make_best_case_minimax(2, n);
+    EXPECT_EQ(flat_alphabeta(best).value, minimax_value(best)) << "n=" << n;
+    const Tree worst = make_worst_case_minimax(2, n);
+    EXPECT_EQ(flat_alphabeta(worst).value, minimax_value(worst)) << "n=" << n;
+  }
+}
+
+TEST(FlatAb, RaggedShapesAndTies) {
+  RandomShapeParams p;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const Tree t = make_random_shape_minimax(p, 0, 3, seed);  // tie-heavy
+    EXPECT_EQ(flat_alphabeta(t).value, minimax_value(t)) << "seed " << seed;
+  }
+}
+
+TEST(FlatAb, NarrowedWindowStaysFailSoftCorrect) {
+  // Fail-soft: with a window that brackets the true value the result is
+  // exact; the kernel must not store or return anything weaker.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_uniform_iid_minimax(2, 8, -50, 50, seed);
+    const Value truth = minimax_value(t);
+    const FlatAbRun r = flat_alphabeta(t, truth - 1, truth + 1);
+    EXPECT_EQ(r.value, truth) << "seed " << seed;
+  }
+}
+
+TEST(FlatAb, DynamicBoundDeadWindowUnwinds) {
+  // A published dynamic alpha that meets the static beta closes the window
+  // at root entry — the kernel must return the clamped bound and report
+  // !exact, as the recursive scout did.
+  const Tree t = make_uniform_iid_minimax(2, 6, -10, 10, 7);
+  struct NullCtx {
+    bool probe(NodeId, Value&) const { return false; }
+    void store(NodeId, Value) const {}
+    bool leaf(NodeId v, Value& out) const {
+      out = t_->leaf_value(v);
+      return true;
+    }
+    bool stop() const { return false; }
+    const Tree* t_;
+  } ctx{&t};
+  const std::atomic<Value> dyn{5};
+  bool exact = true;
+  const Value v = flat_ab_core(t, t.root(), kMinusInf, Value{5}, &dyn,
+                               /*dyn_is_alpha=*/true, ctx, exact);
+  EXPECT_EQ(v, 5);
+  EXPECT_FALSE(exact);
+}
+
+TEST(FlatKernels, ScratchReuseAcrossManyRunsIsClean) {
+  // The thread-local scratch must leave no state behind: interleaved solve
+  // and alpha-beta runs on one thread keep producing correct answers.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree nor = make_uniform_iid_nor(3, 6, 0.5, seed);
+    const Tree mm = make_uniform_iid_minimax(3, 5, -9, 9, seed);
+    EXPECT_EQ(flat_solve(nor).value, nor_value(nor));
+    EXPECT_EQ(flat_alphabeta(mm).value, minimax_value(mm));
+  }
+}
+
+}  // namespace
+}  // namespace gtpar

@@ -83,6 +83,7 @@ TEST(MtSolve, ZeroCostContentionStorm) {
   opt.threads = 8;
   opt.leaf_cost_ns = 0;
   opt.width = 3;
+  opt.grain_ns = 1;  // always spawn: this test exists to stress the scheduler
   for (std::uint64_t seed = 100; seed < 115; ++seed) {
     const Tree t = make_uniform_iid_nor(3, 6, 0.618, seed);
     const bool truth = nor_value(t);
@@ -97,6 +98,7 @@ TEST(MtAb, ZeroCostContentionStormWithAndWithoutPromotion) {
   opt.threads = 8;
   opt.leaf_cost_ns = 0;
   opt.width = 3;
+  opt.grain_ns = 1;  // always spawn: this test exists to stress the scheduler
   for (std::uint64_t seed = 100; seed < 110; ++seed) {
     const Tree t = make_uniform_iid_minimax(3, 5, -5, 5, seed);
     const Value truth = minimax_value(t);
@@ -119,6 +121,7 @@ TEST_P(MtSolveSweep, ValueMatchesGroundTruth) {
   MtSolveOptions opt;
   opt.threads = threads;
   opt.leaf_cost_ns = 0;  // stress scheduling, not the spin
+  opt.grain_ns = 1;      // always spawn (auto grain would run these inline)
   const auto r = mt_parallel_solve(t, opt);
   EXPECT_EQ(r.value, truth);
   EXPECT_LE(r.leaf_evaluations, t.num_leaves());
@@ -138,6 +141,7 @@ TEST(MtSolve, RepeatedRunsAreStable) {
   MtSolveOptions opt;
   opt.threads = 8;
   opt.leaf_cost_ns = 0;
+  opt.grain_ns = 1;  // always spawn: races only exist with real scouts
   for (int i = 0; i < 50; ++i) {
     ASSERT_EQ(mt_parallel_solve(t, opt).value, truth) << "iteration " << i;
   }
@@ -214,6 +218,7 @@ TEST_P(MtAbSweep, ValueMatchesGroundTruth) {
   MtAbOptions opt;
   opt.threads = threads;
   opt.leaf_cost_ns = 0;
+  opt.grain_ns = 1;  // always spawn (auto grain would run these inline)
   const auto r = mt_parallel_ab(t, opt);
   EXPECT_EQ(r.value, minimax_value(t));
 }
@@ -229,6 +234,7 @@ TEST(MtAb, TiesHeavyStress) {
   MtAbOptions opt;
   opt.threads = 8;
   opt.leaf_cost_ns = 0;
+  opt.grain_ns = 1;  // always spawn: dead-window joins need real scouts
   for (std::uint64_t seed = 0; seed < 30; ++seed) {
     const Tree t = make_uniform_iid_minimax(2, 8, 0, 2, seed);
     const Value truth = minimax_value(t);

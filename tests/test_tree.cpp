@@ -1,6 +1,8 @@
 // Unit tests for the Tree arena and TreeBuilder invariants.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "gtpar/tree/generators.hpp"
 #include "gtpar/tree/serialization.hpp"
 #include "gtpar/tree/tree.hpp"
@@ -105,6 +107,67 @@ TEST(Tree, DepthsAndKindsAlternate) {
     EXPECT_EQ(node_kind(t, c), NodeKind::Min);
     for (NodeId g : t.children(c)) EXPECT_EQ(node_kind(t, g), NodeKind::Max);
   }
+}
+
+TEST(Tree, IsAncestorMatchesParentChainWalk) {
+  // The O(1) preorder-interval is_ancestor against the O(depth) reference,
+  // over every node pair of assorted ragged shapes.
+  RandomShapeParams p;
+  p.d_min = 1;
+  p.d_max = 4;
+  p.n_min = 2;
+  p.n_max = 6;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = make_random_shape_nor(p, 0.5, seed);
+    for (NodeId a = 0; a < t.size(); ++a)
+      for (NodeId v = 0; v < t.size(); ++v)
+        ASSERT_EQ(t.is_ancestor(a, v), t.is_ancestor_walk(a, v))
+            << "seed " << seed << " a=" << a << " v=" << v;
+  }
+}
+
+TEST(Tree, IsAncestorBasics) {
+  const Tree t = make_uniform_constant(2, 3, 0);
+  const NodeId root = t.root();
+  EXPECT_TRUE(t.is_ancestor(root, root)) << "every node is its own ancestor";
+  for (NodeId v = 0; v < t.size(); ++v) {
+    EXPECT_TRUE(t.is_ancestor(root, v));
+    if (v != root) {
+      EXPECT_FALSE(t.is_ancestor(v, root));
+    }
+  }
+  // Siblings are never ancestors of each other.
+  const auto kids = t.children(root);
+  EXPECT_FALSE(t.is_ancestor(kids[0], kids[1]));
+  EXPECT_FALSE(t.is_ancestor(kids[1], kids[0]));
+}
+
+TEST(Tree, PreorderRankIsAPreorder) {
+  // Parent before child, and left subtree entirely before the right one.
+  const Tree t = make_uniform_constant(3, 3, 0);
+  EXPECT_EQ(t.preorder_rank(t.root()), 0u);
+  std::vector<bool> seen(t.size(), false);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    const std::uint32_t r = t.preorder_rank(v);
+    ASSERT_LT(r, t.size());
+    EXPECT_FALSE(seen[r]) << "preorder ranks must be a permutation";
+    seen[r] = true;
+    if (v != t.root()) {
+      EXPECT_LT(t.preorder_rank(t.parent(v)), r);
+    }
+  }
+}
+
+TEST(Tree, FingerprintTracksContent) {
+  // Same shape + leaf values -> same fingerprint; flipping one leaf or
+  // changing the shape changes it.
+  const Tree a = make_uniform_iid_nor(2, 6, 0.5, 11);
+  const Tree b = make_uniform_iid_nor(2, 6, 0.5, 11);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  const Tree c = make_uniform_iid_nor(2, 6, 0.5, 12);
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  const Tree d = make_uniform_iid_nor(2, 7, 0.5, 11);
+  EXPECT_NE(a.fingerprint(), d.fingerprint());
 }
 
 }  // namespace
