@@ -43,6 +43,11 @@ struct SearchJob::State {
   std::condition_variable cv;
   SearchResult result;
   std::exception_ptr error;
+  /// Completion hook (may be null). Consumed exactly once, by whichever
+  /// path wins the `published` CAS (worker completion, watchdog failure,
+  /// admission rejection), strictly after the outcome is visible through
+  /// done()/wait().
+  CompletionFn on_complete;
 };
 
 void SearchJob::cancel() noexcept {
@@ -118,17 +123,37 @@ struct Engine::Impl {
     // Pool members are destroyed after this body; they join their workers.
   }
 
+  /// Invoke and release a job's completion callback. Called only by the
+  /// publication winner, after done has been stored: the callback may call
+  /// wait() without blocking. Callback exceptions are swallowed — the
+  /// outcome is already published and has nowhere better to go.
+  static void run_completion(const std::shared_ptr<SearchJob::State>& st,
+                             std::exception_ptr error) {
+    CompletionFn cb = std::move(st->on_complete);
+    st->on_complete = nullptr;
+    if (!cb) return;
+    try {
+      if (error)
+        cb(nullptr, error);
+      else
+        cb(&st->result, nullptr);
+    } catch (...) {
+    }
+  }
+
   /// Publish an admission rejection: the job never enters in_flight, its
   /// wait() throws EngineOverloadedError. Caller must NOT hold `mu`.
   static void publish_rejected(const std::shared_ptr<SearchJob::State>& st,
                                const char* what) {
     st->published.store(true, std::memory_order_relaxed);
+    const auto err = std::make_exception_ptr(EngineOverloadedError(what));
     {
       std::lock_guard<std::mutex> lock(st->mu);
-      st->error = std::make_exception_ptr(EngineOverloadedError(what));
+      st->error = err;
       st->done.store(true, std::memory_order_release);
     }
     st->cv.notify_all();
+    run_completion(st, err);
   }
 
   /// Body of one admitted job, on a worker (or the caller under
@@ -176,9 +201,6 @@ struct Engine::Impl {
       agg.total_dispatch_ns += d;
       if (d > agg.max_dispatch_ns) agg.max_dispatch_ns = d;
       active.erase(std::remove(active.begin(), active.end(), st), active.end());
-      in_flight -= 1;
-      admit_cv.notify_one();
-      if (in_flight == 0) idle_cv.notify_all();
     }
     if (won) {
       {
@@ -191,9 +213,20 @@ struct Engine::Impl {
         st->done.store(true, std::memory_order_release);
       }
       st->cv.notify_all();
+      run_completion(st, error);
     }
-    // Lost the race: the watchdog already failed this job; keep the
-    // published outcome, the accounting above is all that remains.
+    // Lost the race: the watchdog already failed this job (and ran its
+    // callback); keep the published outcome.
+    //
+    // The in-flight decrement comes *after* publication and the completion
+    // callback, so drain() returning implies every normally-finished job's
+    // callback has returned (CompletionFn ordering guarantee 3).
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      in_flight -= 1;
+      admit_cv.notify_one();
+      if (in_flight == 0) idle_cv.notify_all();
+    }
   }
 
   void watchdog_loop() {
@@ -220,13 +253,15 @@ struct Engine::Impl {
         // Fail the waiter now, and cancel cooperatively so the worker
         // unwinds instead of wedging the pool.
         st->cancel.store(true, std::memory_order_release);
+        const auto err = std::make_exception_ptr(EngineStalledError(
+            "engine watchdog: job exceeded stall_timeout_ns"));
         {
           std::lock_guard<std::mutex> jl(st->mu);
-          st->error = std::make_exception_ptr(EngineStalledError(
-              "engine watchdog: job exceeded stall_timeout_ns"));
+          st->error = err;
           st->done.store(true, std::memory_order_release);
         }
         st->cv.notify_all();
+        run_completion(st, err);
       }
       lock.lock();
     }
@@ -244,8 +279,13 @@ Engine::~Engine() {
 }
 
 SearchJob Engine::submit(SearchRequest req) {
+  return submit(std::move(req), CompletionFn{});
+}
+
+SearchJob Engine::submit(SearchRequest req, CompletionFn on_complete) {
   auto st = std::make_shared<SearchJob::State>();
   st->req = std::move(req);
+  st->on_complete = std::move(on_complete);
   st->req.limits.cancel = &st->cancel;
   if (impl_->tt && st->req.tt == nullptr) {
     // Arm the shared table (ignored by algorithms that don't consume it)
@@ -322,6 +362,12 @@ std::vector<SearchResult> Engine::run_all(const std::vector<SearchRequest>& reqs
 void Engine::drain() {
   std::unique_lock<std::mutex> lock(impl_->mu);
   impl_->idle_cv.wait(lock, [this] { return impl_->in_flight == 0; });
+}
+
+void Engine::cancel_all() noexcept {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& st : impl_->active)
+    st->cancel.store(true, std::memory_order_release);
 }
 
 EngineStats Engine::stats() const {

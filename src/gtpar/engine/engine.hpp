@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -64,6 +65,35 @@ enum class ShedPolicy : std::uint8_t {
 
 /// Handle to one submitted request. Cheap to copy (shared state); valid
 /// after the Engine is destroyed (the Engine drains in-flight jobs first).
+/// Per-job completion hook (see Engine::submit). Invoked exactly once per
+/// submitted job, with the job's outcome: `result` is non-null on success,
+/// `error` is non-null when wait() would throw (malformed request,
+/// EngineOverloadedError rejection, EngineStalledError watchdog failure).
+/// Exactly one of the two is non-null.
+///
+/// Ordering guarantees, pinned by test_engine.cpp:
+///  1. exactly-once: for every job returned by submit(), the callback runs
+///     exactly once, no matter how the job ends (completion, rejection,
+///     watchdog failure, cancellation);
+///  2. publication-first: when the callback runs, SearchJob::done() is
+///     already true and SearchJob::wait() returns (or throws) immediately
+///     without blocking — the callback may safely call wait();
+///  3. drain-covered: for every admitted job that finishes normally, the
+///     callback returns before Engine::drain() (and hence ~Engine) does,
+///     so a drain-then-flush sequence observes every callback's side
+///     effects. (Watchdog-failed jobs run their callback on the watchdog
+///     thread concurrently with the wedged worker; drain still waits for
+///     the *worker* to unwind.)
+///
+/// The callback runs on whichever thread decided the outcome (a pool
+/// worker, the submitting thread for rejected jobs, or the watchdog). It
+/// must not block for long — it runs inside the engine's completion path —
+/// and must not submit to the same Engine recursively from a rejection
+/// callback while holding locks the submit path needs. Exceptions thrown
+/// by the callback are swallowed (the job outcome is already published).
+using CompletionFn =
+    std::function<void(const SearchResult* result, std::exception_ptr error)>;
+
 class SearchJob {
  public:
   SearchJob() = default;
@@ -167,6 +197,12 @@ class Engine {
   /// replaced — use plain search() for externally-owned flags).
   SearchJob submit(SearchRequest req);
 
+  /// As above, with a completion callback invoked exactly once when the
+  /// job's outcome is decided (see CompletionFn for the ordering
+  /// guarantees). This is the push-style seam the networked service uses
+  /// to stream results without parking a waiter thread per request.
+  SearchJob submit(SearchRequest req, CompletionFn on_complete);
+
   /// Convenience: submit + wait.
   SearchResult run(const SearchRequest& req);
 
@@ -175,6 +211,14 @@ class Engine {
 
   /// Block until no job is in flight (the queue may refill afterwards).
   void drain();
+
+  /// Request cooperative cancellation of every job currently in flight
+  /// (admitted and not yet finished). Jobs observe the flag at leaf
+  /// granularity and finish with complete == false; lock-step simulator
+  /// jobs run to completion regardless. The drain hook for a graceful
+  /// shutdown that must not wait out long searches: cancel_all() then
+  /// drain().
+  void cancel_all() noexcept;
 
   EngineStats stats() const;
   unsigned workers() const noexcept;

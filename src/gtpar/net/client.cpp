@@ -1,0 +1,105 @@
+#include "gtpar/net/client.hpp"
+
+namespace gtpar::net {
+
+ServiceClient ServiceClient::connect_tcp(const std::string& host,
+                                         std::uint16_t port,
+                                         const WireLimits& limits) {
+  return ServiceClient(Socket::connect_tcp(host, port), limits);
+}
+
+ServiceClient ServiceClient::connect_unix(const std::string& path,
+                                          const WireLimits& limits) {
+  return ServiceClient(Socket::connect_unix(path), limits);
+}
+
+std::uint64_t ServiceClient::send_request(const WireRequest& req,
+                                          std::uint64_t request_id) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (request_id == 0) request_id = next_id_++;
+  const auto bytes = encode_request_frame(request_id, req);
+  sock_.write_all(bytes.data(), bytes.size());
+  return request_id;
+}
+
+void ServiceClient::send_cancel(std::uint64_t request_id) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const auto bytes = encode_control_frame(FrameType::kCancel, request_id);
+  sock_.write_all(bytes.data(), bytes.size());
+}
+
+void ServiceClient::send_ping(std::uint64_t request_id) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const auto bytes = encode_control_frame(FrameType::kPing, request_id);
+  sock_.write_all(bytes.data(), bytes.size());
+}
+
+void ServiceClient::send_stats_request(std::uint64_t request_id) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const auto bytes = encode_control_frame(FrameType::kStatsReq, request_id);
+  sock_.write_all(bytes.data(), bytes.size());
+}
+
+void ServiceClient::send_raw(const std::vector<std::uint8_t>& bytes) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  sock_.write_all(bytes.data(), bytes.size());
+}
+
+std::optional<Frame> ServiceClient::read_frame() {
+  std::uint8_t hdr[kFrameHeaderSize];
+  if (!sock_.read_exact(hdr, sizeof(hdr))) return std::nullopt;
+  Frame f;
+  f.header = decode_frame_header(hdr, sizeof(hdr), limits_);
+  f.payload.resize(f.header.payload_len);
+  if (f.header.payload_len != 0 &&
+      !sock_.read_exact(f.payload.data(), f.header.payload_len))
+    throw SocketError("connection closed mid-frame");
+  validate_payload(f.header, f.payload.data(), f.payload.size());
+  return f;
+}
+
+CallResult ServiceClient::call(const WireRequest& req) {
+  const std::uint64_t id = send_request(req);
+  CallResult out;
+  for (;;) {
+    auto f = read_frame();
+    if (!f) {
+      out.goodbye = true;  // server closed before answering
+      return out;
+    }
+    switch (f->header.type) {
+      case FrameType::kGoodbye:
+        // Drain notice: the answer for an already-accepted request may
+        // still follow, so keep reading.
+        out.goodbye = true;
+        continue;
+      case FrameType::kPong:
+      case FrameType::kStats:
+        continue;  // unrelated to this call
+      case FrameType::kPartial:
+        if (f->header.request_id != id)
+          throw WireFormatError("client: partial for unknown request");
+        out.partials.push_back(
+            decode_result(f->payload.data(), f->payload.size()));
+        continue;
+      case FrameType::kResult:
+        if (f->header.request_id != id)
+          throw WireFormatError("client: result for unknown request");
+        out.result = decode_result(f->payload.data(), f->payload.size());
+        return out;
+      case FrameType::kError: {
+        WireError err = decode_error(f->payload.data(), f->payload.size());
+        // A connection-scoped error (request_id 0, e.g. BAD_FRAME after
+        // garbage) also terminates the call.
+        if (f->header.request_id != id && f->header.request_id != 0)
+          throw WireFormatError("client: error for unknown request");
+        out.error = std::move(err);
+        return out;
+      }
+      default:
+        throw WireFormatError("client: unexpected frame type from server");
+    }
+  }
+}
+
+}  // namespace gtpar::net

@@ -1,0 +1,91 @@
+// gtpar/net/client.hpp
+//
+// Blocking client for the gtpard wire protocol, shared by the load
+// harness (tools/gtpload.cpp), the end-to-end suites
+// (tests/test_service.cpp), and anything else that wants to talk to a
+// server without hand-rolling frames.
+//
+// Two usage shapes:
+//  - call(): synchronous request/response on the calling thread —
+//    sends one REQUEST, collects PARTIALs until the final RESULT/ERROR
+//    arrives. The simple shape for tests and examples.
+//  - send_request() + read_frame(): pipelined. Many requests may be in
+//    flight per connection (distinct request_ids); a dedicated receiver
+//    thread drains frames and correlates by request_id. The shape the
+//    open-loop load generator uses. Sends are thread-safe (internal write
+//    lock); read_frame must be called from one thread at a time.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gtpar/net/socket.hpp"
+#include "gtpar/net/wire.hpp"
+
+namespace gtpar::net {
+
+/// Outcome of one synchronous call().
+struct CallResult {
+  /// Final result, absent when the server answered with an error frame.
+  std::optional<WireResult> result;
+  std::optional<WireError> error;
+  /// Streamed snapshots that preceded the final frame, in arrival order.
+  std::vector<WireResult> partials;
+  /// True if a kGoodbye arrived while waiting (server draining).
+  bool goodbye = false;
+
+  bool ok() const noexcept { return result.has_value(); }
+};
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  explicit ServiceClient(Socket sock, const WireLimits& limits = {})
+      : sock_(std::move(sock)), limits_(limits) {}
+
+  static ServiceClient connect_tcp(const std::string& host, std::uint16_t port,
+                                   const WireLimits& limits = {});
+  static ServiceClient connect_unix(const std::string& path,
+                                    const WireLimits& limits = {});
+
+  bool valid() const noexcept { return sock_.valid(); }
+
+  /// Send one REQUEST frame (thread-safe; returns the request_id used —
+  /// auto-assigned from an internal counter when `request_id` is 0).
+  std::uint64_t send_request(const WireRequest& req,
+                             std::uint64_t request_id = 0);
+  /// Best-effort cancel of an in-flight request (thread-safe).
+  void send_cancel(std::uint64_t request_id);
+  void send_ping(std::uint64_t request_id = 0);
+  void send_stats_request(std::uint64_t request_id = 0);
+  /// Escape hatch for protocol tests: write arbitrary bytes.
+  void send_raw(const std::vector<std::uint8_t>& bytes);
+
+  /// Read the next well-formed frame. Returns nullopt on clean server
+  /// close; throws WireFormatError on malformed data and SocketError on
+  /// transport failure. Single reader at a time.
+  std::optional<Frame> read_frame();
+
+  /// Synchronous request: send, then read frames until the final kResult
+  /// or kError for this request arrives (collecting kPartial snapshots).
+  /// Frames for other request_ids are a protocol violation in this shape
+  /// and throw WireFormatError. Returns goodbye = true (with neither
+  /// result nor error) if the server closed or said goodbye first.
+  CallResult call(const WireRequest& req);
+
+  /// Half-close the send side (tells the server no more requests follow).
+  void finish_sending() noexcept { sock_.shutdown_both(); }
+
+  void close() noexcept { sock_.close(); }
+
+ private:
+  Socket sock_;
+  WireLimits limits_;
+  std::mutex write_mu_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace gtpar::net

@@ -1,0 +1,555 @@
+#include "gtpar/net/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gtpar/check/faults.hpp"
+#include "gtpar/net/socket.hpp"
+#include "gtpar/tree/serialization.hpp"
+
+namespace gtpar::net {
+
+namespace {
+
+constexpr std::uint8_t kMaxAlgorithm =
+    static_cast<std::uint8_t>(Algorithm::kFlatAb);
+
+/// Stage budget under geometric splitting: stage k of S gets
+/// deadline * 2^k / (2^S - 1), so the stages sum to the deadline and the
+/// final stage gets the most time.
+std::uint64_t stage_budget_ns(std::uint64_t deadline_ns, unsigned stage,
+                              unsigned total_stages) {
+  if (total_stages <= 1) return deadline_ns;
+  const std::uint64_t denom = (std::uint64_t{1} << total_stages) - 1;
+  const std::uint64_t share =
+      deadline_ns * (std::uint64_t{1} << stage) / denom;
+  return std::max<std::uint64_t>(share, 1);
+}
+
+WireResult to_wire(const SearchResult& r, unsigned stage,
+                   unsigned total_stages) {
+  WireResult w;
+  w.value = r.value;
+  w.completeness = static_cast<std::uint8_t>(r.completeness);
+  w.complete = r.complete;
+  w.stage = stage;
+  w.total_stages = total_stages;
+  w.work = r.work;
+  w.wall_ns = r.wall_ns;
+  w.retries = r.retries;
+  w.faults = r.faults;
+  w.pv.assign(r.pv.begin(), r.pv.end());
+  return w;
+}
+
+}  // namespace
+
+/// Shared per-connection state. Kept alive past reader exit by the
+/// request contexts of in-flight searches, so a completion callback can
+/// always still try to write its frame; the socket dies with the last
+/// reference.
+struct ConnState {
+  explicit ConnState(Socket s) : sock(std::move(s)) {}
+
+  Socket sock;
+  /// Serialises writes from the reader thread (errors, pongs) and engine
+  /// workers (results, partials). write_dead latches after the first
+  /// failed send; later frames for this connection are dropped quietly.
+  std::mutex write_mu;
+  bool write_dead = false;
+  /// request_id -> in-flight job, for kCancel.
+  std::mutex jobs_mu;
+  std::unordered_map<std::uint64_t, SearchJob> jobs;
+  std::atomic<bool> reader_done{false};
+};
+
+struct ServiceServer::Impl {
+  ServiceOptions opt;
+  Listener listener;
+
+  std::atomic<bool> draining{false};
+  bool drained = false;
+  std::mutex drain_mu;
+
+  // Service counters (ServiceStats).
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> requests_received{0};
+  std::atomic<std::uint64_t> results_sent{0};
+  std::atomic<std::uint64_t> partials_sent{0};
+  std::atomic<std::uint64_t> errors_sent{0};
+  std::atomic<std::uint64_t> bad_frames{0};
+  std::atomic<std::uint64_t> requests_shed{0};
+  std::atomic<std::uint64_t> requests_draining{0};
+  std::atomic<std::uint64_t> cancels_received{0};
+
+  struct ConnEntry {
+    std::shared_ptr<ConnState> conn;
+    std::thread reader;
+  };
+  std::mutex conns_mu;
+  std::vector<ConnEntry> conns;
+
+  std::thread accept_thread;
+
+  /// Declared last so it is destroyed first: the Engine destructor joins
+  /// its workers and watchdog, after which no completion callback can
+  /// still be touching the members above.
+  std::unique_ptr<Engine> engine;
+
+  /// One request in flight through the engine; owns everything the
+  /// completion callback needs (the tree outlives the search, the fault
+  /// state outlives every leaf attempt).
+  struct ReqCtx {
+    std::shared_ptr<ConnState> conn;
+    Impl* impl = nullptr;
+    std::uint64_t request_id = 0;
+    Tree tree;
+    WireRequest wire;
+    unsigned stage = 0;
+    unsigned total_stages = 1;
+    std::unique_ptr<check::FaultState> fault_state;
+    std::unique_ptr<check::FaultInjector> fault_injector;
+  };
+
+  explicit Impl(const ServiceOptions& o) : opt(o) {
+    const bool want_unix = !opt.unix_path.empty();
+    const bool want_tcp = opt.tcp_port >= 0;
+    if (want_unix == want_tcp)
+      throw std::invalid_argument(
+          "ServiceOptions: select exactly one of unix_path / tcp_port");
+    if (opt.stream_stages == 0)
+      throw std::invalid_argument("ServiceOptions: stream_stages must be >= 1");
+    listener = want_unix
+                   ? Listener::listen_unix(opt.unix_path)
+                   : Listener::listen_tcp(
+                         opt.tcp_host,
+                         static_cast<std::uint16_t>(opt.tcp_port));
+    engine = std::make_unique<Engine>(opt.engine);
+  }
+
+  // --- Writing. -------------------------------------------------------------
+
+  bool send_bytes(const std::shared_ptr<ConnState>& conn,
+                  const std::vector<std::uint8_t>& bytes) {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (conn->write_dead) return false;
+    try {
+      conn->sock.write_all(bytes.data(), bytes.size());
+      return true;
+    } catch (const SocketError&) {
+      conn->write_dead = true;  // peer went away; drop later frames quietly
+      return false;
+    }
+  }
+
+  void send_error(const std::shared_ptr<ConnState>& conn,
+                  std::uint64_t request_id, ErrorCode code,
+                  const std::string& message) {
+    if (send_bytes(conn, encode_error_frame(request_id, {code, message})))
+      errors_sent.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- Request handling. ----------------------------------------------------
+
+  void handle_request(const std::shared_ptr<ConnState>& conn,
+                      std::uint64_t request_id,
+                      const std::vector<std::uint8_t>& payload) {
+    requests_received.fetch_add(1, std::memory_order_relaxed);
+    if (draining.load(std::memory_order_acquire)) {
+      requests_draining.fetch_add(1, std::memory_order_relaxed);
+      send_error(conn, request_id, ErrorCode::kDraining,
+                 "server draining: request not accepted");
+      return;
+    }
+    WireRequest wreq;
+    try {
+      wreq = decode_request(payload.data(), payload.size());
+    } catch (const WireFormatError& e) {
+      // The frame header was sound, so framing is intact: report and keep
+      // the connection.
+      bad_frames.fetch_add(1, std::memory_order_relaxed);
+      send_error(conn, request_id, ErrorCode::kBadFrame, e.what());
+      return;
+    }
+    if (wreq.algorithm > kMaxAlgorithm) {
+      send_error(conn, request_id, ErrorCode::kBadRequest,
+                 "unknown algorithm id");
+      return;
+    }
+    if (wreq.cost_model >
+        static_cast<std::uint8_t>(LeafCostModel::kSleep)) {
+      send_error(conn, request_id, ErrorCode::kBadRequest,
+                 "unknown cost model");
+      return;
+    }
+    if (wreq.stream && wreq.deadline_ns == 0) {
+      send_error(conn, request_id, ErrorCode::kBadRequest,
+                 "streaming requires a deadline");
+      return;
+    }
+    if (wreq.fault_seed != 0 && !opt.allow_fault_injection) {
+      send_error(conn, request_id, ErrorCode::kBadRequest,
+                 "fault injection not enabled on this server");
+      return;
+    }
+    auto ctx = std::make_shared<ReqCtx>();
+    ctx->conn = conn;
+    ctx->impl = this;
+    ctx->request_id = request_id;
+    try {
+      ctx->tree = parse_tree(wreq.tree_text);
+    } catch (const std::invalid_argument& e) {
+      send_error(conn, request_id, ErrorCode::kBadRequest,
+                 std::string("bad tree payload: ") + e.what());
+      return;
+    }
+    ctx->wire = std::move(wreq);
+    ctx->total_stages =
+        (ctx->wire.stream && opt.stream_stages > 1) ? opt.stream_stages : 1;
+    if (ctx->wire.fault_seed != 0) {
+      check::FaultPlan plan;
+      plan.seed = ctx->wire.fault_seed;
+      plan.transient_rate = ctx->wire.fault_transient_rate;
+      plan.permanent_rate = ctx->wire.fault_permanent_rate;
+      plan.slow_rate = ctx->wire.fault_slow_rate;
+      plan.slow_ns = ctx->wire.fault_slow_ns;
+      plan.flaky_attempts = ctx->wire.fault_flaky_attempts;
+      plan.retry_attempts = std::max(1u, ctx->wire.retry_attempts);
+      plan.retry_base_backoff_ns = ctx->wire.retry_base_backoff_ns;
+      plan.retry_max_backoff_ns = ctx->wire.retry_max_backoff_ns;
+      ctx->fault_state = std::make_unique<check::FaultState>(plan);
+      ctx->fault_injector =
+          std::make_unique<check::FaultInjector>(*ctx->fault_state);
+    }
+    submit_stage(std::move(ctx));
+  }
+
+  SearchRequest build_request(const std::shared_ptr<ReqCtx>& ctx) {
+    const WireRequest& w = ctx->wire;
+    SearchRequest req;
+    req.tree = &ctx->tree;
+    req.algorithm = static_cast<Algorithm>(w.algorithm);
+    req.width = std::max(1u, w.width);
+    req.threads = w.threads != 0 ? w.threads : engine->workers();
+    req.leaf_cost_ns = w.leaf_cost_ns;
+    req.cost_model = static_cast<LeafCostModel>(w.cost_model);
+    req.grain = w.grain;
+    req.seed = w.seed;
+    req.depth_limit = w.depth_limit;
+    req.want_pv = w.want_pv;
+    req.anytime = w.anytime;
+    req.limits.budget_ns =
+        stage_budget_ns(w.deadline_ns, ctx->stage, ctx->total_stages);
+    if (ctx->fault_state) {
+      // The chaos lane: seeded faults through the real service path, with
+      // the plan's transient-only retry discipline.
+      check::FaultPlan plan;
+      plan.retry_attempts = std::max(1u, w.retry_attempts);
+      plan.retry_base_backoff_ns = w.retry_base_backoff_ns;
+      plan.retry_max_backoff_ns = w.retry_max_backoff_ns;
+      req.retry = plan.retry();
+      req.leaf_hook = ctx->fault_injector.get();
+    } else {
+      req.retry.max_attempts = std::max(1u, w.retry_attempts);
+      req.retry.base_backoff_ns = w.retry_base_backoff_ns;
+      req.retry.max_backoff_ns = w.retry_max_backoff_ns;
+    }
+    return req;
+  }
+
+  void submit_stage(std::shared_ptr<ReqCtx> ctx) {
+    SearchRequest req = build_request(ctx);
+    auto conn = ctx->conn;
+    const std::uint64_t id = ctx->request_id;
+    SearchJob job = engine->submit(
+        std::move(req),
+        [ctx](const SearchResult* res, std::exception_ptr err) mutable {
+          ctx->impl->on_stage_complete(ctx, res, err);
+        });
+    // Register for kCancel. The callback may already have run (rejected
+    // submissions complete synchronously); cancelling a finished job is a
+    // no-op, and the final callback erases the entry it finds.
+    std::lock_guard<std::mutex> lock(conn->jobs_mu);
+    conn->jobs[id] = job;
+  }
+
+  void on_stage_complete(const std::shared_ptr<ReqCtx>& ctx,
+                         const SearchResult* res, std::exception_ptr err) {
+    if (err) {
+      finish_with_error(ctx, err);
+      return;
+    }
+    const bool final_stage = ctx->stage + 1 >= ctx->total_stages;
+    const WireResult wres = to_wire(*res, ctx->stage, ctx->total_stages);
+    if (final_stage) {
+      unregister_job(ctx);
+      if (send_bytes(ctx->conn, encode_result_frame(FrameType::kResult,
+                                                    ctx->request_id, wres)))
+        results_sent.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (send_bytes(ctx->conn, encode_result_frame(FrameType::kPartial,
+                                                  ctx->request_id, wres)))
+      partials_sent.fetch_add(1, std::memory_order_relaxed);
+    ctx->stage += 1;
+    // The completion-callback chain: the next stage is submitted from the
+    // previous stage's completion path, so the whole stream needs no
+    // dedicated thread. Safe with shed policies that do not block the
+    // submitter (kRejectNew / kCallerRuns — see tools/gtpard.cpp).
+    submit_stage(ctx);
+  }
+
+  void finish_with_error(const std::shared_ptr<ReqCtx>& ctx,
+                         std::exception_ptr err) {
+    unregister_job(ctx);
+    ErrorCode code = ErrorCode::kInternal;
+    std::string message = "unknown error";
+    try {
+      std::rethrow_exception(err);
+    } catch (const EngineOverloadedError& e) {
+      code = ErrorCode::kOverloaded;
+      message = e.what();
+      requests_shed.fetch_add(1, std::memory_order_relaxed);
+    } catch (const EngineStalledError& e) {
+      code = ErrorCode::kStalled;
+      message = e.what();
+    } catch (const std::invalid_argument& e) {
+      code = ErrorCode::kBadRequest;
+      message = e.what();
+    } catch (const std::exception& e) {
+      message = e.what();
+    } catch (...) {
+    }
+    send_error(ctx->conn, ctx->request_id, code, message);
+  }
+
+  void unregister_job(const std::shared_ptr<ReqCtx>& ctx) {
+    std::lock_guard<std::mutex> lock(ctx->conn->jobs_mu);
+    ctx->conn->jobs.erase(ctx->request_id);
+  }
+
+  // --- Frame dispatch / reader loop. ----------------------------------------
+
+  void handle_frame(const std::shared_ptr<ConnState>& conn,
+                    const FrameHeader& h,
+                    const std::vector<std::uint8_t>& payload) {
+    switch (h.type) {
+      case FrameType::kRequest:
+        handle_request(conn, h.request_id, payload);
+        return;
+      case FrameType::kCancel: {
+        cancels_received.fetch_add(1, std::memory_order_relaxed);
+        SearchJob job;
+        {
+          std::lock_guard<std::mutex> lock(conn->jobs_mu);
+          auto it = conn->jobs.find(h.request_id);
+          if (it == conn->jobs.end()) return;  // already finished: no-op
+          job = it->second;
+        }
+        job.cancel();
+        return;
+      }
+      case FrameType::kPing:
+        send_bytes(conn, encode_control_frame(FrameType::kPong, h.request_id));
+        return;
+      case FrameType::kStatsReq:
+        if (send_bytes(conn,
+                       encode_stats_frame(h.request_id, wire_stats())))
+          return;
+        return;
+      default:
+        // Well-framed but server-bound-only types (kResult, kPong, ...):
+        // a confused client, not a framing loss — keep the connection.
+        send_error(conn, h.request_id, ErrorCode::kBadRequest,
+                   std::string("unexpected frame type ") +
+                       frame_type_name(h.type));
+        return;
+    }
+  }
+
+  void reader_loop(const std::shared_ptr<ConnState>& conn) {
+    std::uint8_t hdr[kFrameHeaderSize];
+    std::vector<std::uint8_t> payload;
+    try {
+      for (;;) {
+        if (!conn->sock.read_exact(hdr, sizeof(hdr))) break;  // clean close
+        FrameHeader h;
+        try {
+          h = decode_frame_header(hdr, sizeof(hdr), opt.limits);
+        } catch (const WireFormatError& e) {
+          // Framing is lost (bad magic / oversized length): report once
+          // and close — there is no way to resynchronise a byte stream.
+          bad_frames.fetch_add(1, std::memory_order_relaxed);
+          const bool too_large =
+              std::string(e.what()).find("exceeds limit") != std::string::npos;
+          send_error(conn, 0,
+                     too_large ? ErrorCode::kFrameTooLarge
+                               : ErrorCode::kBadFrame,
+                     e.what());
+          // Actually close (not just stop reading): the client is owed an
+          // EOF after the error frame, and late completion frames for this
+          // connection must be dropped (write_dead), not written into a
+          // dead stream.
+          {
+            std::lock_guard<std::mutex> lock(conn->write_mu);
+            conn->write_dead = true;
+            conn->sock.shutdown_both();
+          }
+          break;
+        }
+        payload.resize(h.payload_len);
+        if (h.payload_len != 0 &&
+            !conn->sock.read_exact(payload.data(), h.payload_len))
+          break;  // clean close between header and payload
+        handle_frame(conn, h, payload);
+      }
+    } catch (const SocketError&) {
+      // Connection died (reset, mid-frame close). In-flight searches keep
+      // running; their frames fail to send and are dropped.
+    }
+    conn->reader_done.store(true, std::memory_order_release);
+  }
+
+  void accept_loop() {
+    for (;;) {
+      Socket s = listener.accept();
+      if (!s.valid() || draining.load(std::memory_order_acquire)) break;
+      connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      auto conn = std::make_shared<ConnState>(std::move(s));
+      std::lock_guard<std::mutex> lock(conns_mu);
+      reap_locked();
+      ConnEntry entry;
+      entry.conn = conn;
+      entry.reader = std::thread([this, conn] { reader_loop(conn); });
+      conns.push_back(std::move(entry));
+    }
+  }
+
+  /// Join and drop connections whose reader has exited. Caller holds
+  /// conns_mu.
+  void reap_locked() {
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->conn->reader_done.load(std::memory_order_acquire)) {
+        if (it->reader.joinable()) it->reader.join();
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  WireStats wire_stats() {
+    WireStats w;
+    w.connections_accepted =
+        connections_accepted.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      for (const auto& e : conns)
+        if (!e.conn->reader_done.load(std::memory_order_acquire))
+          w.connections_active += 1;
+    }
+    w.requests_received = requests_received.load(std::memory_order_relaxed);
+    w.results_sent = results_sent.load(std::memory_order_relaxed);
+    w.partials_sent = partials_sent.load(std::memory_order_relaxed);
+    w.errors_sent = errors_sent.load(std::memory_order_relaxed);
+    w.bad_frames = bad_frames.load(std::memory_order_relaxed);
+    w.requests_shed = requests_shed.load(std::memory_order_relaxed);
+    w.requests_draining = requests_draining.load(std::memory_order_relaxed);
+    w.cancels_received = cancels_received.load(std::memory_order_relaxed);
+    return w;
+  }
+};
+
+ServiceServer::ServiceServer(const ServiceOptions& opt)
+    : impl_(std::make_unique<Impl>(opt)) {}
+
+ServiceServer::~ServiceServer() {
+  drain();
+  // Impl destruction: the Engine (declared last) goes first, joining its
+  // workers and watchdog, so no completion callback outlives the rest.
+}
+
+void ServiceServer::start() {
+  impl_->accept_thread = std::thread([impl = impl_.get()] {
+    impl->accept_loop();
+  });
+}
+
+std::uint16_t ServiceServer::port() const noexcept {
+  return impl_->listener.port();
+}
+
+const std::string& ServiceServer::unix_path() const noexcept {
+  return impl_->listener.path();
+}
+
+bool ServiceServer::draining() const noexcept {
+  return impl_->draining.load(std::memory_order_acquire);
+}
+
+void ServiceServer::drain() {
+  Impl* impl = impl_.get();
+  std::lock_guard<std::mutex> lock(impl->drain_mu);
+  if (impl->drained) return;
+  // 1. Stop accepting: wake the accept loop, then close the listening
+  //    socket so new connects are refused (not parked in the backlog).
+  impl->draining.store(true, std::memory_order_release);
+  impl->listener.interrupt();
+  if (impl->accept_thread.joinable()) impl->accept_thread.join();
+  impl->listener.close_all();
+  // 2. Tell every client, then stop reading: readers wake on the read
+  //    shutdown, so no new requests can enter the engine after this.
+  {
+    std::lock_guard<std::mutex> clock(impl->conns_mu);
+    for (auto& e : impl->conns) {
+      impl->send_bytes(e.conn, encode_control_frame(FrameType::kGoodbye, 0));
+      e.conn->sock.shutdown_read();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> clock(impl->conns_mu);
+    for (auto& e : impl->conns)
+      if (e.reader.joinable()) e.reader.join();
+  }
+  // 3. Finish or cancel in-flight searches. Cancelled searches still
+  //    publish anytime results, so every accepted request gets its final
+  //    frame (the engine invokes completion callbacks before drain()
+  //    returns — CompletionFn guarantee 3).
+  if (impl->opt.cancel_on_drain) impl->engine->cancel_all();
+  impl->engine->drain();
+  // 4. Close connections (write halves flushed by the sends above).
+  {
+    std::lock_guard<std::mutex> clock(impl->conns_mu);
+    impl->conns.clear();
+  }
+  impl->drained = true;
+}
+
+ServiceStats ServiceServer::stats() const {
+  const WireStats w = impl_->wire_stats();
+  ServiceStats s;
+  s.connections_accepted = w.connections_accepted;
+  s.connections_active = w.connections_active;
+  s.requests_received = w.requests_received;
+  s.results_sent = w.results_sent;
+  s.partials_sent = w.partials_sent;
+  s.errors_sent = w.errors_sent;
+  s.bad_frames = w.bad_frames;
+  s.requests_shed = w.requests_shed;
+  s.requests_draining = w.requests_draining;
+  s.cancels_received = w.cancels_received;
+  return s;
+}
+
+EngineStats ServiceServer::engine_stats() const {
+  return impl_->engine->stats();
+}
+
+}  // namespace gtpar::net

@@ -1,0 +1,121 @@
+// gtpar/net/server.hpp
+//
+// ServiceServer: the library core of the gtpard daemon (tools/gtpard.cpp),
+// kept as a library so the end-to-end suites (tests/test_service.cpp) can
+// run a real server in-process on a loopback socket.
+//
+// Architecture: one accept loop feeding per-connection reader threads;
+// every REQUEST frame becomes an Engine::submit with a completion
+// callback, so no thread ever parks waiting on a search — responses are
+// pushed from the engine's completion path straight onto the connection
+// (serialised by a per-connection write lock). Overload, stall, drain,
+// and malformed input all surface as structured kError frames
+// (wire.hpp), never as dropped connections or hangs.
+//
+// Streaming: a REQUEST with stream = true and a deadline splits its
+// wall-clock budget across Options::stream_stages independent search
+// stages with geometrically growing budgets; each stage's anytime result
+// is pushed as a kPartial frame the moment the stage completes (the
+// completion-callback chain submits the next stage), and the last stage
+// answers with the final kResult. Completeness typically sharpens from
+// stage to stage — kFailed to a one-sided bound to kExact — which is the
+// protocol-visible form of the engine's anytime semantics.
+//
+// Graceful drain (SIGTERM in gtpard): stop accepting, notify every
+// connection with kGoodbye, optionally cancel in-flight searches
+// (anytime results still flow back), wait for the engine to empty, then
+// close connections. drain() returning guarantees every accepted
+// request has had its final frame written or its connection found dead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "gtpar/engine/engine.hpp"
+#include "gtpar/net/wire.hpp"
+
+namespace gtpar::net {
+
+struct ServiceOptions {
+  /// Non-empty: listen on this Unix-domain socket path.
+  std::string unix_path;
+  /// tcp_port >= 0: listen on tcp_host:tcp_port (0 = ephemeral, see
+  /// ServiceServer::port()). Exactly one of unix_path / tcp_port must be
+  /// selected.
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;
+
+  Engine::Options engine;
+  WireLimits limits;
+
+  /// Number of independent search stages for stream = true requests with
+  /// a deadline (>= 1; 1 disables streaming). Stage k of S gets budget
+  /// deadline * 2^k / (2^S - 1), so the stages sum to the deadline and
+  /// the final stage gets the lion's share.
+  unsigned stream_stages = 2;
+
+  /// Accept the fault_* block of WireRequest and inject seeded leaf
+  /// faults server-side (check/faults.hpp). Test-only: the chaos suites
+  /// use it to drive the resilience contract through the full networked
+  /// path. When false (default), any request carrying a fault plan is
+  /// answered with kBadRequest.
+  bool allow_fault_injection = false;
+
+  /// drain(): cancel in-flight searches instead of waiting them out.
+  /// Cancelled searches still answer (anytime semantics), so clients get
+  /// their final frame either way.
+  bool cancel_on_drain = false;
+};
+
+/// Monotone service counters (the kStats frame mirrors these).
+struct ServiceStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t requests_received = 0;
+  std::uint64_t results_sent = 0;
+  std::uint64_t partials_sent = 0;
+  std::uint64_t errors_sent = 0;
+  std::uint64_t bad_frames = 0;
+  std::uint64_t requests_shed = 0;      ///< answered kOverloaded
+  std::uint64_t requests_draining = 0;  ///< answered kDraining
+  std::uint64_t cancels_received = 0;
+};
+
+class ServiceServer {
+ public:
+  /// Binds and starts listening (throws SocketError on bind failure);
+  /// start() launches the accept loop.
+  explicit ServiceServer(const ServiceOptions& opt);
+  /// Drains (if not already drained) and tears everything down.
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Start accepting connections.
+  void start();
+
+  /// The bound TCP port (valid after construction, ephemeral or not).
+  std::uint16_t port() const noexcept;
+  /// The Unix-domain path ("" for TCP).
+  const std::string& unix_path() const noexcept;
+
+  /// Graceful shutdown: stop accepting, send kGoodbye to every
+  /// connection, finish (or, with Options::cancel_on_drain, cancel) all
+  /// in-flight requests, flush their final frames, close connections.
+  /// Idempotent; safe to call from a signal-handling thread.
+  void drain();
+
+  /// True once drain() has begun: new requests are answered kDraining.
+  bool draining() const noexcept;
+
+  ServiceStats stats() const;
+  EngineStats engine_stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gtpar::net

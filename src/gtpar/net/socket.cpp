@@ -1,0 +1,281 @@
+#include "gtpar/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace gtpar::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw SocketError(std::string(what) + ": " + std::strerror(errno));
+}
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+sockaddr_in make_tcp_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw SocketError("invalid IPv4 address: " + host);
+  return addr;
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw SocketError("unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+// --- Socket. ----------------------------------------------------------------
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::read_exact(void* buf, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean close at a frame boundary
+      throw SocketError("connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+  return true;
+}
+
+void Socket::write_all(const void* buf, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a peer that went away yields EPIPE, not a fatal
+    // SIGPIPE to the whole process.
+    const ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("send");
+  }
+}
+
+void Socket::shutdown_read() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::connect_tcp(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = make_tcp_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  set_cloexec(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    throw_errno("connect");
+  }
+  // The protocol is request/response with small frames; latency beats
+  // batching.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+Socket Socket::connect_unix(const std::string& path) {
+  const sockaddr_un addr = make_unix_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  set_cloexec(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    throw_errno("connect");
+  }
+  return Socket(fd);
+}
+
+// --- Listener. --------------------------------------------------------------
+
+Listener::~Listener() { close_all(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_),
+      wake_rd_(other.wake_rd_),
+      wake_wr_(other.wake_wr_),
+      port_(other.port_),
+      path_(std::move(other.path_)) {
+  other.fd_ = other.wake_rd_ = other.wake_wr_ = -1;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close_all();
+    fd_ = other.fd_;
+    wake_rd_ = other.wake_rd_;
+    wake_wr_ = other.wake_wr_;
+    port_ = other.port_;
+    path_ = std::move(other.path_);
+    other.fd_ = other.wake_rd_ = other.wake_wr_ = -1;
+  }
+  return *this;
+}
+
+namespace {
+
+void make_wake_pipe(int& rd, int& wr) {
+  int p[2];
+  if (::pipe(p) != 0) throw_errno("pipe");
+  set_cloexec(p[0]);
+  set_cloexec(p[1]);
+  rd = p[0];
+  wr = p[1];
+}
+
+}  // namespace
+
+Listener Listener::listen_tcp(const std::string& host, std::uint16_t port,
+                              int backlog) {
+  const sockaddr_in addr = make_tcp_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  set_cloexec(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    throw_errno("bind/listen");
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    throw_errno("getsockname");
+  }
+  Listener l;
+  l.fd_ = fd;
+  l.port_ = ntohs(bound.sin_port);
+  make_wake_pipe(l.wake_rd_, l.wake_wr_);
+  return l;
+}
+
+Listener Listener::listen_unix(const std::string& path, int backlog) {
+  const sockaddr_un addr = make_unix_addr(path);
+  ::unlink(path.c_str());  // stale socket file from a previous run
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  set_cloexec(fd);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    throw_errno("bind/listen");
+  }
+  Listener l;
+  l.fd_ = fd;
+  l.path_ = path;
+  make_wake_pipe(l.wake_rd_, l.wake_wr_);
+  return l;
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {fd_, POLLIN, 0};
+    fds[1] = {wake_rd_, POLLIN, 0};
+    const int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (fds[1].revents != 0) return Socket();  // interrupted: shutting down
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      // Transient per-connection failures (peer reset before accept,
+      // fd-limit pressure) should not kill the accept loop.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EMFILE ||
+          errno == ENFILE)
+        continue;
+      throw_errno("accept");
+    }
+    set_cloexec(cfd);
+    const int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(cfd);
+  }
+}
+
+void Listener::interrupt() noexcept {
+  if (wake_wr_ >= 0) {
+    const char b = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &b, 1);
+  }
+}
+
+void Listener::close_all() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (wake_rd_ >= 0) {
+    ::close(wake_rd_);
+    wake_rd_ = -1;
+  }
+  if (wake_wr_ >= 0) {
+    ::close(wake_wr_);
+    wake_wr_ = -1;
+  }
+  if (!path_.empty()) ::unlink(path_.c_str());
+}
+
+}  // namespace gtpar::net

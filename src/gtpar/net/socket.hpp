@@ -1,0 +1,111 @@
+// gtpar/net/socket.hpp
+//
+// Minimal RAII socket layer for the gtpard service: blocking stream
+// sockets over TCP (loopback or remote) and Unix-domain paths, with
+// EINTR-safe exact reads and full writes. No framing here — that lives in
+// wire.hpp; no event loop — the server runs one accept loop plus one
+// reader per connection, and writes are serialised by the connection
+// (net/server.cpp).
+//
+// Errors are reported as SocketError (a std::runtime_error carrying
+// errno's message). A clean peer close is not an error: read_exact
+// distinguishes end-of-stream at a frame boundary (returns false) from a
+// truncated read mid-frame (throws).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace gtpar::net {
+
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A connected stream socket (RAII over the fd; movable, not copyable).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  /// Read exactly `len` bytes. Returns false on a clean end-of-stream
+  /// *before the first byte*; throws SocketError on I/O failure or EOF
+  /// mid-read (a truncated frame is a protocol violation, not a clean
+  /// close).
+  bool read_exact(void* buf, std::size_t len);
+
+  /// Write all `len` bytes (retrying partial writes / EINTR).
+  void write_all(const void* buf, std::size_t len);
+
+  /// Disable further receives and/or sends (wakes a blocked reader).
+  void shutdown_read() noexcept;
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+
+  /// Connect to a TCP endpoint ("127.0.0.1", port) or a Unix-domain path.
+  static Socket connect_tcp(const std::string& host, std::uint16_t port);
+  static Socket connect_unix(const std::string& path);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket plus a wake-up pipe, so accept() can be interrupted
+/// for graceful shutdown without closing the fd under a racing accept.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(Listener&&) noexcept;
+  Listener& operator=(Listener&&) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind + listen on TCP `host:port`; port 0 picks an ephemeral port
+  /// (readable via port()).
+  static Listener listen_tcp(const std::string& host, std::uint16_t port,
+                             int backlog = 128);
+  /// Bind + listen on a Unix-domain socket path (unlinks a stale socket
+  /// file first).
+  static Listener listen_unix(const std::string& path, int backlog = 128);
+
+  /// Block until a connection arrives (returns it) or interrupt() is
+  /// called (returns an invalid Socket).
+  Socket accept();
+
+  /// Wake a blocked accept(); accept() then returns an invalid Socket.
+  void interrupt() noexcept;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  /// The bound TCP port (after listen_tcp with port 0).
+  std::uint16_t port() const noexcept { return port_; }
+  /// The Unix-domain path, empty for TCP.
+  const std::string& path() const noexcept { return path_; }
+
+  /// Close the listening socket (and unlink a Unix-domain path): new
+  /// connects are refused outright. Idempotent; callers must have joined
+  /// any thread blocked in accept() first (see interrupt()).
+  void close_all() noexcept;
+
+ private:
+  int fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  std::uint16_t port_ = 0;
+  std::string path_;
+};
+
+}  // namespace gtpar::net

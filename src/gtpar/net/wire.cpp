@@ -1,0 +1,476 @@
+#include "gtpar/net/wire.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace gtpar::net {
+
+namespace {
+
+// --- Byte-level writers (little-endian, append-only). -----------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_bytes(std::vector<std::uint8_t>& out, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out.insert(out.end(), p, p + len);
+}
+
+// --- Byte-level reader with hard bounds checks. -----------------------------
+//
+// Every get_* throws WireFormatError instead of reading past `len`; done()
+// lets decoders reject trailing garbage, so a payload parses iff it is
+// exactly one well-formed message.
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+
+  std::uint8_t get_u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t get_u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                      static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t get_u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+
+  bool get_bool() {
+    const std::uint8_t v = get_u8();
+    if (v > 1) throw WireFormatError("wire: boolean byte out of range");
+    return v != 0;
+  }
+
+  std::string get_string(std::size_t max_len) {
+    const std::uint32_t n = get_u32();
+    if (n > max_len) throw WireFormatError("wire: string length exceeds limit");
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::size_t remaining() const noexcept { return len_ - pos_; }
+
+  void expect_done() const {
+    if (pos_ != len_) throw WireFormatError("wire: trailing bytes after message");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (len_ - pos_ < n) throw WireFormatError("wire: truncated message");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+/// A probability field must be a finite value in [0, 1]; anything else
+/// (NaN smuggled through the bit pattern, negative, > 1) is malformed.
+double checked_rate(double v) {
+  if (!std::isfinite(v) || v < 0.0 || v > 1.0)
+    throw WireFormatError("wire: rate field outside [0,1]");
+  return v;
+}
+
+}  // namespace
+
+bool frame_type_known(std::uint8_t raw) noexcept {
+  return raw >= static_cast<std::uint8_t>(FrameType::kRequest) &&
+         raw <= static_cast<std::uint8_t>(FrameType::kGoodbye);
+}
+
+const char* frame_type_name(FrameType t) noexcept {
+  switch (t) {
+    case FrameType::kRequest: return "REQUEST";
+    case FrameType::kResult: return "RESULT";
+    case FrameType::kPartial: return "PARTIAL";
+    case FrameType::kError: return "ERROR";
+    case FrameType::kCancel: return "CANCEL";
+    case FrameType::kPing: return "PING";
+    case FrameType::kPong: return "PONG";
+    case FrameType::kStatsReq: return "STATS_REQ";
+    case FrameType::kStats: return "STATS";
+    case FrameType::kGoodbye: return "GOODBYE";
+  }
+  return "?";
+}
+
+const char* error_code_name(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kBadFrame: return "BAD_FRAME";
+    case ErrorCode::kBadRequest: return "BAD_REQUEST";
+    case ErrorCode::kOverloaded: return "OVERLOADED";
+    case ErrorCode::kStalled: return "STALLED";
+    case ErrorCode::kDraining: return "DRAINING";
+    case ErrorCode::kFrameTooLarge: return "FRAME_TOO_LARGE";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+// --- Frame header. ----------------------------------------------------------
+
+void encode_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::uint64_t request_id,
+                  const std::vector<std::uint8_t>& payload) {
+  out.reserve(out.size() + kFrameHeaderSize + payload.size());
+  put_u32(out, kWireMagic);
+  put_u8(out, kWireVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u16(out, 0);  // reserved
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u64(out, request_id);
+  put_bytes(out, payload.data(), payload.size());
+}
+
+FrameHeader decode_frame_header(const std::uint8_t* data, std::size_t len,
+                                const WireLimits& limits) {
+  if (len < kFrameHeaderSize)
+    throw WireFormatError("wire: truncated frame header");
+  Reader r(data, kFrameHeaderSize);
+  if (r.get_u32() != kWireMagic) throw WireFormatError("wire: bad magic");
+  if (r.get_u8() != kWireVersion)
+    throw WireFormatError("wire: unsupported protocol version");
+  const std::uint8_t raw_type = r.get_u8();
+  if (!frame_type_known(raw_type))
+    throw WireFormatError("wire: unknown frame type");
+  if (r.get_u16() != 0) throw WireFormatError("wire: reserved bits set");
+  FrameHeader h;
+  h.type = static_cast<FrameType>(raw_type);
+  h.payload_len = r.get_u32();
+  if (h.payload_len > limits.max_payload)
+    throw WireFormatError("wire: frame payload exceeds limit");
+  h.request_id = r.get_u64();
+  return h;
+}
+
+// --- REQUEST payload. -------------------------------------------------------
+
+std::vector<std::uint8_t> encode_request(const WireRequest& req) {
+  std::vector<std::uint8_t> out;
+  out.reserve(128 + req.tree_text.size());
+  put_u8(out, req.algorithm);
+  put_u8(out, static_cast<std::uint8_t>((req.want_pv ? 1 : 0) |
+                                        (req.anytime ? 2 : 0) |
+                                        (req.stream ? 4 : 0)));
+  put_u32(out, req.width);
+  put_u32(out, req.threads);
+  put_u32(out, req.depth_limit);
+  put_u8(out, req.cost_model);
+  put_u64(out, req.seed);
+  put_u64(out, req.leaf_cost_ns);
+  put_u64(out, req.grain);
+  put_u64(out, req.deadline_ns);
+  put_u32(out, req.retry_attempts);
+  put_u64(out, req.retry_base_backoff_ns);
+  put_u64(out, req.retry_max_backoff_ns);
+  put_u64(out, req.fault_seed);
+  put_f64(out, req.fault_transient_rate);
+  put_f64(out, req.fault_permanent_rate);
+  put_f64(out, req.fault_slow_rate);
+  put_u32(out, req.fault_flaky_attempts);
+  put_u64(out, req.fault_slow_ns);
+  put_u32(out, static_cast<std::uint32_t>(req.tree_text.size()));
+  put_bytes(out, req.tree_text.data(), req.tree_text.size());
+  return out;
+}
+
+WireRequest decode_request(const std::uint8_t* data, std::size_t len) {
+  Reader r(data, len);
+  WireRequest req;
+  req.algorithm = r.get_u8();
+  const std::uint8_t flags = r.get_u8();
+  if (flags > 7) throw WireFormatError("wire: unknown request flag bits");
+  req.want_pv = (flags & 1) != 0;
+  req.anytime = (flags & 2) != 0;
+  req.stream = (flags & 4) != 0;
+  req.width = r.get_u32();
+  req.threads = r.get_u32();
+  req.depth_limit = r.get_u32();
+  req.cost_model = r.get_u8();
+  req.seed = r.get_u64();
+  req.leaf_cost_ns = r.get_u64();
+  req.grain = r.get_u64();
+  req.deadline_ns = r.get_u64();
+  req.retry_attempts = r.get_u32();
+  req.retry_base_backoff_ns = r.get_u64();
+  req.retry_max_backoff_ns = r.get_u64();
+  req.fault_seed = r.get_u64();
+  req.fault_transient_rate = checked_rate(r.get_f64());
+  req.fault_permanent_rate = checked_rate(r.get_f64());
+  req.fault_slow_rate = checked_rate(r.get_f64());
+  req.fault_flaky_attempts = r.get_u32();
+  req.fault_slow_ns = r.get_u64();
+  // The tree text is bounded by the remaining payload: the frame-level
+  // max_payload limit already capped the total.
+  req.tree_text = r.get_string(r.remaining());
+  r.expect_done();
+  return req;
+}
+
+// --- RESULT / PARTIAL payload. ----------------------------------------------
+
+std::vector<std::uint8_t> encode_result(const WireResult& res) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + res.pv.size() * 4);
+  put_u32(out, static_cast<std::uint32_t>(res.value));
+  put_u8(out, res.completeness);
+  put_u8(out, res.complete ? 1 : 0);
+  put_u32(out, res.stage);
+  put_u32(out, res.total_stages);
+  put_u64(out, res.work);
+  put_u64(out, res.wall_ns);
+  put_u64(out, res.retries);
+  put_u64(out, res.faults);
+  put_u32(out, static_cast<std::uint32_t>(res.pv.size()));
+  for (std::uint32_t v : res.pv) put_u32(out, v);
+  return out;
+}
+
+WireResult decode_result(const std::uint8_t* data, std::size_t len) {
+  Reader r(data, len);
+  WireResult res;
+  res.value = static_cast<std::int32_t>(r.get_u32());
+  res.completeness = r.get_u8();
+  if (res.completeness > 3)  // Completeness has 4 enumerators
+    throw WireFormatError("wire: completeness out of range");
+  res.complete = r.get_bool();
+  res.stage = r.get_u32();
+  res.total_stages = r.get_u32();
+  if (res.total_stages == 0 || res.stage >= res.total_stages)
+    throw WireFormatError("wire: stage index out of range");
+  res.work = r.get_u64();
+  res.wall_ns = r.get_u64();
+  res.retries = r.get_u64();
+  res.faults = r.get_u64();
+  const std::uint32_t n = r.get_u32();
+  if (static_cast<std::size_t>(n) * 4 > r.remaining())
+    throw WireFormatError("wire: pv length exceeds payload");
+  res.pv.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) res.pv.push_back(r.get_u32());
+  r.expect_done();
+  return res;
+}
+
+// --- ERROR payload. ---------------------------------------------------------
+
+std::vector<std::uint8_t> encode_error(const WireError& err) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + err.message.size());
+  put_u16(out, static_cast<std::uint16_t>(err.code));
+  put_u16(out, 0);  // reserved
+  put_u32(out, static_cast<std::uint32_t>(err.message.size()));
+  put_bytes(out, err.message.data(), err.message.size());
+  return out;
+}
+
+WireError decode_error(const std::uint8_t* data, std::size_t len) {
+  Reader r(data, len);
+  WireError err;
+  const std::uint16_t code = r.get_u16();
+  if (code < 1 || code > 7) throw WireFormatError("wire: unknown error code");
+  err.code = static_cast<ErrorCode>(code);
+  if (r.get_u16() != 0) throw WireFormatError("wire: reserved bits set");
+  err.message = r.get_string(r.remaining());
+  r.expect_done();
+  return err;
+}
+
+// --- STATS payload. ---------------------------------------------------------
+
+std::vector<std::uint8_t> encode_stats(const WireStats& s) {
+  std::vector<std::uint8_t> out;
+  out.reserve(80);
+  put_u64(out, s.connections_accepted);
+  put_u64(out, s.connections_active);
+  put_u64(out, s.requests_received);
+  put_u64(out, s.results_sent);
+  put_u64(out, s.partials_sent);
+  put_u64(out, s.errors_sent);
+  put_u64(out, s.bad_frames);
+  put_u64(out, s.requests_shed);
+  put_u64(out, s.requests_draining);
+  put_u64(out, s.cancels_received);
+  return out;
+}
+
+WireStats decode_stats(const std::uint8_t* data, std::size_t len) {
+  Reader r(data, len);
+  WireStats s;
+  s.connections_accepted = r.get_u64();
+  s.connections_active = r.get_u64();
+  s.requests_received = r.get_u64();
+  s.results_sent = r.get_u64();
+  s.partials_sent = r.get_u64();
+  s.errors_sent = r.get_u64();
+  s.bad_frames = r.get_u64();
+  s.requests_shed = r.get_u64();
+  s.requests_draining = r.get_u64();
+  s.cancels_received = r.get_u64();
+  r.expect_done();
+  return s;
+}
+
+// --- Whole-frame conveniences. ----------------------------------------------
+
+namespace {
+
+std::vector<std::uint8_t> frame_of(FrameType type, std::uint64_t request_id,
+                                   const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  encode_frame(out, type, request_id, payload);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request_frame(std::uint64_t request_id,
+                                               const WireRequest& req) {
+  return frame_of(FrameType::kRequest, request_id, encode_request(req));
+}
+
+std::vector<std::uint8_t> encode_result_frame(FrameType type,
+                                              std::uint64_t request_id,
+                                              const WireResult& res) {
+  if (type != FrameType::kResult && type != FrameType::kPartial)
+    throw WireFormatError("wire: result frame must be RESULT or PARTIAL");
+  return frame_of(type, request_id, encode_result(res));
+}
+
+std::vector<std::uint8_t> encode_error_frame(std::uint64_t request_id,
+                                             const WireError& err) {
+  return frame_of(FrameType::kError, request_id, encode_error(err));
+}
+
+std::vector<std::uint8_t> encode_stats_frame(std::uint64_t request_id,
+                                             const WireStats& stats) {
+  return frame_of(FrameType::kStats, request_id, encode_stats(stats));
+}
+
+std::vector<std::uint8_t> encode_control_frame(FrameType type,
+                                               std::uint64_t request_id) {
+  switch (type) {
+    case FrameType::kCancel:
+    case FrameType::kPing:
+    case FrameType::kPong:
+    case FrameType::kStatsReq:
+    case FrameType::kGoodbye:
+      break;
+    default:
+      throw WireFormatError("wire: control frame type carries a payload");
+  }
+  return frame_of(type, request_id, {});
+}
+
+void validate_payload(const FrameHeader& h, const std::uint8_t* data,
+                      std::size_t len) {
+  if (len != h.payload_len)
+    throw WireFormatError("wire: payload length mismatch");
+  switch (h.type) {
+    case FrameType::kRequest:
+      decode_request(data, len);
+      break;
+    case FrameType::kResult:
+    case FrameType::kPartial:
+      decode_result(data, len);
+      break;
+    case FrameType::kError:
+      decode_error(data, len);
+      break;
+    case FrameType::kStats:
+      decode_stats(data, len);
+      break;
+    case FrameType::kCancel:
+    case FrameType::kPing:
+    case FrameType::kPong:
+    case FrameType::kStatsReq:
+    case FrameType::kGoodbye:
+      if (len != 0)
+        throw WireFormatError("wire: control frame with non-empty payload");
+      break;
+  }
+}
+
+// --- FrameParser. -----------------------------------------------------------
+
+void FrameParser::feed(const std::uint8_t* data, std::size_t len) {
+  if (poisoned_)
+    throw WireFormatError("wire: parser poisoned by earlier framing error");
+  // Compact lazily so buffered garbage cannot grow without bound.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+std::optional<Frame> FrameParser::next() {
+  if (poisoned_)
+    throw WireFormatError("wire: parser poisoned by earlier framing error");
+  if (buf_.size() - pos_ < kFrameHeaderSize) return std::nullopt;
+  FrameHeader h;
+  try {
+    h = decode_frame_header(buf_.data() + pos_, kFrameHeaderSize, limits_);
+    if (buf_.size() - pos_ - kFrameHeaderSize < h.payload_len)
+      return std::nullopt;  // wait for the payload
+    validate_payload(h, buf_.data() + pos_ + kFrameHeaderSize, h.payload_len);
+  } catch (const WireFormatError&) {
+    poisoned_ = true;
+    throw;
+  }
+  Frame f;
+  f.header = h;
+  const auto* p = buf_.data() + pos_ + kFrameHeaderSize;
+  f.payload.assign(p, p + h.payload_len);
+  pos_ += kFrameHeaderSize + h.payload_len;
+  return f;
+}
+
+}  // namespace gtpar::net

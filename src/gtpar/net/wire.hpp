@@ -1,0 +1,255 @@
+// gtpar/net/wire.hpp
+//
+// The gtpard wire protocol: length-prefixed binary frames over a byte
+// stream (TCP or Unix-domain socket). This is the front door of the
+// batched evaluation engine — every SearchRequest knob crosses the wire,
+// results stream back as zero or more PARTIAL frames followed by exactly
+// one RESULT or ERROR frame per request, and overload/stall/drain surface
+// as *structured error frames*, never as dropped connections.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic        0x47545044 ("GTPD")
+//   4       1     version      kWireVersion (1)
+//   5       1     type         FrameType
+//   6       2     reserved     must be 0
+//   8       4     payload_len  bytes following the header
+//   12      8     request_id   client-chosen correlation id
+//   20      ...   payload      type-specific encoding (below)
+//
+// The fixed header is kFrameHeaderSize (20) bytes. payload_len is bounded
+// by the receiver (WireLimits::max_payload, default 16 MiB): an oversized
+// length is a protocol error detected *before* any allocation, so a
+// hostile 4 GiB length prefix costs nothing. Every decoder is hardened:
+// all reads are bounds-checked, unknown enum values and trailing garbage
+// are rejected, and malformed input throws WireFormatError — never
+// crashes, over-reads, or loops. tests/test_net_protocol.cpp fuzzes the
+// decoders with seeded bit flips, truncations, and garbage under
+// ASan/UBSan to keep it that way.
+//
+// The tree payload inside REQUEST frames reuses the existing s-expression
+// serialization (tree/serialization.hpp) verbatim: one workload format
+// across files, tests, the fuzzer corpus, and the wire.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gtpar::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x47545044u;  // "GTPD"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 20;
+
+/// Decoder-side resource bounds.
+struct WireLimits {
+  /// Largest acceptable payload_len. Frames above it are rejected with
+  /// ErrorCode::kFrameTooLarge before the payload is read or allocated.
+  std::uint32_t max_payload = 16u << 20;  // 16 MiB
+};
+
+/// Malformed wire data (bad magic/version, truncated payload, unknown
+/// enum, oversized length, trailing garbage). Server and client catch it
+/// at the connection boundary; it must never escape as a crash.
+class WireFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class FrameType : std::uint8_t {
+  kRequest = 0x01,  ///< client -> server: one SearchRequest
+  kResult = 0x02,   ///< server -> client: final result for request_id
+  kPartial = 0x03,  ///< server -> client: streamed anytime snapshot
+  kError = 0x04,    ///< server -> client: structured failure for request_id
+  kCancel = 0x05,   ///< client -> server: cancel request_id (best-effort)
+  kPing = 0x06,     ///< either direction: liveness probe
+  kPong = 0x07,     ///< reply to kPing (same request_id)
+  kStatsReq = 0x08, ///< client -> server: ask for a kStats frame
+  kStats = 0x09,    ///< server -> client: service counters snapshot
+  kGoodbye = 0x0A,  ///< server -> client: draining, submit no new requests
+};
+
+/// True for the frame types this protocol version defines.
+bool frame_type_known(std::uint8_t raw) noexcept;
+const char* frame_type_name(FrameType t) noexcept;
+
+/// Structured failure classes carried by kError frames.
+enum class ErrorCode : std::uint16_t {
+  kBadFrame = 1,       ///< unparseable bytes: after a header-level framing
+                       ///< loss the connection closes (no resync on a byte
+                       ///< stream); a bad payload under a sound header
+                       ///< keeps the connection
+  kBadRequest = 2,     ///< well-formed frame, invalid request semantics
+  kOverloaded = 3,     ///< admission control shed the request
+  kStalled = 4,        ///< the engine watchdog failed the request
+  kDraining = 5,       ///< server is draining; request not accepted
+  kFrameTooLarge = 6,  ///< payload_len exceeded the receiver's limit
+  kInternal = 7,       ///< unexpected server-side failure
+};
+
+const char* error_code_name(ErrorCode c) noexcept;
+
+/// Parsed fixed-size frame header.
+struct FrameHeader {
+  FrameType type = FrameType::kPing;
+  std::uint32_t payload_len = 0;
+  std::uint64_t request_id = 0;
+};
+
+/// One whole frame (header + decoded-by-caller payload bytes).
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+// --- Message payloads. ------------------------------------------------------
+
+/// Everything a client can ask of one search, mirroring SearchRequest
+/// (engine/api.hpp) field for field; the tree rides along as its
+/// s-expression text. The fault_* block is the networked lane of the
+/// fault-injection substrate (check/faults.hpp): ignored unless the server
+/// was started with allow_fault_injection (a test-only switch), it lets
+/// the chaos suites drive seeded leaf faults through the full service
+/// path and observe them as degraded Completeness in the response.
+struct WireRequest {
+  std::uint8_t algorithm = 0;  ///< Algorithm enum value
+  bool want_pv = false;
+  bool anytime = true;
+  /// Ask the server to stream intermediate anytime snapshots (kPartial
+  /// frames) while the search runs; requires deadline_ns != 0.
+  bool stream = false;
+  std::uint32_t width = 1;
+  std::uint32_t threads = 0;  ///< 0 = server default
+  std::uint32_t depth_limit = 0;
+  std::uint8_t cost_model = 0;  ///< LeafCostModel enum value
+  std::uint64_t seed = 0;
+  std::uint64_t leaf_cost_ns = 0;
+  std::uint64_t grain = 0;
+  /// Wall-clock budget (SearchLimits::budget_ns); 0 = unlimited.
+  std::uint64_t deadline_ns = 0;
+  std::uint32_t retry_attempts = 1;
+  std::uint64_t retry_base_backoff_ns = 0;
+  std::uint64_t retry_max_backoff_ns = 0;
+  /// Fault-injection plan; fault_seed == 0 disables the whole block.
+  std::uint64_t fault_seed = 0;
+  double fault_transient_rate = 0.0;
+  double fault_permanent_rate = 0.0;
+  double fault_slow_rate = 0.0;
+  std::uint32_t fault_flaky_attempts = 1;
+  std::uint64_t fault_slow_ns = 0;
+  /// s-expression of the tree (tree/serialization.hpp).
+  std::string tree_text;
+};
+
+/// A search outcome (final kResult or streamed kPartial snapshot),
+/// mirroring SearchResult.
+struct WireResult {
+  std::int32_t value = 0;
+  std::uint8_t completeness = 0;  ///< Completeness enum value
+  bool complete = true;
+  /// 0-based index of the streaming stage that produced this snapshot;
+  /// equals total_stages - 1 on the final frame.
+  std::uint32_t stage = 0;
+  std::uint32_t total_stages = 1;
+  std::uint64_t work = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t faults = 0;
+  std::vector<std::uint32_t> pv;
+};
+
+struct WireError {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+/// Service counters snapshot (kStats payload).
+struct WireStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t requests_received = 0;
+  std::uint64_t results_sent = 0;
+  std::uint64_t partials_sent = 0;
+  std::uint64_t errors_sent = 0;
+  std::uint64_t bad_frames = 0;
+  std::uint64_t requests_shed = 0;
+  std::uint64_t requests_draining = 0;
+  std::uint64_t cancels_received = 0;
+};
+
+// --- Encoding. --------------------------------------------------------------
+
+/// Append one whole frame (header + payload) to `out`.
+void encode_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::uint64_t request_id,
+                  const std::vector<std::uint8_t>& payload);
+
+/// Type-specific payload encoders.
+std::vector<std::uint8_t> encode_request(const WireRequest& req);
+std::vector<std::uint8_t> encode_result(const WireResult& res);
+std::vector<std::uint8_t> encode_error(const WireError& err);
+std::vector<std::uint8_t> encode_stats(const WireStats& stats);
+
+/// Convenience: encode payload + frame in one go.
+std::vector<std::uint8_t> encode_request_frame(std::uint64_t request_id,
+                                               const WireRequest& req);
+std::vector<std::uint8_t> encode_result_frame(FrameType type,
+                                              std::uint64_t request_id,
+                                              const WireResult& res);
+std::vector<std::uint8_t> encode_error_frame(std::uint64_t request_id,
+                                             const WireError& err);
+std::vector<std::uint8_t> encode_stats_frame(std::uint64_t request_id,
+                                             const WireStats& stats);
+/// kCancel / kPing / kPong / kStatsReq / kGoodbye carry no payload.
+std::vector<std::uint8_t> encode_control_frame(FrameType type,
+                                               std::uint64_t request_id);
+
+// --- Decoding (throws WireFormatError on malformed input). ------------------
+
+/// Parse and validate the fixed header from exactly kFrameHeaderSize
+/// bytes: magic, version, known type, reserved == 0, payload_len within
+/// `limits`. The payload itself is read/validated separately.
+FrameHeader decode_frame_header(const std::uint8_t* data, std::size_t len,
+                                const WireLimits& limits = {});
+
+/// Type-specific payload decoders. Reject truncated input, out-of-range
+/// enums, non-finite rates, and trailing bytes.
+WireRequest decode_request(const std::uint8_t* data, std::size_t len);
+WireResult decode_result(const std::uint8_t* data, std::size_t len);
+WireError decode_error(const std::uint8_t* data, std::size_t len);
+WireStats decode_stats(const std::uint8_t* data, std::size_t len);
+
+/// Validate a payload against its frame type: control frames must be
+/// empty, typed frames must decode. Used by the frame fuzzer and the
+/// connection loops.
+void validate_payload(const FrameHeader& h, const std::uint8_t* data,
+                      std::size_t len);
+
+/// Incremental parser over an in-memory byte stream: feed() appends bytes,
+/// next() pops the earliest complete frame (header-validated,
+/// payload-validated). Exists so the protocol can be fuzzed without a
+/// socket; the connection loops share the same decoders over blocking
+/// reads. Throws WireFormatError on the first malformed byte; the parser
+/// is then poisoned (a stream cannot resynchronise after framing is lost).
+class FrameParser {
+ public:
+  explicit FrameParser(const WireLimits& limits = {}) : limits_(limits) {}
+
+  void feed(const std::uint8_t* data, std::size_t len);
+  /// The earliest complete frame, or nullopt if more bytes are needed.
+  std::optional<Frame> next();
+
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  WireLimits limits_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace gtpar::net

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -504,6 +505,167 @@ TEST(Engine, StatsAggregateRetriesAndFaults) {
   const EngineStats s = eng.stats();
   EXPECT_EQ(s.total_retries, r.retries);
   EXPECT_EQ(s.total_faults, r.faults);
+}
+
+// --- Completion callbacks (the seam the networked service streams on). ------
+//
+// Engine::submit(req, on_complete) pins three ordering guarantees:
+//  1. exactly-once: one callback per job, result or error, never both;
+//  2. publication-first: inside the callback the job is done() and wait()
+//     returns without blocking;
+//  3. drain-covered: for jobs that finish normally, the callback has
+//     returned by the time Engine::drain() returns.
+
+TEST(EngineCallbacks, DeliversResultExactlyOnce) {
+  const Tree t = make_uniform_iid_nor(2, 6, 0.618, 5);
+  Engine eng;
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtParallelSolve;
+
+  std::atomic<int> calls{0};
+  std::atomic<Value> seen{-1};
+  SearchJob job = eng.submit(req, [&](const SearchResult* r,
+                                      std::exception_ptr err) {
+    calls.fetch_add(1);
+    ASSERT_NE(r, nullptr);
+    ASSERT_EQ(err, nullptr);
+    seen.store(r->value);
+  });
+  const SearchResult& r = job.wait();
+  eng.drain();
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen.load(), r.value);
+  EXPECT_EQ(r.value, nor_value(t) ? 1 : 0);
+}
+
+TEST(EngineCallbacks, JobIsDoneInsideCallback) {
+  const Tree t = make_uniform_iid_nor(2, 6, 0.618, 6);
+  Engine eng;
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kMtSequentialSolve;
+
+  // The callback needs the job handle; hand it over through a promise.
+  std::promise<SearchJob> handle;
+  auto handle_future = handle.get_future().share();
+  std::atomic<bool> was_done{false};
+  std::atomic<bool> wait_ok{false};
+  SearchJob job = eng.submit(req, [&, handle_future](const SearchResult* r,
+                                                     std::exception_ptr) {
+    SearchJob self = handle_future.get();
+    was_done.store(self.done());
+    // Guarantee 2: wait() inside the callback must return immediately
+    // with the already-published result, not deadlock.
+    wait_ok.store(&self.wait() != nullptr && self.wait().value == r->value);
+  });
+  handle.set_value(job);
+  job.wait();
+  eng.drain();
+  EXPECT_TRUE(was_done.load());
+  EXPECT_TRUE(wait_ok.load());
+}
+
+TEST(EngineCallbacks, RejectedJobCallsBackWithOverloadError) {
+  const Tree t = make_uniform_iid_nor(2, 6, 0.618, 7);
+  Engine::Options opt;
+  opt.workers = 1;
+  opt.max_in_flight = 1;
+  opt.shed = ShedPolicy::kRejectNew;
+  Engine eng(opt);
+
+  SearchRequest slow;
+  slow.tree = &t;
+  slow.algorithm = Algorithm::kMtSequentialSolve;
+  slow.leaf_cost_ns = 500'000;
+  slow.cost_model = LeafCostModel::kSleep;
+
+  SearchJob first = eng.submit(slow, {});
+  // Saturate, then watch the shed path call back with the error.
+  std::atomic<int> rejected{0};
+  std::vector<SearchJob> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(eng.submit(slow, [&](const SearchResult* r,
+                                        std::exception_ptr err) {
+      if (r != nullptr || err == nullptr) return;
+      try {
+        std::rethrow_exception(err);
+      } catch (const EngineOverloadedError&) {
+        rejected.fetch_add(1);
+      } catch (...) {
+      }
+    }));
+  }
+  first.wait();
+  eng.drain();
+  int threw = 0;
+  for (auto& j : jobs) {
+    try {
+      j.wait();
+    } catch (const EngineOverloadedError&) {
+      threw += 1;
+    }
+  }
+  EXPECT_GE(rejected.load(), 1);
+  EXPECT_EQ(rejected.load(), threw);
+}
+
+TEST(EngineCallbacks, DrainCoversNormallyFinishedCallbacks) {
+  const Tree t = make_uniform_iid_nor(2, 6, 0.618, 8);
+  for (int round = 0; round < 20; ++round) {
+    Engine eng;
+    SearchRequest req;
+    req.tree = &t;
+    req.algorithm = Algorithm::kMtParallelSolve;
+
+    std::atomic<int> completed{0};
+    constexpr int kJobs = 16;
+    for (int i = 0; i < kJobs; ++i)
+      eng.submit(req, [&](const SearchResult* r, std::exception_ptr) {
+        if (r != nullptr) completed.fetch_add(1);
+      });
+    eng.drain();
+    // Guarantee 3: every callback has RETURNED once drain() has.
+    EXPECT_EQ(completed.load(), kJobs) << "round " << round;
+  }
+}
+
+// The TSan-stressed ordering test: many submitters, callbacks racing
+// wait()ers and drain(), every guarantee checked under load. Run in the
+// CI tsan lane.
+TEST(EngineCallbacks, OrderingSurvivesConcurrencyStress) {
+  const Tree t = make_uniform_iid_nor(2, 6, 0.618, 9);
+  const Value truth = nor_value(t) ? 1 : 0;
+  Engine::Options opt;
+  opt.workers = 4;
+  Engine eng(opt);
+
+  constexpr int kThreads = 4;
+  constexpr int kJobsEach = 25;
+  std::atomic<int> callbacks{0};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> submitters;
+  for (int th = 0; th < kThreads; ++th) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kJobsEach; ++i) {
+        SearchRequest req;
+        req.tree = &t;
+        req.algorithm = Algorithm::kMtParallelSolve;
+        SearchJob job =
+            eng.submit(req, [&](const SearchResult* r, std::exception_ptr) {
+              callbacks.fetch_add(1);
+              if (r == nullptr || r->value != truth) wrong.fetch_add(1);
+            });
+        // Race the callback against a waiter on the same job.
+        const SearchResult& r = job.wait();
+        if (r.value != truth) wrong.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  eng.drain();
+  EXPECT_EQ(callbacks.load(), kThreads * kJobsEach);
+  EXPECT_EQ(wrong.load(), 0);
 }
 
 }  // namespace

@@ -14,8 +14,11 @@
 #include "gtpar/engine/api.hpp"
 #include "gtpar/expand/nor_expansion.hpp"
 #include "gtpar/expand/tree_source.hpp"
+#include "gtpar/net/client.hpp"
+#include "gtpar/net/server.hpp"
 #include "gtpar/solve/nor_simulator.hpp"
 #include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/serialization.hpp"
 #include "gtpar/tree/values.hpp"
 
 namespace gtpar {
@@ -334,6 +337,151 @@ TEST(ChaosFacade, MinimaxPartialPrefixGivesConsistentBound) {
     case Completeness::kFailed:
       EXPECT_FALSE(r.complete);
       break;
+  }
+}
+
+// --- The networked fault lane (net/server.hpp). -----------------------------
+//
+// The same resilience contract, driven through the full service path: a
+// WireRequest fault plan becomes a server-side FaultInjector on the Mt
+// cores' leaf hook, and injected evaluator faults must surface as retried
+// exact values or degraded Completeness in the RESPONSE — never as
+// connection errors, hangs, or wrong exact values.
+
+net::ServiceServer& chaos_server() {
+  // A real static (not leaked): its destructor drains at exit, joining the
+  // accept and reader threads, so the TSan chaos lane sees no thread leak.
+  static net::ServiceServer server{[] {
+    net::ServiceOptions opt;
+    opt.tcp_port = 0;
+    opt.engine.workers = 4;
+    opt.allow_fault_injection = true;
+    return opt;
+  }()};
+  static const bool started = [] {
+    server.start();
+    return true;
+  }();
+  (void)started;
+  return server;
+}
+
+net::WireRequest faulty_wire_request(const Tree& t, Algorithm alg) {
+  net::WireRequest req;
+  req.algorithm = static_cast<std::uint8_t>(alg);
+  req.tree_text = to_string(t);
+  req.width = 2;
+  return req;
+}
+
+void expect_sound(const net::WireResult& r, Value truth, bool minimax) {
+  switch (static_cast<Completeness>(r.completeness)) {
+    case Completeness::kExact:
+      EXPECT_EQ(r.value, truth);
+      break;
+    case Completeness::kLowerBound:
+      EXPECT_TRUE(minimax);
+      EXPECT_LE(r.value, truth);
+      break;
+    case Completeness::kUpperBound:
+      EXPECT_TRUE(minimax);
+      EXPECT_GE(r.value, truth);
+      break;
+    case Completeness::kFailed:
+      break;  // no claim
+  }
+}
+
+TEST(NetworkedFaults, TransientFaultsRetryToExactValueOverTheWire) {
+  auto client = net::ServiceClient::connect_tcp("127.0.0.1",
+                                                chaos_server().port());
+  const Tree t = make_uniform_iid_minimax(2, 6, -64, 64, 41);
+  net::WireRequest req = faulty_wire_request(t, Algorithm::kMtParallelAb);
+  req.fault_seed = 7;
+  req.fault_transient_rate = 0.25;
+  req.fault_flaky_attempts = 2;
+  req.retry_attempts = 4;  // enough to clear every flaky leaf
+
+  const auto r = client.call(req);
+  ASSERT_TRUE(r.ok()) << (r.error ? r.error->message : "no frame");
+  EXPECT_EQ(static_cast<Completeness>(r.result->completeness),
+            Completeness::kExact);
+  EXPECT_EQ(r.result->value, minimax_value(t));
+  // The wire result carries the engine's fault accounting: the injected
+  // transients really happened and really were retried.
+  EXPECT_GT(r.result->faults, 0u);
+  EXPECT_GT(r.result->retries, 0u);
+}
+
+TEST(NetworkedFaults, PermanentFaultsDegradeResponseNotConnection) {
+  auto client = net::ServiceClient::connect_tcp("127.0.0.1",
+                                                chaos_server().port());
+  const Tree t = make_uniform_iid_minimax(2, 6, -64, 64, 43);
+  const Value truth = minimax_value(t);
+  net::WireRequest req = faulty_wire_request(t, Algorithm::kMtParallelAb);
+  req.fault_seed = 11;
+  req.fault_permanent_rate = 0.2;
+
+  const auto r = client.call(req);
+  // The contract: a RESULT frame (not an error, not a dropped
+  // connection) with an honestly-degraded, sound claim.
+  ASSERT_TRUE(r.ok()) << (r.error ? r.error->message : "no frame");
+  expect_sound(*r.result, truth, /*minimax=*/true);
+  EXPECT_GT(r.result->faults, 0u);
+
+  // And the connection is still healthy: a clean request right after.
+  net::WireRequest clean = faulty_wire_request(t, Algorithm::kMtParallelAb);
+  const auto r2 = client.call(clean);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.result->value, truth);
+}
+
+// The sweep: both families, rising fault pressure, mixed transient/
+// permanent/slow plans — every response sound, transient-only runs exact.
+TEST(NetworkedFaults, FaultSweepThroughServicePath) {
+  auto client = net::ServiceClient::connect_tcp("127.0.0.1",
+                                                chaos_server().port());
+  struct Lane {
+    bool minimax;
+    Algorithm alg;
+  };
+  const Lane lanes[] = {{false, Algorithm::kMtParallelSolve},
+                        {true, Algorithm::kMtParallelAb}};
+  const double rates[] = {0.05, 0.15, 0.35};
+
+  for (const Lane& lane : lanes) {
+    const Tree t =
+        lane.minimax ? make_uniform_iid_minimax(2, 6, -100, 100, 47)
+                     : make_uniform_iid_nor(2, 6, 0.618, 47);
+    const Value truth =
+        lane.minimax ? minimax_value(t) : Value(nor_value(t) ? 1 : 0);
+
+    for (double rate : rates) {
+      // Transient-only with retry budget: must recover the exact value.
+      net::WireRequest transient = faulty_wire_request(t, lane.alg);
+      transient.fault_seed = 100 + static_cast<std::uint64_t>(rate * 100);
+      transient.fault_transient_rate = rate;
+      transient.fault_flaky_attempts = 1;
+      transient.retry_attempts = 3;
+      const auto rt = client.call(transient);
+      ASSERT_TRUE(rt.ok()) << (rt.error ? rt.error->message : "no frame");
+      EXPECT_EQ(static_cast<Completeness>(rt.result->completeness),
+                Completeness::kExact)
+          << "transient rate " << rate;
+      EXPECT_EQ(rt.result->value, truth) << "transient rate " << rate;
+
+      // Mixed transient + permanent + latency spikes: sound, not hung.
+      net::WireRequest mixed = faulty_wire_request(t, lane.alg);
+      mixed.fault_seed = 200 + static_cast<std::uint64_t>(rate * 100);
+      mixed.fault_transient_rate = rate / 2;
+      mixed.fault_permanent_rate = rate / 2;
+      mixed.fault_slow_rate = rate;
+      mixed.fault_slow_ns = 100'000;
+      mixed.retry_attempts = 3;
+      const auto rm = client.call(mixed);
+      ASSERT_TRUE(rm.ok()) << (rm.error ? rm.error->message : "no frame");
+      expect_sound(*rm.result, truth, lane.minimax);
+    }
   }
 }
 

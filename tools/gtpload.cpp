@@ -1,0 +1,590 @@
+// tools/gtpload.cpp
+//
+// gtpload — open-loop load generator for gtpard. Models a population of
+// independent users: request arrivals are a Poisson process at a fixed
+// offered rate (exponential inter-arrival times, dispatched on schedule
+// whether or not earlier requests have finished — the open-loop
+// discipline that actually reveals overload, unlike closed-loop harnesses
+// whose arrival rate collapses with the server), mixed over request
+// classes (SOLVE vs alpha-beta, small vs huge trees, tight vs loose
+// deadlines).
+//
+// Every response is differentially checked against locally precomputed
+// ground truth (the workload trees are generated client-side, so the true
+// root value is known): an exact response must equal it, a bound must
+// contain it — a violation is a wrong answer and fails the gate. Sheds
+// and drain notices count as errors (they are *correct* overload
+// behaviour, priced into goodput, not correctness failures).
+//
+// Output: one sweep point per offered rate with p50/p99/p99.9 latency,
+// goodput (correct completions per second), shed/error/timeout rates —
+// printed as a table and written to BENCH_service.json. With --check,
+// exits non-zero on any wrong answer or on a p99 above --gate-p99-ms at
+// the lowest (modest) offered rate: the CI smoke gate.
+//
+// Usage:
+//   gtpload (--tcp HOST:PORT | --unix PATH)
+//           [--rps R1,R2,...]    offered-load sweep (default 150,600,2400)
+//           [--duration-s S]     seconds per point (default 10)
+//           [--conns C]          client connections (default 4)
+//           [--seed N]           workload + arrival seed (default 1)
+//           [--json PATH]        results file (default BENCH_service.json)
+//           [--check]            enforce gates (wrong answers, p99)
+//           [--gate-p99-ms X]    p99 gate at the lowest rate (default 250)
+//           [--quick]            3s per point
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "gtpar/engine/api.hpp"
+#include "gtpar/net/client.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/serialization.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar::load {
+
+using Clock = std::chrono::steady_clock;
+
+// --- Workload classes. ------------------------------------------------------
+
+/// One request class of the mixed workload. Trees are generated (and
+/// ground-truthed) locally per class from the seed, then reused round-robin
+/// across arrivals — the wire payload is the pre-encoded request.
+struct RequestClass {
+  const char* name;
+  bool minimax;
+  double weight;               // relative arrival share
+  Algorithm algorithm;
+  unsigned width;
+  unsigned d, n;               // uniform tree shape
+  std::uint64_t leaf_cost_ns;  // simulated evaluator latency (sleep model)
+  std::uint64_t deadline_ns;   // 0 = none
+};
+
+constexpr RequestClass kClasses[] = {
+    // Small trees, cheap leaves: the latency-sensitive interactive mix.
+    {"solve-small", false, 0.35, Algorithm::kFlatSolve, 1, 2, 6, 0, 0},
+    {"ab-small", true, 0.25, Algorithm::kFlatAb, 1, 3, 4, 0, 0},
+    // Huge trees on the parallel cascades with simulated leaf latency and
+    // a loose deadline: the batch mix that actually loads the workers.
+    {"solve-huge", false, 0.15, Algorithm::kMtParallelSolve, 2, 2, 10, 2000,
+     500'000'000},
+    {"ab-huge", true, 0.15, Algorithm::kMtParallelAb, 2, 2, 10, 2000,
+     500'000'000},
+    // Huge tree under a *tight* deadline: exercises anytime degradation
+    // under load (a correct answer is exact OR a bound containing truth).
+    {"ab-tight", true, 0.10, Algorithm::kMtParallelAb, 2, 2, 10, 2000,
+     5'000'000},
+};
+constexpr std::size_t kNumClasses = sizeof(kClasses) / sizeof(kClasses[0]);
+constexpr std::size_t kTreesPerClass = 4;
+
+struct PreparedRequest {
+  net::WireRequest wire;
+  Value truth = 0;
+  bool minimax = false;
+  std::size_t cls = 0;
+};
+
+std::vector<PreparedRequest> prepare_workload(std::uint64_t seed) {
+  std::vector<PreparedRequest> out;
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    const RequestClass& rc = kClasses[c];
+    for (std::size_t k = 0; k < kTreesPerClass; ++k) {
+      const std::uint64_t tree_seed = hash_combine(seed, c * 64 + k + 1);
+      Tree t = rc.minimax
+                   ? make_uniform_iid_minimax(rc.d, rc.n, -100, 100, tree_seed)
+                   : make_uniform_iid_nor(rc.d, rc.n, 0.618, tree_seed);
+      PreparedRequest p;
+      p.minimax = rc.minimax;
+      p.cls = c;
+      p.truth = rc.minimax ? minimax_value(t) : Value(nor_value(t) ? 1 : 0);
+      p.wire.algorithm = static_cast<std::uint8_t>(rc.algorithm);
+      p.wire.width = rc.width;
+      p.wire.anytime = true;
+      p.wire.leaf_cost_ns = rc.leaf_cost_ns;
+      p.wire.cost_model = 1;  // LeafCostModel::kSleep: latency-bound leaves
+      p.wire.deadline_ns = rc.deadline_ns;
+      p.wire.tree_text = to_string(t);
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+// --- Response correctness. --------------------------------------------------
+
+/// A response is *wrong* iff it makes a claim inconsistent with ground
+/// truth: an exact value that differs, or a bound that excludes it.
+/// (kFailed claims nothing; NOR has no one-sided bounds, so any NOR bound
+/// frame is itself a protocol violation.)
+bool response_wrong(const net::WireResult& r, const PreparedRequest& p) {
+  switch (static_cast<Completeness>(r.completeness)) {
+    case Completeness::kExact:
+      return r.value != p.truth;
+    case Completeness::kLowerBound:
+      return !p.minimax || r.value > p.truth;
+    case Completeness::kUpperBound:
+      return !p.minimax || r.value < p.truth;
+    case Completeness::kFailed:
+      return false;
+  }
+  return true;
+}
+
+// --- Per-point collection. --------------------------------------------------
+
+struct Pending {
+  Clock::time_point sent;
+  std::size_t req_idx;   // into the prepared workload
+  bool warmup;
+};
+
+struct ClassTally {
+  std::uint64_t sent = 0, ok = 0, wrong = 0, shed = 0, errors = 0,
+                timeouts = 0, degraded = 0;
+  std::vector<double> latency_ms;  // completed, post-warmup
+};
+
+struct PointResult {
+  double offered_rps = 0;
+  double achieved_send_rps = 0;
+  double duration_s = 0;
+  std::uint64_t sent = 0, completed = 0, ok = 0, wrong = 0, shed = 0,
+                 errors = 0, timeouts = 0, degraded = 0;
+  double p50_ms = 0, p99_ms = 0, p999_ms = 0, goodput_rps = 0;
+  std::vector<ClassTally> per_class;
+};
+
+double percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = std::min(
+      v.size() - 1,
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(v.size()))) ==
+              0
+          ? 0
+          : static_cast<std::size_t>(
+                std::ceil(q * static_cast<double>(v.size()))) -
+              1);
+  return v[idx];
+}
+
+/// One client connection with its receiver thread and pending map.
+struct Conn {
+  std::unique_ptr<net::ServiceClient> client;
+  std::thread receiver;
+  std::mutex mu;
+  std::unordered_map<std::uint64_t, Pending> pending;
+  std::uint64_t next_id = 1;  // dispatcher-only
+};
+
+struct Endpoint {
+  bool use_unix = false;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string path;
+
+  net::Socket connect() const {
+    return use_unix ? net::Socket::connect_unix(path)
+                    : net::Socket::connect_tcp(host, port);
+  }
+};
+
+PointResult run_point(const Endpoint& ep,
+                      const std::vector<PreparedRequest>& workload,
+                      double rps, double duration_s, unsigned conns,
+                      std::uint64_t seed) {
+  PointResult res;
+  res.offered_rps = rps;
+  res.duration_s = duration_s;
+  res.per_class.resize(kNumClasses);
+
+  std::mutex tally_mu;  // guards res counters + per_class from receivers
+  std::atomic<bool> done{false};
+
+  std::vector<std::unique_ptr<Conn>> pool;
+  for (unsigned i = 0; i < conns; ++i) {
+    auto c = std::make_unique<Conn>();
+    c->client = std::make_unique<net::ServiceClient>(ep.connect());
+    pool.push_back(std::move(c));
+  }
+  for (auto& cp : pool) {
+    Conn* c = cp.get();
+    c->receiver = std::thread([c, &workload, &res, &tally_mu, &done] {
+      try {
+        for (;;) {
+          auto f = c->client->read_frame();
+          if (!f) break;  // server closed
+          const auto now = Clock::now();
+          if (f->header.type != net::FrameType::kResult &&
+              f->header.type != net::FrameType::kError)
+            continue;  // goodbye/pong/partial: not a completion
+          Pending p;
+          {
+            std::lock_guard<std::mutex> lock(c->mu);
+            auto it = c->pending.find(f->header.request_id);
+            if (it == c->pending.end()) continue;  // stale (timed out)
+            p = it->second;
+            c->pending.erase(it);
+          }
+          const PreparedRequest& req = workload[p.req_idx];
+          const double ms =
+              std::chrono::duration<double, std::milli>(now - p.sent).count();
+          std::lock_guard<std::mutex> lock(tally_mu);
+          ClassTally& ct = res.per_class[req.cls];
+          res.completed += 1;
+          if (f->header.type == net::FrameType::kError) {
+            const auto err =
+                net::decode_error(f->payload.data(), f->payload.size());
+            if (err.code == net::ErrorCode::kOverloaded) {
+              res.shed += 1;
+              ct.shed += 1;
+            } else {
+              res.errors += 1;
+              ct.errors += 1;
+            }
+            continue;
+          }
+          const auto wres =
+              net::decode_result(f->payload.data(), f->payload.size());
+          if (response_wrong(wres, req)) {
+            res.wrong += 1;
+            ct.wrong += 1;
+            continue;
+          }
+          if (static_cast<Completeness>(wres.completeness) !=
+              Completeness::kExact) {
+            res.degraded += 1;
+            ct.degraded += 1;
+          }
+          res.ok += 1;
+          ct.ok += 1;
+          if (!p.warmup) ct.latency_ms.push_back(ms);
+        }
+      } catch (const std::exception&) {
+        // Transport failure mid-point: remaining pendings become timeouts.
+        (void)done;
+      }
+    });
+  }
+
+  // Open-loop dispatcher: arrivals fire on the Poisson schedule no matter
+  // how the server is doing.
+  std::mt19937_64 rng(hash_combine(seed, static_cast<std::uint64_t>(rps)));
+  std::exponential_distribution<double> interarrival(rps);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const auto start = Clock::now();
+  const auto end = start + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(duration_s));
+  const auto warmup_end =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(
+                      std::min(duration_s * 0.1, 1.0)));
+  auto next_arrival = start;
+  std::size_t conn_rr = 0;
+  std::uint64_t sent = 0;
+
+  // Cumulative class weights for the arrival mix.
+  double weights[kNumClasses];
+  double total_w = 0;
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    total_w += kClasses[c].weight;
+    weights[c] = total_w;
+  }
+
+  while (next_arrival < end) {
+    std::this_thread::sleep_until(next_arrival);
+    const double pick = unit(rng) * total_w;
+    std::size_t cls = 0;
+    while (cls + 1 < kNumClasses && pick > weights[cls]) ++cls;
+    const std::size_t req_idx =
+        cls * kTreesPerClass + static_cast<std::size_t>(rng() % kTreesPerClass);
+    Conn* c = pool[conn_rr % pool.size()].get();
+    conn_rr += 1;
+    const auto now = Clock::now();
+    // Register the pending entry *before* the bytes go out: the server
+    // can answer faster than this thread resumes, and the receiver must
+    // find the entry or the response is miscounted as stale.
+    const std::uint64_t id = c->next_id++;
+    {
+      std::lock_guard<std::mutex> lock(c->mu);
+      c->pending[id] = Pending{now, req_idx, now < warmup_end};
+    }
+    try {
+      c->client->send_request(workload[req_idx].wire, id);
+      sent += 1;
+      std::lock_guard<std::mutex> tlock(tally_mu);
+      res.per_class[cls].sent += 1;
+    } catch (const std::exception&) {
+      {
+        std::lock_guard<std::mutex> lock(c->mu);
+        c->pending.erase(id);
+      }
+      std::lock_guard<std::mutex> tlock(tally_mu);
+      res.errors += 1;
+      res.per_class[cls].errors += 1;
+    }
+    next_arrival += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(interarrival(rng)));
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  res.sent = sent;
+  res.achieved_send_rps = elapsed_s > 0 ? static_cast<double>(sent) / elapsed_s
+                                        : 0.0;
+
+  // Grace period: let in-flight responses land (loose deadlines are
+  // 500ms; 3s covers queueing on the overloaded point).
+  const auto grace_end = Clock::now() + std::chrono::seconds(3);
+  for (;;) {
+    std::size_t outstanding = 0;
+    for (auto& cp : pool) {
+      std::lock_guard<std::mutex> lock(cp->mu);
+      outstanding += cp->pending.size();
+    }
+    if (outstanding == 0 || Clock::now() >= grace_end) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  done.store(true);
+  for (auto& cp : pool) {
+    {
+      std::lock_guard<std::mutex> lock(cp->mu);
+      std::lock_guard<std::mutex> tlock(tally_mu);
+      for (const auto& [id, p] : cp->pending) {
+        res.timeouts += 1;
+        res.per_class[workload[p.req_idx].cls].timeouts += 1;
+      }
+      cp->pending.clear();
+    }
+    // shutdown() (not close()) wakes a receiver blocked in read().
+    cp->client->finish_sending();
+    if (cp->receiver.joinable()) cp->receiver.join();
+    cp->client->close();
+  }
+
+  std::vector<double> all;
+  for (auto& ct : res.per_class)
+    all.insert(all.end(), ct.latency_ms.begin(), ct.latency_ms.end());
+  res.p50_ms = percentile(all, 0.50);
+  res.p99_ms = percentile(all, 0.99);
+  res.p999_ms = percentile(all, 0.999);
+  res.goodput_rps =
+      elapsed_s > 0 ? static_cast<double>(res.ok) / elapsed_s : 0.0;
+  return res;
+}
+
+// --- Reporting. -------------------------------------------------------------
+
+void write_json(const char* path, const std::vector<PointResult>& points,
+                unsigned conns, std::uint64_t seed) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"service_load\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"connections\": %u, \"seed\": %llu, "
+               "\"arrivals\": \"open-loop poisson\", \"classes\": [",
+               conns, static_cast<unsigned long long>(seed));
+  for (std::size_t c = 0; c < kNumClasses; ++c)
+    std::fprintf(f, "%s\"%s\"", c ? ", " : "", kClasses[c].name);
+  std::fprintf(f, "]},\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointResult& p = points[i];
+    std::fprintf(
+        f,
+        "    {\"offered_rps\": %.0f, \"achieved_send_rps\": %.1f, "
+        "\"duration_s\": %.1f, \"sent\": %llu, \"completed\": %llu, "
+        "\"ok\": %llu, \"wrong\": %llu, \"degraded\": %llu, "
+        "\"shed\": %llu, \"errors\": %llu, \"timeouts\": %llu, "
+        "\"p50_ms\": %.2f, \"p99_ms\": %.2f, \"p999_ms\": %.2f, "
+        "\"goodput_rps\": %.1f, \"shed_rate\": %.4f, "
+        "\"per_class\": [",
+        p.offered_rps, p.achieved_send_rps, p.duration_s,
+        static_cast<unsigned long long>(p.sent),
+        static_cast<unsigned long long>(p.completed),
+        static_cast<unsigned long long>(p.ok),
+        static_cast<unsigned long long>(p.wrong),
+        static_cast<unsigned long long>(p.degraded),
+        static_cast<unsigned long long>(p.shed),
+        static_cast<unsigned long long>(p.errors),
+        static_cast<unsigned long long>(p.timeouts), p.p50_ms, p.p99_ms,
+        p.p999_ms, p.goodput_rps,
+        p.sent ? static_cast<double>(p.shed) / static_cast<double>(p.sent)
+               : 0.0);
+    for (std::size_t c = 0; c < p.per_class.size(); ++c) {
+      const ClassTally& ct = p.per_class[c];
+      std::vector<double> lat = ct.latency_ms;
+      std::fprintf(
+          f,
+          "%s{\"class\": \"%s\", \"sent\": %llu, \"ok\": %llu, "
+          "\"wrong\": %llu, \"degraded\": %llu, \"shed\": %llu, "
+          "\"p50_ms\": %.2f, \"p99_ms\": %.2f}",
+          c ? ", " : "", kClasses[c].name,
+          static_cast<unsigned long long>(ct.sent),
+          static_cast<unsigned long long>(ct.ok),
+          static_cast<unsigned long long>(ct.wrong),
+          static_cast<unsigned long long>(ct.degraded),
+          static_cast<unsigned long long>(ct.shed), percentile(lat, 0.50),
+          percentile(lat, 0.99));
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace gtpar::load
+
+int main(int argc, char** argv) {
+  using namespace gtpar::load;
+
+  Endpoint ep;
+  bool have_endpoint = false;
+  std::vector<double> sweep = {150, 600, 2400};
+  double duration_s = 10;
+  unsigned conns = 4;
+  std::uint64_t seed = 1;
+  const char* json_path = "BENCH_service.json";
+  bool check = false;
+  double gate_p99_ms = 250;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--tcp") == 0) {
+      const std::string hp = next();
+      const auto colon = hp.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--tcp needs HOST:PORT\n");
+        return 2;
+      }
+      ep.host = hp.substr(0, colon);
+      ep.port = static_cast<std::uint16_t>(std::atoi(hp.c_str() + colon + 1));
+      have_endpoint = true;
+    } else if (std::strcmp(a, "--unix") == 0) {
+      ep.use_unix = true;
+      ep.path = next();
+      have_endpoint = true;
+    } else if (std::strcmp(a, "--rps") == 0) {
+      sweep.clear();
+      const char* v = next();
+      for (const char* p = v; *p;) {
+        sweep.push_back(std::strtod(p, const_cast<char**>(&p)));
+        if (*p == ',') ++p;
+      }
+    } else if (std::strcmp(a, "--duration-s") == 0) {
+      duration_s = std::strtod(next(), nullptr);
+    } else if (std::strcmp(a, "--conns") == 0) {
+      conns = static_cast<unsigned>(std::atoi(next()));
+    } else if (std::strcmp(a, "--seed") == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (std::strcmp(a, "--json") == 0) {
+      json_path = next();
+    } else if (std::strcmp(a, "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(a, "--gate-p99-ms") == 0) {
+      gate_p99_ms = std::strtod(next(), nullptr);
+    } else if (std::strcmp(a, "--quick") == 0) {
+      duration_s = 3;
+    } else {
+      std::fprintf(stderr,
+                   "usage: gtpload (--tcp HOST:PORT | --unix PATH) "
+                   "[--rps R1,R2,...] [--duration-s S] [--conns C] "
+                   "[--seed N] [--json PATH] [--check] [--gate-p99-ms X] "
+                   "[--quick]\n");
+      return 2;
+    }
+  }
+  if (!have_endpoint || sweep.empty()) {
+    std::fprintf(stderr, "gtpload: endpoint and at least one --rps required\n");
+    return 2;
+  }
+
+  const auto workload = prepare_workload(seed);
+  std::printf("gtpload: %zu prepared requests across %zu classes; sweep:",
+              workload.size(), kNumClasses);
+  for (double r : sweep) std::printf(" %.0frps", r);
+  std::printf(" x %.0fs, %u connections\n", duration_s, conns);
+
+  std::vector<PointResult> points;
+  try {
+    for (double rps : sweep) {
+      std::printf("-- offered %.0f rps...\n", rps);
+      std::fflush(stdout);
+      points.push_back(
+          run_point(ep, workload, rps, duration_s, conns, seed));
+      const PointResult& p = points.back();
+      std::printf(
+          "   sent=%llu ok=%llu wrong=%llu degraded=%llu shed=%llu "
+          "errors=%llu timeouts=%llu | p50=%.2fms p99=%.2fms p99.9=%.2fms "
+          "goodput=%.1f rps\n",
+          static_cast<unsigned long long>(p.sent),
+          static_cast<unsigned long long>(p.ok),
+          static_cast<unsigned long long>(p.wrong),
+          static_cast<unsigned long long>(p.degraded),
+          static_cast<unsigned long long>(p.shed),
+          static_cast<unsigned long long>(p.errors),
+          static_cast<unsigned long long>(p.timeouts), p.p50_ms, p.p99_ms,
+          p.p999_ms, p.goodput_rps);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gtpload: fatal: %s\n", e.what());
+    return 1;
+  }
+
+  write_json(json_path, points, conns, seed);
+
+  if (check) {
+    int failures = 0;
+    std::uint64_t total_completed = 0;
+    for (const auto& p : points) {
+      total_completed += p.completed;
+      if (p.wrong != 0) {
+        std::fprintf(stderr,
+                     "GATE FAIL: %llu wrong answers at offered %.0f rps\n",
+                     static_cast<unsigned long long>(p.wrong), p.offered_rps);
+        failures += 1;
+      }
+    }
+    if (total_completed == 0) {
+      std::fprintf(stderr, "GATE FAIL: no responses completed\n");
+      failures += 1;
+    }
+    if (!points.empty() && points.front().p99_ms > gate_p99_ms) {
+      std::fprintf(stderr,
+                   "GATE FAIL: p99 %.2fms > %.2fms at the modest rate "
+                   "(%.0f rps)\n",
+                   points.front().p99_ms, gate_p99_ms,
+                   points.front().offered_rps);
+      failures += 1;
+    }
+    if (failures) return 1;
+    std::printf("gtpload: all gates passed (zero wrong answers, p99 "
+                "%.2fms <= %.2fms)\n",
+                points.front().p99_ms, gate_p99_ms);
+  }
+  return 0;
+}
