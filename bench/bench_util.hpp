@@ -7,6 +7,9 @@
 // report that EXPERIMENTS.md summarizes.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -86,6 +89,21 @@ inline std::string fmt(double v, int prec = 2) {
 
 inline std::string fmt(std::uint64_t v) { return std::to_string(v); }
 inline std::string fmt(unsigned v) { return std::to_string(v); }
+
+/// Nearest-rank percentile: the smallest sample element x such that at
+/// least ceil(q * n) of the sample is <= x. q is clamped to [0, 1] — q = 0
+/// returns the minimum, q = 1 the maximum — and an empty sample returns 0.
+/// Sorts `v` in place.
+inline double percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  if (q <= 0.0) return v.front();
+  if (q >= 1.0) return v.back();
+  // 0 < q < 1 makes 1 <= ceil(q*n) <= n; the clamps guard fp rounding only.
+  const auto rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(v.size())));
+  return v[std::min(std::max<std::size_t>(rank, 1), v.size()) - 1];
+}
 
 /// Experiment banner: id, claim, setup.
 inline void banner(const char* id, const char* claim, const char* setup) {

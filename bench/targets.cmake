@@ -33,3 +33,5 @@ gtpar_bench(bench_e17_promotion_ablation)
 gtpar_bench(bench_throughput)
 target_link_libraries(bench_throughput PRIVATE benchmark::benchmark)
 gtpar_bench(bench_e18_parallel_sss)
+gtpar_bench(bench_gameplay)
+target_link_libraries(bench_gameplay PRIVATE gtpar_engine)

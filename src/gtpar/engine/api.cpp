@@ -17,6 +17,7 @@
 #include "gtpar/mp/message_passing.hpp"
 #include "gtpar/rand/randomized.hpp"
 #include "gtpar/solve/flat_kernels.hpp"
+#include "gtpar/session/id_search.hpp"
 #include "gtpar/solve/nor_simulator.hpp"
 #include "gtpar/solve/sequential_solve.hpp"
 #include "gtpar/threads/mt_ab.hpp"
@@ -40,6 +41,7 @@ bool needs_source(Algorithm a) noexcept {
     case Algorithm::kRParallelAb:
     case Algorithm::kTtAlphaBeta:
     case Algorithm::kDepthLimitedAb:
+    case Algorithm::kIterativeDeepeningAb:
       return true;
     default:
       return false;
@@ -210,6 +212,26 @@ SearchResult dispatch(const SearchRequest& req, const Tree* t,
       const FlatAbRun r = flat_alphabeta(*t);
       return SearchResult{r.value, r.leaves_evaluated, 0, 0, true, {}};
     }
+    case Algorithm::kIterativeDeepeningAb: {
+      // Stateful callers (GameSession) thread the full request/result pair
+      // through req.id; a null context is a stateless best-effort search
+      // of the source's root.
+      IdContext local;
+      IdContext* ctx = req.id != nullptr ? req.id : &local;
+      if (req.depth_limit != 0) ctx->req.max_depth = req.depth_limit;
+      ctx->out = id_search(*src, ctx->req, req.tt, req.limits);
+      const IdResult& r = ctx->out;
+      SearchResult out;
+      out.value = r.value;
+      out.work = r.stats.nodes;
+      // Mirrors kDepthLimitedAb: a finished horizon-limited search counts
+      // as complete even though its value may be a heuristic estimate
+      // (IdResult::exact distinguishes proven values for session callers).
+      out.complete = r.complete;
+      out.completeness =
+          r.complete ? Completeness::kExact : Completeness::kFailed;
+      return out;
+    }
   }
   throw std::invalid_argument("search: unknown algorithm id");
 }
@@ -317,6 +339,7 @@ const char* algorithm_name(Algorithm a) noexcept {
     case Algorithm::kMtSequentialAb: return "mt-sequential-ab";
     case Algorithm::kMtParallelAb: return "mt-parallel-ab";
     case Algorithm::kFlatAb: return "flat-ab";
+    case Algorithm::kIterativeDeepeningAb: return "iterative-deepening-ab";
   }
   return "unknown";
 }

@@ -35,6 +35,7 @@
 namespace gtpar {
 
 class TranspositionTable;  // engine/tt.hpp
+struct IdContext;          // session/id_search.hpp
 
 /// Every search algorithm in the library, NOR/SOLVE family first, then
 /// MIN/MAX. Prefixes follow the paper's naming: plain = leaf-evaluation
@@ -72,6 +73,7 @@ enum class Algorithm : std::uint8_t {
   kMtSequentialAb,    ///< real-thread sequential alpha-beta
   kMtParallelAb,      ///< real-thread cascading parallel alpha-beta
   kFlatAb,            ///< iterative explicit-stack fail-soft alpha-beta
+  kIterativeDeepeningAb,  ///< iterative-deepening alpha-beta (game sessions)
 };
 
 /// True for the MIN/MAX family, false for the NOR/SOLVE family.
@@ -127,6 +129,17 @@ struct SearchRequest {
   /// Extract the principal variation into SearchResult::pv (explicit
   /// trees only).
   bool want_pv = false;
+  /// Session context for kIterativeDeepeningAb (session/id_search.hpp):
+  /// inputs — position, side, ordering state, PV hint — in id->req,
+  /// detailed outputs in id->out. Null = search source->root() for MAX
+  /// with fresh per-search state. Mutated by the search; must outlive it
+  /// and must not be shared by concurrent requests.
+  IdContext* id = nullptr;
+  /// Don't advance the engine's shared-table generation when arming this
+  /// request with it: a GameSession sets this on every move after its
+  /// first, so one long game ages the table once rather than spinning the
+  /// 8-bit generation clock once per move (see engine/tt.hpp).
+  bool tt_pin_generation = false;
 
   /// Cooperative cancellation and wall-clock budget (Mt algorithms; the
   /// lock-step simulators run to completion).

@@ -289,9 +289,10 @@ SearchJob Engine::submit(SearchRequest req, CompletionFn on_complete) {
   st->req.limits.cancel = &st->cancel;
   if (impl_->tt && st->req.tt == nullptr) {
     // Arm the shared table (ignored by algorithms that don't consume it)
-    // and age the replacement priority of previous submissions' entries.
+    // and age the replacement priority of previous submissions' entries —
+    // unless the request pins the generation (session follow-up moves).
     st->req.tt = impl_->tt.get();
-    impl_->tt->new_generation();
+    if (!st->req.tt_pin_generation) impl_->tt->new_generation();
   }
   st->submit_time = Clock::now();
   SearchJob job;
@@ -382,6 +383,8 @@ EngineStats Engine::stats() const {
 }
 
 unsigned Engine::workers() const noexcept { return impl_->exec->workers(); }
+
+TranspositionTable* Engine::shared_tt() noexcept { return impl_->tt.get(); }
 
 Executor& Engine::executor() noexcept { return *impl_->exec; }
 

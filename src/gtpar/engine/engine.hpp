@@ -222,6 +222,11 @@ class Engine {
 
   EngineStats stats() const;
   unsigned workers() const noexcept;
+  /// The engine-owned shared transposition table armed into requests, or
+  /// null when Options::tt_entries == 0. Outlives every job (same lifetime
+  /// as the engine); benchmarks and tests use it to inspect hit rates or
+  /// clear state between measurements.
+  TranspositionTable* shared_tt() noexcept;
   /// The underlying scheduler, for running ad-hoc tasks or direct
   /// search(req, exec) calls next to engine jobs.
   Executor& executor() noexcept;

@@ -105,6 +105,13 @@ class ResilientSource final : public TreeSource {
   std::uint64_t state_key(const Node& v) const override {
     return inner_.state_key(v);
   }
+  std::uint64_t move_label(const Node& v, unsigned i) const override {
+    return inner_.move_label(v, i);
+  }
+  void move_labels(const Node& v, unsigned d,
+                   std::uint64_t* out) const override {
+    inner_.move_labels(v, d, out);
+  }
   /// Retry loop with bounded exponential backoff; rethrows once the
   /// attempt budget is exhausted or retry_on rejects the exception.
   Value leaf_value(const Node& v) const override;

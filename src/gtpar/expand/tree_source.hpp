@@ -49,9 +49,35 @@ class TreeSource {
   /// denote positions with identical subgame values. The default key is the
   /// node identity (no transpositions); game sources whose move-sequence
   /// trees transpose (e.g. tic-tac-toe, Nim) override this so that
-  /// transposition-table searches (ab/tt_search.hpp) can merge them.
+  /// transposition-table searches (ab/tt_search.hpp, session/id_search.hpp)
+  /// can merge them. Overrides must fold the *full* game configuration into
+  /// the key (board geometry, win condition, move rules): sources of
+  /// different games may share one engine-owned table, and a key collision
+  /// between them serves poisoned values across games.
   virtual std::uint64_t state_key(const Node& v) const {
     return hash_combine(v.path, v.depth);
+  }
+
+  /// Stable identity of the move leading to child i of v, for
+  /// cross-position move-ordering statistics (the killer/history tables of
+  /// session/id_search.hpp). Two moves with equal labels should denote
+  /// "the same move" in different positions — the chosen square in
+  /// placement games, the column in drop games, the take count in Nim.
+  /// The default (the child index) is only stable per position, which
+  /// makes history ordering a no-op but never unsound.
+  virtual std::uint64_t move_label(const Node& v, unsigned i) const {
+    (void)v;
+    return i;
+  }
+
+  /// Batched move_label: fill out[0..d) with the labels of all d =
+  /// num_children(v) moves at v. The default loops move_label; sources
+  /// whose labels require replaying the path (the mask-replay games)
+  /// override this to replay once per node instead of once per move — the
+  /// move-ordering search calls this on every interior node.
+  virtual void move_labels(const Node& v, unsigned d,
+                           std::uint64_t* out) const {
+    for (unsigned i = 0; i < d; ++i) out[i] = move_label(v, i);
   }
 };
 
@@ -126,6 +152,15 @@ class ExplicitTreeSource final : public TreeSource {
   }
   Value leaf_value(const Node& v) const override {
     return t_->leaf_value(static_cast<NodeId>(v.path));
+  }
+  /// Keyed on the tree's content fingerprint + node id, NOT the default
+  /// node identity: arena ids are the same small dense integers in every
+  /// tree, and sources over *different* trees may share one engine-owned
+  /// transposition table. Structurally identical trees (equal
+  /// fingerprints) still share entries, matching the Mt cascades'
+  /// TranspositionTable::node_key convention.
+  std::uint64_t state_key(const Node& v) const override {
+    return hash_combine(t_->fingerprint(), v.path);
   }
 
  private:

@@ -1,0 +1,94 @@
+#include "gtpar/games/chomp.hpp"
+
+#include <stdexcept>
+
+namespace gtpar {
+
+ChompSource::ChompSource(unsigned cols, unsigned rows)
+    : cols_(cols), rows_(rows) {
+  if (cols_ == 0 || rows_ == 0)
+    throw std::invalid_argument("ChompSource: empty board");
+  if (cols_ > 16 || rows_ > 15)
+    throw std::invalid_argument(
+        "ChompSource: at most 16 columns of height 15 supported");
+}
+
+TreeSource::Node ChompSource::root() const {
+  std::uint64_t heights = 0;
+  for (unsigned c = 0; c < cols_; ++c)
+    heights |= std::uint64_t{rows_} << (4 * c);
+  return Node{heights, 0};
+}
+
+unsigned ChompSource::remaining(std::uint64_t heights) const {
+  unsigned total = 0;
+  for (unsigned c = 0; c < cols_; ++c) total += height(heights, c);
+  return total;
+}
+
+unsigned ChompSource::num_children(const Node& v) const {
+  // Terminal once only the poisoned square is left: the player to move
+  // eats it and loses. Every other remaining square is a legal move.
+  return remaining(v.path) - 1;
+}
+
+void ChompSource::nth_move(std::uint64_t heights, unsigned i, unsigned& c,
+                           unsigned& r) const {
+  unsigned seen = 0;
+  for (c = 0; c < cols_; ++c) {
+    for (r = 0; r < height(heights, c); ++r) {
+      if (c == 0 && r == 0) continue;  // poison: not a legal move
+      if (seen++ == i) return;
+    }
+  }
+  throw std::logic_error("ChompSource: bad move index");
+}
+
+TreeSource::Node ChompSource::child(const Node& v, unsigned i) const {
+  unsigned c = 0, r = 0;
+  nth_move(v.path, i, c, r);
+  // Eating (c, r) removes every square above and to the right: columns at
+  // or beyond c are truncated to height r (staircase invariant preserved).
+  std::uint64_t heights = v.path;
+  for (unsigned cc = c; cc < cols_; ++cc) {
+    if (height(heights, cc) <= r) break;  // already lower: so is the rest
+    heights = (heights & ~(std::uint64_t{0xF} << (4 * cc))) |
+              (std::uint64_t{r} << (4 * cc));
+  }
+  return Node{heights, v.depth + 1};
+}
+
+Value ChompSource::leaf_value(const Node& v) const {
+  // The player to move is stuck with the poison; MAX moves at even plies.
+  return v.depth % 2 == 0 ? -1 : 1;
+}
+
+std::uint64_t ChompSource::state_key(const Node& v) const {
+  // Heights fully describe the remaining bar, but not whose turn it is
+  // (one move eats many squares), so parity rides in the key. Family tag
+  // separates Chomp from other sources sharing an engine-owned table.
+  return hash_combine(v.path, v.depth & 1) ^ mix64(0x63686f6d70ull /*"chomp"*/);
+}
+
+std::uint64_t ChompSource::move_label(const Node& v, unsigned i) const {
+  unsigned c = 0, r = 0;
+  nth_move(v.path, i, c, r);
+  return c * 16 + r;
+}
+
+std::string ChompSource::board_string(const Node& v) const {
+  std::string out;
+  out.reserve((cols_ + 1) * rows_);
+  for (unsigned r = rows_; r-- > 0;) {
+    for (unsigned c = 0; c < cols_; ++c) {
+      if (r < height(v.path, c))
+        out += (c == 0 && r == 0) ? 'P' : '#';
+      else
+        out += '.';
+    }
+    if (r != 0) out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gtpar

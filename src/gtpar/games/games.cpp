@@ -68,11 +68,39 @@ std::string TicTacToeSource::board_string(const Node& v) {
 
 std::uint64_t TicTacToeSource::state_key(const Node& v) const {
   const State s = replay(v);
-  return mix64((std::uint64_t(s.x) << 16) | s.o);
+  // Salted with a family tag: this source may share an engine-owned
+  // transposition table with other games whose keys are also derived from
+  // occupancy masks (see MnkSource::state_key).
+  return mix64((std::uint64_t(s.x) << 16) | s.o) ^ mix64(0x747474ull /*"ttt"*/);
+}
+
+std::uint64_t TicTacToeSource::move_label(const Node& v, unsigned i) const {
+  const State s = replay(v);
+  const std::uint16_t occupied = static_cast<std::uint16_t>(s.x | s.o);
+  unsigned seen = 0;
+  for (unsigned sq = 0; sq < 9; ++sq) {
+    if (occupied & (1u << sq)) continue;
+    if (seen++ == i) return sq;
+  }
+  throw std::logic_error("TicTacToeSource: bad move digit");
+}
+
+void TicTacToeSource::move_labels(const Node& v, unsigned d,
+                                  std::uint64_t* out) const {
+  const State s = replay(v);
+  const std::uint16_t occupied = static_cast<std::uint16_t>(s.x | s.o);
+  unsigned seen = 0;
+  for (unsigned sq = 0; sq < 9 && seen < d; ++sq) {
+    if (occupied & (1u << sq)) continue;
+    out[seen++] = sq;
+  }
 }
 
 std::uint64_t NimSource::state_key(const Node& v) const {
-  return mix64((v.path << 1) | (v.depth & 1));
+  // The take limit is part of the game identity: a (remaining, parity)
+  // state has different subgame values under different max_take.
+  return mix64((v.path << 1) | (v.depth & 1)) ^
+         mix64(0x6e696dull /*"nim"*/ ^ (std::uint64_t{max_take_} << 24));
 }
 
 unsigned NimSource::remaining(const Node& v) const {

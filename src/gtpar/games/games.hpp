@@ -35,6 +35,12 @@ class TicTacToeSource final : public TreeSource {
   /// piece count). Different move orders reaching the same position merge.
   std::uint64_t state_key(const Node& v) const override;
 
+  /// The chosen square (stable across positions, for history ordering).
+  std::uint64_t move_label(const Node& v, unsigned i) const override;
+  /// All move labels at once, replaying the path a single time.
+  void move_labels(const Node& v, unsigned d,
+                   std::uint64_t* out) const override;
+
  private:
   struct State {
     std::uint16_t x = 0, o = 0;
@@ -70,10 +76,18 @@ class NimSource final : public TreeSource {
     return start % (max_take + 1) != 0 ? 1 : -1;
   }
 
-  /// Transposition key: (objects remaining, side to move). This collapses
+  /// Transposition key: (objects remaining, side to move), salted with
+  /// max_take — the subgame value of a (remaining, parity) state depends on
+  /// the take limit, so Nim(·, 2) and Nim(·, 3) sharing one engine-owned
+  /// transposition table must never produce equal keys. This collapses
   /// the exponential move-sequence tree to O(start) distinct states, which
   /// is what makes transposition-table search solve huge heaps instantly.
   std::uint64_t state_key(const Node& v) const override;
+
+  /// The number of objects taken (stable across positions).
+  std::uint64_t move_label(const Node&, unsigned i) const override {
+    return i + 1;
+  }
 
  private:
   /// Objects remaining after the move sequence encoded in the path.

@@ -36,14 +36,38 @@ std::string render_board(std::uint32_t x, std::uint32_t o, unsigned squares) {
   return out;
 }
 
+/// Game-identity salt folded into every state_key. Two sources may share
+/// one engine-owned transposition table, so identical occupancy masks on
+/// different game configurations (a 4x4/k=4 board and a 2x8/k=2 board, a
+/// k=3 and a k=4 drop game on the same board) must never hash equal: the
+/// full geometry — cols, rows AND k — goes into the salt, plus a per-family
+/// tag so an (m,n,k)-game never aliases a drop game on the same board.
+std::uint64_t geometry_salt(std::uint64_t family_tag, unsigned cols,
+                            unsigned rows, unsigned k) {
+  return mix64(family_tag ^ (std::uint64_t{cols} << 40) ^
+               (std::uint64_t{rows} << 20) ^ k);
+}
+
+/// Shared constructor validation. The product check alone is not enough:
+/// cols*rows wraps at 2^32 (e.g. 2^16 x 2^16 multiplies to 0), silently
+/// admitting boards whose move digits overflow the per-ply path packing.
+/// Bounding each dimension first makes the product overflow-free.
+void validate_board(const char* who, unsigned cols, unsigned rows, unsigned k) {
+  if (cols == 0 || rows == 0)
+    throw std::invalid_argument(std::string(who) + ": empty board");
+  if (cols > 16 || rows > 16 || cols * rows > 16)
+    throw std::invalid_argument(std::string(who) +
+                                ": at most 16 squares supported");
+  if (k == 0 || (k > cols && k > rows))
+    throw std::invalid_argument(std::string(who) + ": impossible k");
+}
+
 }  // namespace
 
 MnkSource::MnkSource(unsigned cols, unsigned rows, unsigned k)
-    : cols_(cols), rows_(rows), k_(k) {
-  if (cols_ * rows_ > 16)
-    throw std::invalid_argument("MnkSource: at most 16 squares supported");
-  if (k_ == 0 || (k_ > cols_ && k_ > rows_))
-    throw std::invalid_argument("MnkSource: impossible k");
+    : cols_(cols), rows_(rows), k_(k),
+      key_salt_(geometry_salt(0x6d6e6bull /*"mnk"*/, cols, rows, k)) {
+  validate_board("MnkSource", cols_, rows_, k_);
   lines_ = make_lines(cols_, rows_, k_);
 }
 
@@ -54,21 +78,22 @@ bool MnkSource::wins(std::uint32_t mask) const {
   return false;
 }
 
+unsigned MnkSource::digit_to_square(const State& s, unsigned digit) const {
+  const unsigned total = squares();
+  const std::uint32_t occupied = s.x | s.o;
+  unsigned seen = 0;
+  for (unsigned sq = 0; sq < total; ++sq) {
+    if (occupied & (1u << sq)) continue;
+    if (seen++ == digit) return sq;
+  }
+  throw std::logic_error("MnkSource: bad move digit");
+}
+
 MnkSource::State MnkSource::replay(const Node& v) const {
   State s;
-  const unsigned total = squares();
   for (unsigned ply = 0; ply < v.depth; ++ply) {
     const unsigned digit = static_cast<unsigned>(v.path >> (4 * (v.depth - 1 - ply))) & 0xF;
-    const std::uint32_t occupied = s.x | s.o;
-    unsigned seen = 0, square = total;
-    for (unsigned sq = 0; sq < total; ++sq) {
-      if (occupied & (1u << sq)) continue;
-      if (seen++ == digit) {
-        square = sq;
-        break;
-      }
-    }
-    if (square == total) throw std::logic_error("MnkSource: bad move digit");
+    const unsigned square = digit_to_square(s, digit);
     if (s.ply % 2 == 0) s.x |= 1u << square;
     else s.o |= 1u << square;
     ++s.ply;
@@ -91,7 +116,24 @@ Value MnkSource::leaf_value(const Node& v) const {
 
 std::uint64_t MnkSource::state_key(const Node& v) const {
   const State s = replay(v);
-  return mix64((std::uint64_t(s.x) << 16) | s.o) ^ mix64(0x9b97u + squares());
+  return mix64((std::uint64_t(s.x) << 16) | s.o) ^ key_salt_;
+}
+
+std::uint64_t MnkSource::move_label(const Node& v, unsigned i) const {
+  return digit_to_square(replay(v), i);
+}
+
+void MnkSource::move_labels(const Node& v, unsigned d,
+                            std::uint64_t* out) const {
+  const State s = replay(v);
+  // Digit i names the i-th empty square in ascending order.
+  const std::uint32_t occupied = s.x | s.o;
+  const unsigned total = squares();
+  unsigned seen = 0;
+  for (unsigned sq = 0; sq < total && seen < d; ++sq) {
+    if (occupied & (1u << sq)) continue;
+    out[seen++] = sq;
+  }
 }
 
 std::string MnkSource::board_string(const Node& v) const {
@@ -104,12 +146,10 @@ std::string MnkSource::board_string(const Node& v) const {
 // ---------------------------------------------------------------------------
 
 DropSource::DropSource(unsigned cols, unsigned rows, unsigned k)
-    : cols_(cols), rows_(rows), k_(k) {
-  if (cols_ * rows_ > 16)
-    throw std::invalid_argument("DropSource: at most 16 squares supported");
+    : cols_(cols), rows_(rows), k_(k),
+      key_salt_(geometry_salt(0x64726f70ull /*"drop"*/, cols, rows, k)) {
+  validate_board("DropSource", cols_, rows_, k_);
   if (cols_ > 8) throw std::invalid_argument("DropSource: at most 8 columns");
-  if (k_ == 0 || (k_ > cols_ && k_ > rows_))
-    throw std::invalid_argument("DropSource: impossible k");
   lines_ = make_lines(cols_, rows_, k_);
 }
 
@@ -129,21 +169,22 @@ unsigned DropSource::fill(const State& s, unsigned c) const {
   return h;
 }
 
+unsigned DropSource::digit_to_column(const State& s, unsigned digit) const {
+  // The digit indexes the ordered list of non-full columns.
+  unsigned seen = 0;
+  for (unsigned c = 0; c < cols_; ++c) {
+    if (fill(s, c) == rows_) continue;
+    if (seen++ == digit) return c;
+  }
+  throw std::logic_error("DropSource: bad move digit");
+}
+
 DropSource::State DropSource::replay(const Node& v) const {
   State s;
   for (unsigned ply = 0; ply < v.depth; ++ply) {
     const unsigned digit =
         static_cast<unsigned>(v.path >> (3 * (v.depth - 1 - ply))) & 0x7;
-    // The digit indexes the ordered list of non-full columns.
-    unsigned seen = 0, col = cols_;
-    for (unsigned c = 0; c < cols_; ++c) {
-      if (fill(s, c) == rows_) continue;
-      if (seen++ == digit) {
-        col = c;
-        break;
-      }
-    }
-    if (col == cols_) throw std::logic_error("DropSource: bad move digit");
+    const unsigned col = digit_to_column(s, digit);
     const unsigned sq = fill(s, col) * cols_ + col;
     if (s.ply % 2 == 0) s.x |= 1u << sq;
     else s.o |= 1u << sq;
@@ -169,7 +210,22 @@ Value DropSource::leaf_value(const Node& v) const {
 
 std::uint64_t DropSource::state_key(const Node& v) const {
   const State s = replay(v);
-  return mix64((std::uint64_t(s.x) << 16) | s.o) ^ mix64(0xd709u + cols_);
+  return mix64((std::uint64_t(s.x) << 16) | s.o) ^ key_salt_;
+}
+
+std::uint64_t DropSource::move_label(const Node& v, unsigned i) const {
+  return digit_to_column(replay(v), i);
+}
+
+void DropSource::move_labels(const Node& v, unsigned d,
+                             std::uint64_t* out) const {
+  const State s = replay(v);
+  // Digit i names the i-th non-full column in ascending order.
+  unsigned seen = 0;
+  for (unsigned c = 0; c < cols_ && seen < d; ++c) {
+    if (fill(s, c) == rows_) continue;
+    out[seen++] = c;
+  }
 }
 
 std::string DropSource::board_string(const Node& v) const {

@@ -20,7 +20,10 @@ namespace gtpar {
 class MnkSource final : public TreeSource {
  public:
   /// Board of `cols` x `rows`, win with `k` in a row. Requires
-  /// cols*rows <= 16 and k <= max(cols, rows).
+  /// 1 <= cols, rows and cols*rows <= 16 and k <= max(cols, rows);
+  /// throws std::invalid_argument otherwise (each dimension is validated
+  /// separately, so huge inputs cannot wrap the product past the check and
+  /// corrupt the 4-bit path packing).
   MnkSource(unsigned cols, unsigned rows, unsigned k);
 
   unsigned num_children(const Node& v) const override;
@@ -29,6 +32,12 @@ class MnkSource final : public TreeSource {
   }
   Value leaf_value(const Node& v) const override;
   std::uint64_t state_key(const Node& v) const override;
+  /// The chosen square (stable across positions, for history ordering).
+  std::uint64_t move_label(const Node& v, unsigned i) const override;
+  /// All move labels at once, replaying the path a single time (move_label
+  /// replays per call; the ordering search asks for every label per node).
+  void move_labels(const Node& v, unsigned d,
+                   std::uint64_t* out) const override;
 
   /// Board string (row-major, 'X'/'O'/'.') for display.
   std::string board_string(const Node& v) const;
@@ -42,8 +51,11 @@ class MnkSource final : public TreeSource {
   };
   State replay(const Node& v) const;
   bool wins(std::uint32_t mask) const;
+  /// Square placed by choosing empty-square index `digit` at state `s`.
+  unsigned digit_to_square(const State& s, unsigned digit) const;
 
   unsigned cols_, rows_, k_;
+  std::uint64_t key_salt_;
   std::vector<std::uint32_t> lines_;
 };
 
@@ -55,6 +67,10 @@ class MnkSource final : public TreeSource {
 /// Boards are limited to 16 squares and at most 8 columns (3-bit digits).
 class DropSource final : public TreeSource {
  public:
+  /// Requires 1 <= cols <= 8, 1 <= rows, cols*rows <= 16 and
+  /// k <= max(cols, rows); throws std::invalid_argument otherwise (each
+  /// dimension is validated separately so huge inputs cannot wrap the
+  /// product past the check and corrupt the 3-bit path packing).
   DropSource(unsigned cols, unsigned rows, unsigned k);
 
   unsigned num_children(const Node& v) const override;
@@ -63,6 +79,11 @@ class DropSource final : public TreeSource {
   }
   Value leaf_value(const Node& v) const override;
   std::uint64_t state_key(const Node& v) const override;
+  /// The chosen column (stable across positions, for history ordering).
+  std::uint64_t move_label(const Node& v, unsigned i) const override;
+  /// All move labels at once, replaying the path a single time.
+  void move_labels(const Node& v, unsigned d,
+                   std::uint64_t* out) const override;
 
   std::string board_string(const Node& v) const;
   unsigned squares() const { return cols_ * rows_; }
@@ -76,8 +97,11 @@ class DropSource final : public TreeSource {
   bool wins(std::uint32_t mask) const;
   /// Height of the stack in column c (number of pieces).
   unsigned fill(const State& s, unsigned c) const;
+  /// Column chosen by non-full-column index `digit` at state `s`.
+  unsigned digit_to_column(const State& s, unsigned digit) const;
 
   unsigned cols_, rows_, k_;
+  std::uint64_t key_salt_;
   std::vector<std::uint32_t> lines_;
 };
 

@@ -19,7 +19,7 @@ namespace gtpar::net {
 namespace {
 
 constexpr std::uint8_t kMaxAlgorithm =
-    static_cast<std::uint8_t>(Algorithm::kFlatAb);
+    static_cast<std::uint8_t>(Algorithm::kIterativeDeepeningAb);
 
 /// Stage budget under geometric splitting: stage k of S gets
 /// deadline * 2^k / (2^S - 1), so the stages sum to the deadline and the

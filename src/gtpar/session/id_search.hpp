@@ -1,0 +1,172 @@
+// gtpar/session/id_search.hpp
+//
+// Iterative-deepening alpha-beta for game-play sessions: the search a
+// practical game player runs once per move. It wraps depth-limited
+// alpha-beta (ab/depth_limited.hpp) with the machinery that makes repeated
+// searches of the same game cheap:
+//
+//  - iterative deepening with a wall-clock budget (SearchLimits): depths
+//    1, 2, ... until the budget runs out, the value is proven exact, or
+//    max_depth is reached — the deepest *completed* depth is the answer;
+//  - aspiration windows: each depth first searches a narrow window around
+//    the previous depth's value and re-searches full-width on a miss;
+//  - killer/history move ordering keyed on TreeSource::move_label, carried
+//    across depths and (through a session-owned IdOrdering) across moves;
+//  - principal-variation reuse: the previous depth's PV — or the previous
+//    *move's* PV, passed in through IdRequest::pv_hint — is searched first;
+//  - shared-transposition-table reuse: proven-exact subgame values are
+//    stored under the source's state_key, so concurrent sessions and
+//    successive moves of one session reuse each other's work (the same
+//    engine-owned table the Mt cascades use — see engine/tt.hpp).
+//
+// Exactness tracking is what makes the shared table sound here: the table
+// stores only exact values, while a depth-limited search mostly produces
+// horizon estimates. A node's value is exact iff it is a terminal leaf,
+// a table hit, an interior node all of whose children were exact with no
+// cutoff, or a proven best-achievable line (IdRequest::value_bound).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gtpar/ab/depth_limited.hpp"  // HeuristicFn
+#include "gtpar/common.hpp"
+#include "gtpar/engine/executor.hpp"
+#include "gtpar/expand/tree_source.hpp"
+
+namespace gtpar {
+
+class TranspositionTable;  // engine/tt.hpp
+
+/// Killer and history move-ordering statistics, keyed on
+/// TreeSource::move_label so they transfer between positions. Persists
+/// across the depths of one search and — via GameSession — across the moves
+/// of one game (advance() re-aligns the killer plies after a move is
+/// played). NOT thread-safe: never share one instance between concurrent
+/// searches.
+class IdOrdering {
+ public:
+  static constexpr unsigned kMaxPly = 64;
+  /// Sentinel for an empty killer slot (an actual move_label of ~0 merely
+  /// loses its killer bonus).
+  static constexpr std::uint64_t kNoKiller = ~std::uint64_t{0};
+
+  IdOrdering() { clear(); }
+
+  void clear() {
+    for (auto& k : killers_) k = {kNoKiller, kNoKiller};
+    history_.clear();
+  }
+
+  /// Re-align after `plies` root moves were played: ply p of the new
+  /// position was ply p + plies of the old one. History scores are
+  /// position-independent and survive unshifted.
+  void advance(unsigned plies) {
+    for (unsigned p = 0; p < kMaxPly; ++p)
+      killers_[p] = p + plies < kMaxPly
+                        ? killers_[p + plies]
+                        : std::array<std::uint64_t, 2>{kNoKiller, kNoKiller};
+  }
+
+  /// Credit the move that caused a beta cutoff at `ply`, searched with
+  /// `depth` plies of lookahead remaining (deeper cutoffs weigh more).
+  void record_cutoff(unsigned ply, std::uint64_t label, unsigned depth) {
+    history_[label] += std::uint64_t{depth} * depth + 1;
+    if (ply >= kMaxPly || killers_[ply][0] == label) return;
+    killers_[ply][1] = killers_[ply][0];
+    killers_[ply][0] = label;
+  }
+
+  bool is_killer(unsigned ply, std::uint64_t label) const {
+    return ply < kMaxPly &&
+           (killers_[ply][0] == label || killers_[ply][1] == label);
+  }
+
+  std::uint64_t history_score(std::uint64_t label) const {
+    const auto it = history_.find(label);
+    return it == history_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::array<std::array<std::uint64_t, 2>, kMaxPly> killers_;
+  std::unordered_map<std::uint64_t, std::uint64_t> history_;
+};
+
+/// Per-search counters.
+struct IdStats {
+  std::uint64_t nodes = 0;
+  std::uint64_t leaf_evaluations = 0;       ///< true terminals reached
+  std::uint64_t heuristic_evaluations = 0;  ///< horizon cutoffs scored
+  std::uint64_t tt_probes = 0;
+  std::uint64_t tt_hits = 0;
+  std::uint64_t tt_stores = 0;
+  std::uint64_t aspiration_researches = 0;  ///< window misses re-searched
+  std::uint64_t depths_completed = 0;
+};
+
+/// Inputs of one iterative-deepening search.
+struct IdRequest {
+  /// Position to search; ignored (the source's root is used) unless
+  /// root_set. GameSession sets it to the current game position.
+  TreeSource::Node root{};
+  bool root_set = false;
+  /// True when the side to move at `root` is the MAX player.
+  bool maxing = true;
+  unsigned max_depth = 64;
+  bool use_tt = true;
+  bool aspiration = true;
+  bool use_ordering = true;
+  /// Largest achievable |game value|: a child line proven to reach +bound
+  /// (MAX to move) or -bound (MIN to move) ends the node's search with an
+  /// exact value even under pruning. 0 disables; the bundled game sources
+  /// all score in {-1, 0, +1}, so GameSession defaults it to 1.
+  Value value_bound = 0;
+  /// Scores positions at the depth horizon (MAX's point of view); null
+  /// scores them 0. Terminals reached before the horizon always use their
+  /// true leaf value.
+  HeuristicFn heuristic;
+  /// Child-index path (from `root`) searched first at depth 1 — typically
+  /// the tail of the previous move's principal variation.
+  std::vector<unsigned> pv_hint;
+  /// Cross-move ordering state; null = fresh per-search state. Must not be
+  /// shared by concurrent searches.
+  IdOrdering* ordering = nullptr;
+};
+
+/// Outcome of one iterative-deepening search.
+struct IdResult {
+  Value value = 0;
+  /// True when `value` is the proven game value of the root (not a horizon
+  /// estimate) — deeper search cannot change it.
+  bool exact = false;
+  /// Best move (child index of the root); meaningless when the root is
+  /// terminal or complete is false.
+  unsigned best_move = 0;
+  /// Principal variation (child indices from the root) of the deepest
+  /// completed depth.
+  std::vector<unsigned> pv;
+  unsigned depth_completed = 0;
+  /// True once at least one depth finished inside the budget; with a
+  /// nonzero budget this holds whenever the root has fewer than ~1000
+  /// children (the limit-poll granularity).
+  bool complete = false;
+  IdStats stats;
+};
+
+/// Session context threaded through SearchRequest::id so a stateful caller
+/// (GameSession) reaches the full request/result pair across the engine's
+/// submit boundary: inputs in `req`, detailed outputs in `out`.
+struct IdContext {
+  IdRequest req;
+  IdResult out;
+};
+
+/// Run one iterative-deepening search. `tt` may be null (no table reuse);
+/// `limits` carries the wall-clock budget and the engine's cancel flag.
+/// Runs on the calling thread.
+IdResult id_search(const TreeSource& src, const IdRequest& idr,
+                   TranspositionTable* tt, const SearchLimits& limits);
+
+}  // namespace gtpar

@@ -1,0 +1,94 @@
+#include "gtpar/session/session.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gtpar {
+
+GameSession::GameSession(Engine& engine, const TreeSource& source,
+                         SessionOptions opt)
+    : eng_(&engine),
+      src_(&source),
+      opt_(std::move(opt)),
+      pos_(source.root()) {}
+
+MoveSuggestion GameSession::SuggestMove(Side side, std::uint64_t budget_ns) {
+  if (game_over())
+    throw std::logic_error("GameSession: the game is over");
+  if (side != to_move())
+    throw std::invalid_argument("GameSession: not this side's turn");
+
+  ctx_.req.root = pos_;
+  ctx_.req.root_set = true;
+  ctx_.req.maxing = side == Side::kMax;
+  ctx_.req.max_depth = opt_.max_depth == 0 ? 64 : opt_.max_depth;
+  ctx_.req.use_tt = opt_.use_tt;
+  ctx_.req.aspiration = opt_.aspiration;
+  ctx_.req.use_ordering = opt_.ordering;
+  ctx_.req.value_bound = opt_.value_bound;
+  ctx_.req.heuristic = opt_.heuristic;
+  ctx_.req.pv_hint = opt_.reuse_pv ? pv_hint_ : std::vector<unsigned>{};
+  ctx_.req.ordering = opt_.ordering ? &ordering_ : nullptr;
+  ctx_.out = IdResult{};
+
+  SearchRequest req;
+  req.source = src_;
+  req.algorithm = Algorithm::kIterativeDeepeningAb;
+  req.limits.budget_ns = budget_ns;
+  req.id = &ctx_;
+  // The session reads ctx_.out itself; the anytime shield's mutex-guarded
+  // leaf memo would only slow the hot path down.
+  req.anytime = false;
+  // One game is one logical stream of searches: age the shared table once
+  // per session, not once per move, so a long game doesn't spin the 8-bit
+  // generation clock for every other engine client (see engine/tt.hpp).
+  req.tt_pin_generation = !first_search_;
+
+  SearchJob job = eng_->submit(req);
+  const SearchResult& r = job.wait();  // rethrows overload/stall/bad request
+  first_search_ = false;
+
+  const IdResult& out = ctx_.out;
+  if (!out.complete)
+    throw std::runtime_error(
+        "GameSession: budget too small to complete a depth-1 search");
+  MoveSuggestion s;
+  s.move = out.best_move;
+  s.label = src_->move_label(pos_, out.best_move);
+  s.value = out.value;
+  s.exact = out.exact;
+  s.depth = out.depth_completed;
+  s.pv = out.pv;
+  s.stats = out.stats;
+  s.wall_ns = r.wall_ns;
+  if (opt_.reuse_pv) pv_hint_ = out.pv;
+  return s;
+}
+
+void GameSession::Play(unsigned move) {
+  if (move >= src_->num_children(pos_))
+    throw std::invalid_argument("GameSession: illegal move");
+  pos_ = src_->child(pos_, move);
+  ++ply_;
+  ordering_.advance(1);
+  // The hint survives only if the game followed it: its tail is relative
+  // to the position after its head move.
+  if (!pv_hint_.empty() && pv_hint_.front() == move)
+    pv_hint_.erase(pv_hint_.begin());
+  else
+    pv_hint_.clear();
+}
+
+unsigned GameSession::PlayBest(Side side, std::uint64_t budget_ns) {
+  const MoveSuggestion s = SuggestMove(side, budget_ns);
+  Play(s.move);
+  return s.move;
+}
+
+Value GameSession::game_result() const {
+  if (!game_over())
+    throw std::logic_error("GameSession: game still in progress");
+  return src_->leaf_value(pos_);
+}
+
+}  // namespace gtpar

@@ -1,0 +1,128 @@
+// gtpar/session/session.hpp
+//
+// Game-play sessions on the batched evaluation engine. A GameSession holds
+// the evolving position of ONE game played over a TreeSource and answers
+// SuggestMove(side, budget) queries by submitting an iterative-deepening
+// search (session/id_search.hpp) through Engine::submit — so any number of
+// sessions coexist with the engine's stateless search traffic, share its
+// scheduler, its admission control, and (crucially) its shared
+// transposition table.
+//
+//   Engine eng({.workers = 4});
+//   MnkSource game(4, 4, 3);
+//   GameSession s(eng, game);
+//   while (!s.game_over()) {
+//     const MoveSuggestion m = s.SuggestMove(s.to_move(), 50'000'000);
+//     s.Play(m.move);
+//   }
+//
+// What carries over from move to move (the point of a session, measured by
+// bench/bench_gameplay.cpp against a from-scratch search per move):
+//  - shared-TT entries: exact subgame values proven while pondering move k
+//    are table hits while searching move k+1 (and in other sessions);
+//  - the principal variation: its tail after the played moves is searched
+//    first next move;
+//  - killer/history ordering statistics, re-aligned by one ply per move.
+//
+// See docs/SESSIONS.md for the design notes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gtpar/engine/engine.hpp"
+#include "gtpar/session/id_search.hpp"
+
+namespace gtpar {
+
+/// The two players of a minimax game. MAX moves at even plies in every
+/// bundled game source.
+enum class Side : std::uint8_t { kMax, kMin };
+
+inline Side opponent(Side s) noexcept {
+  return s == Side::kMax ? Side::kMin : Side::kMax;
+}
+
+inline const char* side_name(Side s) noexcept {
+  return s == Side::kMax ? "max" : "min";
+}
+
+/// Knobs of one session; the defaults give the full-strength player. The
+/// ablation flags exist for the benchmark's from-scratch baseline and for
+/// isolating the contribution of each reuse mechanism.
+struct SessionOptions {
+  /// Iterative-deepening horizon per move; searches also stop early on a
+  /// proven value or an exhausted budget.
+  unsigned max_depth = 64;
+  bool use_tt = true;      ///< probe/store the engine's shared table
+  bool aspiration = true;  ///< narrow windows around the previous value
+  bool ordering = true;    ///< killer/history ordering, kept across moves
+  bool reuse_pv = true;    ///< seed each search with the last move's PV
+  /// Largest achievable |game value| (see IdRequest::value_bound); the
+  /// bundled game sources all score in {-1, 0, +1}. 0 disables the
+  /// proven-best early exit.
+  Value value_bound = 1;
+  /// Horizon evaluation (MAX's point of view); null scores horizon
+  /// positions 0, which is correct-in-expectation for win/draw/loss games.
+  HeuristicFn heuristic;
+};
+
+/// Answer to one SuggestMove query.
+struct MoveSuggestion {
+  unsigned move = 0;        ///< child index at the queried position
+  std::uint64_t label = 0;  ///< TreeSource::move_label of that move
+  Value value = 0;          ///< value of the position after best play
+  bool exact = false;       ///< proven game value, not a horizon estimate
+  unsigned depth = 0;       ///< deepest completed iteration
+  std::vector<unsigned> pv;
+  IdStats stats;
+  std::uint64_t wall_ns = 0;
+};
+
+class GameSession {
+ public:
+  /// The engine and source must outlive the session. A session is NOT
+  /// thread-safe — one game is one logical thread of play — but any number
+  /// of sessions may share one engine concurrently.
+  GameSession(Engine& engine, const TreeSource& source, SessionOptions opt = {});
+
+  /// Search the current position for `side` within `budget_ns` of wall
+  /// clock (0 = until max_depth or a proven value) and return the best
+  /// move found. Does not play the move. Throws std::logic_error if the
+  /// game is over, std::invalid_argument if it is not `side`'s turn;
+  /// engine admission failures (EngineOverloadedError, ...) propagate.
+  MoveSuggestion SuggestMove(Side side, std::uint64_t budget_ns);
+
+  /// Advance the game by `move` (a child index at the current position) —
+  /// either side's, engine-suggested or external. Shifts the session's
+  /// ordering state and PV hint to the new position.
+  void Play(unsigned move);
+
+  /// SuggestMove + Play; returns the move played.
+  unsigned PlayBest(Side side, std::uint64_t budget_ns);
+
+  const TreeSource::Node& position() const noexcept { return pos_; }
+  const TreeSource& source() const noexcept { return *src_; }
+  /// Moves played so far.
+  unsigned ply() const noexcept { return ply_; }
+  Side to_move() const noexcept {
+    return pos_.depth % 2 == 0 ? Side::kMax : Side::kMin;
+  }
+  bool game_over() const { return src_->num_children(pos_) == 0; }
+  /// Leaf value of the terminal position (+1 MAX win, -1 MIN win, 0 draw
+  /// in the bundled games); throws std::logic_error while in progress.
+  Value game_result() const;
+
+ private:
+  Engine* eng_;
+  const TreeSource* src_;
+  SessionOptions opt_;
+  TreeSource::Node pos_;
+  unsigned ply_ = 0;
+  bool first_search_ = true;
+  IdOrdering ordering_;
+  std::vector<unsigned> pv_hint_;
+  IdContext ctx_;
+};
+
+}  // namespace gtpar

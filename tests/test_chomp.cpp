@@ -1,0 +1,138 @@
+// Chomp: construction, the staircase state encoding, transpositions, and
+// search values against the strategy-stealing oracle (the first player
+// wins every board larger than 1x1).
+#include <gtest/gtest.h>
+
+#include "gtpar/ab/tt_search.hpp"
+#include "gtpar/expand/minimax_expansion.hpp"
+#include "gtpar/games/chomp.hpp"
+
+namespace gtpar {
+namespace {
+
+TEST(Chomp, ConstructionValidation) {
+  EXPECT_NO_THROW(ChompSource(3, 3));
+  EXPECT_NO_THROW(ChompSource(16, 15));
+  EXPECT_NO_THROW(ChompSource(1, 1));
+  EXPECT_THROW(ChompSource(0, 3), std::invalid_argument);
+  EXPECT_THROW(ChompSource(3, 0), std::invalid_argument);
+  EXPECT_THROW(ChompSource(17, 3), std::invalid_argument);
+  EXPECT_THROW(ChompSource(3, 16), std::invalid_argument);  // 4-bit heights
+}
+
+TEST(Chomp, OneByOneIsAnImmediateLoss) {
+  const ChompSource g(1, 1);
+  EXPECT_EQ(g.num_children(g.root()), 0u);
+  EXPECT_EQ(g.leaf_value(g.root()), -1);
+  EXPECT_EQ(ChompSource::theoretical_value(1, 1), -1);
+}
+
+TEST(Chomp, RootHasOneMovePerNonPoisonSquare) {
+  const ChompSource g(3, 2);
+  EXPECT_EQ(g.num_children(g.root()), 5u);  // 6 squares minus the poison
+}
+
+TEST(Chomp, MovesPreserveTheStaircaseInvariant) {
+  const ChompSource g(4, 3);
+  // Walk a few plies depth-first and check every reachable position keeps
+  // non-increasing column heights.
+  std::vector<TreeSource::Node> stack{g.root()};
+  unsigned visited = 0;
+  while (!stack.empty() && visited < 2000) {
+    const auto v = stack.back();
+    stack.pop_back();
+    ++visited;
+    unsigned prev = 16;
+    for (unsigned c = 0; c < 4; ++c) {
+      const unsigned h = static_cast<unsigned>(v.path >> (4 * c)) & 0xF;
+      EXPECT_LE(h, prev) << "heights must be non-increasing";
+      prev = h;
+    }
+    const unsigned d = g.num_children(v);
+    for (unsigned i = 0; i < d; ++i) stack.push_back(g.child(v, i));
+  }
+  EXPECT_GT(visited, 100u);
+}
+
+TEST(Chomp, DistinctMoveOrdersReachingTheSameBarShareAState) {
+  const ChompSource g(3, 3);
+  // Eating (2,0) then (1,1) leaves the same bar as (1,1) then (2,0):
+  // heights (3,1,0). The nodes compare equal (state-in-path encoding), so
+  // their keys trivially agree; the parity check below is the real
+  // content: the same bar with the other side to move must key differently.
+  auto find_child = [&](const TreeSource::Node& v, unsigned col,
+                        unsigned row) {
+    const unsigned d = g.num_children(v);
+    for (unsigned i = 0; i < d; ++i) {
+      if (g.move_label(v, i) == col * 16 + row) return g.child(v, i);
+    }
+    throw std::logic_error("move not found");
+  };
+  const auto a = find_child(find_child(g.root(), 2, 0), 1, 1);
+  const auto b = find_child(find_child(g.root(), 1, 1), 2, 0);
+  EXPECT_EQ(a.path, b.path);
+  EXPECT_EQ(g.state_key(a), g.state_key(b));
+  // Same bar, odd vs even ply: one chomp move can eat many squares, so
+  // parity is not derivable from the heights and must split the key.
+  const TreeSource::Node odd{a.path, 3};
+  EXPECT_NE(g.state_key(a), g.state_key(odd));
+}
+
+TEST(Chomp, SearchMatchesStrategyStealingOracle) {
+  for (const auto& [cols, rows] :
+       {std::pair<unsigned, unsigned>{1, 1}, {2, 1}, {1, 2}, {2, 2},
+        {3, 2}, {2, 3}, {3, 3}, {4, 2}, {4, 3}, {5, 2}, {4, 4}}) {
+    const ChompSource g(cols, rows);
+    EXPECT_EQ(tt_alphabeta(g).value, ChompSource::theoretical_value(cols, rows))
+        << cols << "x" << rows;
+  }
+}
+
+TEST(Chomp, PlainSearchAgreesWithTtSearch) {
+  const ChompSource g(3, 3);
+  const auto plain = run_n_sequential_ab(g);
+  const auto tt = tt_alphabeta(g);
+  EXPECT_EQ(plain.value, tt.value);
+  EXPECT_LE(tt.nodes, plain.stats.work) << "transpositions must only help";
+}
+
+TEST(Chomp, BoardString) {
+  const ChompSource g(3, 2);
+  EXPECT_EQ(g.board_string(g.root()), "###\nP##");
+  // Eat (1,0): columns 1 and 2 truncate to height 0.
+  bool found = false;
+  const unsigned d = g.num_children(g.root());
+  for (unsigned i = 0; i < d; ++i) {
+    if (g.move_label(g.root(), i) == 1 * 16 + 0) {
+      EXPECT_EQ(g.board_string(g.child(g.root(), i)), "#..\nP..");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Chomp, EqualBarsFromDifferentBoardsShareKeys) {
+  // Unlike the replayed-mask games, a Chomp position is self-describing:
+  // the heights word IS the remaining bar, and a bar reached from a 3x3
+  // start is the same subgame as the identical bar reached from a 3x2
+  // start — so their keys SHOULD collide (beneficial sharing in an
+  // engine-owned table), and no geometry salt is folded in.
+  const ChompSource a(3, 3);
+  const ChompSource b(3, 2);
+  auto eat = [](const ChompSource& g, const TreeSource::Node& v, unsigned col,
+                unsigned row) {
+    const unsigned d = g.num_children(v);
+    for (unsigned i = 0; i < d; ++i) {
+      if (g.move_label(v, i) == col * 16 + row) return g.child(v, i);
+    }
+    throw std::logic_error("move not found");
+  };
+  // Eating (0,1) truncates every column to height 1 on both boards.
+  const auto bar_a = eat(a, a.root(), 0, 1);
+  const auto bar_b = eat(b, b.root(), 0, 1);
+  EXPECT_EQ(bar_a.path, bar_b.path);
+  EXPECT_EQ(a.state_key(bar_a), b.state_key(bar_b));
+}
+
+}  // namespace
+}  // namespace gtpar

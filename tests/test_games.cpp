@@ -97,5 +97,20 @@ TEST(Nim, ChildCountsRespectRemaining) {
   EXPECT_EQ(src.leaf_value(after_take2), 1);     // MAX took the last object
 }
 
+
+TEST(Nim, StateKeysSaltTheTakeLimit) {
+  // Nim(s, 2) and Nim(s, 3) share (remaining, parity) states with
+  // different subgame values, so sources sharing one engine-owned
+  // transposition table must never produce equal keys for them.
+  const NimSource a(10, 2);
+  const NimSource b(10, 3);
+  const TreeSource::Node v{7, 1};  // 7 objects left, MIN to move
+  EXPECT_NE(a.state_key(v), b.state_key(v));
+  // Equal take limits describe the same subgame: heaps of different
+  // starting sizes SHOULD share entries for a common remainder.
+  const NimSource c(12, 2);
+  EXPECT_EQ(a.state_key(v), c.state_key(v));
+}
+
 }  // namespace
 }  // namespace gtpar

@@ -166,5 +166,113 @@ TEST(Drop, AllEnginesAgree) {
   }
 }
 
+
+// ---------------------------------------------------------------------------
+// state_key geometry salts. These are regression tests: the original keys
+// salted only the square count (MnkSource) or the column count
+// (DropSource), so sources of *different* games sharing one engine-owned
+// transposition table could hash identical occupancy masks to equal keys
+// and serve each other poisoned values.
+// ---------------------------------------------------------------------------
+
+/// Drive both games through the same move-digit sequence. On boards with
+/// an equal square count the digits index the same empty-square lists, so
+/// the resulting occupancy masks are bit-identical.
+template <typename A, typename B>
+std::pair<TreeSource::Node, TreeSource::Node> replay_both(
+    const A& a, const B& b, std::initializer_list<unsigned> digits) {
+  auto va = a.root();
+  auto vb = b.root();
+  for (const unsigned d : digits) {
+    va = a.child(va, d);
+    vb = b.child(vb, d);
+  }
+  return {va, vb};
+}
+
+TEST(Mnk, StateKeysSaltFullGeometryNotJustSquareCount) {
+  // 4x4/k=4 and 2x8/k=2: same 16 squares, wildly different games. X on
+  // squares {0, 1} is already a k=2 win on the two-column board and
+  // nothing at all on the 4x4 board, so equal keys would be poison.
+  const MnkSource wide(4, 4, 4);
+  const MnkSource tall(2, 8, 2);
+  const auto [va, vb] = replay_both(wide, tall, {0u, 8u, 0u});
+  EXPECT_NE(wide.state_key(va), tall.state_key(vb))
+      << "equal masks on equal-square boards must not collide";
+  // Same geometry, different win condition: still different games.
+  const MnkSource k3(4, 4, 3);
+  const auto [vc, vd] = replay_both(wide, k3, {0u, 8u, 0u});
+  EXPECT_NE(wide.state_key(vc), k3.state_key(vd));
+  // Transposed boards with the same square count.
+  const MnkSource a34(3, 4, 3);
+  const MnkSource a43(4, 3, 3);
+  const auto [ve, vf] = replay_both(a34, a43, {0u, 5u, 1u});
+  EXPECT_NE(a34.state_key(ve), a43.state_key(vf));
+}
+
+TEST(Drop, StateKeysSaltFullGeometryNotJustColumns) {
+  // Same columns, different rows: the masks of short games coincide.
+  const DropSource tall(4, 4, 3);
+  const DropSource flat(4, 3, 3);
+  const auto [va, vb] = replay_both(tall, flat, {0u, 1u, 2u});
+  EXPECT_NE(tall.state_key(va), flat.state_key(vb));
+  // Same board, different win condition.
+  const DropSource k4(4, 4, 4);
+  const auto [vc, vd] = replay_both(tall, k4, {0u, 1u, 2u});
+  EXPECT_NE(tall.state_key(vc), k4.state_key(vd));
+}
+
+TEST(Mnk, CrossFamilyKeysNeverAlias) {
+  // An (m,n,k) game and a drop game on the same board produce the same
+  // mask layout; the per-family tag must keep them apart. Drive each game
+  // through moves reaching the same occupancy: Mnk digits pick squares
+  // 0,1,2 of the bottom row; Drop digits pick columns 0,1,2 (all land on
+  // the bottom row while it is empty).
+  const MnkSource mnk(4, 4, 3);
+  const DropSource drop(4, 4, 3);
+  auto vm = mnk.root();
+  auto vd = drop.root();
+  for (const unsigned d : {0u, 0u, 0u}) vm = mnk.child(vm, d);
+  for (const unsigned d : {0u, 1u, 2u}) vd = drop.child(vd, d);
+  // vm: X@0, O@1, X@2; vd: X@0, O@1, X@2 -- identical masks.
+  EXPECT_EQ(mnk.board_string(vm), drop.board_string(vd));
+  EXPECT_NE(mnk.state_key(vm), drop.state_key(vd));
+  // Tic-tac-toe and Mnk(3,3,3) are the SAME game; their keys still differ
+  // by design (family tag) -- correctness only requires no false merges,
+  // and the tag keeps the rule simple: different source family, never equal.
+  const TicTacToeSource ttt;
+  const MnkSource m33(3, 3, 3);
+  EXPECT_NE(ttt.state_key(ttt.root()), m33.state_key(m33.root()));
+}
+
+TEST(Mnk, ConstructorRejectsOverflowingBoards) {
+  // cols * rows wraps at 2^32: 2^16 x 2^16 multiplies to 0 and
+  // 641 x 6700417 to 1, so a bare product check silently admits (and then
+  // hangs materializing lines for) absurd boards.
+  EXPECT_THROW(MnkSource(1u << 16, 1u << 16, 2), std::invalid_argument);
+  EXPECT_THROW(MnkSource(641, 6700417, 2), std::invalid_argument);
+  EXPECT_THROW(MnkSource(0, 5, 2), std::invalid_argument);
+  EXPECT_THROW(MnkSource(5, 0, 2), std::invalid_argument);
+  EXPECT_THROW(DropSource(1u << 16, 1u << 16, 2), std::invalid_argument);
+  EXPECT_THROW(DropSource(641, 6700417, 2), std::invalid_argument);
+  EXPECT_THROW(DropSource(0, 4, 2), std::invalid_argument);
+}
+
+TEST(Mnk, MoveLabelsNameTheChosenSquare) {
+  const MnkSource g(3, 3, 3);
+  auto v = g.root();
+  EXPECT_EQ(g.move_label(v, 4), 4u);  // empty board: digit == square
+  v = g.child(v, 4);                  // X takes the center
+  // Digits now index the empty-square list with square 4 missing.
+  EXPECT_EQ(g.move_label(v, 3), 3u);
+  EXPECT_EQ(g.move_label(v, 4), 5u);
+  const DropSource d(3, 3, 3);
+  auto w = d.root();
+  w = d.child(w, 1);
+  EXPECT_EQ(d.move_label(w, 1), 1u);  // column identity, stable as it fills
+  w = d.child(w, 1);
+  EXPECT_EQ(d.move_label(w, 1), 1u);
+}
+
 }  // namespace
 }  // namespace gtpar

@@ -47,6 +47,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench_util.hpp"  // gtpar::bench::percentile
 #include "gtpar/engine/api.hpp"
 #include "gtpar/net/client.hpp"
 #include "gtpar/tree/generators.hpp"
@@ -168,19 +169,7 @@ struct PointResult {
   std::vector<ClassTally> per_class;
 };
 
-double percentile(std::vector<double>& v, double q) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const std::size_t idx = std::min(
-      v.size() - 1,
-      static_cast<std::size_t>(std::ceil(q * static_cast<double>(v.size()))) ==
-              0
-          ? 0
-          : static_cast<std::size_t>(
-                std::ceil(q * static_cast<double>(v.size()))) -
-              1);
-  return v[idx];
-}
+using gtpar::bench::percentile;
 
 /// One client connection with its receiver thread and pending map.
 struct Conn {
