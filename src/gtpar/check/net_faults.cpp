@@ -1,0 +1,79 @@
+#include "gtpar/check/net_faults.hpp"
+
+#include <algorithm>
+
+#include "gtpar/common.hpp"
+
+namespace gtpar::check {
+namespace {
+
+/// Independent hash streams per fault class (cf. faults.cpp).
+enum NetFaultStream : std::uint64_t {
+  kPartialStream = 0x706172746cULL,  // "partl"
+  kDelayStream = 0x64656c6179ULL,    // "delay"
+  kCorruptStream = 0x636f727074ULL,  // "corpt"
+  kResetStream = 0x72657365ULL,      // "rese"
+  kAcceptStream = 0x61636370ULL,     // "accp"
+};
+
+/// Deterministic per-(seed, op index, stream) Bernoulli draw.
+bool decide(std::uint64_t seed, std::uint64_t op, std::uint64_t stream,
+            double rate) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  const std::uint64_t h = mix64(hash_combine(hash_combine(seed, stream), op));
+  return to_unit_double(h) < rate;
+}
+
+/// Deterministic chunk size in [1, max_chunk] for a clamped attempt.
+std::size_t chunk_for(std::uint64_t seed, std::uint64_t op,
+                      std::size_t max_chunk) {
+  const std::uint64_t h =
+      mix64(hash_combine(hash_combine(seed, kPartialStream ^ 0xffULL), op));
+  return 1 + static_cast<std::size_t>(h % std::max<std::size_t>(1, max_chunk));
+}
+
+}  // namespace
+
+net::SocketFaultAction NetFaultState::on_io(bool is_read, std::size_t len) {
+  const std::uint64_t op = io_ops_.fetch_add(1, std::memory_order_relaxed);
+  net::SocketFaultAction act;
+  if (decide(plan_.seed, op, kDelayStream, plan_.delay_rate) &&
+      plan_.delay_ns != 0) {
+    act.delay_ns = plan_.delay_ns;
+    delays_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (decide(plan_.seed, op, kResetStream, plan_.reset_rate)) {
+    // Bound the reset budget without perturbing the op index sequence:
+    // the draw happens either way, only its effect is suppressed.
+    std::uint64_t seen = resets_.load(std::memory_order_relaxed);
+    while (plan_.max_resets == 0 || seen < plan_.max_resets) {
+      if (resets_.compare_exchange_weak(seen, seen + 1,
+                                        std::memory_order_relaxed)) {
+        act.reset = true;
+        break;
+      }
+    }
+    if (act.reset) return act;  // reset preempts shaping
+  }
+  if (decide(plan_.seed, op, kPartialStream, plan_.partial_rate) && len > 1) {
+    act.max_chunk = chunk_for(plan_.seed, op, plan_.max_partial_chunk);
+    partials_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (is_read && decide(plan_.seed, op, kCorruptStream, plan_.corrupt_rate)) {
+    act.corrupt = true;
+    corruptions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return act;
+}
+
+bool NetFaultState::on_accept() {
+  const std::uint64_t op = accept_ops_.fetch_add(1, std::memory_order_relaxed);
+  if (decide(plan_.seed, op, kAcceptStream, plan_.accept_fail_rate)) {
+    accept_drops_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace gtpar::check

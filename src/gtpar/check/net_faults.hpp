@@ -1,0 +1,102 @@
+// gtpar/check/net_faults.hpp
+//
+// The network lane of the fault-injection substrate: a seeded
+// NetFaultPlan describing what to do to a byte stream (partial
+// read/write splits, injected delays, single-bit corruption, RST-style
+// resets, accept failures), and NetFaultState, the SocketFaultHook
+// implementation that replays it deterministically.
+//
+// Like FaultPlan (faults.hpp), schedules are pure functions of
+// (plan.seed, operation index, fault stream): the Nth I/O attempt on a
+// hooked socket always draws the same faults for the same seed, so a
+// failing chaos schedule replays bit-for-bit from the seed alone —
+// across runs, sanitizers, and CI. Rates are per-attempt probabilities
+// in [0,1]; each fault class draws from its own hash stream, so plans
+// compose (one attempt can be both delayed and split).
+//
+// gtpar_check cannot link gtpar_net (net links check), so this header
+// only *includes* net/socket.hpp for the hook interface — the interface
+// is header-only — and FaultySocket below is header-only too; its
+// Socket symbols resolve wherever both libraries are linked (tests,
+// tools).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "gtpar/net/socket.hpp"
+
+namespace gtpar::check {
+
+/// Seeded description of what to inject into a socket's byte stream.
+struct NetFaultPlan {
+  std::uint64_t seed = 1;
+  /// Fraction of I/O attempts clamped to a short partial transfer.
+  double partial_rate = 0.0;
+  /// Largest transfer allowed on a clamped attempt (>= 1).
+  std::size_t max_partial_chunk = 7;
+  /// Fraction of I/O attempts delayed by delay_ns before the syscall.
+  double delay_rate = 0.0;
+  std::uint64_t delay_ns = 0;
+  /// Fraction of read attempts whose first received byte gets one bit
+  /// flipped (exercises the hardened decoders end to end).
+  double corrupt_rate = 0.0;
+  /// Fraction of I/O attempts failed as an injected connection reset.
+  double reset_rate = 0.0;
+  /// Stop injecting resets after this many (0 = unbounded). Lets a test
+  /// schedule "exactly one mid-flight disconnect, then a clean retry".
+  std::uint64_t max_resets = 0;
+  /// Fraction of accepted connections dropped at the accept edge.
+  double accept_fail_rate = 0.0;
+};
+
+/// SocketFaultHook replaying a NetFaultPlan. Deterministic: fault draws
+/// depend only on (seed, per-class operation index, stream), never on
+/// timing. Thread-safe; arm one instance per socket (per-socket indices
+/// keep concurrent connections independent and each stream replayable).
+class NetFaultState final : public net::SocketFaultHook {
+ public:
+  explicit NetFaultState(const NetFaultPlan& plan) : plan_(plan) {}
+
+  net::SocketFaultAction on_io(bool is_read, std::size_t len) override;
+  bool on_accept() override;
+
+  /// Injected-event accounting (for gates like "at least one reset was
+  /// actually exercised").
+  std::uint64_t partials() const noexcept { return partials_.load(); }
+  std::uint64_t delays() const noexcept { return delays_.load(); }
+  std::uint64_t corruptions() const noexcept { return corruptions_.load(); }
+  std::uint64_t resets() const noexcept { return resets_.load(); }
+  std::uint64_t accept_drops() const noexcept { return accept_drops_.load(); }
+  std::uint64_t io_attempts() const noexcept { return io_ops_.load(); }
+
+  const NetFaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  NetFaultPlan plan_;
+  std::atomic<std::uint64_t> io_ops_{0};
+  std::atomic<std::uint64_t> accept_ops_{0};
+  std::atomic<std::uint64_t> partials_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> corruptions_{0};
+  std::atomic<std::uint64_t> resets_{0};
+  std::atomic<std::uint64_t> accept_drops_{0};
+};
+
+/// A Socket bundled with its armed NetFaultState. Non-movable: the
+/// state's address is registered with the socket. Header-only (see the
+/// file comment for why).
+struct FaultySocket {
+  net::Socket sock;
+  NetFaultState state;
+
+  FaultySocket(net::Socket s, const NetFaultPlan& plan)
+      : sock(std::move(s)), state(plan) {
+    sock.set_fault_hook(&state);
+  }
+  FaultySocket(const FaultySocket&) = delete;
+  FaultySocket& operator=(const FaultySocket&) = delete;
+};
+
+}  // namespace gtpar::check

@@ -1,16 +1,143 @@
 #include "gtpar/net/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "gtpar/common.hpp"
+
 namespace gtpar::net {
+
+namespace {
+
+std::uint64_t entropy_seed(const void* self) {
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return hash_combine(now, reinterpret_cast<std::uintptr_t>(self));
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(Socket sock, const WireLimits& limits)
+    : sock_(std::move(sock)) {
+  opt_.limits = limits;
+  key_base_ = mix64(entropy_seed(this));
+}
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : sock_(std::move(other.sock_)),
+      opt_(std::move(other.opt_)),
+      endpoint_(other.endpoint_),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      path_(std::move(other.path_)),
+      fault_hook_(other.fault_hook_),
+      key_base_(other.key_base_),
+      key_counter_(other.key_counter_),
+      reconnects_(other.reconnects_),
+      connect_failures_(other.connect_failures_),
+      next_id_(other.next_id_) {
+  other.endpoint_ = Endpoint::kNone;
+  other.fault_hook_ = nullptr;
+}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    sock_ = std::move(other.sock_);
+    opt_ = std::move(other.opt_);
+    endpoint_ = other.endpoint_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    path_ = std::move(other.path_);
+    fault_hook_ = other.fault_hook_;
+    key_base_ = other.key_base_;
+    key_counter_ = other.key_counter_;
+    reconnects_ = other.reconnects_;
+    connect_failures_ = other.connect_failures_;
+    next_id_ = other.next_id_;
+    other.endpoint_ = Endpoint::kNone;
+    other.fault_hook_ = nullptr;
+  }
+  return *this;
+}
 
 ServiceClient ServiceClient::connect_tcp(const std::string& host,
                                          std::uint16_t port,
                                          const WireLimits& limits) {
-  return ServiceClient(Socket::connect_tcp(host, port), limits);
+  ClientOptions opt;
+  opt.limits = limits;
+  return connect_tcp(host, port, opt);
 }
 
 ServiceClient ServiceClient::connect_unix(const std::string& path,
                                           const WireLimits& limits) {
-  return ServiceClient(Socket::connect_unix(path), limits);
+  ClientOptions opt;
+  opt.limits = limits;
+  return connect_unix(path, opt);
+}
+
+ServiceClient ServiceClient::connect_tcp(const std::string& host,
+                                         std::uint16_t port,
+                                         const ClientOptions& opt) {
+  ServiceClient c(Socket::connect_tcp(host, port, opt.connect_timeout_ns));
+  c.opt_ = opt;
+  c.endpoint_ = Endpoint::kTcp;
+  c.host_ = host;
+  c.port_ = port;
+  if (opt.key_seed != 0) c.key_base_ = mix64(opt.key_seed);
+  c.arm_socket();
+  return c;
+}
+
+ServiceClient ServiceClient::connect_unix(const std::string& path,
+                                          const ClientOptions& opt) {
+  ServiceClient c(Socket::connect_unix(path, opt.connect_timeout_ns));
+  c.opt_ = opt;
+  c.endpoint_ = Endpoint::kUnix;
+  c.path_ = path;
+  if (opt.key_seed != 0) c.key_base_ = mix64(opt.key_seed);
+  c.arm_socket();
+  return c;
+}
+
+void ServiceClient::arm_socket() {
+  if (fault_hook_ != nullptr) sock_.set_fault_hook(fault_hook_);
+  if (opt_.io_timeout_ns != 0) {
+    sock_.set_recv_timeout_ns(opt_.io_timeout_ns);
+    sock_.set_send_timeout_ns(opt_.io_timeout_ns);
+  }
+}
+
+void ServiceClient::set_fault_hook(SocketFaultHook* hook) {
+  fault_hook_ = hook;
+  sock_.set_fault_hook(hook);
+}
+
+std::uint64_t ServiceClient::make_key() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  // Keys must be non-zero (0 means "no dedupe" on the wire).
+  std::uint64_t k;
+  do {
+    k = mix64(hash_combine(key_base_, ++key_counter_));
+  } while (k == 0);
+  return k;
+}
+
+void ServiceClient::reconnect() {
+  sock_.close();
+  if (endpoint_ == Endpoint::kNone)
+    throw SocketError("client: no endpoint to reconnect to");
+  try {
+    if (endpoint_ == Endpoint::kTcp)
+      sock_ = Socket::connect_tcp(host_, port_, opt_.connect_timeout_ns);
+    else
+      sock_ = Socket::connect_unix(path_, opt_.connect_timeout_ns);
+  } catch (const SocketError&) {
+    ++connect_failures_;
+    throw;
+  }
+  arm_socket();
+  ++reconnects_;
 }
 
 std::uint64_t ServiceClient::send_request(const WireRequest& req,
@@ -49,7 +176,7 @@ std::optional<Frame> ServiceClient::read_frame() {
   std::uint8_t hdr[kFrameHeaderSize];
   if (!sock_.read_exact(hdr, sizeof(hdr))) return std::nullopt;
   Frame f;
-  f.header = decode_frame_header(hdr, sizeof(hdr), limits_);
+  f.header = decode_frame_header(hdr, sizeof(hdr), opt_.limits);
   f.payload.resize(f.header.payload_len);
   if (f.header.payload_len != 0 &&
       !sock_.read_exact(f.payload.data(), f.header.payload_len))
@@ -58,7 +185,7 @@ std::optional<Frame> ServiceClient::read_frame() {
   return f;
 }
 
-CallResult ServiceClient::call(const WireRequest& req) {
+CallResult ServiceClient::call_once(const WireRequest& req) {
   const std::uint64_t id = send_request(req);
   CallResult out;
   for (;;) {
@@ -98,6 +225,30 @@ CallResult ServiceClient::call(const WireRequest& req) {
       }
       default:
         throw WireFormatError("client: unexpected frame type from server");
+    }
+  }
+}
+
+CallResult ServiceClient::call(const WireRequest& req) {
+  if (opt_.reconnect_attempts == 0) return call_once(req);
+  WireRequest r = req;
+  // The key makes retries safe: if the first attempt's REQUEST did reach
+  // the server before the transport died, the retry is deduplicated
+  // instead of recomputed or double-answered.
+  if (r.idempotency_key == 0) r.idempotency_key = make_key();
+  unsigned failures = 0;
+  std::uint64_t backoff = opt_.backoff_base_ns;
+  for (;;) {
+    try {
+      if (!sock_.valid()) reconnect();
+      return call_once(r);
+    } catch (const SocketError&) {
+      // Transport loss (reset, timeout, refused dial). WireFormatError
+      // is NOT retried: a protocol violation will not heal on retry.
+      sock_.close();
+      if (++failures > opt_.reconnect_attempts) throw;
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+      backoff = std::min(backoff * 2, opt_.backoff_max_ns);
     }
   }
 }

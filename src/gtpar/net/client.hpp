@@ -14,6 +14,18 @@
 //    thread drains frames and correlates by request_id. The shape the
 //    open-loop load generator uses. Sends are thread-safe (internal write
 //    lock); read_frame must be called from one thread at a time.
+//
+// Resilience (PR 7): a client built with ClientOptions remembers its
+// endpoint and can survive transport loss. reconnect_attempts > 0 makes
+// call() retry a failed exchange — bounded exponential backoff, a fresh
+// connection per attempt, and an auto-generated idempotency key attached
+// to the request so the server deduplicates the retry instead of
+// recomputing or double-answering (server.hpp). connect/io deadlines
+// bound every syscall, so a stalled server surfaces as SocketTimeout
+// rather than a hang. The resilient call() replaces the connection out
+// from under the socket and is therefore NOT thread-safe against
+// concurrent pipelined use; pipelined users (gtpload) drive reconnect()
+// themselves.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +38,25 @@
 #include "gtpar/net/wire.hpp"
 
 namespace gtpar::net {
+
+/// Client-side resilience knobs. All-zero defaults reproduce the
+/// fail-fast PR 5 behavior exactly.
+struct ClientOptions {
+  WireLimits limits;
+  /// Bound on each connect()/reconnect() (0 = block).
+  std::uint64_t connect_timeout_ns = 0;
+  /// Per-operation read/write deadline on the connection (0 = block).
+  std::uint64_t io_timeout_ns = 0;
+  /// call(): retry a SocketError-failed exchange up to this many times
+  /// on a fresh connection (0 = fail fast, the PR 5 contract).
+  unsigned reconnect_attempts = 0;
+  /// Exponential backoff between retries: base, doubling, capped.
+  std::uint64_t backoff_base_ns = 10'000'000;   // 10 ms
+  std::uint64_t backoff_max_ns = 1'000'000'000; // 1 s
+  /// Seed for generated idempotency keys; 0 derives one per client, a
+  /// fixed value makes key sequences reproducible (tests).
+  std::uint64_t key_seed = 0;
+};
 
 /// Outcome of one synchronous call().
 struct CallResult {
@@ -43,13 +74,23 @@ struct CallResult {
 class ServiceClient {
  public:
   ServiceClient() = default;
-  explicit ServiceClient(Socket sock, const WireLimits& limits = {})
-      : sock_(std::move(sock)), limits_(limits) {}
+  explicit ServiceClient(Socket sock, const WireLimits& limits = {});
+
+  /// Movable (fresh write lock — moving a client with I/O in flight was
+  /// never supported), not copyable.
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
 
   static ServiceClient connect_tcp(const std::string& host, std::uint16_t port,
                                    const WireLimits& limits = {});
   static ServiceClient connect_unix(const std::string& path,
                                     const WireLimits& limits = {});
+  static ServiceClient connect_tcp(const std::string& host, std::uint16_t port,
+                                   const ClientOptions& opt);
+  static ServiceClient connect_unix(const std::string& path,
+                                    const ClientOptions& opt);
 
   bool valid() const noexcept { return sock_.valid(); }
 
@@ -65,8 +106,9 @@ class ServiceClient {
   void send_raw(const std::vector<std::uint8_t>& bytes);
 
   /// Read the next well-formed frame. Returns nullopt on clean server
-  /// close; throws WireFormatError on malformed data and SocketError on
-  /// transport failure. Single reader at a time.
+  /// close; throws WireFormatError on malformed data, SocketTimeout when
+  /// the io deadline expires, SocketError on transport failure. Single
+  /// reader at a time.
   std::optional<Frame> read_frame();
 
   /// Synchronous request: send, then read frames until the final kResult
@@ -74,7 +116,32 @@ class ServiceClient {
   /// Frames for other request_ids are a protocol violation in this shape
   /// and throw WireFormatError. Returns goodbye = true (with neither
   /// result nor error) if the server closed or said goodbye first.
+  ///
+  /// With reconnect_attempts > 0, a SocketError-failed exchange is
+  /// retried on a fresh connection (bounded exponential backoff); the
+  /// retried request carries an auto-generated idempotency key (unless
+  /// the caller set one), so the server answers it exactly once.
   CallResult call(const WireRequest& req);
+
+  /// One exchange on the current connection, no retry. The building
+  /// block of call(); public for callers that manage retry themselves.
+  CallResult call_once(const WireRequest& req);
+
+  /// Tear down the current connection (if any) and dial the remembered
+  /// endpoint once. Throws SocketError/SocketTimeout on failure
+  /// (counted in connect_failures()). Re-arms io deadlines and the
+  /// fault hook on the new socket.
+  void reconnect();
+
+  /// A fresh idempotency key from this client's seeded stream.
+  std::uint64_t make_key();
+
+  /// Arm the test-only fault-injection seam on the current socket and
+  /// every future reconnect (nullptr disarms).
+  void set_fault_hook(SocketFaultHook* hook);
+
+  std::uint64_t reconnects() const noexcept { return reconnects_; }
+  std::uint64_t connect_failures() const noexcept { return connect_failures_; }
 
   /// Half-close the send side (tells the server no more requests follow).
   void finish_sending() noexcept { sock_.shutdown_both(); }
@@ -82,8 +149,21 @@ class ServiceClient {
   void close() noexcept { sock_.close(); }
 
  private:
+  enum class Endpoint { kNone, kTcp, kUnix };
+
+  void arm_socket();
+
   Socket sock_;
-  WireLimits limits_;
+  ClientOptions opt_;
+  Endpoint endpoint_ = Endpoint::kNone;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  std::string path_;
+  SocketFaultHook* fault_hook_ = nullptr;
+  std::uint64_t key_base_ = 0;
+  std::uint64_t key_counter_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t connect_failures_ = 0;
   std::mutex write_mu_;
   std::uint64_t next_id_ = 1;
 };

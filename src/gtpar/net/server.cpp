@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -49,25 +52,56 @@ WireResult to_wire(const SearchResult& r, unsigned stage,
   return w;
 }
 
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
-/// Shared per-connection state. Kept alive past reader exit by the
+/// One frame awaiting its connection's writer thread. Droppable frames
+/// (streamed kPartial snapshots) may be shed under outbound-queue
+/// pressure; finals never are.
+struct OutFrame {
+  std::vector<std::uint8_t> bytes;
+  bool droppable = false;
+};
+
+/// Shared per-connection state. Kept alive past reader/writer exit by the
 /// request contexts of in-flight searches, so a completion callback can
-/// always still try to write its frame; the socket dies with the last
+/// always still try to enqueue its frame; the socket dies with the last
 /// reference.
 struct ConnState {
   explicit ConnState(Socket s) : sock(std::move(s)) {}
 
   Socket sock;
-  /// Serialises writes from the reader thread (errors, pongs) and engine
-  /// workers (results, partials). write_dead latches after the first
-  /// failed send; later frames for this connection are dropped quietly.
-  std::mutex write_mu;
+
+  /// Outbound queue, consumed by this connection's writer thread.
+  /// Engine workers and the reader enqueue under out_mu and never touch
+  /// the socket's send side themselves, so a stalled peer can only park
+  /// the writer — which the send deadline then bounds.
+  std::mutex out_mu;
+  std::condition_variable out_cv;
+  std::deque<OutFrame> outq;
+  std::size_t outq_bytes = 0;
+  /// Latched on the first failed/timed-out send: later frames for this
+  /// connection are dropped quietly.
   bool write_dead = false;
-  /// request_id -> in-flight job, for kCancel.
+  /// No further frames accepted; the writer flushes the queue and exits.
+  bool out_closing = false;
+  /// Writer shuts the socket down after its final flush (bad-frame error
+  /// path: the client is owed the error frame, then an EOF).
+  bool close_after_flush = false;
+
+  /// request_id -> in-flight job, for kCancel, the per-connection
+  /// in-flight cap, and idle detection.
   std::mutex jobs_mu;
   std::unordered_map<std::uint64_t, SearchJob> jobs;
+
   std::atomic<bool> reader_done{false};
+  std::atomic<bool> writer_done{false};
 };
 
 struct ServiceServer::Impl {
@@ -88,10 +122,17 @@ struct ServiceServer::Impl {
   std::atomic<std::uint64_t> requests_shed{0};
   std::atomic<std::uint64_t> requests_draining{0};
   std::atomic<std::uint64_t> cancels_received{0};
+  std::atomic<std::uint64_t> partials_dropped{0};
+  std::atomic<std::uint64_t> slow_peer_disconnects{0};
+  std::atomic<std::uint64_t> idle_reaped{0};
+  std::atomic<std::uint64_t> conn_capped{0};
+  std::atomic<std::uint64_t> dedupe_hits{0};
+  std::atomic<std::uint64_t> dedupe_replays{0};
 
   struct ConnEntry {
     std::shared_ptr<ConnState> conn;
     std::thread reader;
+    std::thread writer;
   };
   std::mutex conns_mu;
   std::vector<ConnEntry> conns;
@@ -105,18 +146,43 @@ struct ServiceServer::Impl {
 
   /// One request in flight through the engine; owns everything the
   /// completion callback needs (the tree outlives the search, the fault
-  /// state outlives every leaf attempt).
+  /// state outlives every leaf attempt). conn/request_id are the
+  /// *delivery target* and may be retargeted by an idempotent retry on a
+  /// new connection — read them under target_mu.
   struct ReqCtx {
-    std::shared_ptr<ConnState> conn;
     Impl* impl = nullptr;
-    std::uint64_t request_id = 0;
     Tree tree;
     WireRequest wire;
     unsigned stage = 0;
     unsigned total_stages = 1;
+    std::uint64_t idem_key = 0;
     std::unique_ptr<check::FaultState> fault_state;
     std::unique_ptr<check::FaultInjector> fault_injector;
+
+    /// Guards the delivery target and completion latch. Lock order:
+    /// target_mu before jobs_mu before dedupe_mu; never the reverse.
+    std::mutex target_mu;
+    std::shared_ptr<ConnState> conn;
+    std::uint64_t request_id = 0;
+    SearchJob cur_job;
+    bool finished = false;
   };
+
+  /// At-most-once memory for idempotent requests: while the search runs
+  /// the entry points at its ReqCtx (duplicates retarget delivery); once
+  /// final, the cached frame payload is replayed for dedupe_ttl_ns.
+  struct DedupeEntry {
+    std::shared_ptr<ReqCtx> inflight;
+    bool done = false;
+    bool is_error = false;
+    WireResult result;
+    WireError error;
+    std::uint64_t expiry_ns = 0;
+  };
+  std::mutex dedupe_mu;
+  std::unordered_map<std::uint64_t, DedupeEntry> dedupe;
+  /// (key, expiry) in completion order, for TTL + size eviction.
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> dedupe_fifo;
 
   explicit Impl(const ServiceOptions& o) : opt(o) {
     const bool want_unix = !opt.unix_path.empty();
@@ -136,24 +202,139 @@ struct ServiceServer::Impl {
 
   // --- Writing. -------------------------------------------------------------
 
+  /// Enqueue one frame for the connection's writer. Over
+  /// max_outbound_bytes the oldest droppable frames are shed first; a
+  /// droppable frame that still does not fit is itself dropped. Finals
+  /// always enqueue (their count is bounded by max_in_flight_per_conn).
+  /// Returns true iff the frame was queued. `sent_counter` (if any) is
+  /// bumped under out_mu before the writer can dequeue the frame, so a
+  /// client that has observed the frame on the wire is guaranteed to see
+  /// the counter in a subsequent stats snapshot.
   bool send_bytes(const std::shared_ptr<ConnState>& conn,
-                  const std::vector<std::uint8_t>& bytes) {
-    std::lock_guard<std::mutex> lock(conn->write_mu);
-    if (conn->write_dead) return false;
-    try {
-      conn->sock.write_all(bytes.data(), bytes.size());
-      return true;
-    } catch (const SocketError&) {
-      conn->write_dead = true;  // peer went away; drop later frames quietly
-      return false;
+                  std::vector<std::uint8_t> bytes, bool droppable = false,
+                  std::atomic<std::uint64_t>* sent_counter = nullptr) {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->write_dead || conn->out_closing) return false;
+    if (conn->outq_bytes + bytes.size() > opt.max_outbound_bytes) {
+      for (auto it = conn->outq.begin();
+           it != conn->outq.end() &&
+           conn->outq_bytes + bytes.size() > opt.max_outbound_bytes;) {
+        if (it->droppable) {
+          conn->outq_bytes -= it->bytes.size();
+          it = conn->outq.erase(it);
+          partials_dropped.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ++it;
+        }
+      }
+      if (droppable &&
+          conn->outq_bytes + bytes.size() > opt.max_outbound_bytes) {
+        partials_dropped.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
     }
+    conn->outq_bytes += bytes.size();
+    conn->outq.push_back({std::move(bytes), droppable});
+    if (sent_counter != nullptr)
+      sent_counter->fetch_add(1, std::memory_order_relaxed);
+    conn->out_cv.notify_one();
+    return true;
   }
 
   void send_error(const std::shared_ptr<ConnState>& conn,
                   std::uint64_t request_id, ErrorCode code,
                   const std::string& message) {
-    if (send_bytes(conn, encode_error_frame(request_id, {code, message})))
-      errors_sent.fetch_add(1, std::memory_order_relaxed);
+    send_bytes(conn, encode_error_frame(request_id, {code, message}),
+               /*droppable=*/false, &errors_sent);
+  }
+
+  /// Drop the queue and the connection after a failed/timed-out send.
+  void kill_writes(const std::shared_ptr<ConnState>& conn) {
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      conn->write_dead = true;
+      conn->outq.clear();
+      conn->outq_bytes = 0;
+    }
+    // Wakes the reader too: a peer that cannot be written to is gone.
+    conn->sock.shutdown_both();
+  }
+
+  void writer_loop(const std::shared_ptr<ConnState>& conn) {
+    bool shutdown_on_exit = false;
+    for (;;) {
+      OutFrame f;
+      {
+        std::unique_lock<std::mutex> lock(conn->out_mu);
+        conn->out_cv.wait(lock, [&] {
+          return !conn->outq.empty() || conn->out_closing;
+        });
+        if (conn->outq.empty()) {
+          shutdown_on_exit = conn->close_after_flush;
+          break;
+        }
+        f = std::move(conn->outq.front());
+        conn->outq.pop_front();
+        conn->outq_bytes -= f.bytes.size();
+      }
+      try {
+        conn->sock.write_all(f.bytes.data(), f.bytes.size());
+      } catch (const SocketTimeout&) {
+        // The peer accepted a connection's worth of data and stopped
+        // reading: a slow consumer must not hold buffers (or drain())
+        // hostage. Disconnect it; in-flight searches finish and their
+        // frames are dropped quietly.
+        slow_peer_disconnects.fetch_add(1, std::memory_order_relaxed);
+        kill_writes(conn);
+      } catch (const SocketError&) {
+        kill_writes(conn);
+      }
+    }
+    if (shutdown_on_exit) conn->sock.shutdown_both();
+    conn->writer_done.store(true, std::memory_order_release);
+  }
+
+  /// Once the reader has exited and no request still targets this
+  /// connection, tell the writer to flush and exit. Called at reader
+  /// exit, final delivery, and retarget-off.
+  void maybe_close_out(const std::shared_ptr<ConnState>& conn) {
+    {
+      std::lock_guard<std::mutex> lock(conn->jobs_mu);
+      if (!conn->reader_done.load(std::memory_order_acquire) ||
+          !conn->jobs.empty())
+        return;
+    }
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    conn->out_closing = true;
+    conn->out_cv.notify_one();
+  }
+
+  // --- Dedupe. --------------------------------------------------------------
+
+  /// Caller holds dedupe_mu.
+  void evict_dedupe_locked(std::uint64_t now) {
+    while (!dedupe_fifo.empty() &&
+           (dedupe_fifo.front().second <= now ||
+            dedupe.size() > opt.dedupe_max_entries)) {
+      const auto [key, expiry] = dedupe_fifo.front();
+      dedupe_fifo.pop_front();
+      auto it = dedupe.find(key);
+      if (it != dedupe.end() && it->second.done &&
+          it->second.expiry_ns == expiry)
+        dedupe.erase(it);
+    }
+  }
+
+  void replay_cached(const std::shared_ptr<ConnState>& conn,
+                     std::uint64_t request_id, const DedupeEntry& e) {
+    dedupe_replays.fetch_add(1, std::memory_order_relaxed);
+    if (e.is_error) {
+      send_error(conn, request_id, e.error.code, e.error.message);
+    } else {
+      send_bytes(conn,
+                 encode_result_frame(FrameType::kResult, request_id, e.result),
+                 /*droppable=*/false, &results_sent);
+    }
   }
 
   // --- Request handling. ----------------------------------------------------
@@ -200,8 +381,8 @@ struct ServiceServer::Impl {
       return;
     }
     auto ctx = std::make_shared<ReqCtx>();
-    ctx->conn = conn;
     ctx->impl = this;
+    ctx->conn = conn;
     ctx->request_id = request_id;
     try {
       ctx->tree = parse_tree(wreq.tree_text);
@@ -211,6 +392,7 @@ struct ServiceServer::Impl {
       return;
     }
     ctx->wire = std::move(wreq);
+    ctx->idem_key = ctx->wire.idempotency_key;
     ctx->total_stages =
         (ctx->wire.stream && opt.stream_stages > 1) ? opt.stream_stages : 1;
     if (ctx->wire.fault_seed != 0) {
@@ -228,7 +410,97 @@ struct ServiceServer::Impl {
       ctx->fault_injector =
           std::make_unique<check::FaultInjector>(*ctx->fault_state);
     }
+
+    if (ctx->idem_key != 0 && handle_duplicate(conn, request_id, ctx)) return;
+
+    // Fairness cap, checked after dedupe so a retransmit never burns
+    // cap budget on a search that is not going to run again. Requests on
+    // one connection are handled serially by its reader, so the
+    // check-then-insert is race-free per connection.
+    if (opt.max_in_flight_per_conn != 0) {
+      std::size_t in_flight;
+      {
+        std::lock_guard<std::mutex> lock(conn->jobs_mu);
+        in_flight = conn->jobs.size();
+      }
+      if (in_flight >= opt.max_in_flight_per_conn) {
+        conn_capped.fetch_add(1, std::memory_order_relaxed);
+        send_error(conn, request_id, ErrorCode::kOverloaded,
+                   "per-connection in-flight cap reached");
+        return;
+      }
+    }
     submit_stage(std::move(ctx));
+  }
+
+  /// Idempotency-key admission: register a fresh key (returns false: the
+  /// caller submits `ctx`), replay a completed one, or retarget an
+  /// in-flight one to this (conn, request_id). Returns true when the
+  /// request was fully handled here (the freshly built ctx is dropped).
+  bool handle_duplicate(const std::shared_ptr<ConnState>& conn,
+                        std::uint64_t request_id,
+                        const std::shared_ptr<ReqCtx>& ctx) {
+    std::shared_ptr<ReqCtx> running;
+    DedupeEntry cached;
+    bool have_cached = false;
+    {
+      std::lock_guard<std::mutex> lock(dedupe_mu);
+      evict_dedupe_locked(now_ns());
+      auto [it, inserted] = dedupe.try_emplace(ctx->idem_key);
+      if (inserted) {
+        it->second.inflight = ctx;
+        return false;
+      }
+      dedupe_hits.fetch_add(1, std::memory_order_relaxed);
+      if (it->second.done) {
+        cached = it->second;  // copy out; replay after releasing dedupe_mu
+        have_cached = true;
+      } else {
+        running = it->second.inflight;
+      }
+    }
+    if (have_cached) {
+      replay_cached(conn, request_id, cached);
+      return true;
+    }
+    // The original is (was) still running: point its delivery at the new
+    // connection. Lock order target_mu -> jobs_mu -> dedupe_mu, the same
+    // as deliver_final, so the two serialise: either we retarget before
+    // the final is cached (it goes to the new target) or we observe
+    // finished and replay the cache.
+    std::lock_guard<std::mutex> tlock(running->target_mu);
+    if (!running->finished) {
+      const std::shared_ptr<ConnState> old_conn = running->conn;
+      const std::uint64_t old_id = running->request_id;
+      running->conn = conn;
+      running->request_id = request_id;
+      {
+        std::lock_guard<std::mutex> jlock(old_conn->jobs_mu);
+        old_conn->jobs.erase(old_id);
+      }
+      maybe_close_out(old_conn);
+      std::lock_guard<std::mutex> jlock(conn->jobs_mu);
+      conn->jobs[request_id] = running->cur_job;
+      return true;
+    }
+    // Finished between the lookup and here: the final is cached now.
+    {
+      std::lock_guard<std::mutex> lock(dedupe_mu);
+      auto it = dedupe.find(ctx->idem_key);
+      if (it != dedupe.end() && it->second.done) {
+        cached = it->second;
+        have_cached = true;
+      }
+    }
+    if (have_cached) {
+      replay_cached(conn, request_id, cached);
+    } else {
+      // Evicted in the gap (possible only with a ~zero TTL): nothing to
+      // replay and nothing running — fail the retry honestly.
+      send_error(conn, request_id, ErrorCode::kInternal,
+                 "idempotent retry raced dedupe eviction");
+    }
+    return true;
   }
 
   SearchRequest build_request(const std::shared_ptr<ReqCtx>& ctx) {
@@ -266,18 +538,20 @@ struct ServiceServer::Impl {
 
   void submit_stage(std::shared_ptr<ReqCtx> ctx) {
     SearchRequest req = build_request(ctx);
-    auto conn = ctx->conn;
-    const std::uint64_t id = ctx->request_id;
     SearchJob job = engine->submit(
         std::move(req),
         [ctx](const SearchResult* res, std::exception_ptr err) mutable {
           ctx->impl->on_stage_complete(ctx, res, err);
         });
-    // Register for kCancel. The callback may already have run (rejected
-    // submissions complete synchronously); cancelling a finished job is a
-    // no-op, and the final callback erases the entry it finds.
-    std::lock_guard<std::mutex> lock(conn->jobs_mu);
-    conn->jobs[id] = job;
+    // Register for kCancel / the in-flight cap. The callback may already
+    // have run (rejected submissions complete synchronously): finished
+    // is latched under target_mu, so a completed request never leaves a
+    // stale jobs entry behind.
+    std::lock_guard<std::mutex> lock(ctx->target_mu);
+    if (ctx->finished) return;
+    ctx->cur_job = job;
+    std::lock_guard<std::mutex> jlock(ctx->conn->jobs_mu);
+    ctx->conn->jobs[ctx->request_id] = job;
   }
 
   void on_stage_complete(const std::shared_ptr<ReqCtx>& ctx,
@@ -289,15 +563,16 @@ struct ServiceServer::Impl {
     const bool final_stage = ctx->stage + 1 >= ctx->total_stages;
     const WireResult wres = to_wire(*res, ctx->stage, ctx->total_stages);
     if (final_stage) {
-      unregister_job(ctx);
-      if (send_bytes(ctx->conn, encode_result_frame(FrameType::kResult,
-                                                    ctx->request_id, wres)))
-        results_sent.fetch_add(1, std::memory_order_relaxed);
+      deliver_final(ctx, &wres, nullptr);
       return;
     }
-    if (send_bytes(ctx->conn, encode_result_frame(FrameType::kPartial,
-                                                  ctx->request_id, wres)))
-      partials_sent.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(ctx->target_mu);
+      send_bytes(ctx->conn,
+                 encode_result_frame(FrameType::kPartial, ctx->request_id,
+                                     wres),
+                 /*droppable=*/true, &partials_sent);
+    }
     ctx->stage += 1;
     // The completion-callback chain: the next stage is submitted from the
     // previous stage's completion path, so the whole stream needs no
@@ -308,31 +583,73 @@ struct ServiceServer::Impl {
 
   void finish_with_error(const std::shared_ptr<ReqCtx>& ctx,
                          std::exception_ptr err) {
-    unregister_job(ctx);
-    ErrorCode code = ErrorCode::kInternal;
-    std::string message = "unknown error";
+    WireError werr;
+    werr.code = ErrorCode::kInternal;
+    werr.message = "unknown error";
     try {
       std::rethrow_exception(err);
     } catch (const EngineOverloadedError& e) {
-      code = ErrorCode::kOverloaded;
-      message = e.what();
+      werr.code = ErrorCode::kOverloaded;
+      werr.message = e.what();
       requests_shed.fetch_add(1, std::memory_order_relaxed);
     } catch (const EngineStalledError& e) {
-      code = ErrorCode::kStalled;
-      message = e.what();
+      werr.code = ErrorCode::kStalled;
+      werr.message = e.what();
     } catch (const std::invalid_argument& e) {
-      code = ErrorCode::kBadRequest;
-      message = e.what();
+      werr.code = ErrorCode::kBadRequest;
+      werr.message = e.what();
     } catch (const std::exception& e) {
-      message = e.what();
+      werr.message = e.what();
     } catch (...) {
     }
-    send_error(ctx->conn, ctx->request_id, code, message);
+    deliver_final(ctx, nullptr, &werr);
   }
 
-  void unregister_job(const std::shared_ptr<ReqCtx>& ctx) {
-    std::lock_guard<std::mutex> lock(ctx->conn->jobs_mu);
-    ctx->conn->jobs.erase(ctx->request_id);
+  /// Deliver a request's single final frame to its current target,
+  /// caching it for idempotent replay first (under target_mu, so a
+  /// concurrent duplicate either retargets before the cache exists or
+  /// replays after it does — never neither).
+  void deliver_final(const std::shared_ptr<ReqCtx>& ctx,
+                     const WireResult* res, const WireError* werr) {
+    std::shared_ptr<ConnState> target;
+    std::uint64_t tid;
+    {
+      std::lock_guard<std::mutex> lock(ctx->target_mu);
+      if (ctx->idem_key != 0) {
+        std::lock_guard<std::mutex> dlock(dedupe_mu);
+        auto it = dedupe.find(ctx->idem_key);
+        if (it != dedupe.end()) {
+          DedupeEntry& e = it->second;
+          e.done = true;
+          if (res) {
+            e.is_error = false;
+            e.result = *res;
+          } else {
+            e.is_error = true;
+            e.error = *werr;
+          }
+          e.inflight.reset();
+          e.expiry_ns = now_ns() + opt.dedupe_ttl_ns;
+          dedupe_fifo.emplace_back(ctx->idem_key, e.expiry_ns);
+        }
+      }
+      ctx->finished = true;
+      target = ctx->conn;
+      tid = ctx->request_id;
+    }
+    // Enqueue the final before unregistering: maybe_close_out may close
+    // the queue the moment this request stops counting as in-flight.
+    if (res) {
+      send_bytes(target, encode_result_frame(FrameType::kResult, tid, *res),
+                 /*droppable=*/false, &results_sent);
+    } else {
+      send_error(target, tid, werr->code, werr->message);
+    }
+    {
+      std::lock_guard<std::mutex> lock(target->jobs_mu);
+      target->jobs.erase(tid);
+    }
+    maybe_close_out(target);
   }
 
   // --- Frame dispatch / reader loop. ----------------------------------------
@@ -360,9 +677,7 @@ struct ServiceServer::Impl {
         send_bytes(conn, encode_control_frame(FrameType::kPong, h.request_id));
         return;
       case FrameType::kStatsReq:
-        if (send_bytes(conn,
-                       encode_stats_frame(h.request_id, wire_stats())))
-          return;
+        send_bytes(conn, encode_stats_frame(h.request_id, wire_stats()));
         return;
       default:
         // Well-framed but server-bound-only types (kResult, kPong, ...):
@@ -374,11 +689,37 @@ struct ServiceServer::Impl {
     }
   }
 
+  /// Idle gate before each frame: wait for inbound bytes, reaping the
+  /// connection if it sits idle (no in-flight requests, nothing to read)
+  /// past idle_timeout_ns. Returns false when the connection was reaped.
+  bool await_frame(const std::shared_ptr<ConnState>& conn) {
+    if (opt.idle_timeout_ns == 0) return true;
+    for (;;) {
+      if (conn->sock.wait_readable(opt.idle_timeout_ns)) return true;
+      bool idle;
+      {
+        std::lock_guard<std::mutex> lock(conn->jobs_mu);
+        idle = conn->jobs.empty();
+      }
+      if (!idle) continue;  // quiet but waiting on results: not idle
+      idle_reaped.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+
   void reader_loop(const std::shared_ptr<ConnState>& conn) {
     std::uint8_t hdr[kFrameHeaderSize];
     std::vector<std::uint8_t> payload;
     try {
       for (;;) {
+        if (!await_frame(conn)) {
+          // Reaped: flush anything queued, then close.
+          std::lock_guard<std::mutex> lock(conn->out_mu);
+          conn->out_closing = true;
+          conn->close_after_flush = true;
+          conn->out_cv.notify_one();
+          break;
+        }
         if (!conn->sock.read_exact(hdr, sizeof(hdr))) break;  // clean close
         FrameHeader h;
         try {
@@ -393,14 +734,14 @@ struct ServiceServer::Impl {
                      too_large ? ErrorCode::kFrameTooLarge
                                : ErrorCode::kBadFrame,
                      e.what());
-          // Actually close (not just stop reading): the client is owed an
-          // EOF after the error frame, and late completion frames for this
-          // connection must be dropped (write_dead), not written into a
-          // dead stream.
+          // The client is owed the error frame and then an EOF; late
+          // completion frames for this connection are refused at the
+          // queue (out_closing), not written into a dead stream.
           {
-            std::lock_guard<std::mutex> lock(conn->write_mu);
-            conn->write_dead = true;
-            conn->sock.shutdown_both();
+            std::lock_guard<std::mutex> lock(conn->out_mu);
+            conn->out_closing = true;
+            conn->close_after_flush = true;
+            conn->out_cv.notify_one();
           }
           break;
         }
@@ -415,6 +756,7 @@ struct ServiceServer::Impl {
       // running; their frames fail to send and are dropped.
     }
     conn->reader_done.store(true, std::memory_order_release);
+    maybe_close_out(conn);
   }
 
   void accept_loop() {
@@ -422,22 +764,27 @@ struct ServiceServer::Impl {
       Socket s = listener.accept();
       if (!s.valid() || draining.load(std::memory_order_acquire)) break;
       connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      if (opt.write_deadline_ns > 0)
+        s.set_send_timeout_ns(opt.write_deadline_ns);
       auto conn = std::make_shared<ConnState>(std::move(s));
       std::lock_guard<std::mutex> lock(conns_mu);
       reap_locked();
       ConnEntry entry;
       entry.conn = conn;
       entry.reader = std::thread([this, conn] { reader_loop(conn); });
+      entry.writer = std::thread([this, conn] { writer_loop(conn); });
       conns.push_back(std::move(entry));
     }
   }
 
-  /// Join and drop connections whose reader has exited. Caller holds
-  /// conns_mu.
+  /// Join and drop connections whose reader and writer have both exited.
+  /// Caller holds conns_mu.
   void reap_locked() {
     for (auto it = conns.begin(); it != conns.end();) {
-      if (it->conn->reader_done.load(std::memory_order_acquire)) {
+      if (it->conn->reader_done.load(std::memory_order_acquire) &&
+          it->conn->writer_done.load(std::memory_order_acquire)) {
         if (it->reader.joinable()) it->reader.join();
+        if (it->writer.joinable()) it->writer.join();
         it = conns.erase(it);
       } else {
         ++it;
@@ -463,6 +810,14 @@ struct ServiceServer::Impl {
     w.requests_shed = requests_shed.load(std::memory_order_relaxed);
     w.requests_draining = requests_draining.load(std::memory_order_relaxed);
     w.cancels_received = cancels_received.load(std::memory_order_relaxed);
+    w.accepts_dropped = listener.accepts_dropped();
+    w.partials_dropped = partials_dropped.load(std::memory_order_relaxed);
+    w.slow_peer_disconnects =
+        slow_peer_disconnects.load(std::memory_order_relaxed);
+    w.idle_reaped = idle_reaped.load(std::memory_order_relaxed);
+    w.conn_capped = conn_capped.load(std::memory_order_relaxed);
+    w.dedupe_hits = dedupe_hits.load(std::memory_order_relaxed);
+    w.dedupe_replays = dedupe_replays.load(std::memory_order_relaxed);
     return w;
   }
 };
@@ -524,9 +879,17 @@ void ServiceServer::drain() {
   //    returns — CompletionFn guarantee 3).
   if (impl->opt.cancel_on_drain) impl->engine->cancel_all();
   impl->engine->drain();
-  // 4. Close connections (write halves flushed by the sends above).
+  // 4. Flush and stop every writer (finals above are queued by now; a
+  //    stalled peer is bounded by the write deadline), then close.
   {
     std::lock_guard<std::mutex> clock(impl->conns_mu);
+    for (auto& e : impl->conns) {
+      std::lock_guard<std::mutex> olock(e.conn->out_mu);
+      e.conn->out_closing = true;
+      e.conn->out_cv.notify_one();
+    }
+    for (auto& e : impl->conns)
+      if (e.writer.joinable()) e.writer.join();
     impl->conns.clear();
   }
   impl->drained = true;
@@ -545,6 +908,13 @@ ServiceStats ServiceServer::stats() const {
   s.requests_shed = w.requests_shed;
   s.requests_draining = w.requests_draining;
   s.cancels_received = w.cancels_received;
+  s.accepts_dropped = w.accepts_dropped;
+  s.partials_dropped = w.partials_dropped;
+  s.slow_peer_disconnects = w.slow_peer_disconnects;
+  s.idle_reaped = w.idle_reaped;
+  s.conn_capped = w.conn_capped;
+  s.dedupe_hits = w.dedupe_hits;
+  s.dedupe_replays = w.dedupe_replays;
   return s;
 }
 

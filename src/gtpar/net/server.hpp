@@ -26,6 +26,22 @@
 // (anytime results still flow back), wait for the engine to empty, then
 // close connections. drain() returning guarantees every accepted
 // request has had its final frame written or its connection found dead.
+//
+// Slow-peer-proofing (PR 7): every connection owns a writer thread
+// consuming a bounded outbound queue. A peer that stops reading cannot
+// park an engine worker — completion callbacks enqueue and move on; when
+// the queue exceeds max_outbound_bytes, stale kPartial frames are
+// dropped oldest-first (finals never are), and a send that makes no
+// progress for write_deadline_ns trips SO_SNDTIMEO and disconnects the
+// peer (slow_peer_disconnects). Idle connections can be reaped
+// (idle_timeout_ns) and per-connection in-flight caps keep one greedy
+// client from monopolising the engine (max_in_flight_per_conn).
+//
+// At-most-once retries: a request carrying a non-zero idempotency_key is
+// remembered in a TTL-bounded dedupe map. A retransmit of a completed
+// request replays the cached final frame; a retransmit of an in-flight
+// request retargets delivery to the new connection/request_id — either
+// way the search runs once and is answered exactly once.
 #pragma once
 
 #include <cstdint>
@@ -66,6 +82,32 @@ struct ServiceOptions {
   /// Cancelled searches still answer (anytime semantics), so clients get
   /// their final frame either way.
   bool cancel_on_drain = false;
+
+  /// Per-connection write deadline (SO_SNDTIMEO): a send that makes no
+  /// progress for this long marks the peer slow, disconnects it, and
+  /// counts slow_peer_disconnects. 0 disables (a stalled reader can then
+  /// park its writer thread indefinitely — and block drain()).
+  std::uint64_t write_deadline_ns = 5'000'000'000;
+
+  /// Bound on a connection's outbound queue. Over the cap, the oldest
+  /// droppable frames (streamed kPartial snapshots) are shed
+  /// oldest-first and counted partials_dropped; final kResult/kError
+  /// frames are never dropped — they are bounded by
+  /// max_in_flight_per_conn instead.
+  std::size_t max_outbound_bytes = 4u << 20;  // 4 MiB
+
+  /// Reap a connection with no in-flight requests and no inbound bytes
+  /// for this long (idle_reaped). 0 disables.
+  std::uint64_t idle_timeout_ns = 0;
+
+  /// Maximum requests in flight per connection; excess requests are
+  /// answered kOverloaded and counted conn_capped. 0 disables.
+  unsigned max_in_flight_per_conn = 0;
+
+  /// How long a completed idempotent request's final frame stays
+  /// replayable, and a cap on remembered finals (oldest evicted first).
+  std::uint64_t dedupe_ttl_ns = 30'000'000'000;
+  std::size_t dedupe_max_entries = 4096;
 };
 
 /// Monotone service counters (the kStats frame mirrors these).
@@ -80,6 +122,14 @@ struct ServiceStats {
   std::uint64_t requests_shed = 0;      ///< answered kOverloaded
   std::uint64_t requests_draining = 0;  ///< answered kDraining
   std::uint64_t cancels_received = 0;
+  // Network-edge resilience counters (PR 7).
+  std::uint64_t accepts_dropped = 0;        ///< accept-edge drops (fd pressure)
+  std::uint64_t partials_dropped = 0;       ///< stale PARTIALs shed by outq cap
+  std::uint64_t slow_peer_disconnects = 0;  ///< write deadline expiries
+  std::uint64_t idle_reaped = 0;            ///< idle connections reaped
+  std::uint64_t conn_capped = 0;            ///< per-conn in-flight cap sheds
+  std::uint64_t dedupe_hits = 0;            ///< idempotency-key matches
+  std::uint64_t dedupe_replays = 0;         ///< cached finals replayed
 };
 
 class ServiceServer {

@@ -11,6 +11,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace gtpar::net {
@@ -41,6 +44,63 @@ sockaddr_un make_unix_addr(const std::string& path) {
   return addr;
 }
 
+timeval ns_to_timeval(std::uint64_t ns) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ns / 1'000'000'000ull);
+  tv.tv_usec = static_cast<suseconds_t>((ns % 1'000'000'000ull) / 1'000ull);
+  // SO_RCVTIMEO/SO_SNDTIMEO treat a zero timeval as "block forever"; a
+  // sub-microsecond deadline must still be a deadline.
+  if (ns > 0 && tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  return tv;
+}
+
+int ns_to_poll_ms(std::uint64_t ns) {
+  const std::uint64_t ms = (ns + 999'999ull) / 1'000'000ull;
+  constexpr std::uint64_t kMaxPollMs = 1u << 30;
+  return static_cast<int>(std::min(ms, kMaxPollMs));
+}
+
+/// Apply the pre-syscall part of a fault action; returns the (possibly
+/// clamped) transfer size. Throws on an injected reset.
+std::size_t apply_fault_pre(Socket& s, const SocketFaultAction& act,
+                            std::size_t len) {
+  if (act.delay_ns > 0)
+    std::this_thread::sleep_for(std::chrono::nanoseconds(act.delay_ns));
+  if (act.reset) {
+    s.shutdown_both();
+    throw SocketError("injected connection reset");
+  }
+  if (act.max_chunk > 0) return std::min(len, act.max_chunk);
+  return len;
+}
+
+/// Bound a blocking connect: non-blocking connect + poll(POLLOUT) +
+/// SO_ERROR. The fd is returned in blocking mode on success.
+void connect_with_timeout(int fd, const sockaddr* addr, socklen_t alen,
+                          std::uint64_t timeout_ns) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, addr, alen) != 0) {
+    if (errno != EINPROGRESS) throw_errno("connect");
+    pollfd pfd{fd, POLLOUT, 0};
+    int n;
+    do {
+      n = ::poll(&pfd, 1, ns_to_poll_ms(timeout_ns));
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) throw_errno("poll");
+    if (n == 0) throw SocketTimeout("connect: timed out");
+    int soerr = 0;
+    socklen_t slen = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &slen) != 0)
+      throw_errno("getsockopt(SO_ERROR)");
+    if (soerr != 0) {
+      errno = soerr;
+      throw_errno("connect");
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+}
+
 }  // namespace
 
 // --- Socket. ----------------------------------------------------------------
@@ -51,7 +111,9 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    fault_ = other.fault_;
     other.fd_ = -1;
+    other.fault_ = nullptr;
   }
   return *this;
 }
@@ -60,8 +122,16 @@ bool Socket::read_exact(void* buf, std::size_t len) {
   auto* p = static_cast<std::uint8_t*>(buf);
   std::size_t got = 0;
   while (got < len) {
-    const ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    std::size_t want = len - got;
+    bool corrupt = false;
+    if (fault_ != nullptr) {
+      const SocketFaultAction act = fault_->on_io(/*is_read=*/true, want);
+      want = apply_fault_pre(*this, act, want);
+      corrupt = act.corrupt;
+    }
+    const ssize_t n = ::recv(fd_, p + got, want, 0);
     if (n > 0) {
+      if (corrupt) p[got] ^= 0x01;
       got += static_cast<std::size_t>(n);
       continue;
     }
@@ -70,6 +140,8 @@ bool Socket::read_exact(void* buf, std::size_t len) {
       throw SocketError("connection closed mid-frame");
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      throw SocketTimeout("recv: receive deadline expired");
     throw_errno("recv");
   }
   return true;
@@ -79,16 +151,44 @@ void Socket::write_all(const void* buf, std::size_t len) {
   const auto* p = static_cast<const std::uint8_t*>(buf);
   std::size_t sent = 0;
   while (sent < len) {
+    std::size_t want = len - sent;
+    if (fault_ != nullptr)
+      want = apply_fault_pre(*this, fault_->on_io(/*is_read=*/false, want),
+                             want);
     // MSG_NOSIGNAL: a peer that went away yields EPIPE, not a fatal
     // SIGPIPE to the whole process.
-    const ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd_, p + sent, want, MSG_NOSIGNAL);
     if (n >= 0) {
       sent += static_cast<std::size_t>(n);
       continue;
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      throw SocketTimeout("send: send deadline expired");
     throw_errno("send");
   }
+}
+
+void Socket::set_recv_timeout_ns(std::uint64_t ns) noexcept {
+  if (fd_ < 0) return;
+  const timeval tv = ns_to_timeval(ns);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void Socket::set_send_timeout_ns(std::uint64_t ns) noexcept {
+  if (fd_ < 0) return;
+  const timeval tv = ns_to_timeval(ns);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool Socket::wait_readable(std::uint64_t timeout_ns) {
+  pollfd pfd{fd_, POLLIN, 0};
+  int n;
+  do {
+    n = ::poll(&pfd, 1, ns_to_poll_ms(timeout_ns));
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw_errno("poll");
+  return n > 0;
 }
 
 void Socket::shutdown_read() noexcept {
@@ -106,16 +206,23 @@ void Socket::close() noexcept {
   }
 }
 
-Socket Socket::connect_tcp(const std::string& host, std::uint16_t port) {
+Socket Socket::connect_tcp(const std::string& host, std::uint16_t port,
+                           std::uint64_t timeout_ns) {
   const sockaddr_in addr = make_tcp_addr(host, port);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
   set_cloexec(fd);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int e = errno;
+  try {
+    if (timeout_ns > 0) {
+      connect_with_timeout(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr), timeout_ns);
+    } else if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr)) != 0) {
+      throw_errno("connect");
+    }
+  } catch (...) {
     ::close(fd);
-    errno = e;
-    throw_errno("connect");
+    throw;
   }
   // The protocol is request/response with small frames; latency beats
   // batching.
@@ -124,18 +231,33 @@ Socket Socket::connect_tcp(const std::string& host, std::uint16_t port) {
   return Socket(fd);
 }
 
-Socket Socket::connect_unix(const std::string& path) {
+Socket Socket::connect_unix(const std::string& path, std::uint64_t timeout_ns) {
   const sockaddr_un addr = make_unix_addr(path);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
   set_cloexec(fd);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int e = errno;
+  try {
+    if (timeout_ns > 0) {
+      connect_with_timeout(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr), timeout_ns);
+    } else if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr)) != 0) {
+      throw_errno("connect");
+    }
+  } catch (...) {
     ::close(fd);
-    errno = e;
-    throw_errno("connect");
+    throw;
   }
   return Socket(fd);
+}
+
+std::pair<Socket, Socket> Socket::pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+    throw_errno("socketpair");
+  set_cloexec(fds[0]);
+  set_cloexec(fds[1]);
+  return {Socket(fds[0]), Socket(fds[1])};
 }
 
 // --- Listener. --------------------------------------------------------------
@@ -147,8 +269,13 @@ Listener::Listener(Listener&& other) noexcept
       wake_rd_(other.wake_rd_),
       wake_wr_(other.wake_wr_),
       port_(other.port_),
-      path_(std::move(other.path_)) {
+      path_(std::move(other.path_)),
+      fault_(other.fault_),
+      accepts_dropped_(
+          other.accepts_dropped_.load(std::memory_order_relaxed)) {
   other.fd_ = other.wake_rd_ = other.wake_wr_ = -1;
+  other.fault_ = nullptr;
+  other.accepts_dropped_.store(0, std::memory_order_relaxed);
 }
 
 Listener& Listener::operator=(Listener&& other) noexcept {
@@ -159,7 +286,13 @@ Listener& Listener::operator=(Listener&& other) noexcept {
     wake_wr_ = other.wake_wr_;
     port_ = other.port_;
     path_ = std::move(other.path_);
+    fault_ = other.fault_;
+    accepts_dropped_.store(
+        other.accepts_dropped_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     other.fd_ = other.wake_rd_ = other.wake_wr_ = -1;
+    other.fault_ = nullptr;
+    other.accepts_dropped_.store(0, std::memory_order_relaxed);
   }
   return *this;
 }
@@ -241,14 +374,27 @@ Socket Listener::accept() {
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int cfd = ::accept(fd_, nullptr, nullptr);
     if (cfd < 0) {
-      // Transient per-connection failures (peer reset before accept,
-      // fd-limit pressure) should not kill the accept loop.
-      if (errno == EINTR || errno == ECONNABORTED || errno == EMFILE ||
-          errno == ENFILE)
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Out of fds (or kernel memory): the pending connection stays in
+        // the backlog and poll() would report it readable again
+        // immediately, so a bare continue hot-spins. Back off briefly —
+        // on the wake pipe so shutdown stays responsive — and count the
+        // stall so operators can see accept-edge pressure.
+        ++accepts_dropped_;
+        pollfd wake{wake_rd_, POLLIN, 0};
+        ::poll(&wake, 1, 10);
         continue;
+      }
       throw_errno("accept");
     }
     set_cloexec(cfd);
+    if (fault_ != nullptr && fault_->on_accept()) {
+      ::close(cfd);
+      ++accepts_dropped_;
+      continue;
+    }
     const int one = 1;
     ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     return Socket(cfd);

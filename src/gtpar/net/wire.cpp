@@ -208,6 +208,7 @@ std::vector<std::uint8_t> encode_request(const WireRequest& req) {
   put_u32(out, req.retry_attempts);
   put_u64(out, req.retry_base_backoff_ns);
   put_u64(out, req.retry_max_backoff_ns);
+  put_u64(out, req.idempotency_key);
   put_u64(out, req.fault_seed);
   put_f64(out, req.fault_transient_rate);
   put_f64(out, req.fault_permanent_rate);
@@ -239,6 +240,7 @@ WireRequest decode_request(const std::uint8_t* data, std::size_t len) {
   req.retry_attempts = r.get_u32();
   req.retry_base_backoff_ns = r.get_u64();
   req.retry_max_backoff_ns = r.get_u64();
+  req.idempotency_key = r.get_u64();
   req.fault_seed = r.get_u64();
   req.fault_transient_rate = checked_rate(r.get_f64());
   req.fault_permanent_rate = checked_rate(r.get_f64());
@@ -324,7 +326,7 @@ WireError decode_error(const std::uint8_t* data, std::size_t len) {
 
 std::vector<std::uint8_t> encode_stats(const WireStats& s) {
   std::vector<std::uint8_t> out;
-  out.reserve(80);
+  out.reserve(8 * 17);
   put_u64(out, s.connections_accepted);
   put_u64(out, s.connections_active);
   put_u64(out, s.requests_received);
@@ -335,6 +337,13 @@ std::vector<std::uint8_t> encode_stats(const WireStats& s) {
   put_u64(out, s.requests_shed);
   put_u64(out, s.requests_draining);
   put_u64(out, s.cancels_received);
+  put_u64(out, s.accepts_dropped);
+  put_u64(out, s.partials_dropped);
+  put_u64(out, s.slow_peer_disconnects);
+  put_u64(out, s.idle_reaped);
+  put_u64(out, s.conn_capped);
+  put_u64(out, s.dedupe_hits);
+  put_u64(out, s.dedupe_replays);
   return out;
 }
 
@@ -351,6 +360,13 @@ WireStats decode_stats(const std::uint8_t* data, std::size_t len) {
   s.requests_shed = r.get_u64();
   s.requests_draining = r.get_u64();
   s.cancels_received = r.get_u64();
+  s.accepts_dropped = r.get_u64();
+  s.partials_dropped = r.get_u64();
+  s.slow_peer_disconnects = r.get_u64();
+  s.idle_reaped = r.get_u64();
+  s.conn_capped = r.get_u64();
+  s.dedupe_hits = r.get_u64();
+  s.dedupe_replays = r.get_u64();
   r.expect_done();
   return s;
 }

@@ -134,6 +134,12 @@ struct WireRequest {
   std::uint32_t retry_attempts = 1;
   std::uint64_t retry_base_backoff_ns = 0;
   std::uint64_t retry_max_backoff_ns = 0;
+  /// Client-chosen dedupe key for at-most-once retry semantics: a client
+  /// that re-sends a request after a mid-flight disconnect reuses the
+  /// key, and the server answers from its dedupe map (completed) or
+  /// retargets delivery (still in flight) instead of recomputing or
+  /// double-answering. 0 = no dedupe (every submission is distinct).
+  std::uint64_t idempotency_key = 0;
   /// Fault-injection plan; fault_seed == 0 disables the whole block.
   std::uint64_t fault_seed = 0;
   double fault_transient_rate = 0.0;
@@ -179,6 +185,14 @@ struct WireStats {
   std::uint64_t requests_shed = 0;
   std::uint64_t requests_draining = 0;
   std::uint64_t cancels_received = 0;
+  /// Network-edge resilience counters (PR 7).
+  std::uint64_t accepts_dropped = 0;        ///< accept-edge drops (fd pressure)
+  std::uint64_t partials_dropped = 0;       ///< stale PARTIALs shed by outq cap
+  std::uint64_t slow_peer_disconnects = 0;  ///< write deadline expiries
+  std::uint64_t idle_reaped = 0;            ///< idle connections reaped
+  std::uint64_t conn_capped = 0;            ///< per-conn in-flight cap sheds
+  std::uint64_t dedupe_hits = 0;            ///< idempotency-key matches
+  std::uint64_t dedupe_replays = 0;         ///< cached finals replayed
 };
 
 // --- Encoding. --------------------------------------------------------------

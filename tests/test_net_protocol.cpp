@@ -6,10 +6,13 @@
 // for real.
 #include <cstring>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "gtpar/check/net_faults.hpp"
+#include "gtpar/net/socket.hpp"
 #include "gtpar/net/wire.hpp"
 
 namespace gtpar::net {
@@ -32,6 +35,7 @@ WireRequest sample_request() {
   req.retry_attempts = 3;
   req.retry_base_backoff_ns = 1000;
   req.retry_max_backoff_ns = 64000;
+  req.idempotency_key = 0xa5a5'0000'1234'5678ull;
   req.fault_seed = 99;
   req.fault_transient_rate = 0.25;
   req.fault_permanent_rate = 0.01;
@@ -78,6 +82,7 @@ TEST(WireRoundTrip, Request) {
   EXPECT_EQ(back.retry_attempts, req.retry_attempts);
   EXPECT_EQ(back.retry_base_backoff_ns, req.retry_base_backoff_ns);
   EXPECT_EQ(back.retry_max_backoff_ns, req.retry_max_backoff_ns);
+  EXPECT_EQ(back.idempotency_key, req.idempotency_key);
   EXPECT_EQ(back.fault_seed, req.fault_seed);
   EXPECT_DOUBLE_EQ(back.fault_transient_rate, req.fault_transient_rate);
   EXPECT_DOUBLE_EQ(back.fault_permanent_rate, req.fault_permanent_rate);
@@ -125,6 +130,13 @@ TEST(WireRoundTrip, Stats) {
   s.requests_shed = 8;
   s.requests_draining = 9;
   s.cancels_received = 10;
+  s.accepts_dropped = 11;
+  s.partials_dropped = 12;
+  s.slow_peer_disconnects = 13;
+  s.idle_reaped = 14;
+  s.conn_capped = 15;
+  s.dedupe_hits = 16;
+  s.dedupe_replays = 17;
   const auto bytes = encode_stats(s);
   const WireStats back = decode_stats(bytes.data(), bytes.size());
   EXPECT_EQ(back.connections_accepted, 1u);
@@ -137,6 +149,13 @@ TEST(WireRoundTrip, Stats) {
   EXPECT_EQ(back.requests_shed, 8u);
   EXPECT_EQ(back.requests_draining, 9u);
   EXPECT_EQ(back.cancels_received, 10u);
+  EXPECT_EQ(back.accepts_dropped, 11u);
+  EXPECT_EQ(back.partials_dropped, 12u);
+  EXPECT_EQ(back.slow_peer_disconnects, 13u);
+  EXPECT_EQ(back.idle_reaped, 14u);
+  EXPECT_EQ(back.conn_capped, 15u);
+  EXPECT_EQ(back.dedupe_hits, 16u);
+  EXPECT_EQ(back.dedupe_replays, 17u);
 }
 
 // Every frame type survives a full encode -> FrameParser -> decode cycle.
@@ -407,6 +426,140 @@ TEST(WireFuzz, RandomChunkingPreservesFrames) {
       EXPECT_EQ(res.value, i);
     }
   }
+}
+
+// --- Adversarial transport (check/net_faults.hpp). --------------------------
+//
+// The same codecs, but driven through a real socketpair whose byte stream
+// a seeded NetFaultPlan mangles: write_all and read_exact must resume
+// across forced partial transfers without the frame sequence changing,
+// corruption must surface as WireFormatError, and an injected reset as
+// SocketError — the transport-level mirror of the parser fuzzers above.
+
+std::vector<std::uint8_t> sample_stream(int frames) {
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < frames; ++i) {
+    WireResult res = sample_result();
+    res.value = i;
+    const auto f = encode_result_frame(FrameType::kResult,
+                                       static_cast<std::uint64_t>(i + 1), res);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  return stream;
+}
+
+TEST(FaultyTransport, SplitWritesAndReadsPreserveFrames) {
+  auto [wend, rend] = Socket::pair();
+
+  // Writer side: every send clamped to at most 3 bytes.
+  check::NetFaultPlan wplan;
+  wplan.seed = 7;
+  wplan.partial_rate = 1.0;
+  wplan.max_partial_chunk = 3;
+  check::FaultySocket writer(std::move(wend), wplan);
+
+  // Reader side: every recv clamped to at most 2 bytes.
+  check::NetFaultPlan rplan;
+  rplan.seed = 8;
+  rplan.partial_rate = 1.0;
+  rplan.max_partial_chunk = 2;
+  check::FaultySocket reader(std::move(rend), rplan);
+
+  constexpr int kFrames = 32;
+  const auto stream = sample_stream(kFrames);
+  // Write from a second thread: each 3-byte chunk costs a whole skb of
+  // kernel buffer accounting, so even a few KiB of frames fills the
+  // socketpair buffer unless the reader drains concurrently.
+  std::thread sender([&writer, &stream] {
+    writer.sock.write_all(stream.data(), stream.size());
+  });
+
+  std::vector<std::uint8_t> got(stream.size());
+  ASSERT_TRUE(reader.sock.read_exact(got.data(), got.size()));
+  sender.join();
+  EXPECT_EQ(got, stream);
+  // Both clamps actually fired, many times.
+  EXPECT_GT(writer.state.partials(), static_cast<std::uint64_t>(kFrames));
+  EXPECT_GT(reader.state.partials(), static_cast<std::uint64_t>(kFrames));
+
+  FrameParser parser;
+  parser.feed(got.data(), got.size());
+  for (int i = 0; i < kFrames; ++i) {
+    auto f = parser.next();
+    ASSERT_TRUE(f.has_value()) << "frame " << i;
+    EXPECT_EQ(f->header.request_id, static_cast<std::uint64_t>(i + 1));
+    const auto res = decode_result(f->payload.data(), f->payload.size());
+    EXPECT_EQ(res.value, i);
+  }
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+// One-byte deliveries: the pathological split every resumable reader must
+// survive. The reader pulls the stream a byte at a time through the
+// faulty socket and feeds the parser as the bytes arrive.
+TEST(FaultyTransport, OneByteReadsPreserveFrames) {
+  auto [wend, rend] = Socket::pair();
+  check::NetFaultPlan rplan;
+  rplan.seed = 3;
+  rplan.partial_rate = 1.0;
+  rplan.max_partial_chunk = 1;
+  check::FaultySocket reader(std::move(rend), rplan);
+
+  constexpr int kFrames = 8;
+  const auto stream = sample_stream(kFrames);
+  wend.write_all(stream.data(), stream.size());
+
+  FrameParser parser;
+  std::vector<Frame> frames;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    std::uint8_t byte = 0;
+    ASSERT_TRUE(reader.sock.read_exact(&byte, 1));
+    parser.feed(&byte, 1);
+    while (auto f = parser.next()) frames.push_back(std::move(*f));
+  }
+  ASSERT_EQ(frames.size(), static_cast<std::size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) {
+    const auto res =
+        decode_result(frames[i].payload.data(), frames[i].payload.size());
+    EXPECT_EQ(res.value, i);
+  }
+}
+
+// A flipped bit on the receive path must surface as WireFormatError from
+// the hardened header decoder — never a crash or a silently-wrong frame.
+TEST(FaultyTransport, CorruptionSurfacesAsWireFormatError) {
+  auto [wend, rend] = Socket::pair();
+  check::NetFaultPlan rplan;
+  rplan.seed = 11;
+  rplan.corrupt_rate = 1.0;  // first byte of every recv gets bit 0 flipped
+  check::FaultySocket reader(std::move(rend), rplan);
+
+  const auto frame = encode_control_frame(FrameType::kPing, 1);
+  wend.write_all(frame.data(), frame.size());
+
+  std::uint8_t hdr[kFrameHeaderSize];
+  ASSERT_TRUE(reader.sock.read_exact(hdr, sizeof(hdr)));
+  EXPECT_GT(reader.state.corruptions(), 0u);
+  EXPECT_THROW(decode_frame_header(hdr, sizeof(hdr), {}), WireFormatError);
+}
+
+// An injected RST surfaces as SocketError, and max_resets bounds the
+// schedule: after the budget is spent the stream flows again.
+TEST(FaultyTransport, ResetSurfacesAsSocketErrorExactlyOnce) {
+  auto [wend, rend] = Socket::pair();
+  check::NetFaultPlan wplan;
+  wplan.seed = 13;
+  wplan.reset_rate = 1.0;
+  wplan.max_resets = 1;
+  check::FaultySocket writer(std::move(wend), wplan);
+
+  const auto frame = encode_control_frame(FrameType::kPing, 1);
+  EXPECT_THROW(writer.sock.write_all(frame.data(), frame.size()), SocketError);
+  EXPECT_EQ(writer.state.resets(), 1u);
+  // The reset shut the socket down, so later writes still fail — but as
+  // plain transport errors, not further injected resets.
+  EXPECT_THROW(writer.sock.write_all(frame.data(), frame.size()), SocketError);
+  EXPECT_EQ(writer.state.resets(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,365 @@
+// Network-edge resilience tests (PR 7): a real ServiceServer on loopback
+// driven through injected socket faults. The contracts under test are
+// the ones docs/SERVICE.md promises for a hostile network edge:
+//  - a peer that stops reading is disconnected by the write deadline
+//    without parking an engine worker or starving other connections;
+//  - a retried request carrying an idempotency key is answered exactly
+//    once — replayed from the dedupe cache when already complete,
+//    retargeted to the new connection when still in flight;
+//  - idle connections are reaped, busy ones are not;
+//  - per-connection in-flight caps shed the greedy client, not the rest;
+//  - the resilient ServiceClient survives an injected mid-exchange reset
+//    by redialing and retrying under the same key;
+//  - the accept edge drops faulted connections without wedging the
+//    accept loop;
+//  - fault schedules are pure functions of the plan seed (replayable).
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gtpar/check/net_faults.hpp"
+#include "gtpar/engine/api.hpp"
+#include "gtpar/net/client.hpp"
+#include "gtpar/net/server.hpp"
+#include "gtpar/tree/generators.hpp"
+#include "gtpar/tree/serialization.hpp"
+#include "gtpar/tree/values.hpp"
+
+namespace gtpar::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+ServiceOptions tcp_options() {
+  ServiceOptions opt;
+  opt.tcp_port = 0;  // ephemeral
+  opt.engine.workers = 4;
+  return opt;
+}
+
+WireRequest nor_request(const Tree& t) {
+  WireRequest req;
+  req.algorithm = static_cast<std::uint8_t>(Algorithm::kFlatSolve);
+  req.tree_text = to_string(t);
+  return req;
+}
+
+/// A request whose search holds the engine for a controllable wall-clock
+/// interval: simulated (sleeping) leaf evaluators on a 256-leaf tree.
+WireRequest slow_request(const Tree& t, std::uint64_t leaf_ns) {
+  WireRequest req;
+  req.algorithm = static_cast<std::uint8_t>(Algorithm::kMtParallelSolve);
+  req.width = 2;
+  req.cost_model = 1;  // LeafCostModel::kSleep
+  req.leaf_cost_ns = leaf_ns;
+  req.tree_text = to_string(t);
+  return req;
+}
+
+// --- Slow peers. ------------------------------------------------------------
+
+// A client that pipelines thousands of requests and never reads a byte:
+// once the kernel buffers fill, the connection's writer makes no progress
+// and the write deadline must disconnect it — while a concurrent
+// well-behaved client is still served promptly.
+TEST(NetResilience, SlowReaderIsDisconnectedByWriteDeadline) {
+  ServiceOptions opt;
+  // Unix domain: small, predictable kernel buffers, so a few hundred KB
+  // of unread finals reliably stall the writer.
+  opt.unix_path = ::testing::TempDir() + "gtpard_slowpeer.sock";
+  opt.engine.workers = 4;
+  opt.write_deadline_ns = 300'000'000;  // 300 ms
+  ServiceServer server(opt);
+  server.start();
+
+  const Tree t = make_uniform_iid_nor(2, 4, 0.618, 1);
+  const WireRequest req = nor_request(t);
+
+  auto slow = ServiceClient::connect_unix(server.unix_path());
+  // Pipeline until the server kills the connection (the send side fails
+  // once the disconnect propagates back) or we have queued far more
+  // result bytes than the socketpair buffers can hold.
+  try {
+    for (int i = 0; i < 8000; ++i) slow.send_request(req);
+  } catch (const SocketError&) {
+    // Expected eventually: the server shut the connection down.
+  }
+
+  const auto deadline = Clock::now() + std::chrono::seconds(10);
+  while (server.stats().slow_peer_disconnects == 0 && Clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(server.stats().slow_peer_disconnects, 1u);
+
+  // The stalled peer never blocked the service: a fresh client gets a
+  // correct answer promptly.
+  auto good = ServiceClient::connect_unix(server.unix_path());
+  const auto r = good.call(req);
+  ASSERT_TRUE(r.ok()) << (r.error ? r.error->message : "no frame");
+  EXPECT_EQ(r.result->value, nor_value(t) ? 1 : 0);
+}
+
+// --- At-most-once retries. --------------------------------------------------
+
+TEST(NetResilience, DedupeReplaysCompletedRequest) {
+  ServiceServer server(tcp_options());
+  server.start();
+  auto client = ServiceClient::connect_tcp("127.0.0.1", server.port());
+
+  const Tree t = make_uniform_iid_nor(2, 5, 0.618, 3);
+  WireRequest req = nor_request(t);
+  req.idempotency_key = 0xdead'beef'0000'0001ull;
+
+  const auto first = client.call_once(req);
+  ASSERT_TRUE(first.ok());
+  const auto submitted = server.engine_stats().submitted;
+
+  // Retransmit (new request_id, same key): the cached final is replayed;
+  // no new search runs.
+  const auto second = client.call_once(req);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.result->value, first.result->value);
+  EXPECT_EQ(second.result->completeness, first.result->completeness);
+
+  const auto s = server.stats();
+  EXPECT_EQ(s.dedupe_hits, 1u);
+  EXPECT_EQ(s.dedupe_replays, 1u);
+  EXPECT_EQ(server.engine_stats().submitted, submitted);
+}
+
+// A retransmit that arrives while the original is still in flight is
+// retargeted: the (one) search answers on the retrying connection.
+TEST(NetResilience, DedupeRetargetsInFlightRequest) {
+  ServiceServer server(tcp_options());
+  server.start();
+
+  const Tree t = make_uniform_iid_nor(2, 8, 0.618, 5);
+  WireRequest req = slow_request(t, 1'000'000);  // ~60+ ms in flight
+  req.idempotency_key = 0xdead'beef'0000'0002ull;
+
+  // First copy from a connection that promptly dies.
+  auto dying = ServiceClient::connect_tcp("127.0.0.1", server.port());
+  dying.send_request(req, 1);
+  // Give the server a moment to admit the request before the retry.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  dying.close();
+
+  // Retry from a fresh connection under the same key: the answer must
+  // arrive here, from the one search (replayed if the search happened to
+  // finish first — either way it ran once).
+  auto retry = ServiceClient::connect_tcp("127.0.0.1", server.port());
+  const auto r = retry.call_once(req);
+  ASSERT_TRUE(r.ok()) << (r.error ? r.error->message : "no frame");
+  EXPECT_EQ(r.result->value, nor_value(t) ? 1 : 0);
+
+  const auto s = server.stats();
+  EXPECT_EQ(s.dedupe_hits, 1u);
+  EXPECT_EQ(server.engine_stats().submitted, 1u);
+}
+
+// --- Idle reaping. ----------------------------------------------------------
+
+TEST(NetResilience, IdleConnectionIsReaped) {
+  ServiceOptions opt = tcp_options();
+  opt.idle_timeout_ns = 200'000'000;  // 200 ms
+  ServiceServer server(opt);
+  server.start();
+
+  auto client = ServiceClient::connect_tcp("127.0.0.1", server.port());
+  // Never send anything: the server must close the connection (clean
+  // EOF, not an error) after the idle window.
+  const auto f = client.read_frame();
+  EXPECT_FALSE(f.has_value());
+
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  while (server.stats().idle_reaped == 0 && Clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(server.stats().idle_reaped, 1u);
+}
+
+// A connection whose request is still in flight is NOT idle, however
+// long the search takes relative to the idle window.
+TEST(NetResilience, InFlightConnectionIsNotReaped) {
+  ServiceOptions opt = tcp_options();
+  opt.idle_timeout_ns = 100'000'000;  // 100 ms, far below the search time
+  ServiceServer server(opt);
+  server.start();
+
+  const Tree t = make_uniform_iid_nor(2, 8, 0.618, 7);
+  auto client = ServiceClient::connect_tcp("127.0.0.1", server.port());
+  const auto r = client.call_once(slow_request(t, 2'000'000));  // ~120+ ms
+  ASSERT_TRUE(r.ok()) << (r.error ? r.error->message : "reaped mid-search?");
+  EXPECT_EQ(r.result->value, nor_value(t) ? 1 : 0);
+  EXPECT_EQ(server.stats().idle_reaped, 0u);
+}
+
+// --- Per-connection caps. ---------------------------------------------------
+
+TEST(NetResilience, PerConnectionInFlightCapShedsExcess) {
+  ServiceOptions opt = tcp_options();
+  opt.max_in_flight_per_conn = 1;
+  ServiceServer server(opt);
+  server.start();
+
+  const Tree t = make_uniform_iid_nor(2, 8, 0.618, 9);
+  const WireRequest slow = slow_request(t, 1'000'000);
+
+  auto client = ServiceClient::connect_tcp("127.0.0.1", server.port());
+  client.send_request(slow, 1);
+  client.send_request(slow, 2);  // over the cap while #1 is in flight
+
+  bool got_result = false, got_capped = false;
+  for (int i = 0; i < 8 && !(got_result && got_capped); ++i) {
+    auto f = client.read_frame();
+    ASSERT_TRUE(f.has_value());
+    if (f->header.type == FrameType::kResult) {
+      EXPECT_EQ(f->header.request_id, 1u);
+      const auto res = decode_result(f->payload.data(), f->payload.size());
+      EXPECT_EQ(res.value, nor_value(t) ? 1 : 0);
+      got_result = true;
+    } else if (f->header.type == FrameType::kError) {
+      EXPECT_EQ(f->header.request_id, 2u);
+      const auto err = decode_error(f->payload.data(), f->payload.size());
+      EXPECT_EQ(err.code, ErrorCode::kOverloaded);
+      got_capped = true;
+    }
+  }
+  EXPECT_TRUE(got_result);
+  EXPECT_TRUE(got_capped);
+  EXPECT_EQ(server.stats().conn_capped, 1u);
+}
+
+// --- The resilient client. --------------------------------------------------
+
+TEST(NetResilience, ClientReconnectsAndRetriesThroughInjectedReset) {
+  ServiceServer server(tcp_options());
+  server.start();
+
+  check::NetFaultPlan plan;
+  plan.seed = 21;
+  plan.reset_rate = 1.0;  // the very first I/O attempt dies...
+  plan.max_resets = 1;    // ...and only that one
+  check::NetFaultState faults(plan);
+
+  ClientOptions copt;
+  copt.reconnect_attempts = 3;
+  copt.backoff_base_ns = 1'000'000;  // keep the test fast
+  auto client = ServiceClient::connect_tcp("127.0.0.1", server.port(), copt);
+  client.set_fault_hook(&faults);
+
+  const Tree t = make_uniform_iid_nor(2, 5, 0.618, 13);
+  const auto r = client.call(nor_request(t));
+  ASSERT_TRUE(r.ok()) << (r.error ? r.error->message : "no frame");
+  EXPECT_EQ(r.result->value, nor_value(t) ? 1 : 0);
+  EXPECT_EQ(faults.resets(), 1u);
+  EXPECT_EQ(client.reconnects(), 1u);
+  EXPECT_EQ(client.connect_failures(), 0u);
+  // The retry carried a key and the original send died before the frame
+  // reached the server, so the retry was a fresh request — dedupe may or
+  // may not have fired depending on how far the first write got; either
+  // way the server answered exactly once.
+  EXPECT_EQ(server.stats().results_sent, 1u);
+}
+
+// Fail-fast contract unchanged: without reconnect_attempts, the same
+// injected reset surfaces to the caller as SocketError.
+TEST(NetResilience, FailFastClientSurfacesReset) {
+  ServiceServer server(tcp_options());
+  server.start();
+
+  check::NetFaultPlan plan;
+  plan.seed = 22;
+  plan.reset_rate = 1.0;
+  plan.max_resets = 1;
+  check::NetFaultState faults(plan);
+
+  auto client = ServiceClient::connect_tcp("127.0.0.1", server.port());
+  client.set_fault_hook(&faults);
+
+  const Tree t = make_uniform_iid_nor(2, 4, 0.618, 17);
+  EXPECT_THROW(client.call(nor_request(t)), SocketError);
+}
+
+// --- The accept edge. -------------------------------------------------------
+
+TEST(NetResilience, AcceptFaultsAreDroppedWithoutWedgingTheLoop) {
+  auto listener = Listener::listen_tcp("127.0.0.1", 0);
+  check::NetFaultPlan plan;
+  plan.seed = 31;
+  plan.accept_fail_rate = 1.0;  // drop every connection at the edge
+  check::NetFaultState faults(plan);
+  listener.set_fault_hook(&faults);
+
+  std::thread acceptor([&listener] {
+    // Every arrival is dropped, so accept() only returns (invalid) on
+    // interrupt().
+    const Socket s = listener.accept();
+    EXPECT_FALSE(s.valid());
+  });
+
+  // The TCP handshake itself succeeds (backlog), then the accept edge
+  // closes the connection: the client sees a clean close or a reset,
+  // never a hang.
+  for (int i = 0; i < 3; ++i) {
+    Socket c = Socket::connect_tcp("127.0.0.1", listener.port());
+    char byte = 0;
+    try {
+      EXPECT_FALSE(c.read_exact(&byte, 1));  // clean EOF...
+    } catch (const SocketError&) {           // ...or RST; both fine
+    }
+  }
+
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  while (listener.accepts_dropped() < 3 && Clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(listener.accepts_dropped(), 3u);
+  EXPECT_EQ(faults.accept_drops(), listener.accepts_dropped());
+
+  listener.interrupt();
+  acceptor.join();
+}
+
+// --- Schedule determinism. --------------------------------------------------
+
+// Two states built from the same plan make identical decisions for the
+// same operation sequence; a different seed diverges. This is what makes
+// a failing chaos run replayable from its seed alone.
+TEST(NetResilience, FaultScheduleIsDeterministicInThePlanSeed) {
+  check::NetFaultPlan plan;
+  plan.seed = 41;
+  plan.partial_rate = 0.4;
+  plan.max_partial_chunk = 5;
+  plan.delay_rate = 0.2;
+  plan.delay_ns = 1;  // keep replay cheap
+  plan.corrupt_rate = 0.1;
+
+  check::NetFaultState a(plan), b(plan);
+  for (int i = 0; i < 300; ++i) {
+    const bool is_read = (i % 3) != 0;
+    const auto x = a.on_io(is_read, 100);
+    const auto y = b.on_io(is_read, 100);
+    EXPECT_EQ(x.max_chunk, y.max_chunk) << "op " << i;
+    EXPECT_EQ(x.delay_ns, y.delay_ns) << "op " << i;
+    EXPECT_EQ(x.corrupt, y.corrupt) << "op " << i;
+    EXPECT_EQ(x.reset, y.reset) << "op " << i;
+  }
+  EXPECT_EQ(a.partials(), b.partials());
+  EXPECT_EQ(a.delays(), b.delays());
+  EXPECT_EQ(a.corruptions(), b.corruptions());
+
+  check::NetFaultPlan other = plan;
+  other.seed = 42;
+  check::NetFaultState c(plan), d(other);
+  bool diverged = false;
+  for (int i = 0; i < 300 && !diverged; ++i) {
+    const auto x = c.on_io(true, 100);
+    const auto y = d.on_io(true, 100);
+    diverged = x.max_chunk != y.max_chunk || x.delay_ns != y.delay_ns ||
+               x.corrupt != y.corrupt;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace gtpar::net

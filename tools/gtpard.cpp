@@ -24,9 +24,18 @@
 //                                     (test/chaos only)
 //          [--drain-cancel]           cancel in-flight on drain instead
 //                                     of waiting them out
+//          [--write-deadline-ms N]    disconnect a peer whose reads stall
+//                                     a send this long (default 5000;
+//                                     0 = never)
+//          [--idle-timeout-ms N]      reap connections idle this long
+//                                     (default 0 = never)
+//          [--max-per-conn N]         per-connection in-flight cap
+//                                     (default 0 = off)
 //
 // The process prints "gtpard listening ..." once ready (gtpload and the
 // CI smoke gate wait for that line) and exits 0 after a clean drain.
+// SIGUSR1 dumps server/engine stats to stdout without disturbing the
+// service, so operators can inspect a live daemon.
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -39,12 +48,13 @@
 
 namespace {
 
-// SIGTERM/SIGINT handler -> self-pipe, so main can block in read() and
-// drain on the main thread (the handler itself stays async-signal-safe).
+// Signal handler -> self-pipe, so main can block in read() and act on
+// the main thread (the handler itself stays async-signal-safe). The byte
+// tags the signal: 1 = drain (SIGTERM/SIGINT), 2 = stats dump (SIGUSR1).
 int g_wake_pipe[2] = {-1, -1};
 
-void on_signal(int) {
-  const char b = 1;
+void on_signal(int sig) {
+  const char b = sig == SIGUSR1 ? 2 : 1;
   [[maybe_unused]] const ssize_t n = ::write(g_wake_pipe[1], &b, 1);
 }
 
@@ -53,7 +63,9 @@ int usage(const char* argv0) {
                "usage: %s (--tcp PORT | --unix PATH) [--workers N] "
                "[--max-in-flight N] [--shed reject|caller] [--stall-ms N] "
                "[--tt-entries N] [--stream-stages N] "
-               "[--allow-fault-injection] [--drain-cancel]\n",
+               "[--allow-fault-injection] [--drain-cancel] "
+               "[--write-deadline-ms N] [--idle-timeout-ms N] "
+               "[--max-per-conn N]\n",
                argv0);
   return 2;
 }
@@ -74,6 +86,17 @@ void print_stats(const gtpar::net::ServiceServer& server) {
       static_cast<unsigned long long>(s.requests_draining),
       static_cast<unsigned long long>(s.bad_frames),
       static_cast<unsigned long long>(s.cancels_received));
+  std::printf(
+      "net stats: accepts_dropped=%llu partials_dropped=%llu "
+      "slow_peer_disconnects=%llu idle_reaped=%llu conn_capped=%llu "
+      "dedupe_hits=%llu dedupe_replays=%llu\n",
+      static_cast<unsigned long long>(s.accepts_dropped),
+      static_cast<unsigned long long>(s.partials_dropped),
+      static_cast<unsigned long long>(s.slow_peer_disconnects),
+      static_cast<unsigned long long>(s.idle_reaped),
+      static_cast<unsigned long long>(s.conn_capped),
+      static_cast<unsigned long long>(s.dedupe_hits),
+      static_cast<unsigned long long>(s.dedupe_replays));
   std::printf(
       "engine stats: submitted=%llu completed=%llu incomplete=%llu "
       "rejected=%llu watchdog=%llu retries=%llu faults=%llu "
@@ -131,6 +154,14 @@ int main(int argc, char** argv) {
       opt.allow_fault_injection = true;
     } else if (std::strcmp(a, "--drain-cancel") == 0) {
       opt.cancel_on_drain = true;
+    } else if (std::strcmp(a, "--write-deadline-ms") == 0) {
+      opt.write_deadline_ns =
+          static_cast<std::uint64_t>(std::atoll(next())) * 1000000ull;
+    } else if (std::strcmp(a, "--idle-timeout-ms") == 0) {
+      opt.idle_timeout_ns =
+          static_cast<std::uint64_t>(std::atoll(next())) * 1000000ull;
+    } else if (std::strcmp(a, "--max-per-conn") == 0) {
+      opt.max_in_flight_per_conn = static_cast<unsigned>(std::atoi(next()));
     } else {
       return usage(argv[0]);
     }
@@ -143,6 +174,7 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
+  std::signal(SIGUSR1, on_signal);
   std::signal(SIGPIPE, SIG_IGN);
 
   try {
@@ -156,9 +188,18 @@ int main(int argc, char** argv) {
                   opt.tcp_host.c_str(), server.port(), opt.engine.workers);
     std::fflush(stdout);
 
-    // Park until SIGTERM/SIGINT.
-    char b;
-    while (::read(g_wake_pipe[0], &b, 1) < 0 && errno == EINTR) {
+    // Park until SIGTERM/SIGINT; SIGUSR1 dumps live stats and parks
+    // again (the shutdown stats-dump path, reused mid-flight).
+    for (;;) {
+      char b = 1;
+      const ssize_t n = ::read(g_wake_pipe[0], &b, 1);
+      if (n < 0 && errno == EINTR) continue;
+      if (n == 1 && b == 2) {
+        print_stats(server);
+        std::fflush(stdout);
+        continue;
+      }
+      break;
     }
     std::printf("gtpard: draining (%s in-flight requests)...\n",
                 opt.cancel_on_drain ? "cancelling" : "finishing");

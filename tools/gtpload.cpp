@@ -16,11 +16,31 @@
 // and drain notices count as errors (they are *correct* overload
 // behaviour, priced into goodput, not correctness failures).
 //
+// Chaos mode (--chaos): every client connection is armed with a seeded
+// NetFaultPlan (check/net_faults.hpp) that splits, delays, and resets its
+// own byte stream. Each dispatched request carries an idempotency key;
+// when injected resets kill a connection, the dispatcher redials it and
+// retransmits the pendings under their original request ids and keys, so
+// the server's dedupe map must answer each arrival exactly once. The
+// harness counts reconnects, redial failures, retransmissions, and —
+// the gate's teeth — duplicate final frames (a request id answered again
+// after it already completed). Corruption is deliberately NOT injected
+// here: the wire protocol carries no checksum, so a flipped payload bit
+// is an undetectable client-side mutation that would trip the wrong-
+// answer gate without any server fault; corruption coverage lives in the
+// codec suites (tests/test_net_protocol.cpp) where the expectation is a
+// clean WireFormatError.
+//
 // Output: one sweep point per offered rate with p50/p99/p99.9 latency,
 // goodput (correct completions per second), shed/error/timeout rates —
-// printed as a table and written to BENCH_service.json. With --check,
-// exits non-zero on any wrong answer or on a p99 above --gate-p99-ms at
-// the lowest (modest) offered rate: the CI smoke gate.
+// plus reconnect/resend/duplicate columns under chaos — printed as a
+// table and written to BENCH_service.json, with a final server-side
+// counter snapshot (kStatsReq) embedded as "server". With --check, exits
+// non-zero on any wrong answer or on a p99 above --gate-p99-ms at the
+// lowest (modest) offered rate; under --chaos the p99 gate is replaced
+// by the resilience gate: zero wrong answers, zero duplicate finals,
+// completions > 0, and server dedupe_hits > 0 (retries actually
+// exercised the at-most-once path).
 //
 // Usage:
 //   gtpload (--tcp HOST:PORT | --unix PATH)
@@ -32,6 +52,8 @@
 //           [--check]            enforce gates (wrong answers, p99)
 //           [--gate-p99-ms X]    p99 gate at the lowest rate (default 250)
 //           [--quick]            3s per point
+//           [--chaos]            arm socket fault injection on every conn
+//           [--chaos-seed N]     fault schedule seed (default --seed)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -41,13 +63,17 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <random>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"  // gtpar::bench::percentile
+#include "gtpar/check/net_faults.hpp"
 #include "gtpar/engine/api.hpp"
 #include "gtpar/net/client.hpp"
 #include "gtpar/tree/generators.hpp"
@@ -125,6 +151,29 @@ std::vector<PreparedRequest> prepare_workload(std::uint64_t seed) {
   return out;
 }
 
+// --- Chaos configuration. ---------------------------------------------------
+
+struct ChaosConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+
+  /// The per-connection fault schedule. Partial transfers are common
+  /// (the codec-resumption workhorse), short delays shape timing, and a
+  /// low reset rate supplies the transport losses that force the client
+  /// through the reconnect + dedupe path. No corruption (file comment).
+  check::NetFaultPlan plan_for(double rps, unsigned conn_index) const {
+    check::NetFaultPlan plan;
+    plan.seed = hash_combine(
+        hash_combine(seed, static_cast<std::uint64_t>(rps)), conn_index + 1);
+    plan.partial_rate = 0.15;
+    plan.max_partial_chunk = 7;
+    plan.delay_rate = 0.05;
+    plan.delay_ns = 2'000'000;  // 2 ms
+    plan.reset_rate = 0.004;
+    return plan;
+  }
+};
+
 // --- Response correctness. --------------------------------------------------
 
 /// A response is *wrong* iff it makes a claim inconsistent with ground
@@ -149,8 +198,9 @@ bool response_wrong(const net::WireResult& r, const PreparedRequest& p) {
 
 struct Pending {
   Clock::time_point sent;
-  std::size_t req_idx;   // into the prepared workload
+  std::size_t req_idx;    // into the prepared workload
   bool warmup;
+  std::uint64_t key = 0;  // idempotency key (chaos mode; 0 = none)
 };
 
 struct ClassTally {
@@ -165,6 +215,14 @@ struct PointResult {
   double duration_s = 0;
   std::uint64_t sent = 0, completed = 0, ok = 0, wrong = 0, shed = 0,
                  errors = 0, timeouts = 0, degraded = 0;
+  // Network-resilience tallies (populated under --chaos; the failure
+  // columns stay visible either way so transport trouble is never
+  // folded into "errors" silently).
+  std::uint64_t reconnects = 0;        ///< successful redials
+  std::uint64_t conn_failures = 0;     ///< failed connect/redial attempts
+  std::uint64_t resent = 0;            ///< pendings retransmitted on redial
+  std::uint64_t duplicate_finals = 0;  ///< finals for already-answered ids
+  std::uint64_t injected_resets = 0;   ///< fault-plan resets actually fired
   double p50_ms = 0, p99_ms = 0, p999_ms = 0, goodput_rps = 0;
   std::vector<ClassTally> per_class;
 };
@@ -177,6 +235,11 @@ struct Conn {
   std::thread receiver;
   std::mutex mu;
   std::unordered_map<std::uint64_t, Pending> pending;
+  /// Ids already answered, for spotting duplicate finals (chaos mode).
+  std::unordered_set<std::uint64_t> completed_ids;
+  std::unique_ptr<check::NetFaultState> faults;
+  /// Set by the receiver on transport loss; cleared by recovery.
+  std::atomic<bool> broken{false};
   std::uint64_t next_id = 1;  // dispatcher-only
 };
 
@@ -186,16 +249,152 @@ struct Endpoint {
   std::uint16_t port = 0;
   std::string path;
 
-  net::Socket connect() const {
-    return use_unix ? net::Socket::connect_unix(path)
-                    : net::Socket::connect_tcp(host, port);
+  std::unique_ptr<net::ServiceClient> make_client() const {
+    net::ClientOptions opt;
+    opt.connect_timeout_ns = 2'000'000'000;  // a redial must not hang forever
+    return std::make_unique<net::ServiceClient>(
+        use_unix ? net::ServiceClient::connect_unix(path, opt)
+                 : net::ServiceClient::connect_tcp(host, port, opt));
   }
 };
+
+namespace {
+
+/// Spawn (or respawn, after recovery) the receiver draining one
+/// connection's frames into the shared tallies.
+void start_receiver(Conn* c, const std::vector<PreparedRequest>& workload,
+                    PointResult& res, std::mutex& tally_mu,
+                    std::atomic<bool>& done) {
+  c->receiver = std::thread([c, &workload, &res, &tally_mu, &done] {
+    try {
+      for (;;) {
+        auto f = c->client->read_frame();
+        if (!f) {
+          // Clean close mid-run (idle reap, slow-peer kill, injected
+          // shutdown): recoverable transport loss, not end-of-point.
+          if (!done.load()) c->broken.store(true);
+          break;
+        }
+        const auto now = Clock::now();
+        if (f->header.type != net::FrameType::kResult &&
+            f->header.type != net::FrameType::kError)
+          continue;  // goodbye/pong/partial: not a completion
+        Pending p;
+        bool duplicate = false;
+        {
+          std::lock_guard<std::mutex> lock(c->mu);
+          auto it = c->pending.find(f->header.request_id);
+          if (it == c->pending.end()) {
+            // Stale (timed out) — unless we already counted a final for
+            // this id, in which case the server double-answered: the
+            // exactly-once violation the chaos gate exists to catch.
+            duplicate = c->completed_ids.count(f->header.request_id) != 0;
+            if (!duplicate) continue;
+          } else {
+            p = it->second;
+            c->pending.erase(it);
+            c->completed_ids.insert(f->header.request_id);
+          }
+        }
+        if (duplicate) {
+          std::lock_guard<std::mutex> lock(tally_mu);
+          res.duplicate_finals += 1;
+          continue;
+        }
+        const PreparedRequest& req = workload[p.req_idx];
+        const double ms =
+            std::chrono::duration<double, std::milli>(now - p.sent).count();
+        std::lock_guard<std::mutex> lock(tally_mu);
+        ClassTally& ct = res.per_class[req.cls];
+        res.completed += 1;
+        if (f->header.type == net::FrameType::kError) {
+          const auto err =
+              net::decode_error(f->payload.data(), f->payload.size());
+          if (err.code == net::ErrorCode::kOverloaded) {
+            res.shed += 1;
+            ct.shed += 1;
+          } else {
+            res.errors += 1;
+            ct.errors += 1;
+          }
+          continue;
+        }
+        const auto wres =
+            net::decode_result(f->payload.data(), f->payload.size());
+        if (response_wrong(wres, req)) {
+          res.wrong += 1;
+          ct.wrong += 1;
+          continue;
+        }
+        if (static_cast<Completeness>(wres.completeness) !=
+            Completeness::kExact) {
+          res.degraded += 1;
+          ct.degraded += 1;
+        }
+        res.ok += 1;
+        ct.ok += 1;
+        if (!p.warmup) ct.latency_ms.push_back(ms);
+      }
+    } catch (const std::exception&) {
+      // Transport failure mid-point. Under chaos the dispatcher redials
+      // and retransmits; otherwise remaining pendings become timeouts.
+      c->broken.store(true);
+    }
+  });
+}
+
+/// Dispatcher-side recovery of a broken connection: join the dead
+/// receiver, redial (bounded attempts, counted by the client), respawn
+/// the receiver, and retransmit every pending request under its original
+/// request id and idempotency key — if the first copy reached the server,
+/// the dedupe map replays or retargets instead of recomputing.
+bool recover(Conn* c, const std::vector<PreparedRequest>& workload,
+             PointResult& res, std::mutex& tally_mu, std::atomic<bool>& done) {
+  if (c->receiver.joinable()) c->receiver.join();
+  bool dialed = false;
+  for (int attempt = 0; attempt < 6 && !dialed; ++attempt) {
+    try {
+      c->client->reconnect();
+      dialed = true;
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2 << attempt));
+    }
+  }
+  if (!dialed) return false;
+  c->broken.store(false);
+  start_receiver(c, workload, res, tally_mu, done);
+
+  std::vector<std::pair<std::uint64_t, Pending>> again;
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    again.assign(c->pending.begin(), c->pending.end());
+  }
+  // Oldest first: the requests the server most likely already holds.
+  std::sort(again.begin(), again.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::uint64_t resent = 0;
+  for (const auto& [id, p] : again) {
+    net::WireRequest w = workload[p.req_idx].wire;
+    w.idempotency_key = p.key;
+    try {
+      c->client->send_request(w, id);
+      resent += 1;
+    } catch (const std::exception&) {
+      c->broken.store(true);  // recovered again on a later visit
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> tlock(tally_mu);
+  res.resent += resent;
+  return true;
+}
+
+}  // namespace
 
 PointResult run_point(const Endpoint& ep,
                       const std::vector<PreparedRequest>& workload,
                       double rps, double duration_s, unsigned conns,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, const ChaosConfig& chaos) {
   PointResult res;
   res.offered_rps = rps;
   res.duration_s = duration_s;
@@ -207,68 +406,17 @@ PointResult run_point(const Endpoint& ep,
   std::vector<std::unique_ptr<Conn>> pool;
   for (unsigned i = 0; i < conns; ++i) {
     auto c = std::make_unique<Conn>();
-    c->client = std::make_unique<net::ServiceClient>(ep.connect());
+    c->client = ep.make_client();
+    if (chaos.enabled) {
+      c->faults =
+          std::make_unique<check::NetFaultState>(chaos.plan_for(rps, i));
+      // The hook survives reconnects: redialed sockets are re-armed.
+      c->client->set_fault_hook(c->faults.get());
+    }
     pool.push_back(std::move(c));
   }
-  for (auto& cp : pool) {
-    Conn* c = cp.get();
-    c->receiver = std::thread([c, &workload, &res, &tally_mu, &done] {
-      try {
-        for (;;) {
-          auto f = c->client->read_frame();
-          if (!f) break;  // server closed
-          const auto now = Clock::now();
-          if (f->header.type != net::FrameType::kResult &&
-              f->header.type != net::FrameType::kError)
-            continue;  // goodbye/pong/partial: not a completion
-          Pending p;
-          {
-            std::lock_guard<std::mutex> lock(c->mu);
-            auto it = c->pending.find(f->header.request_id);
-            if (it == c->pending.end()) continue;  // stale (timed out)
-            p = it->second;
-            c->pending.erase(it);
-          }
-          const PreparedRequest& req = workload[p.req_idx];
-          const double ms =
-              std::chrono::duration<double, std::milli>(now - p.sent).count();
-          std::lock_guard<std::mutex> lock(tally_mu);
-          ClassTally& ct = res.per_class[req.cls];
-          res.completed += 1;
-          if (f->header.type == net::FrameType::kError) {
-            const auto err =
-                net::decode_error(f->payload.data(), f->payload.size());
-            if (err.code == net::ErrorCode::kOverloaded) {
-              res.shed += 1;
-              ct.shed += 1;
-            } else {
-              res.errors += 1;
-              ct.errors += 1;
-            }
-            continue;
-          }
-          const auto wres =
-              net::decode_result(f->payload.data(), f->payload.size());
-          if (response_wrong(wres, req)) {
-            res.wrong += 1;
-            ct.wrong += 1;
-            continue;
-          }
-          if (static_cast<Completeness>(wres.completeness) !=
-              Completeness::kExact) {
-            res.degraded += 1;
-            ct.degraded += 1;
-          }
-          res.ok += 1;
-          ct.ok += 1;
-          if (!p.warmup) ct.latency_ms.push_back(ms);
-        }
-      } catch (const std::exception&) {
-        // Transport failure mid-point: remaining pendings become timeouts.
-        (void)done;
-      }
-    });
-  }
+  for (auto& cp : pool)
+    start_receiver(cp.get(), workload, res, tally_mu, done);
 
   // Open-loop dispatcher: arrivals fire on the Poisson schedule no matter
   // how the server is doing.
@@ -303,28 +451,48 @@ PointResult run_point(const Endpoint& ep,
         cls * kTreesPerClass + static_cast<std::size_t>(rng() % kTreesPerClass);
     Conn* c = pool[conn_rr % pool.size()].get();
     conn_rr += 1;
+    // A connection the receiver marked broken is redialed in the arrival
+    // gap (best-effort: on failure the send below records the trouble).
+    if (chaos.enabled && c->broken.load())
+      recover(c, workload, res, tally_mu, done);
     const auto now = Clock::now();
     // Register the pending entry *before* the bytes go out: the server
     // can answer faster than this thread resumes, and the receiver must
     // find the entry or the response is miscounted as stale.
     const std::uint64_t id = c->next_id++;
+    const std::uint64_t key = chaos.enabled ? c->client->make_key() : 0;
     {
       std::lock_guard<std::mutex> lock(c->mu);
-      c->pending[id] = Pending{now, req_idx, now < warmup_end};
+      c->pending[id] = Pending{now, req_idx, now < warmup_end, key};
     }
     try {
-      c->client->send_request(workload[req_idx].wire, id);
+      if (chaos.enabled) {
+        net::WireRequest w = workload[req_idx].wire;
+        w.idempotency_key = key;
+        c->client->send_request(w, id);
+      } else {
+        c->client->send_request(workload[req_idx].wire, id);
+      }
       sent += 1;
       std::lock_guard<std::mutex> tlock(tally_mu);
       res.per_class[cls].sent += 1;
     } catch (const std::exception&) {
-      {
-        std::lock_guard<std::mutex> lock(c->mu);
-        c->pending.erase(id);
+      if (chaos.enabled) {
+        // The arrival stands: the pending stays registered and the next
+        // recovery pass retransmits it under its key.
+        c->broken.store(true);
+        sent += 1;
+        std::lock_guard<std::mutex> tlock(tally_mu);
+        res.per_class[cls].sent += 1;
+      } else {
+        {
+          std::lock_guard<std::mutex> lock(c->mu);
+          c->pending.erase(id);
+        }
+        std::lock_guard<std::mutex> tlock(tally_mu);
+        res.errors += 1;
+        res.per_class[cls].errors += 1;
       }
-      std::lock_guard<std::mutex> tlock(tally_mu);
-      res.errors += 1;
-      res.per_class[cls].errors += 1;
     }
     next_arrival += std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double>(interarrival(rng)));
@@ -336,11 +504,15 @@ PointResult run_point(const Endpoint& ep,
                                         : 0.0;
 
   // Grace period: let in-flight responses land (loose deadlines are
-  // 500ms; 3s covers queueing on the overloaded point).
+  // 500ms; 3s covers queueing on the overloaded point). Under chaos,
+  // keep recovering broken connections so their pendings can still be
+  // answered (via dedupe) instead of decaying into timeouts.
   const auto grace_end = Clock::now() + std::chrono::seconds(3);
   for (;;) {
     std::size_t outstanding = 0;
     for (auto& cp : pool) {
+      if (chaos.enabled && cp->broken.load())
+        recover(cp.get(), workload, res, tally_mu, done);
       std::lock_guard<std::mutex> lock(cp->mu);
       outstanding += cp->pending.size();
     }
@@ -362,6 +534,9 @@ PointResult run_point(const Endpoint& ep,
     cp->client->finish_sending();
     if (cp->receiver.joinable()) cp->receiver.join();
     cp->client->close();
+    res.reconnects += cp->client->reconnects();
+    res.conn_failures += cp->client->connect_failures();
+    if (cp->faults) res.injected_resets += cp->faults->resets();
   }
 
   std::vector<double> all;
@@ -375,10 +550,31 @@ PointResult run_point(const Endpoint& ep,
   return res;
 }
 
+// --- Server stats snapshot. -------------------------------------------------
+
+/// One clean (fault-free) connection asking the server for its counter
+/// snapshot, for the JSON report and the chaos dedupe gate.
+std::optional<net::WireStats> fetch_server_stats(const Endpoint& ep) {
+  try {
+    auto c = ep.make_client();
+    c->send_stats_request(1);
+    for (int i = 0; i < 16; ++i) {
+      auto f = c->read_frame();
+      if (!f) break;
+      if (f->header.type == net::FrameType::kStats)
+        return net::decode_stats(f->payload.data(), f->payload.size());
+    }
+  } catch (const std::exception&) {
+    // Server gone or draining: the report simply omits the snapshot.
+  }
+  return std::nullopt;
+}
+
 // --- Reporting. -------------------------------------------------------------
 
 void write_json(const char* path, const std::vector<PointResult>& points,
-                unsigned conns, std::uint64_t seed) {
+                unsigned conns, std::uint64_t seed, const ChaosConfig& chaos,
+                const std::optional<net::WireStats>& server) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -387,8 +583,11 @@ void write_json(const char* path, const std::vector<PointResult>& points,
   std::fprintf(f, "{\n  \"benchmark\": \"service_load\",\n");
   std::fprintf(f,
                "  \"config\": {\"connections\": %u, \"seed\": %llu, "
-               "\"arrivals\": \"open-loop poisson\", \"classes\": [",
-               conns, static_cast<unsigned long long>(seed));
+               "\"arrivals\": \"open-loop poisson\", \"chaos\": %s, "
+               "\"chaos_seed\": %llu, \"classes\": [",
+               conns, static_cast<unsigned long long>(seed),
+               chaos.enabled ? "true" : "false",
+               static_cast<unsigned long long>(chaos.seed));
   for (std::size_t c = 0; c < kNumClasses; ++c)
     std::fprintf(f, "%s\"%s\"", c ? ", " : "", kClasses[c].name);
   std::fprintf(f, "]},\n");
@@ -401,6 +600,9 @@ void write_json(const char* path, const std::vector<PointResult>& points,
         "\"duration_s\": %.1f, \"sent\": %llu, \"completed\": %llu, "
         "\"ok\": %llu, \"wrong\": %llu, \"degraded\": %llu, "
         "\"shed\": %llu, \"errors\": %llu, \"timeouts\": %llu, "
+        "\"reconnects\": %llu, \"conn_failures\": %llu, "
+        "\"resent\": %llu, \"duplicate_finals\": %llu, "
+        "\"injected_resets\": %llu, "
         "\"p50_ms\": %.2f, \"p99_ms\": %.2f, \"p999_ms\": %.2f, "
         "\"goodput_rps\": %.1f, \"shed_rate\": %.4f, "
         "\"per_class\": [",
@@ -412,8 +614,13 @@ void write_json(const char* path, const std::vector<PointResult>& points,
         static_cast<unsigned long long>(p.degraded),
         static_cast<unsigned long long>(p.shed),
         static_cast<unsigned long long>(p.errors),
-        static_cast<unsigned long long>(p.timeouts), p.p50_ms, p.p99_ms,
-        p.p999_ms, p.goodput_rps,
+        static_cast<unsigned long long>(p.timeouts),
+        static_cast<unsigned long long>(p.reconnects),
+        static_cast<unsigned long long>(p.conn_failures),
+        static_cast<unsigned long long>(p.resent),
+        static_cast<unsigned long long>(p.duplicate_finals),
+        static_cast<unsigned long long>(p.injected_resets), p.p50_ms,
+        p.p99_ms, p.p999_ms, p.goodput_rps,
         p.sent ? static_cast<double>(p.shed) / static_cast<double>(p.sent)
                : 0.0);
     for (std::size_t c = 0; c < p.per_class.size(); ++c) {
@@ -434,7 +641,33 @@ void write_json(const char* path, const std::vector<PointResult>& points,
     }
     std::fprintf(f, "]}%s\n", i + 1 < points.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ]");
+  if (server) {
+    const net::WireStats& s = *server;
+    std::fprintf(
+        f,
+        ",\n  \"server\": {\"connections_accepted\": %llu, "
+        "\"requests_received\": %llu, \"results_sent\": %llu, "
+        "\"errors_sent\": %llu, \"requests_shed\": %llu, "
+        "\"bad_frames\": %llu, \"accepts_dropped\": %llu, "
+        "\"partials_dropped\": %llu, \"slow_peer_disconnects\": %llu, "
+        "\"idle_reaped\": %llu, \"conn_capped\": %llu, "
+        "\"dedupe_hits\": %llu, \"dedupe_replays\": %llu}",
+        static_cast<unsigned long long>(s.connections_accepted),
+        static_cast<unsigned long long>(s.requests_received),
+        static_cast<unsigned long long>(s.results_sent),
+        static_cast<unsigned long long>(s.errors_sent),
+        static_cast<unsigned long long>(s.requests_shed),
+        static_cast<unsigned long long>(s.bad_frames),
+        static_cast<unsigned long long>(s.accepts_dropped),
+        static_cast<unsigned long long>(s.partials_dropped),
+        static_cast<unsigned long long>(s.slow_peer_disconnects),
+        static_cast<unsigned long long>(s.idle_reaped),
+        static_cast<unsigned long long>(s.conn_capped),
+        static_cast<unsigned long long>(s.dedupe_hits),
+        static_cast<unsigned long long>(s.dedupe_replays));
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -453,6 +686,8 @@ int main(int argc, char** argv) {
   const char* json_path = "BENCH_service.json";
   bool check = false;
   double gate_p99_ms = 250;
+  ChaosConfig chaos;
+  bool chaos_seed_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -498,12 +733,17 @@ int main(int argc, char** argv) {
       gate_p99_ms = std::strtod(next(), nullptr);
     } else if (std::strcmp(a, "--quick") == 0) {
       duration_s = 3;
+    } else if (std::strcmp(a, "--chaos") == 0) {
+      chaos.enabled = true;
+    } else if (std::strcmp(a, "--chaos-seed") == 0) {
+      chaos.seed = static_cast<std::uint64_t>(std::atoll(next()));
+      chaos_seed_set = true;
     } else {
       std::fprintf(stderr,
                    "usage: gtpload (--tcp HOST:PORT | --unix PATH) "
                    "[--rps R1,R2,...] [--duration-s S] [--conns C] "
                    "[--seed N] [--json PATH] [--check] [--gate-p99-ms X] "
-                   "[--quick]\n");
+                   "[--quick] [--chaos] [--chaos-seed N]\n");
       return 2;
     }
   }
@@ -511,12 +751,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "gtpload: endpoint and at least one --rps required\n");
     return 2;
   }
+  if (!chaos_seed_set) chaos.seed = seed;
 
   const auto workload = prepare_workload(seed);
   std::printf("gtpload: %zu prepared requests across %zu classes; sweep:",
               workload.size(), kNumClasses);
   for (double r : sweep) std::printf(" %.0frps", r);
-  std::printf(" x %.0fs, %u connections\n", duration_s, conns);
+  std::printf(" x %.0fs, %u connections%s\n", duration_s, conns,
+              chaos.enabled ? ", CHAOS armed" : "");
 
   std::vector<PointResult> points;
   try {
@@ -524,7 +766,7 @@ int main(int argc, char** argv) {
       std::printf("-- offered %.0f rps...\n", rps);
       std::fflush(stdout);
       points.push_back(
-          run_point(ep, workload, rps, duration_s, conns, seed));
+          run_point(ep, workload, rps, duration_s, conns, seed, chaos));
       const PointResult& p = points.back();
       std::printf(
           "   sent=%llu ok=%llu wrong=%llu degraded=%llu shed=%llu "
@@ -538,19 +780,30 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(p.errors),
           static_cast<unsigned long long>(p.timeouts), p.p50_ms, p.p99_ms,
           p.p999_ms, p.goodput_rps);
+      if (chaos.enabled)
+        std::printf(
+            "   chaos: resets=%llu reconnects=%llu conn_failures=%llu "
+            "resent=%llu duplicate_finals=%llu\n",
+            static_cast<unsigned long long>(p.injected_resets),
+            static_cast<unsigned long long>(p.reconnects),
+            static_cast<unsigned long long>(p.conn_failures),
+            static_cast<unsigned long long>(p.resent),
+            static_cast<unsigned long long>(p.duplicate_finals));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gtpload: fatal: %s\n", e.what());
     return 1;
   }
 
-  write_json(json_path, points, conns, seed);
+  const auto server = fetch_server_stats(ep);
+  write_json(json_path, points, conns, seed, chaos, server);
 
   if (check) {
     int failures = 0;
-    std::uint64_t total_completed = 0;
+    std::uint64_t total_completed = 0, total_dups = 0;
     for (const auto& p : points) {
       total_completed += p.completed;
+      total_dups += p.duplicate_finals;
       if (p.wrong != 0) {
         std::fprintf(stderr,
                      "GATE FAIL: %llu wrong answers at offered %.0f rps\n",
@@ -562,18 +815,44 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "GATE FAIL: no responses completed\n");
       failures += 1;
     }
-    if (!points.empty() && points.front().p99_ms > gate_p99_ms) {
-      std::fprintf(stderr,
-                   "GATE FAIL: p99 %.2fms > %.2fms at the modest rate "
-                   "(%.0f rps)\n",
-                   points.front().p99_ms, gate_p99_ms,
-                   points.front().offered_rps);
-      failures += 1;
+    if (chaos.enabled) {
+      // Resilience gate: the fault schedule must have actually pushed
+      // requests through the retry path, and the server must have
+      // answered every one of them exactly once.
+      if (total_dups != 0) {
+        std::fprintf(stderr,
+                     "GATE FAIL: %llu duplicate final frames under chaos\n",
+                     static_cast<unsigned long long>(total_dups));
+        failures += 1;
+      }
+      if (!server) {
+        std::fprintf(stderr, "GATE FAIL: no server stats snapshot\n");
+        failures += 1;
+      } else if (server->dedupe_hits == 0) {
+        std::fprintf(stderr,
+                     "GATE FAIL: chaos run exercised no dedupe hits "
+                     "(retry path untested — raise rates or duration)\n");
+        failures += 1;
+      }
+      if (failures) return 1;
+      std::printf(
+          "gtpload: chaos gates passed (zero wrong answers, zero duplicate "
+          "finals, dedupe_hits=%llu)\n",
+          static_cast<unsigned long long>(server->dedupe_hits));
+    } else {
+      if (!points.empty() && points.front().p99_ms > gate_p99_ms) {
+        std::fprintf(stderr,
+                     "GATE FAIL: p99 %.2fms > %.2fms at the modest rate "
+                     "(%.0f rps)\n",
+                     points.front().p99_ms, gate_p99_ms,
+                     points.front().offered_rps);
+        failures += 1;
+      }
+      if (failures) return 1;
+      std::printf("gtpload: all gates passed (zero wrong answers, p99 "
+                  "%.2fms <= %.2fms)\n",
+                  points.front().p99_ms, gate_p99_ms);
     }
-    if (failures) return 1;
-    std::printf("gtpload: all gates passed (zero wrong answers, p99 "
-                "%.2fms <= %.2fms)\n",
-                points.front().p99_ms, gate_p99_ms);
   }
   return 0;
 }
