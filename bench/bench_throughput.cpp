@@ -29,20 +29,36 @@
 //                   grain pinned to always-spawn (task-granularity cost)
 //                   and shared TT on (cross-request value reuse uplift).
 //
-//                 Reports sustained requests/sec, request-dispatch
-//                 latency, and scheduler task counts. Options:
+//                 Reports sustained requests/sec, request-dispatch and
+//                 end-to-end completion latency (avg / p99 / p99.9 over
+//                 the per-request samples of the best repetition), and
+//                 scheduler task counts. Rows from schedulers that have no
+//                 such counters (global-queue, legacy) carry JSON null,
+//                 not zero. Also times the SoA batch leaf kernels
+//                 (solve/batch_kernels.hpp) against the plain flat kernels
+//                 on a leaf-heavy tree sweep — the ablation for the
+//                 vectorized leaf-frontier floor. Options:
 //                    --quick        smaller zero-cost stream, fewer reps
 //                    --json PATH    write results as JSON (default
 //                                   BENCH_throughput.json)
-//                    --check        exit non-zero if (a) the work-stealing
-//                                   engine is slower than the legacy
-//                                   per-call pool path at the 4-worker
-//                                   zero-cost workload, (b) 8-worker req/s
-//                                   on the 2000 ns sleep workload is below
-//                                   1.2x the 1-worker number, or (c)
-//                                   adaptive granularity cuts scheduler
-//                                   tasks by less than 10x on the
-//                                   zero-cost workload (the CI gates)
+//                    --check        exit non-zero if any CI gate fails:
+//                                   (a) the work-stealing engine is slower
+//                                   than the legacy per-call pool path at
+//                                   the 4-worker zero-cost workload, (b)
+//                                   8-worker req/s on the 2000 ns sleep
+//                                   workload is below 1.2x the 1-worker
+//                                   number, (c) adaptive granularity cuts
+//                                   scheduler tasks by less than 10x on
+//                                   the zero-cost workload, (d) p99
+//                                   completion latency exceeds 5x the mean
+//                                   on the 8-worker 2000 ns sleep cell
+//                                   (tail blowup; an open-loop burst
+//                                   spreads completions roughly uniformly
+//                                   over the wall time, so p99/avg sits
+//                                   near 2x when healthy), or (e) the
+//                                   batch leaf kernels are slower than the
+//                                   plain flat kernels on the leaf-heavy
+//                                   sweep
 //                    --faults       also measure the resilience layer: the
 //                                   4-worker workload re-run with the leaf
 //                                   hook + retry plumbing engaged at ZERO
@@ -62,6 +78,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.hpp"
 #include "gtpar/ab/minimax_simulator.hpp"
 #include "gtpar/common.hpp"
 #include "gtpar/engine/api.hpp"
@@ -69,6 +86,8 @@
 #include "gtpar/engine/resilience.hpp"
 #include "gtpar/expand/nor_expansion.hpp"
 #include "gtpar/expand/tree_source.hpp"
+#include "gtpar/solve/batch_kernels.hpp"
+#include "gtpar/solve/flat_kernels.hpp"
 #include "gtpar/solve/nor_simulator.hpp"
 #include "gtpar/solve/sequential_solve.hpp"
 #include "gtpar/threads/mt_ab.hpp"
@@ -134,10 +153,24 @@ struct CellResult {
   std::uint64_t leaf_cost_ns = 0;  // nominal per-leaf cost of the workload
   std::uint64_t wall_ns = 0;       // best repetition
   double rps = 0.0;                // requests/sec at the best repetition
+  /// Per-request latency distribution at the best repetition, sampled from
+  /// the job handles (SearchJob::dispatch_ns / completion_ns). false on
+  /// the legacy path, which never goes through Engine::submit() — the JSON
+  /// then carries null for these fields instead of fake zeros.
+  bool has_latency = false;
   std::uint64_t avg_dispatch_ns = 0;
   std::uint64_t max_dispatch_ns = 0;
-  WorkStealingStats sched_stats{};     // zeros for the global queue
-  TranspositionTable::Stats tt{};      // zeros when the shared TT is off
+  std::uint64_t p99_dispatch_ns = 0;
+  std::uint64_t p999_dispatch_ns = 0;
+  std::uint64_t avg_completion_ns = 0;
+  std::uint64_t p99_completion_ns = 0;
+  std::uint64_t p999_completion_ns = 0;
+  /// Work-stealing scheduler counters. false for the global-queue and
+  /// legacy rows: those schedulers simply have no such counters, and a
+  /// zero would read as a measurement — the JSON carries null.
+  bool has_sched = false;
+  WorkStealingStats sched_stats{};
+  TranspositionTable::Stats tt{};  // zeros when the shared TT is off
 };
 
 /// A tree plus which value domain it carries (NOR trees hold {0,1} leaves,
@@ -231,17 +264,26 @@ CellResult run_cell(Engine::Scheduler scheduler, unsigned workers,
   cell.requests = reqs.size();
   if (!reqs.empty()) cell.leaf_cost_ns = reqs.front().leaf_cost_ns;
   cell.wall_ns = UINT64_MAX;
+  cell.has_latency = true;
+  cell.has_sched = scheduler == Engine::Scheduler::kWorkStealing;
+  std::vector<double> dispatch_ns, completion_ns;  // best repetition's samples
   for (int rep = 0; rep < reps; ++rep) {
     Engine::Options opt;
     opt.workers = workers;
     opt.scheduler = scheduler;
     opt.tt_entries = tt_entries;
     Engine eng(opt);
+    std::vector<SearchJob> jobs;
+    jobs.reserve(reqs.size());
+    // Submit the whole stream, then wait in order — what run_all() does,
+    // inlined so the per-request latency samples can be harvested from
+    // the job handles afterwards.
     const auto start = std::chrono::steady_clock::now();
-    const std::vector<SearchResult> results = eng.run_all(reqs);
+    for (const SearchRequest& req : reqs) jobs.push_back(eng.submit(req));
+    for (SearchJob& job : jobs)
+      if (!job.wait().complete)
+        std::fprintf(stderr, "warning: incomplete search\n");
     const auto end = std::chrono::steady_clock::now();
-    for (const SearchResult& r : results)
-      if (!r.complete) std::fprintf(stderr, "warning: incomplete search\n");
     const auto wall = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
     if (wall < cell.wall_ns) {
@@ -251,9 +293,29 @@ CellResult run_cell(Engine::Scheduler scheduler, unsigned workers,
       cell.max_dispatch_ns = s.max_dispatch_ns;
       cell.sched_stats = s.scheduler;
       cell.tt = s.tt;
+      dispatch_ns.clear();
+      completion_ns.clear();
+      for (SearchJob& job : jobs) {
+        dispatch_ns.push_back(double(job.dispatch_ns()));
+        completion_ns.push_back(double(job.completion_ns()));
+      }
     }
   }
   cell.rps = double(cell.requests) / (double(cell.wall_ns) / 1e9);
+  if (!completion_ns.empty()) {
+    double sum = 0.0;
+    for (const double c : completion_ns) sum += c;
+    cell.avg_completion_ns =
+        std::uint64_t(sum / double(completion_ns.size()));
+    // percentile() sorts in place, so the two quantiles share one sort.
+    cell.p99_dispatch_ns = std::uint64_t(bench::percentile(dispatch_ns, 0.99));
+    cell.p999_dispatch_ns =
+        std::uint64_t(bench::percentile(dispatch_ns, 0.999));
+    cell.p99_completion_ns =
+        std::uint64_t(bench::percentile(completion_ns, 0.99));
+    cell.p999_completion_ns =
+        std::uint64_t(bench::percentile(completion_ns, 0.999));
+  }
   return cell;
 }
 
@@ -302,17 +364,117 @@ std::vector<SearchRequest> with_resilience(std::vector<SearchRequest> reqs,
   return reqs;
 }
 
+// --- Batch-kernel ablation (the vectorized leaf-frontier floor). ------------
+
+/// Best-of-`reps` wall time of `fn` applied to every tree in order.
+template <class Fn>
+std::uint64_t time_best_ns(const std::vector<Tree>& trees, int reps, Fn&& fn) {
+  std::uint64_t best = UINT64_MAX;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (const Tree& t : trees) fn(t);
+    const auto end = std::chrono::steady_clock::now();
+    best = std::min(best, static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count()));
+  }
+  return best;
+}
+
+struct BatchAblation {
+  const char* backend = "";          // dispatch backend of the batch legs
+  std::uint64_t leaves = 0;          // total leaves per sweep (context)
+  std::uint64_t solve_flat_ns = 0;   // flat_solve over the NOR sweep
+  std::uint64_t solve_batch_ns = 0;  // flat_solve_batch, native backend
+  std::uint64_t solve_batch_scalar_ns = 0;  // forced-scalar batch leg
+  std::uint64_t ab_flat_ns = 0;
+  std::uint64_t ab_batch_ns = 0;
+  std::uint64_t ab_batch_scalar_ns = 0;
+  double solve_speedup = 0.0;  // flat / batch — the gated ratio
+  double ab_speedup = 0.0;
+  double solve_vector_over_scalar = 0.0;  // scalar-batch / native-batch
+  double ab_vector_over_scalar = 0.0;
+};
+
+/// Times the plain flat kernels against their batch-floored variants on
+/// leaf-heavy trees: wide uniform trees put most internal nodes on the
+/// leaf frontier, which is exactly the population the SoA batch reductions
+/// serve. Branching 8 keeps the frontier spans a whole number of 8-wide
+/// blocks; branching 5 exercises the ragged tail. A forced-scalar batch
+/// leg separates the SoA-layout win from the SIMD win.
+BatchAblation run_batch_ablation(int reps) {
+  std::vector<Tree> nor_trees, mm_trees;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    nor_trees.push_back(make_uniform_iid_nor(8, 4, golden_bias(), seed));
+    nor_trees.push_back(make_uniform_iid_nor(5, 5, golden_bias(), 16 + seed));
+    mm_trees.push_back(make_uniform_iid_minimax(8, 4, -1000, 1000, seed));
+    mm_trees.push_back(
+        make_uniform_iid_minimax(5, 5, -1000, 1000, 16 + seed));
+  }
+  BatchAblation a;
+  for (const Tree& t : nor_trees) a.leaves += t.num_leaves();
+  for (const Tree& t : mm_trees) a.leaves += t.num_leaves();
+
+  std::uint64_t sink = 0;  // keep the searches observable
+  a.solve_flat_ns = time_best_ns(nor_trees, reps, [&](const Tree& t) {
+    sink += flat_solve(t).leaves_evaluated;
+  });
+  a.ab_flat_ns = time_best_ns(mm_trees, reps, [&](const Tree& t) {
+    sink += flat_alphabeta(t).leaves_evaluated;
+  });
+  a.backend = batch_backend_name();
+  a.solve_batch_ns = time_best_ns(nor_trees, reps, [&](const Tree& t) {
+    sink += flat_solve_batch(t).leaves_evaluated;
+  });
+  a.ab_batch_ns = time_best_ns(mm_trees, reps, [&](const Tree& t) {
+    sink += flat_alphabeta_batch(t).leaves_evaluated;
+  });
+  set_batch_force_scalar(true);
+  a.solve_batch_scalar_ns = time_best_ns(nor_trees, reps, [&](const Tree& t) {
+    sink += flat_solve_batch(t).leaves_evaluated;
+  });
+  a.ab_batch_scalar_ns = time_best_ns(mm_trees, reps, [&](const Tree& t) {
+    sink += flat_alphabeta_batch(t).leaves_evaluated;
+  });
+  set_batch_force_scalar(false);
+  benchmark::DoNotOptimize(sink);
+
+  a.solve_speedup =
+      a.solve_batch_ns > 0 ? double(a.solve_flat_ns) / double(a.solve_batch_ns)
+                           : 0.0;
+  a.ab_speedup =
+      a.ab_batch_ns > 0 ? double(a.ab_flat_ns) / double(a.ab_batch_ns) : 0.0;
+  a.solve_vector_over_scalar =
+      a.solve_batch_ns > 0
+          ? double(a.solve_batch_scalar_ns) / double(a.solve_batch_ns)
+          : 0.0;
+  a.ab_vector_over_scalar =
+      a.ab_batch_ns > 0 ? double(a.ab_batch_scalar_ns) / double(a.ab_batch_ns)
+                        : 0.0;
+  return a;
+}
+
 /// Headline ratios reported at the top of the JSON (and gated by --check).
 struct Headlines {
   double ws_over_legacy_at_4 = 0.0;        // zero-cost grid
   double scaling_8v1_at_2000ns = 0.0;      // sleep sweep (the headline)
   double task_reduction_auto_grain = 0.0;  // always-spawn tasks / auto tasks
   double tt_uplift_at_2000ns = 0.0;        // shared-TT rps / TT-off rps, 8 workers
+  double p99_completion_over_avg = 0.0;    // 8-worker 2000 ns sleep cell
+  double batch_kernel_speedup = 0.0;       // min(solve, ab) flat/batch ratio
 };
+
+/// A field value that is either a measured number or JSON null (a counter
+/// the row's scheduler / code path doesn't have — see CellResult).
+std::string num_or_null(bool has, std::uint64_t v) {
+  return has ? std::to_string(static_cast<unsigned long long>(v))
+             : std::string("null");
+}
 
 void write_json(const char* path, const std::vector<CellResult>& cells,
                 std::size_t requests, int reps, const Headlines& h,
-                bool faults, double zero_fault_overhead, double storm_rps_ratio) {
+                const BatchAblation& batch, bool faults,
+                double zero_fault_overhead, double storm_rps_ratio) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -330,9 +492,32 @@ void write_json(const char* path, const std::vector<CellResult>& cells,
                h.task_reduction_auto_grain);
   std::fprintf(f, "    \"shared_tt_rps_uplift_at_2000ns_8_workers\": %.3f,\n",
                h.tt_uplift_at_2000ns);
-  std::fprintf(f, "    \"ws_engine_over_legacy_rps_at_4_workers\": %.3f\n",
+  std::fprintf(f, "    \"ws_engine_over_legacy_rps_at_4_workers\": %.3f,\n",
                h.ws_over_legacy_at_4);
+  std::fprintf(f, "    \"p99_completion_over_avg_at_2000ns_8_workers\": %.3f,\n",
+               h.p99_completion_over_avg);
+  std::fprintf(f, "    \"batch_kernel_speedup\": %.3f\n",
+               h.batch_kernel_speedup);
   std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"batch_kernels\": {\"backend\": \"%s\", "
+                  "\"leaves_per_sweep\": %llu,\n",
+               batch.backend,
+               static_cast<unsigned long long>(batch.leaves));
+  std::fprintf(f, "    \"solve_flat_ns\": %llu, \"solve_batch_ns\": %llu, "
+                  "\"solve_batch_scalar_ns\": %llu, \"solve_speedup\": %.3f,\n",
+               static_cast<unsigned long long>(batch.solve_flat_ns),
+               static_cast<unsigned long long>(batch.solve_batch_ns),
+               static_cast<unsigned long long>(batch.solve_batch_scalar_ns),
+               batch.solve_speedup);
+  std::fprintf(f, "    \"ab_flat_ns\": %llu, \"ab_batch_ns\": %llu, "
+                  "\"ab_batch_scalar_ns\": %llu, \"ab_speedup\": %.3f,\n",
+               static_cast<unsigned long long>(batch.ab_flat_ns),
+               static_cast<unsigned long long>(batch.ab_batch_ns),
+               static_cast<unsigned long long>(batch.ab_batch_scalar_ns),
+               batch.ab_speedup);
+  std::fprintf(f, "    \"solve_vector_over_scalar\": %.3f, "
+                  "\"ab_vector_over_scalar\": %.3f},\n",
+               batch.solve_vector_over_scalar, batch.ab_vector_over_scalar);
   if (faults) {
     std::fprintf(f, "  \"resilience_overhead_at_zero_faults\": %.4f,\n",
                  zero_fault_overhead);
@@ -346,18 +531,26 @@ void write_json(const char* path, const std::vector<CellResult>& cells,
         "    {\"workers\": %u, \"scheduler\": \"%s\", \"requests\": %zu, "
         "\"leaf_cost_ns\": %llu, "
         "\"wall_ns\": %llu, \"requests_per_sec\": %.1f, "
-        "\"avg_dispatch_ns\": %llu, \"max_dispatch_ns\": %llu, "
-        "\"tasks_executed\": %llu, \"steals\": %llu, \"inline_runs\": %llu, "
-        "\"parks\": %llu, \"tt_probes\": %llu, \"tt_hits\": %llu}%s\n",
+        "\"avg_dispatch_ns\": %s, \"max_dispatch_ns\": %s, "
+        "\"p99_dispatch_ns\": %s, \"p999_dispatch_ns\": %s, "
+        "\"avg_completion_ns\": %s, \"p99_completion_ns\": %s, "
+        "\"p999_completion_ns\": %s, "
+        "\"tasks_executed\": %s, \"steals\": %s, \"inline_runs\": %s, "
+        "\"parks\": %s, \"tt_probes\": %llu, \"tt_hits\": %llu}%s\n",
         c.workers, c.scheduler, c.requests,
         static_cast<unsigned long long>(c.leaf_cost_ns),
         static_cast<unsigned long long>(c.wall_ns), c.rps,
-        static_cast<unsigned long long>(c.avg_dispatch_ns),
-        static_cast<unsigned long long>(c.max_dispatch_ns),
-        static_cast<unsigned long long>(c.sched_stats.executed),
-        static_cast<unsigned long long>(c.sched_stats.steals),
-        static_cast<unsigned long long>(c.sched_stats.inline_runs),
-        static_cast<unsigned long long>(c.sched_stats.parks),
+        num_or_null(c.has_latency, c.avg_dispatch_ns).c_str(),
+        num_or_null(c.has_latency, c.max_dispatch_ns).c_str(),
+        num_or_null(c.has_latency, c.p99_dispatch_ns).c_str(),
+        num_or_null(c.has_latency, c.p999_dispatch_ns).c_str(),
+        num_or_null(c.has_latency, c.avg_completion_ns).c_str(),
+        num_or_null(c.has_latency, c.p99_completion_ns).c_str(),
+        num_or_null(c.has_latency, c.p999_completion_ns).c_str(),
+        num_or_null(c.has_sched, c.sched_stats.executed).c_str(),
+        num_or_null(c.has_sched, c.sched_stats.steals).c_str(),
+        num_or_null(c.has_sched, c.sched_stats.inline_runs).c_str(),
+        num_or_null(c.has_sched, c.sched_stats.parks).c_str(),
         static_cast<unsigned long long>(c.tt.probes),
         static_cast<unsigned long long>(c.tt.hits),
         i + 1 < cells.size() ? "," : "");
@@ -389,21 +582,31 @@ int run_throughput(bool quick, const char* json_path, bool check, bool faults) {
 
   std::printf("engine throughput: %zu mixed requests, best of %d reps\n\n", count,
               reps);
-  std::printf("| workers | scheduler         | leaf ns | req/s    | avg dispatch | max dispatch | tasks  | steals |\n");
-  std::printf("|---------|-------------------|---------|----------|--------------|--------------|--------|--------|\n");
+  std::printf("| workers | scheduler         | leaf ns | req/s    | avg dispatch | p99 dispatch | p99 compl    | tasks  | steals |\n");
+  std::printf("|---------|-------------------|---------|----------|--------------|--------------|--------------|--------|--------|\n");
 
   std::vector<CellResult> cells;
   double ws4 = 0.0, legacy4 = 0.0;
   std::uint64_t tasks_auto_8 = 0;
+  // "-" where the row's code path has no such counter (see CellResult).
+  const auto ns_or_dash = [](bool has, std::uint64_t v) {
+    return has ? std::to_string(static_cast<unsigned long long>(v)) + " ns"
+               : std::string("-");
+  };
+  const auto n_or_dash = [](bool has, std::uint64_t v) {
+    return has ? std::to_string(static_cast<unsigned long long>(v))
+               : std::string("-");
+  };
   const auto emit = [&](const CellResult& c) {
     std::printf(
-        "| %-7u | %-17s | %-7llu | %-8.0f | %9llu ns | %9llu ns | %-6llu | %-6llu |\n",
+        "| %-7u | %-17s | %-7llu | %-8.0f | %12s | %12s | %12s | %-6s | %-6s |\n",
         c.workers, c.scheduler, static_cast<unsigned long long>(c.leaf_cost_ns),
         c.rps,
-        static_cast<unsigned long long>(c.avg_dispatch_ns),
-        static_cast<unsigned long long>(c.max_dispatch_ns),
-        static_cast<unsigned long long>(c.sched_stats.executed),
-        static_cast<unsigned long long>(c.sched_stats.steals));
+        ns_or_dash(c.has_latency, c.avg_dispatch_ns).c_str(),
+        ns_or_dash(c.has_latency, c.p99_dispatch_ns).c_str(),
+        ns_or_dash(c.has_latency, c.p99_completion_ns).c_str(),
+        n_or_dash(c.has_sched, c.sched_stats.executed).c_str(),
+        n_or_dash(c.has_sched, c.sched_stats.steals).c_str());
     cells.push_back(c);
   };
 
@@ -441,6 +644,7 @@ int run_throughput(bool quick, const char* json_path, bool check, bool faults) {
   // TT off, auto grain. Scaling here comes from overlapping in-flight
   // requests' leaf waits, so it holds even on a single-core runner.
   double sleep1_2000 = 0.0, sleep8_2000 = 0.0;
+  CellResult sleep8_cell;  // the p99-gated cell (8 workers, 2000 ns sleep)
   std::vector<SearchRequest> sweep_2000;
   for (const std::uint64_t cost : {std::uint64_t{200}, std::uint64_t{2000}}) {
     const std::vector<SearchRequest> sreqs =
@@ -451,7 +655,10 @@ int run_throughput(bool quick, const char* json_path, bool check, bool faults) {
       emit(c);
       if (cost == 2000) {
         if (workers == 1) sleep1_2000 = c.rps;
-        if (workers == 8) sleep8_2000 = c.rps;
+        if (workers == 8) {
+          sleep8_2000 = c.rps;
+          sleep8_cell = c;
+        }
       }
     }
     if (cost == 2000) sweep_2000 = sreqs;
@@ -494,11 +701,23 @@ int run_throughput(bool quick, const char* json_path, bool check, bool faults) {
     storm_faults = flaky.faults();
   }
 
+  // Batch-kernel ablation: single-threaded, so it runs after the engine
+  // cells rather than interleaved with them. Each sweep is only a few
+  // microseconds, so best-of-many is what makes the gated ratio stable
+  // on a noisy shared core — a preempted rep never becomes the minimum.
+  const BatchAblation batch = run_batch_ablation(quick ? 25 : 50);
+
   Headlines h;
   h.ws_over_legacy_at_4 = legacy4 > 0 ? ws4 / legacy4 : 0.0;
   h.scaling_8v1_at_2000ns = scaling_8v1;
   h.task_reduction_auto_grain = task_reduction;
   h.tt_uplift_at_2000ns = tt_uplift;
+  h.p99_completion_over_avg =
+      sleep8_cell.avg_completion_ns > 0
+          ? double(sleep8_cell.p99_completion_ns) /
+                double(sleep8_cell.avg_completion_ns)
+          : 0.0;
+  h.batch_kernel_speedup = std::min(batch.solve_speedup, batch.ab_speedup);
 
   std::printf("\nHEADLINE: 8-vs-1-worker scaling on the 2000 ns sleep workload: %.2fx\n",
               scaling_8v1);
@@ -513,6 +732,24 @@ int run_throughput(bool quick, const char* json_path, bool check, bool faults) {
               static_cast<unsigned long long>(tt_on.tt.hits));
   std::printf("work-stealing engine vs legacy per-call pools at 4 workers: %.2fx\n",
               h.ws_over_legacy_at_4);
+  std::printf("completion tail at 2000 ns / 8 workers: avg %llu ns, "
+              "p99 %llu ns, p99.9 %llu ns (p99/avg %.2fx)\n",
+              static_cast<unsigned long long>(sleep8_cell.avg_completion_ns),
+              static_cast<unsigned long long>(sleep8_cell.p99_completion_ns),
+              static_cast<unsigned long long>(sleep8_cell.p999_completion_ns),
+              h.p99_completion_over_avg);
+  std::printf("batch leaf kernels (%s backend, %llu leaves/sweep): "
+              "solve %.2fx over flat (%llu -> %llu ns), "
+              "ab %.2fx over flat (%llu -> %llu ns); "
+              "vector over forced-scalar: solve %.2fx, ab %.2fx\n",
+              batch.backend, static_cast<unsigned long long>(batch.leaves),
+              batch.solve_speedup,
+              static_cast<unsigned long long>(batch.solve_flat_ns),
+              static_cast<unsigned long long>(batch.solve_batch_ns),
+              batch.ab_speedup,
+              static_cast<unsigned long long>(batch.ab_flat_ns),
+              static_cast<unsigned long long>(batch.ab_batch_ns),
+              batch.solve_vector_over_scalar, batch.ab_vector_over_scalar);
   if (faults) {
     std::printf(
         "\nresilience overhead at zero fault rate (4 workers): %+.2f%% "
@@ -524,8 +761,8 @@ int run_throughput(bool quick, const char* json_path, bool check, bool faults) {
         storm_ratio, static_cast<unsigned long long>(storm_faults));
   }
 
-  write_json(json_path, cells, count, reps, h, faults, zero_fault_overhead,
-             storm_ratio);
+  write_json(json_path, cells, count, reps, h, batch, faults,
+             zero_fault_overhead, storm_ratio);
 
   if (check && h.ws_over_legacy_at_4 < 1.0) {
     std::fprintf(stderr,
@@ -547,6 +784,23 @@ int run_throughput(bool quick, const char* json_path, bool check, bool faults) {
                  "FAIL: adaptive granularity cut scheduler tasks by only "
                  "%.1fx on the zero-cost workload (gate: 10x)\n",
                  task_reduction);
+    return 1;
+  }
+  if (check && h.p99_completion_over_avg > 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: p99 completion latency is %.2fx the mean on the "
+                 "8-worker 2000 ns sleep cell (gate: 5x; an open-loop "
+                 "burst sits near 2x when healthy)\n",
+                 h.p99_completion_over_avg);
+    return 1;
+  }
+  if (check && h.batch_kernel_speedup < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: batch leaf kernels slower than the plain flat "
+                 "kernels on the leaf-heavy sweep (min speedup %.2fx, "
+                 "solve %.2fx / ab %.2fx; gate: 1.0x)\n",
+                 h.batch_kernel_speedup, batch.solve_speedup,
+                 batch.ab_speedup);
     return 1;
   }
   if (check && faults && zero_fault_overhead > 0.10) {

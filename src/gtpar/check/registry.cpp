@@ -206,6 +206,21 @@ std::vector<Algorithm> build_nor_registry() {
                      make_request(SearchAlgorithm::kFlatSolve, t, src, ctx));
                }});
 
+  // Batch-floored flat kernel: leaf-frontier nodes reduced by the
+  // vectorized batch reductions (solve/batch_kernels.hpp). The NOR
+  // short-circuit fires at block granularity, so the leaf count may exceed
+  // S(T) by up to kBatchBlock-1 per frontier cutoff — every scanned leaf is
+  // distinct, so the oracle's [certificate, num_leaves] work interval still
+  // binds. Runs whichever backend the CPU dispatch picks; the CI
+  // scalar-forced leg and fuzz_search --force-scalar pin the other path.
+  r.push_back({"flat-solve-batch",
+               {WorkUnit::kDistinctLeaves, false, false},
+               nullptr,
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 return run_facade(
+                     make_request(SearchAlgorithm::kFlatSolveBatch, t, src, ctx));
+               }});
+
   // Engine-backed variants: the same Mt cascade, but dispatched as batched
   // requests on a shared scheduler. The sentinel 2 is outside the NOR value
   // domain {0, 1}, so any cross-copy disagreement fails value checking.
@@ -392,6 +407,18 @@ std::vector<Algorithm> build_minimax_registry() {
                nullptr,
                [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
                  return run_facade(make_request(SearchAlgorithm::kFlatAb, t, src, ctx));
+               }});
+
+  // Batch-floored flat alpha-beta: exact root value, pruning-valid leaf
+  // set; block-granularity cutoffs may scan up to kBatchBlock-1 extra
+  // distinct leaves per frontier node vs the per-element kernel (see
+  // flat-solve-batch above for the dispatch-path coverage story).
+  r.push_back({"flat-ab-batch",
+               {WorkUnit::kDistinctLeaves, false, false},
+               nullptr,
+               [](const Tree& t, const TreeSource& src, const RunContext& ctx) {
+                 return run_facade(
+                     make_request(SearchAlgorithm::kFlatAbBatch, t, src, ctx));
                }});
 
   // Engine-backed variants; kPlusInf is unreachable for tree values, so a

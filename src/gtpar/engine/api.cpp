@@ -133,6 +133,11 @@ SearchResult dispatch(const SearchRequest& req, const Tree* t,
       return SearchResult{r.value ? 1 : 0, r.leaves_evaluated,
                           r.leaves_evaluated, 0, true, {}};
     }
+    case Algorithm::kFlatSolveBatch: {
+      const FlatSolveRun r = flat_solve_batch(*t);
+      return SearchResult{r.value ? 1 : 0, r.leaves_evaluated,
+                          r.leaves_evaluated, 0, true, {}};
+    }
 
     // --- MIN/MAX family. -------------------------------------------------
     case Algorithm::kMinimax: {
@@ -210,6 +215,10 @@ SearchResult dispatch(const SearchRequest& req, const Tree* t,
     }
     case Algorithm::kFlatAb: {
       const FlatAbRun r = flat_alphabeta(*t);
+      return SearchResult{r.value, r.leaves_evaluated, 0, 0, true, {}};
+    }
+    case Algorithm::kFlatAbBatch: {
+      const FlatAbRun r = flat_alphabeta_batch(*t);
       return SearchResult{r.value, r.leaves_evaluated, 0, 0, true, {}};
     }
     case Algorithm::kIterativeDeepeningAb: {
@@ -322,6 +331,7 @@ const char* algorithm_name(Algorithm a) noexcept {
     case Algorithm::kMtSequentialSolve: return "mt-sequential-solve";
     case Algorithm::kMtParallelSolve: return "mt-parallel-solve";
     case Algorithm::kFlatSolve: return "flat-solve";
+    case Algorithm::kFlatSolveBatch: return "flat-solve-batch";
     case Algorithm::kMinimax: return "full-minimax";
     case Algorithm::kAlphaBeta: return "alphabeta";
     case Algorithm::kScout: return "scout";
@@ -339,6 +349,7 @@ const char* algorithm_name(Algorithm a) noexcept {
     case Algorithm::kMtSequentialAb: return "mt-sequential-ab";
     case Algorithm::kMtParallelAb: return "mt-parallel-ab";
     case Algorithm::kFlatAb: return "flat-ab";
+    case Algorithm::kFlatAbBatch: return "flat-ab-batch";
     case Algorithm::kIterativeDeepeningAb: return "iterative-deepening-ab";
   }
   return "unknown";

@@ -55,6 +55,7 @@ enum class Algorithm : std::uint8_t {
   kMtSequentialSolve,     ///< real-thread sequential baseline
   kMtParallelSolve,       ///< real-thread width-`width` cascade
   kFlatSolve,             ///< iterative explicit-stack sequential SOLVE
+  kFlatSolveBatch,        ///< flat SOLVE with vectorized leaf-frontier batches
   // MIN/MAX family.
   kMinimax,           ///< full minimax, no pruning
   kAlphaBeta,         ///< sequential alpha-beta
@@ -73,6 +74,7 @@ enum class Algorithm : std::uint8_t {
   kMtSequentialAb,    ///< real-thread sequential alpha-beta
   kMtParallelAb,      ///< real-thread cascading parallel alpha-beta
   kFlatAb,            ///< iterative explicit-stack fail-soft alpha-beta
+  kFlatAbBatch,       ///< flat alpha-beta with vectorized leaf-frontier batches
   kIterativeDeepeningAb,  ///< iterative-deepening alpha-beta (game sessions)
 };
 

@@ -34,6 +34,12 @@ struct SearchJob::State {
   /// Losers still run their accounting but leave the outcome alone.
   std::atomic<bool> published{false};
   std::atomic<std::uint64_t> dispatch_ns{0};
+  /// Submit-to-outcome latency: stamped by whichever path publishes the
+  /// job's outcome (worker completion, admission rejection, watchdog
+  /// failure). 0 while the job is still in flight. This is the end-to-end
+  /// number a client sees, and what the throughput benchmark's p99/p99.9
+  /// completion columns aggregate.
+  std::atomic<std::uint64_t> completion_ns{0};
   /// Steady-clock ns of the first instruction on a worker; 0 while still
   /// queued. The watchdog measures stalls from here, not from submit, so
   /// queue latency under load does not count against stall_timeout_ns.
@@ -69,6 +75,10 @@ std::uint64_t SearchJob::dispatch_ns() const noexcept {
   return st_ ? st_->dispatch_ns.load(std::memory_order_relaxed) : 0;
 }
 
+std::uint64_t SearchJob::completion_ns() const noexcept {
+  return st_ ? st_->completion_ns.load(std::memory_order_relaxed) : 0;
+}
+
 struct Engine::Impl {
   Options opt;
   std::unique_ptr<WorkStealingPool> ws;
@@ -94,12 +104,14 @@ struct Engine::Impl {
 
   explicit Impl(const Options& o) : opt(o) {
     if (opt.tt_entries != 0)
-      tt = std::make_unique<TranspositionTable>(opt.tt_entries);
+      tt = std::make_unique<TranspositionTable>(opt.tt_entries,
+                                                opt.tt_huge_pages);
     if (opt.scheduler == Scheduler::kWorkStealing) {
       WorkStealingPool::Options wso;
       wso.threads = opt.workers;
       wso.deque_capacity = opt.deque_capacity;
       wso.injection_bound = opt.queue_bound;
+      wso.pin_workers = opt.pin_workers;
       ws = std::make_unique<WorkStealingPool>(wso);
       exec = ws.get();
     } else {
@@ -146,6 +158,7 @@ struct Engine::Impl {
   static void publish_rejected(const std::shared_ptr<SearchJob::State>& st,
                                const char* what) {
     st->published.store(true, std::memory_order_relaxed);
+    stamp_completion(st);
     const auto err = std::make_exception_ptr(EngineOverloadedError(what));
     {
       std::lock_guard<std::mutex> lock(st->mu);
@@ -154,6 +167,17 @@ struct Engine::Impl {
     }
     st->cv.notify_all();
     run_completion(st, err);
+  }
+
+  /// Stamp submit-to-now as the job's completion latency. Called by the
+  /// path that wins publication, just before done is stored.
+  static void stamp_completion(const std::shared_ptr<SearchJob::State>& st) {
+    st->completion_ns.store(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - st->submit_time)
+                .count()),
+        std::memory_order_relaxed);
   }
 
   /// Body of one admitted job, on a worker (or the caller under
@@ -203,6 +227,7 @@ struct Engine::Impl {
       active.erase(std::remove(active.begin(), active.end(), st), active.end());
     }
     if (won) {
+      stamp_completion(st);
       {
         // Publish done under the job mutex so a concurrent wait() cannot
         // miss the notification between its predicate check and the cv
@@ -253,6 +278,7 @@ struct Engine::Impl {
         // Fail the waiter now, and cancel cooperatively so the worker
         // unwinds instead of wedging the pool.
         st->cancel.store(true, std::memory_order_release);
+        stamp_completion(st);
         const auto err = std::make_exception_ptr(EngineStalledError(
             "engine watchdog: job exceeded stall_timeout_ns"));
         {

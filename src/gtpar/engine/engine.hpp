@@ -115,6 +115,11 @@ class SearchJob {
   /// of the search on a worker. 0 until the job has started.
   std::uint64_t dispatch_ns() const noexcept;
 
+  /// End-to-end latency: nanoseconds between submit() and the publication
+  /// of the job's outcome (completion, rejection, or watchdog failure) —
+  /// what a client waiting on this job experienced. 0 until done().
+  std::uint64_t completion_ns() const noexcept;
+
  private:
   friend class Engine;
   struct State;
@@ -179,6 +184,16 @@ class Engine {
     /// and repeat searches reuse each other's exact subtree values. 0
     /// disables the table (per-search private memos, the old behaviour).
     std::size_t tt_entries = std::size_t{1} << 16;
+    /// Pin scheduler workers round-robin over online CPUs
+    /// (WorkStealingPool::Options::pin_workers; work-stealing only, Linux
+    /// only). Off by default — see the option's comment there.
+    bool pin_workers = false;
+    /// Back the shared transposition table with transparent huge pages
+    /// (madvise(MADV_HUGEPAGE); Linux only, best-effort). Worth switching
+    /// on when tt_entries is large enough that random probes thrash the
+    /// TLB (the table is 16 bytes/entry: 1<<17 entries = 2 MiB, the first
+    /// size where a huge page can back the whole table).
+    bool tt_huge_pages = false;
   };
 
   Engine();  // all-default Options

@@ -1,5 +1,11 @@
 #include "gtpar/engine/tt.hpp"
 
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 namespace gtpar {
 
 namespace {
@@ -10,11 +16,34 @@ std::size_t round_up_pow2(std::size_t n) {
   return p;
 }
 
+constexpr std::size_t kPageAlign = 4096;
+
 }  // namespace
 
-TranspositionTable::TranspositionTable(std::size_t entries) {
+void TranspositionTable::AlignedFree::operator()(Entry* p) const noexcept {
+  // Entries are trivially destructible (two atomics); release the buffer
+  // with the matching aligned form.
+  ::operator delete(p, bytes, std::align_val_t{kPageAlign});
+}
+
+TranspositionTable::TranspositionTable(std::size_t entries, bool huge_pages) {
   const std::size_t cap = round_up_pow2(entries);
-  slots_ = std::make_unique<Entry[]>(cap);
+  const std::size_t bytes = cap * sizeof(Entry);
+  Entry* raw = static_cast<Entry*>(
+      ::operator new(bytes, std::align_val_t{kPageAlign}));
+#if defined(__linux__)
+  if (huge_pages) {
+    // Advisory only; fails (harmlessly) when THP is disabled or the
+    // region is too small for a 2 MiB page.
+    (void)madvise(raw, bytes, MADV_HUGEPAGE);
+  }
+#else
+  (void)huge_pages;
+#endif
+  // Construct (and thereby first-touch) the entries after the madvise so
+  // the pages can be populated as huge from the start.
+  for (std::size_t i = 0; i < cap; ++i) ::new (static_cast<void*>(raw + i)) Entry;
+  slots_ = std::unique_ptr<Entry[], AlignedFree>(raw, AlignedFree{bytes});
   mask_ = cap - 1;
 }
 

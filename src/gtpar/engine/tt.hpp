@@ -59,8 +59,16 @@ class TranspositionTable {
   };
 
   /// `entries` is rounded up to a power of two (minimum 16). Each entry is
-  /// 16 bytes; the default 1<<16 entries = 1 MiB.
-  explicit TranspositionTable(std::size_t entries = std::size_t{1} << 16);
+  /// 16 bytes; the default 1<<16 entries = 1 MiB. The slot array lives in
+  /// a page-aligned buffer (no entry ever straddles a page, and the base
+  /// address is THP-eligible); `huge_pages` additionally issues
+  /// madvise(MADV_HUGEPAGE) on Linux so a table much larger than one TLB
+  /// reach — the random-probe access pattern's worst enemy — can be backed
+  /// by 2 MiB pages. Best-effort and advisory: on kernels without THP, on
+  /// other platforms, or when the madvise fails, the table just runs on
+  /// normal pages.
+  explicit TranspositionTable(std::size_t entries = std::size_t{1} << 16,
+                              bool huge_pages = false);
 
   TranspositionTable(const TranspositionTable&) = delete;
   TranspositionTable& operator=(const TranspositionTable&) = delete;
@@ -122,7 +130,18 @@ class TranspositionTable {
     return static_cast<std::uint8_t>((data >> kGenShift) & 0xFF);
   }
 
-  std::unique_ptr<Entry[]> slots_;
+  /// Page-aligned slot buffer (see constructor). Deleter releases with the
+  /// matching aligned operator delete.
+  // (No default member initializer: an NSDMI in a nested class is parsed
+  // only once the enclosing class is complete, which would make the
+  // deleter look non-default-constructible right where unique_ptr is
+  // instantiated below. unique_ptr's default constructor value-initializes
+  // the deleter, so `bytes` is still zeroed on the empty path.)
+  struct AlignedFree {
+    std::size_t bytes;
+    void operator()(Entry* p) const noexcept;
+  };
+  std::unique_ptr<Entry[], AlignedFree> slots_;
   std::uint64_t mask_ = 0;
   std::atomic<std::uint8_t> gen_{0};
 

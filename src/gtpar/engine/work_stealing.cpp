@@ -2,6 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <new>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <unistd.h>
+#endif
 
 #include "gtpar/common.hpp"
 
@@ -35,10 +41,24 @@ std::uint32_t round_up_pow2(std::uint32_t x) {
 // store-load barrier per push/pop — noise next to a leaf evaluation.
 // ---------------------------------------------------------------------------
 
-WorkStealingPool::Deque::Deque(std::uint32_t capacity)
-    : slots(round_up_pow2(std::max<std::uint32_t>(capacity, 2))) {
-  mask = static_cast<std::int64_t>(slots.size()) - 1;
-  for (auto& s : slots) s.store(nullptr, std::memory_order_relaxed);
+WorkStealingPool::Deque::Deque(std::uint32_t cap) {
+  capacity = round_up_pow2(std::max<std::uint32_t>(cap, 2));
+  mask = static_cast<std::int64_t>(capacity) - 1;
+  // Allocate only: element construction (the first write to each page) is
+  // deferred to first_touch() on the owning worker thread.
+  slots = static_cast<std::atomic<Task*>*>(
+      ::operator new(capacity * sizeof(std::atomic<Task*>),
+                     std::align_val_t{alignof(std::atomic<Task*>)}));
+}
+
+WorkStealingPool::Deque::~Deque() {
+  // std::atomic<Task*> is trivially destructible; release the raw buffer.
+  ::operator delete(slots, std::align_val_t{alignof(std::atomic<Task*>)});
+}
+
+void WorkStealingPool::Deque::first_touch() noexcept {
+  for (std::size_t i = 0; i < capacity; ++i)
+    ::new (static_cast<void*>(slots + i)) std::atomic<Task*>(nullptr);
 }
 
 bool WorkStealingPool::Deque::push(Task* t) noexcept {
@@ -199,6 +219,23 @@ WorkStealingPool::Task* WorkStealingPool::next_task(unsigned self) {
 void WorkStealingPool::worker_loop(unsigned index) {
   g_worker_tls.pool = this;
   g_worker_tls.index = index;
+#if defined(__linux__)
+  if (opt_.pin_workers) {
+    const long online = sysconf(_SC_NPROCESSORS_ONLN);
+    if (online > 0) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(static_cast<int>(index % static_cast<unsigned long>(online)),
+              &set);
+      // Best-effort: a restricted affinity mask (cgroups, taskset) can
+      // make this fail; the worker then just runs unpinned.
+      (void)sched_setaffinity(0, sizeof(set), &set);
+    }
+  }
+#endif
+  // First-touch: construct this worker's deque slots on its own (possibly
+  // just-pinned) CPU so the pages are placed NUMA-local to it.
+  workers_[index]->deque.first_touch();
   while (true) {
     if (Task* t = next_task(index)) {
       executed_.fetch_add(1, std::memory_order_relaxed);

@@ -68,6 +68,11 @@ class WorkStealingPool final : public Executor {
     /// Injection-queue bound; 0 = unbounded. When full, submit() runs the
     /// task on the calling thread (caller-runs).
     std::size_t injection_bound = 0;
+    /// Pin worker i to online CPU (i mod N) with sched_setaffinity. Off by
+    /// default: pinning helps steady-state NUMA locality and tail latency
+    /// on dedicated machines but hurts on shared/oversubscribed ones.
+    /// No-op on non-Linux platforms.
+    bool pin_workers = false;
   };
 
   explicit WorkStealingPool(Options opt);
@@ -100,16 +105,28 @@ class WorkStealingPool final : public Executor {
   /// Bounded Chase–Lev deque of Task*. Owner pushes/pops bottom; thieves
   /// CAS top. Slots are atomic so a thief's speculative read of a slot
   /// being recycled is well-defined (the failed CAS discards it).
+  ///
+  /// First-touch placement: the constructor only *allocates* the slot
+  /// array; the elements are constructed by first_touch() on the owning
+  /// worker thread, so under the kernel's first-touch NUMA policy the
+  /// pages land on that worker's node. Deferring is safe because no
+  /// thread reads a slot before the owner's first push publishes bottom
+  /// (seq_cst), which happens-after first_touch on the owner thread.
   struct Deque {
     explicit Deque(std::uint32_t capacity);
+    ~Deque();
+    Deque(const Deque&) = delete;
+    Deque& operator=(const Deque&) = delete;
+    void first_touch() noexcept;  ///< owner thread, before any push
     bool push(Task* t) noexcept;  ///< owner; false when full
     Task* pop() noexcept;         ///< owner; LIFO
     Task* steal() noexcept;       ///< any thread; FIFO; nullptr if empty/lost race
 
     std::atomic<std::int64_t> top{0};
     std::atomic<std::int64_t> bottom{0};
-    std::vector<std::atomic<Task*>> slots;
+    std::atomic<Task*>* slots = nullptr;  ///< elements live after first_touch()
     std::int64_t mask = 0;
+    std::size_t capacity = 0;
   };
 
   struct Worker {

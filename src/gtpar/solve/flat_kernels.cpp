@@ -28,6 +28,7 @@ struct CountingSolveCtx {
     return true;
   }
   bool stop() const noexcept { return false; }
+  void batch_leaves(std::uint32_t k) noexcept { leaves += k; }
 };
 
 struct CountingAbCtx {
@@ -41,6 +42,7 @@ struct CountingAbCtx {
     return true;
   }
   bool stop() const noexcept { return false; }
+  void batch_leaves(std::uint32_t k) noexcept { leaves += k; }
 };
 
 }  // namespace
@@ -59,6 +61,25 @@ FlatAbRun flat_alphabeta(const Tree& t, Value alpha, Value beta) {
   bool exact = false;
   FlatAbRun run;
   run.value = flat_ab_core(t, t.root(), alpha, beta, nullptr, true, ctx, exact);
+  run.leaves_evaluated = ctx.leaves;
+  return run;
+}
+
+FlatSolveRun flat_solve_batch(const Tree& t) {
+  CountingSolveCtx ctx{t};
+  bool ok = true;
+  FlatSolveRun run;
+  run.value = flat_solve_core<true>(t, t.root(), ctx, ok);
+  run.leaves_evaluated = ctx.leaves;
+  return run;
+}
+
+FlatAbRun flat_alphabeta_batch(const Tree& t, Value alpha, Value beta) {
+  CountingAbCtx ctx{t};
+  bool exact = false;
+  FlatAbRun run;
+  run.value =
+      flat_ab_core<true>(t, t.root(), alpha, beta, nullptr, true, ctx, exact);
   run.leaves_evaluated = ctx.leaves;
   return run;
 }

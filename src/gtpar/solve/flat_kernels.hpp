@@ -33,10 +33,22 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "gtpar/common.hpp"
+#include "gtpar/solve/batch_kernels.hpp"
 #include "gtpar/tree/tree.hpp"
+
+// One-frame-ahead prefetch: issued while descending into an internal child,
+// so its child-id and SoA leaf-value rows are in cache by the time its own
+// frame is entered.
+#if defined(__GNUC__)
+#define GTPAR_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define GTPAR_PREFETCH(addr) ((void)0)
+#endif
 
 namespace gtpar {
 
@@ -65,16 +77,26 @@ struct FlatScratch {
   /// Re-entrancy sentinel: the kernels never nest on one thread (scouts
   /// are leaf tasks and the spines call a kernel only as their sequential
   /// floor, never from inside one), so the thread-local stacks are safe to
-  /// reuse. Asserted in debug builds.
+  /// reuse. Checked in all build types — see ScratchGuard.
   bool in_use = false;
 };
 
 FlatScratch& flat_scratch() noexcept;
 
-/// Debug-only nesting guard (no-op members in release builds).
+/// Nesting guard. A nested entry would clear and reuse the outer kernel's
+/// live frame stack mid-walk — silent stack corruption, not a recoverable
+/// condition — so the check stays on in release builds too. It costs one
+/// predictable branch per kernel *invocation* (not per node), which is
+/// noise next to the tree walk itself.
 struct ScratchGuard {
   explicit ScratchGuard(FlatScratch& s) noexcept : s_(s) {
-    assert(!s_.in_use && "flat kernel re-entered on one thread");
+    if (s_.in_use) {
+      std::fprintf(stderr,
+                   "gtpar fatal: flat kernel re-entered on one thread "
+                   "(a search context called back into flat_solve/"
+                   "flat_alphabeta from leaf()/stop())\n");
+      std::abort();
+    }
     s_.in_use = true;
   }
   ~ScratchGuard() { s_.in_use = false; }
@@ -85,6 +107,11 @@ struct ScratchGuard {
   FlatScratch& s_;
 };
 
+/// Packed leaf-frontier bit test on the hot view (Tree::is_leaf_frontier).
+inline bool leaf_frontier_bit(const Tree::HotView& h, NodeId v) noexcept {
+  return (h.leaf_frontier[v >> 6] >> (v & 63)) & 1u;
+}
+
 }  // namespace detail
 
 /// Iterative left-to-right SOLVE of the subtree rooted at `root`.
@@ -94,7 +121,16 @@ struct ScratchGuard {
 /// is stored through the context. Returns the subtree value; `ok` is false
 /// if the run was stopped mid-way (the value is then meaningless and
 /// nothing truncated was stored).
-template <class Ctx>
+///
+/// With kBatch = true, a leaf-frontier node (all children leaves) is
+/// reduced in one call to batch_nor_any over its contiguous
+/// HotView::child_values slice instead of one leaf() call per child. The
+/// context must then also provide `void batch_leaves(std::uint32_t)` for
+/// work accounting, and must be a context whose per-leaf hooks are pure
+/// counting (no memo writes per leaf, no per-leaf cost/faults, no
+/// cancellation finer than node granularity) — the mt cascade contexts do
+/// NOT qualify and always instantiate kBatch = false.
+template <bool kBatch = false, class Ctx>
 bool flat_solve_core(const Tree& t, NodeId root, Ctx& ctx, bool& ok) {
   const Tree::HotView h = t.hot_view();
   detail::FlatScratch& scratch = detail::flat_scratch();
@@ -127,6 +163,21 @@ bool flat_solve_core(const Tree& t, NodeId root, Ctx& ctx, bool& ok) {
         ret = out;
         stack.pop_back();
         continue;
+      }
+      if constexpr (kBatch) {
+        if (detail::leaf_frontier_bit(h, f.v)) {
+          // Whole-frontier floor: NOR-reduce the contiguous leaf-value
+          // slice in one vectorized scan (short-circuits at block
+          // granularity on the first 1-child).
+          const BatchNor r = batch_nor_any(
+              h.child_values + h.child_begin[f.v], h.child_count[f.v]);
+          ctx.batch_leaves(r.scanned);
+          const bool val = !r.any_one;
+          ctx.store(f.v, val);
+          ret = val;
+          stack.pop_back();
+          continue;
+        }
       }
     } else {
       // Returning from child f.next - 1.
@@ -168,6 +219,8 @@ bool flat_solve_core(const Tree& t, NodeId root, Ctx& ctx, bool& ok) {
       }
       continue;
     }
+    GTPAR_PREFETCH(h.children + h.child_begin[c]);
+    GTPAR_PREFETCH(h.child_values + h.child_begin[c]);
     stack.push_back({c, 0});
   }
   return ret;
@@ -180,7 +233,18 @@ bool flat_solve_core(const Tree& t, NodeId root, Ctx& ctx, bool& ok) {
 /// values are probed/stored through the context, and a stop unwinds
 /// without storing. On return `exact` is true iff the value is the true
 /// minimax value of the subtree (no cutoff at or below it, and no stop).
-template <class Ctx>
+///
+/// With kBatch = true, a leaf-frontier node is reduced in one bounded
+/// batch_max/batch_min scan over its contiguous HotView::child_values
+/// slice under the node's (alpha, beta) window: no cutoff means the exact
+/// node value (stored through the context), a cutoff means a fail-soft
+/// bound exactly like the per-child loop — except the early exit fires at
+/// kBatchBlock granularity, so up to kBatchBlock-1 extra (distinct) leaves
+/// are scanned and the fail-soft bound can be tighter. The context must
+/// provide `void batch_leaves(std::uint32_t)` and qualify as pure-counting
+/// (see flat_solve_core); batching also assumes per-child probe() misses
+/// and no dyn re-clamp between siblings, which holds for those contexts.
+template <bool kBatch = false, class Ctx>
 Value flat_ab_core(const Tree& t, NodeId root, Value alpha0, Value beta0,
                    const std::atomic<Value>* dyn, bool dyn_is_alpha, Ctx& ctx,
                    bool& exact) {
@@ -224,6 +288,18 @@ Value flat_ab_core(const Tree& t, NodeId root, Value alpha0, Value beta0,
       return out;
     }
     const bool maxing = (h.depth[root] % 2) == 0;
+    if constexpr (kBatch) {
+      if (detail::leaf_frontier_bit(h, root)) {
+        const Value* vals = h.child_values + h.child_begin[root];
+        const std::uint32_t n = h.child_count[root];
+        const BatchReduce r =
+            maxing ? batch_max(vals, n, b) : batch_min(vals, n, a);
+        ctx.batch_leaves(r.scanned);
+        if (!r.cutoff) ctx.store(root, r.best);
+        exact = !r.cutoff;
+        return r.best;
+      }
+    }
     stack.push_back({root, 0, a, b, maxing ? kMinusInf : kPlusInf, maxing, true});
   }
 
@@ -296,6 +372,21 @@ Value flat_ab_core(const Tree& t, NodeId root, Value alpha0, Value beta0,
       continue;
     }
     const bool maxing = (h.depth[c] % 2) == 0;
+    if constexpr (kBatch) {
+      if (detail::leaf_frontier_bit(h, c)) {
+        const Value* vals = h.child_values + h.child_begin[c];
+        const std::uint32_t n = h.child_count[c];
+        const BatchReduce r =
+            maxing ? batch_max(vals, n, b) : batch_min(vals, n, a);
+        ctx.batch_leaves(r.scanned);
+        if (!r.cutoff) ctx.store(c, r.best);
+        ret = r.best;
+        ret_exact = !r.cutoff;
+        continue;
+      }
+    }
+    GTPAR_PREFETCH(h.children + h.child_begin[c]);
+    GTPAR_PREFETCH(h.child_values + h.child_begin[c]);
     stack.push_back({c, 0, a, b, maxing ? kMinusInf : kPlusInf, maxing, true});
   }
   exact = ret_exact;
@@ -319,5 +410,17 @@ struct FlatAbRun {
 };
 FlatAbRun flat_alphabeta(const Tree& t, Value alpha = kMinusInf,
                          Value beta = kPlusInf);
+
+/// Batch-floored variants of the two standalone kernels: identical root
+/// values, but leaf-frontier nodes are reduced by the vectorized batch
+/// kernels (solve/batch_kernels.hpp) instead of per-child context calls.
+/// leaves_evaluated counts every scanned leaf (each distinct leaf at most
+/// once); block-granularity early exits may scan up to kBatchBlock-1 more
+/// leaves per cutoff than the per-element kernels, so the count lies in
+/// [scalar kernel's count, num_leaves]. Registered in the differential
+/// registry as flat-solve-batch / flat-ab-batch.
+FlatSolveRun flat_solve_batch(const Tree& t);
+FlatAbRun flat_alphabeta_batch(const Tree& t, Value alpha = kMinusInf,
+                               Value beta = kPlusInf);
 
 }  // namespace gtpar

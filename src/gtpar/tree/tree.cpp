@@ -95,6 +95,29 @@ Tree TreeBuilder::build() {
     }
   }
 
+  // Leaf-frontier bitset + SoA child-value gather. child_count_ is complete
+  // for every node only after the flatten loop above, so this is a second
+  // pass. child_values_ mirrors children_: slot i holds the leaf value of
+  // children_[i] (0 for internal children), giving the batch reductions a
+  // contiguous span per parent even though sibling NodeIds are not adjacent
+  // in value_.
+  t.child_values_.assign(t.children_.size(), 0);
+  t.leaf_frontier_.assign((m + 63) / 64, 0);
+  for (NodeId v = 0; v < m; ++v) {
+    if (t.child_count_[v] == 0) continue;
+    bool all_leaves = true;
+    const std::uint32_t begin = t.child_begin_[v];
+    for (std::uint32_t i = 0; i < t.child_count_[v]; ++i) {
+      const NodeId c = t.children_[begin + i];
+      if (kids_[c].empty()) {
+        t.child_values_[begin + i] = t.value_[c];
+      } else {
+        all_leaves = false;
+      }
+    }
+    if (all_leaves) t.leaf_frontier_[v >> 6] |= (std::uint64_t{1} << (v & 63));
+  }
+
   // Depths: parents precede children in the arena (add_child appends), so a
   // single forward pass suffices.
   t.depth_[0] = 0;

@@ -105,6 +105,15 @@ class Tree {
   /// interval — see is_ancestor).
   std::uint32_t preorder_rank(NodeId v) const noexcept { return pre_in_[v]; }
 
+  /// True iff v is internal and every child of v is a leaf — v sits on the
+  /// "leaf frontier". Precomputed at build into a packed bitset; the flat
+  /// kernels (solve/flat_kernels.hpp) use it to route such nodes to the
+  /// vectorized batch reductions (solve/batch_kernels.hpp) instead of
+  /// pushing one stack frame per child.
+  bool is_leaf_frontier(NodeId v) const noexcept {
+    return (leaf_frontier_[v >> 6] >> (v & 63)) & 1u;
+  }
+
   /// Content fingerprint: a 64-bit hash of the tree's shape and leaf
   /// values, computed once at build time. Two structurally identical trees
   /// with identical leaf values share a fingerprint, which is what lets a
@@ -123,11 +132,21 @@ class Tree {
     const Value* value;
     const std::uint32_t* subtree_leaves;
     const unsigned* depth;
+    /// SoA gather of each child's leaf value, parallel to `children`:
+    /// child_values[i] == value[children[i]] when that child is a leaf
+    /// (0 otherwise — internal children have no meaningful value). Sibling
+    /// NodeIds are not consecutive in `value`, so this build-time gather is
+    /// what makes a node's children a contiguous span the batch reductions
+    /// can stream through.
+    const Value* child_values;
+    /// Packed "all children are leaves" bitset, one bit per node
+    /// (see Tree::is_leaf_frontier).
+    const std::uint64_t* leaf_frontier;
   };
   HotView hot_view() const noexcept {
     return {parent_.data(),   child_begin_.data(),    child_count_.data(),
             children_.data(), value_.data(),          subtree_leaves_.data(),
-            depth_.data()};
+            depth_.data(),    child_values_.data(),   leaf_frontier_.data()};
   }
 
   /// True iff every internal node has exactly d children and every leaf has
@@ -151,6 +170,8 @@ class Tree {
   std::vector<std::uint32_t> subtree_leaves_;
   std::vector<std::uint32_t> pre_in_;   // preorder entry rank
   std::vector<std::uint32_t> pre_out_;  // max preorder rank in the subtree
+  std::vector<Value> child_values_;     // SoA leaf-value gather, parallel to children_
+  std::vector<std::uint64_t> leaf_frontier_;  // packed all-children-are-leaves bits
   unsigned height_ = 0;
   std::size_t num_leaves_ = 0;
   std::uint64_t fingerprint_ = 0;

@@ -424,6 +424,76 @@ TEST(Engine, BlockWithDeadlineAdmitsWhenSlotsFree) {
   EXPECT_EQ(eng.stats().rejected, 0u);
 }
 
+TEST(Engine, PinnedWorkersStayCorrectUnderStealing) {
+  // pin_workers round-robins workers over online CPUs (a no-op besides
+  // affinity on platforms without sched_setaffinity). On a small machine
+  // several workers share a core, so this doubles as a correctness run
+  // under forced time-slicing; TSan in the chaos lane races it.
+  std::vector<Tree> trees;
+  std::vector<Value> truths;
+  for (unsigned seed = 1; seed <= 6; ++seed) {
+    trees.push_back(make_uniform_iid_minimax(2, 8, -50, 50, seed));
+    truths.push_back(minimax_value(trees.back()));
+  }
+  Engine::Options opt;
+  opt.workers = 4;
+  opt.pin_workers = true;
+  Engine eng(opt);
+  std::vector<SearchRequest> reqs;
+  for (const Tree& t : trees) {
+    SearchRequest req;
+    req.tree = &t;
+    req.algorithm = Algorithm::kMtParallelAb;
+    req.grain = 1;  // always spawn: maximize cross-worker traffic
+    reqs.push_back(req);
+  }
+  const std::vector<SearchResult> results = eng.run_all(reqs);
+  ASSERT_EQ(results.size(), trees.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].value, truths[i]) << "tree " << i;
+    EXPECT_TRUE(results[i].complete) << "tree " << i;
+  }
+}
+
+TEST(Engine, HugePageBackedTTServesCrossRequestHits) {
+  // tt_huge_pages is advisory (madvise), so the observable contract is
+  // just: the table still works — repeat searches of one tree hit values
+  // the first search stored, and results stay exact. 1<<17 entries is the
+  // first size a single 2 MiB page can back.
+  const Tree m = make_uniform_iid_minimax(3, 7, -100, 100, 23);
+  const Value truth = minimax_value(m);
+  Engine::Options opt;
+  opt.workers = 2;
+  opt.tt_entries = std::size_t{1} << 17;
+  opt.tt_huge_pages = true;
+  Engine eng(opt);
+  ASSERT_NE(eng.shared_tt(), nullptr);
+  EXPECT_EQ(eng.shared_tt()->capacity(), std::size_t{1} << 17);
+  SearchRequest req;
+  req.tree = &m;
+  req.algorithm = Algorithm::kMtParallelAb;
+  for (int round = 0; round < 3; ++round)
+    EXPECT_EQ(eng.run(req).value, truth) << "round " << round;
+  const TranspositionTable::Stats s = eng.shared_tt()->stats();
+  EXPECT_GT(s.stores, 0u);
+  EXPECT_GT(s.hits, 0u);  // rounds 2-3 reuse round 1's exact values
+}
+
+TEST(SearchFacade, BatchAlgorithmsMatchGroundTruth) {
+  // The batch-floored flat kernels behind the façade enum values the
+  // differential registry sweeps (flat-solve-batch / flat-ab-batch).
+  const Tree t = make_uniform_iid_nor(4, 5, golden_bias(), 31);
+  SearchRequest req;
+  req.tree = &t;
+  req.algorithm = Algorithm::kFlatSolveBatch;
+  EXPECT_EQ(search(req).value, nor_value(t) ? 1 : 0);
+
+  const Tree m = make_uniform_iid_minimax(4, 5, -50, 50, 37);
+  req.tree = &m;
+  req.algorithm = Algorithm::kFlatAbBatch;
+  EXPECT_EQ(search(req).value, minimax_value(m));
+}
+
 TEST(Engine, BlockWithDeadlineRejectsOnTimeout) {
   const Tree t = make_worst_case_nor(2, 9, false);
   Engine::Options eopt;

@@ -123,6 +123,30 @@ TEST(FlatAb, DynamicBoundDeadWindowUnwinds) {
   EXPECT_FALSE(exact);
 }
 
+TEST(FlatKernelsDeathTest, NestedEntryOnOneThreadAborts) {
+  // The scratch re-entrancy sentinel is armed in release builds too (not
+  // just under NDEBUG-off): a context that calls back into a flat kernel
+  // from leaf() would silently corrupt the shared per-thread stacks, so
+  // the guard must abort loudly instead. This pins both the abort and its
+  // diagnostic.
+  const Tree outer = make_uniform_iid_minimax(2, 4, -9, 9, 1);
+  const Tree inner = make_uniform_iid_minimax(2, 3, -9, 9, 2);
+  struct ReentrantCtx {
+    bool probe(NodeId, Value&) const { return false; }
+    void store(NodeId, Value) const {}
+    bool leaf(NodeId, Value& out) const {
+      out = flat_alphabeta(*inner_).value;  // re-enters on this thread
+      return true;
+    }
+    bool stop() const { return false; }
+    const Tree* inner_;
+  } ctx{&inner};
+  bool exact = true;
+  EXPECT_DEATH((void)flat_ab_core(outer, outer.root(), kMinusInf, kPlusInf,
+                                  nullptr, /*dyn_is_alpha=*/true, ctx, exact),
+               "re-entered");
+}
+
 TEST(FlatKernels, ScratchReuseAcrossManyRunsIsClean) {
   // The thread-local scratch must leave no state behind: interleaved solve
   // and alpha-beta runs on one thread keep producing correct answers.
